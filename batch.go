@@ -1,0 +1,68 @@
+package genasm
+
+import (
+	"fmt"
+
+	"genasm/internal/core"
+)
+
+// BatchJob is one alignment task for AlignBatch: Query against Text, both
+// as letters of the aligner's alphabet.
+type BatchJob struct {
+	Text, Query []byte
+	// Global selects end-to-end alignment.
+	Global bool
+}
+
+// BatchResult pairs one job's Alignment with its error.
+type BatchResult struct {
+	Alignment Alignment
+	Err       error
+}
+
+// AlignBatch aligns many pairs in parallel with one workspace per worker —
+// the software mirror of the accelerator's one-GenASM-per-vault
+// parallelism, whose throughput scales linearly with the number of units
+// (Section 10.5). workers <= 0 uses all CPUs. Results are in job order.
+func AlignBatch(cfg Config, jobs []BatchJob, workers int) ([]BatchResult, error) {
+	a := cfg.Alphabet.impl()
+	coreJobs := make([]core.BatchJob, len(jobs))
+	for i, j := range jobs {
+		text, err := a.Encode(j.Text)
+		if err != nil {
+			return nil, fmt.Errorf("genasm: job %d text: %w", i, err)
+		}
+		query, err := a.Encode(j.Query)
+		if err != nil {
+			return nil, fmt.Errorf("genasm: job %d query: %w", i, err)
+		}
+		coreJobs[i] = core.BatchJob{Text: text, Pattern: query, Global: j.Global}
+	}
+	coreCfg := core.Config{
+		Alphabet:             a,
+		WindowSize:           cfg.WindowSize,
+		Overlap:              cfg.Overlap,
+		FindFirstWindowStart: cfg.SearchStart,
+	}
+	if cfg.GapsBeforeSubstitutions {
+		coreCfg.Order = core.OrderGapFirst
+	}
+	raw := core.AlignBatch(coreCfg, coreJobs, workers)
+	out := make([]BatchResult, len(raw))
+	for i, r := range raw {
+		if r.Err != nil {
+			out[i].Err = r.Err
+			continue
+		}
+		out[i].Alignment = Alignment{
+			CIGAR:        r.Alignment.Cigar.String(),
+			ClassicCIGAR: r.Alignment.Cigar.Format(false),
+			Distance:     r.Alignment.Distance,
+			TextStart:    r.Alignment.TextStart,
+			TextEnd:      r.Alignment.TextEnd,
+			Matches:      r.Alignment.Cigar.Matches(),
+			runs:         r.Alignment.Cigar,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,64 @@
+package genasm
+
+import (
+	"testing"
+)
+
+func TestAlignBatchPublic(t *testing.T) {
+	jobs := []BatchJob{
+		{Text: []byte("CGTGA"), Query: []byte("CTGA"), Global: true},
+		{Text: []byte("ACGTACGT"), Query: []byte("ACGTACGT"), Global: true},
+		{Text: []byte("TTTTACGTACGTTTTT"), Query: []byte("ACGTACGT")},
+	}
+	res, err := AlignBatch(Config{SearchStart: true}, jobs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].Err != nil || res[0].Alignment.Distance != 1 {
+		t.Errorf("job 0: %+v", res[0])
+	}
+	if res[1].Err != nil || res[1].Alignment.Distance != 0 {
+		t.Errorf("job 1: %+v", res[1])
+	}
+	if res[2].Err != nil || res[2].Alignment.Distance != 0 || res[2].Alignment.TextStart != 4 {
+		t.Errorf("job 2: %+v", res[2])
+	}
+}
+
+func TestAlignBatchPublicInvalidLetters(t *testing.T) {
+	jobs := []BatchJob{{Text: []byte("ACGT"), Query: []byte("ACNX")}}
+	if _, err := AlignBatch(Config{}, jobs, 1); err == nil {
+		t.Fatal("invalid letters should fail up front")
+	}
+}
+
+func TestAlignBatchPublicEmpty(t *testing.T) {
+	res, err := AlignBatch(Config{}, nil, 4)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+}
+
+func TestAlignBatchMatchesSingle(t *testing.T) {
+	al, err := NewAligner(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("ACGGATCGATTACAGGCTTAACGGATCCTAGG")
+	query := []byte("ACGGATCGATTACAGGCTTAACGGATCCTAGG")
+	query[10] = 'T'
+	want, err := al.AlignGlobal(text, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := AlignBatch(Config{}, []BatchJob{{Text: text, Query: query, Global: true}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Alignment.CIGAR != want.CIGAR {
+		t.Fatalf("batch %s vs single %s", res[0].Alignment.CIGAR, want.CIGAR)
+	}
+}

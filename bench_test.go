@@ -1,0 +1,338 @@
+package genasm
+
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper's evaluation (Section 10). Each benchmark measures the per-item
+// cost of the workload the figure is about; `cmd/genasm-bench` prints the
+// corresponding full tables (paper rows next to measured/modelled values).
+//
+// Run all with: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"genasm/internal/cigar"
+	"genasm/internal/core"
+	"genasm/internal/dp"
+	"genasm/internal/filter"
+	"genasm/internal/gact"
+	"genasm/internal/hw"
+	"genasm/internal/mapper"
+	"genasm/internal/myers"
+	"genasm/internal/seq"
+	"genasm/internal/simulate"
+)
+
+// newBenchMapper builds the GenASM-based mapping pipeline used by the
+// Figure 11 benchmark (indexing happens here, outside the timed loop).
+func newBenchMapper(b *testing.B, genome []byte) *mapper.Mapper {
+	b.Helper()
+	m, err := mapper.New(genome, mapper.Config{
+		SeedK:     15,
+		ErrorRate: 0.05,
+		Filter:    filter.GenASMDC{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// benchCase builds one (region, read) pair for a profile.
+func benchCase(b *testing.B, p simulate.Profile, salt uint64) (region, read []byte) {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(2020, salt))
+	genome := seq.Random(rng, p.ReadLen*3+4000)
+	reads, err := simulate.Reads(rng, genome, 1, p, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := reads[0]
+	return simulate.CandidateRegion(genome, r.Pos, len(r.Seq), p.ErrorRate), r.Seq
+}
+
+// BenchmarkTable1AreaPower exercises the Table 1 area/power model.
+func BenchmarkTable1AreaPower(b *testing.B) {
+	cfg := hw.Default()
+	for i := 0; i < b.N; i++ {
+		total := cfg.Total()
+		if total.AreaMM2 < 10 {
+			b.Fatal("model broke")
+		}
+	}
+}
+
+// BenchmarkFig9LongReadAlignment measures the Figure 9 workload: aligning
+// one long read per dataset, GenASM vs the DP software baseline.
+func BenchmarkFig9LongReadAlignment(b *testing.B) {
+	for pi, p := range simulate.LongReadProfiles {
+		region, read := benchCase(b, p, uint64(pi))
+		k := int(float64(p.ReadLen)*p.ErrorRate) + 8
+		b.Run("GenASM/"+p.Name, func(b *testing.B) {
+			ws := core.MustNew(core.Config{FindFirstWindowStart: true})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ws.Align(region, read); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("DPBaseline/"+p.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dp.Align(region, read, cigar.Minimap2, dp.Fit, k+16)
+			}
+		})
+	}
+}
+
+// BenchmarkFig10ShortReadAlignment measures the Figure 10 workload.
+func BenchmarkFig10ShortReadAlignment(b *testing.B) {
+	for pi, p := range simulate.ShortReadProfiles {
+		region, read := benchCase(b, p, uint64(10+pi))
+		k := int(float64(p.ReadLen)*p.ErrorRate) + 8
+		b.Run("GenASM/"+p.Name, func(b *testing.B) {
+			ws := core.MustNew(core.Config{FindFirstWindowStart: true})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ws.Align(region, read); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("DPBaseline/"+p.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dp.Align(region, read, cigar.BWAMEM, dp.Fit, k+16)
+			}
+		})
+	}
+}
+
+// BenchmarkFig11Pipeline measures the end-to-end mapping cost per read
+// with the GenASM alignment step (Figure 11's "with GenASM" pipelines).
+func BenchmarkFig11Pipeline(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2021, 0))
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(200000))
+	reads, err := simulate.Reads(rng, genome, 50, simulate.Illumina250, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// mapper.New indexes the genome; excluded from the timed loop.
+	m := newBenchMapper(b, genome)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := reads[i%len(reads)]
+		if _, err := m.MapRead(r.Seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12VsGACTLong measures GenASM vs GACT software on long
+// sequences (Figure 12's axis).
+func BenchmarkFig12VsGACTLong(b *testing.B) {
+	for _, length := range []int{1000, 5000, 10000} {
+		rng := rand.New(rand.NewPCG(2022, uint64(length)))
+		text := seq.Random(rng, length+length*15/100+16)
+		read := mutateBench(rng, text[:length], 0.15)
+		b.Run(fmt.Sprintf("GenASM/%dbp", length), func(b *testing.B) {
+			ws := core.MustNew(core.Config{})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ws.Align(text, read); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("GACT/%dbp", length), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := gact.Align(text, read, gact.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig13VsGACTShort is Figure 13's short-read axis.
+func BenchmarkFig13VsGACTShort(b *testing.B) {
+	for _, length := range []int{100, 200, 300} {
+		rng := rand.New(rand.NewPCG(2023, uint64(length)))
+		text := seq.Random(rng, length+length*5/100+16)
+		read := mutateBench(rng, text[:length], 0.05)
+		b.Run(fmt.Sprintf("GenASM/%dbp", length), func(b *testing.B) {
+			ws := core.MustNew(core.Config{})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ws.Align(text, read); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("GACT/%dbp", length), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := gact.Align(text, read, gact.Config{TileSize: 64, Overlap: 24}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig14EditDistance measures the Figure 14 edit distance
+// workload: Myers (Edlib's algorithm) vs GenASM on long pairs.
+func BenchmarkFig14EditDistance(b *testing.B) {
+	for _, sim := range []float64{0.90, 0.99} {
+		rng := rand.New(rand.NewPCG(2024, uint64(sim*100)))
+		a := seq.Random(rng, 20000)
+		pair := mutateBench(rng, a, 1-sim)
+		b.Run(fmt.Sprintf("Myers/sim%.0f%%", sim*100), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := myers.Distance(a, pair, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("GenASM/sim%.0f%%", sim*100), func(b *testing.B) {
+			ws := core.MustNew(core.Config{})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ws.EditDistance(a, pair); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShoujiFilter measures the Section 10.3 filtering workload for
+// every implemented filter at the 100bp/E=5 dataset shape.
+func BenchmarkShoujiFilter(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2025, 0))
+	pairs := filter.GeneratePairs(rng, 64, 100, 5, dp.EditDistance)
+	for _, f := range []filter.Filter{filter.GenASMDC{}, filter.Shouji{}, filter.SHD{}, filter.BaseCount{}} {
+		b.Run(f.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if _, err := f.Accept(p.Ref, p.Read, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkASAPRange measures GenASM edit distance at ASAP's sequence
+// lengths (Section 10.4).
+func BenchmarkASAPRange(b *testing.B) {
+	for _, length := range []int{64, 320} {
+		rng := rand.New(rand.NewPCG(2026, uint64(length)))
+		a := seq.Random(rng, length)
+		pair := mutateBench(rng, a, 0.05)
+		b.Run(fmt.Sprintf("%dbp", length), func(b *testing.B) {
+			ws := core.MustNew(core.Config{})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ws.EditDistance(a, pair); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWindowing measures the Section 10.5 windowing ablation
+// in software: windowed GenASM vs the non-windowed multi-word scan, on a
+// 2 kbp read (the unwindowed variant is quadratic in read length and
+// already orders of magnitude slower here).
+func BenchmarkAblationWindowing(b *testing.B) {
+	region, read := benchCase(b, simulate.Profile{
+		Name: "2kbp-10%", ReadLen: 2000, ErrorRate: 0.10,
+		SubFrac: 0.25, InsFrac: 0.25, DelFrac: 0.50,
+	}, 99)
+	b.Run("Windowed", func(b *testing.B) {
+		ws := core.MustNew(core.Config{FindFirstWindowStart: true})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ws.Align(region, read); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Unwindowed", func(b *testing.B) {
+		f := filter.GenASMDC{}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := f.Accept(region, read, 220); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAdaptive measures the software-only adaptive error
+// level optimization (DESIGN.md Section 5).
+func BenchmarkAblationAdaptive(b *testing.B) {
+	region, read := benchCase(b, simulate.Illumina150, 98)
+	for _, cfg := range []struct {
+		name string
+		c    core.Config
+	}{
+		{"Adaptive", core.Config{}},
+		{"AllLevels", core.Config{NoAdaptive: true}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			ws := core.MustNew(cfg.c)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ws.Align(region, read); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPublicAPI measures the letter-level public Align path.
+func BenchmarkPublicAPI(b *testing.B) {
+	al, err := NewAligner(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := []byte("TTACGGATCGTTGCAATCGGATCGATTACAGGCTTAACGGATCCTAGGACCAGTTACGGATCGTTGCAATCGGATCGATTACAGGCTTAACGGATCCTAGGACCAG")
+	query := []byte("TTACGGATCGTTGCAATCGGATCGATTACAGGCTTAACGGATCCTAGGACCAG")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := al.Align(text, query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mutateBench(rng *rand.Rand, s []byte, errRate float64) []byte {
+	out := append([]byte(nil), s...)
+	edits := int(float64(len(s)) * errRate)
+	for e := 0; e < edits; e++ {
+		switch rng.IntN(3) {
+		case 0:
+			p := rng.IntN(len(out))
+			out[p] = (out[p] + byte(1+rng.IntN(3))) % 4
+		case 1:
+			p := rng.IntN(len(out) + 1)
+			out = append(out[:p], append([]byte{byte(rng.IntN(4))}, out[p:]...)...)
+		default:
+			if len(out) > 1 {
+				p := rng.IntN(len(out))
+				out = append(out[:p], out[p+1:]...)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+// Command genasm-bench regenerates every table and figure of the GenASM
+// paper's evaluation (Section 10) at laptop scale. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+// results.
+//
+// Usage:
+//
+//	genasm-bench [-exp all|table1|fig9|fig10|fig11|fig12|fig13|fig14|
+//	              filter|accuracy|ablation|sillax|asap|gasal2]
+//	             [-tiny] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"genasm/internal/bench"
+	"genasm/internal/stats"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "experiment id (all, table1, fig9..fig14, filter, accuracy, ablation, sillax, asap, gasal2)")
+		tiny = flag.Bool("tiny", false, "run at unit-test scale (fast smoke run)")
+		seed = flag.Uint64("seed", 0, "override the deterministic workload seed")
+	)
+	flag.Parse()
+
+	scale := bench.Scale{}
+	if *tiny {
+		scale = bench.Tiny()
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	type experiment struct {
+		id  string
+		run func() (*stats.Table, error)
+	}
+	experiments := []experiment{
+		{"table1", func() (*stats.Table, error) { return bench.Table1(), nil }},
+		{"fig9", func() (*stats.Table, error) { return bench.Fig9(scale) }},
+		{"fig10", func() (*stats.Table, error) { return bench.Fig10(scale) }},
+		{"fig11", func() (*stats.Table, error) { return bench.Fig11(scale) }},
+		{"fig12", func() (*stats.Table, error) { return bench.Fig12(scale) }},
+		{"fig13", func() (*stats.Table, error) { return bench.Fig13(scale) }},
+		{"fig14", func() (*stats.Table, error) { return bench.Fig14(scale) }},
+		{"filter", func() (*stats.Table, error) { return bench.FilterAccuracy(scale) }},
+		{"filtermodel", func() (*stats.Table, error) { return bench.FilterModelled(), nil }},
+		{"accuracy", func() (*stats.Table, error) { return bench.Accuracy(scale) }},
+		{"ablation", func() (*stats.Table, error) { return bench.Ablation(scale) }},
+		{"sillax", func() (*stats.Table, error) { return bench.SillaX(), nil }},
+		{"asap", func() (*stats.Table, error) { return bench.ASAP(), nil }},
+		{"gasal2", func() (*stats.Table, error) { return bench.GASAL2(), nil }},
+	}
+
+	want := strings.ToLower(*exp)
+	ran := 0
+	for _, e := range experiments {
+		if want != "all" && want != e.id {
+			continue
+		}
+		start := time.Now()
+		t, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genasm-bench: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("(%s in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "genasm-bench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,307 @@
+// Command genasm exposes the GenASM framework on the command line:
+//
+//	genasm align   -text CGTGA -query CTGA [-global]
+//	genasm editdist -a SEQ1 -b SEQ2
+//	genasm filter  -region SEQ -read SEQ -k 5
+//	genasm search  -text FILE|SEQ -pattern SEQ -k 2 [-bytes]
+//	genasm map     -ref ref.fasta -reads reads.fasta
+//
+// Sequence arguments are either literal sequences or paths to FASTA files
+// (detected by an existing file of that name).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"genasm"
+	"genasm/internal/alphabet"
+	"genasm/internal/cigar"
+	"genasm/internal/mapper"
+	"genasm/internal/sam"
+	"genasm/internal/seq"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "align":
+		err = runAlign(os.Args[2:])
+	case "editdist":
+		err = runEditDist(os.Args[2:])
+	case "filter":
+		err = runFilter(os.Args[2:])
+	case "search":
+		err = runSearch(os.Args[2:])
+	case "map":
+		err = runMap(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "genasm: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genasm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: genasm <align|editdist|filter|search|map> [flags]
+  align    -text SEQ -query SEQ [-global] [-search-start]
+  editdist -a SEQ -b SEQ
+  filter   -region SEQ -read SEQ -k N
+  search   -text SEQ|FILE -pattern SEQ -k N [-bytes]
+  map      -ref FASTA -reads FASTA [-seed-k N] [-error-rate F]`)
+}
+
+// loadSeq returns the sequence in arg: the first record of a FASTA file if
+// arg names one, otherwise arg itself (uppercased).
+func loadSeq(arg string) ([]byte, error) {
+	if fi, err := os.Stat(arg); err == nil && !fi.IsDir() {
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		recs, err := seq.ReadFASTA(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			return nil, fmt.Errorf("%s: no FASTA records", arg)
+		}
+		return recs[0].Seq, nil
+	}
+	return []byte(strings.ToUpper(arg)), nil
+}
+
+func runAlign(args []string) error {
+	fs := flag.NewFlagSet("align", flag.ExitOnError)
+	text := fs.String("text", "", "reference text (sequence or FASTA file)")
+	query := fs.String("query", "", "query sequence (sequence or FASTA file)")
+	global := fs.Bool("global", false, "align end-to-end instead of semi-globally")
+	searchStart := fs.Bool("search-start", false, "let the alignment start at the best position in the first window")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := loadSeq(*text)
+	if err != nil {
+		return err
+	}
+	q, err := loadSeq(*query)
+	if err != nil {
+		return err
+	}
+	al, err := genasm.NewAligner(genasm.Config{SearchStart: *searchStart})
+	if err != nil {
+		return err
+	}
+	var aln genasm.Alignment
+	if *global {
+		aln, err = al.AlignGlobal(t, q)
+	} else {
+		aln, err = al.Align(t, q)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CIGAR:      %s\n", aln.CIGAR)
+	fmt.Printf("classic:    %s\n", aln.ClassicCIGAR)
+	fmt.Printf("distance:   %d\n", aln.Distance)
+	fmt.Printf("text span:  [%d, %d)\n", aln.TextStart, aln.TextEnd)
+	fmt.Printf("score:      %d (BWA-MEM), %d (Minimap2)\n",
+		aln.Score(genasm.ScoringBWAMEM), aln.Score(genasm.ScoringMinimap2))
+	return nil
+}
+
+func runEditDist(args []string) error {
+	fs := flag.NewFlagSet("editdist", flag.ExitOnError)
+	a := fs.String("a", "", "first sequence (sequence or FASTA file)")
+	b := fs.String("b", "", "second sequence (sequence or FASTA file)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sa, err := loadSeq(*a)
+	if err != nil {
+		return err
+	}
+	sb, err := loadSeq(*b)
+	if err != nil {
+		return err
+	}
+	d, err := genasm.EditDistance(sa, sb)
+	if err != nil {
+		return err
+	}
+	fmt.Println(d)
+	return nil
+}
+
+func runFilter(args []string) error {
+	fs := flag.NewFlagSet("filter", flag.ExitOnError)
+	region := fs.String("region", "", "candidate reference region")
+	read := fs.String("read", "", "read sequence")
+	k := fs.Int("k", 5, "edit distance threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, err := loadSeq(*region)
+	if err != nil {
+		return err
+	}
+	q, err := loadSeq(*read)
+	if err != nil {
+		return err
+	}
+	ok, err := genasm.Filter(r, q, *k)
+	if err != nil {
+		return err
+	}
+	if ok {
+		fmt.Println("accept")
+	} else {
+		fmt.Println("reject")
+	}
+	return nil
+}
+
+func runSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	text := fs.String("text", "", "text to search (sequence or FASTA file)")
+	pattern := fs.String("pattern", "", "pattern to find")
+	k := fs.Int("k", 0, "maximum edits")
+	bytesAlpha := fs.Bool("bytes", false, "search arbitrary bytes instead of DNA")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var t []byte
+	var err error
+	if *bytesAlpha {
+		if fi, statErr := os.Stat(*text); statErr == nil && !fi.IsDir() {
+			t, err = os.ReadFile(*text)
+			if err != nil {
+				return err
+			}
+		} else {
+			t = []byte(*text)
+		}
+	} else if t, err = loadSeq(*text); err != nil {
+		return err
+	}
+	alpha := genasm.DNA
+	p := []byte(*pattern)
+	if *bytesAlpha {
+		alpha = genasm.Bytes
+	} else {
+		p = []byte(strings.ToUpper(*pattern))
+	}
+	matches, err := genasm.Search(alpha, t, p, *k)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		fmt.Printf("pos %d\tdist %d\n", m.Pos, m.Distance)
+	}
+	fmt.Fprintf(os.Stderr, "%d matches\n", len(matches))
+	return nil
+}
+
+func runMap(args []string) error {
+	fs := flag.NewFlagSet("map", flag.ExitOnError)
+	refPath := fs.String("ref", "", "reference FASTA")
+	readsPath := fs.String("reads", "", "reads FASTA")
+	seedK := fs.Int("seed-k", 15, "seed length")
+	errRate := fs.Float64("error-rate", 0.10, "expected sequencing error rate")
+	samOut := fs.Bool("sam", false, "emit SAM instead of the terse TSV")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rf, err := os.Open(*refPath)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	refRecs, err := seq.ReadFASTA(rf)
+	if err != nil {
+		return err
+	}
+	if len(refRecs) == 0 {
+		return fmt.Errorf("%s: no reference records", *refPath)
+	}
+	ref := seq.EncodeRecord(refRecs[0])
+
+	qf, err := os.Open(*readsPath)
+	if err != nil {
+		return err
+	}
+	defer qf.Close()
+	readRecs, err := seq.ReadFASTA(qf)
+	if err != nil {
+		return err
+	}
+
+	m, err := mapper.New(ref, mapper.Config{SeedK: *seedK, ErrorRate: *errRate})
+	if err != nil {
+		return err
+	}
+
+	var sw *sam.Writer
+	if *samOut {
+		sw = sam.NewWriter(os.Stdout)
+		if err := sw.WriteHeader(refRecs[0].Name, len(ref)); err != nil {
+			return err
+		}
+		defer sw.Flush()
+	}
+
+	for _, rec := range readRecs {
+		encoded, err := alphabet.DNA.Encode(rec.Seq)
+		if err != nil {
+			encoded = seq.EncodeRecord(rec)
+		}
+		mp, err := m.MapRead(encoded)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", rec.Name, err)
+		}
+		if sw != nil {
+			r := sam.Record{QName: rec.Name, Seq: encoded}
+			if !mp.Mapped {
+				r.Flag = sam.FlagUnmapped
+			} else {
+				r.RName = refRecs[0].Name
+				r.Pos = mp.Pos + 1
+				r.MapQ = 60
+				r.Cigar = mp.Cigar
+				r.EditDistance = mp.Distance
+				r.Score = cigar.Minimap2.Score(mp.Cigar)
+				if mp.RevComp {
+					r.Flag |= sam.FlagReverse
+				}
+			}
+			if err := sw.WriteRecord(r); err != nil {
+				return err
+			}
+			continue
+		}
+		if !mp.Mapped {
+			fmt.Printf("%s\tunmapped\n", rec.Name)
+			continue
+		}
+		strand := "+"
+		if mp.RevComp {
+			strand = "-"
+		}
+		fmt.Printf("%s\t%d\t%s\tNM:%d\t%s\n", rec.Name, mp.Pos, strand, mp.Distance, mp.Cigar.Format(false))
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package genasm is a Go implementation of GenASM (Senol Cali et al.,
+// MICRO 2020): a Bitap-based approximate string matching framework for
+// genome sequence analysis, consisting of the GenASM-DC distance
+// calculation algorithm (multi-word Bitap with windowed divide-and-conquer)
+// and the GenASM-TB traceback algorithm (the first Bitap-compatible
+// traceback), together with a model of the paper's systolic-array hardware
+// accelerator.
+//
+// The package exposes the paper's three evaluated use cases:
+//
+//   - read alignment: Aligner.Align / Aligner.AlignGlobal produce a CIGAR
+//     and edit distance for a query against a reference region of any
+//     length;
+//   - pre-alignment filtering: Filter gives a fast accept/reject decision
+//     for a (region, read) pair under an edit distance threshold;
+//   - edit distance calculation: EditDistance works on sequences of
+//     arbitrary length through the divide-and-conquer windows.
+//
+// Generic text search over arbitrary byte alphabets (Section 11 of the
+// paper) is available through Search, and Accelerator models the
+// performance, area and power of the hardware design.
+//
+// Sequences are passed as ASCII letters (e.g. "ACGT" for the default DNA
+// alphabet) and are encoded internally. The underlying algorithm packages
+// live in internal/ and operate on dense codes.
+package genasm

@@ -1,0 +1,55 @@
+// Pre-alignment filtering: the paper's second use case (Section 10.3).
+// Evaluates the GenASM-DC filter against Shouji, SHD and a base-count
+// bound on Shouji-style pair datasets, reporting false accept and false
+// reject rates exactly as the paper does.
+//
+// Run with: go run ./examples/prefilter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"time"
+
+	"genasm/internal/dp"
+	"genasm/internal/filter"
+)
+
+func main() {
+	datasets := []struct {
+		length, e, pairs int
+	}{
+		{100, 5, 1000},
+		{250, 15, 400},
+	}
+	filters := []filter.Filter{
+		filter.GenASMDC{}, filter.Shouji{}, filter.SHD{}, filter.BaseCount{},
+	}
+
+	for _, d := range datasets {
+		rng := rand.New(rand.NewPCG(uint64(d.length), 0))
+		pairs := filter.GeneratePairs(rng, d.pairs, d.length, d.e, dp.EditDistance)
+		fmt.Printf("\n== %d pairs of %d bp, edit threshold %d ==\n", d.pairs, d.length, d.e)
+		fmt.Printf("%-12s %-14s %-14s %-12s %s\n", "filter", "false accept", "false reject", "accepted", "pairs/s")
+		for _, f := range filters {
+			st, err := filter.Evaluate(f, pairs, d.e)
+			if err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			for _, p := range pairs {
+				if _, err := f.Accept(p.Ref, p.Read, d.e); err != nil {
+					log.Fatal(err)
+				}
+			}
+			rate := float64(len(pairs)) / time.Since(start).Seconds()
+			fmt.Printf("%-12s %-14s %-14s %-12d %.0f\n",
+				f.Name(),
+				fmt.Sprintf("%.3f%%", st.FalseAcceptRate()*100),
+				fmt.Sprintf("%.3f%%", st.FalseRejectRate()*100),
+				st.Accepted, rate)
+		}
+	}
+	fmt.Println("\nPaper (Section 10.3): GenASM FA 0.02%/0.002%, Shouji FA 4%/17%, both FR 0%.")
+}

@@ -1,0 +1,65 @@
+// Quickstart: align a read against a reference region with GenASM and
+// inspect the traceback, using only the public API.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"genasm"
+)
+
+func main() {
+	// The paper's running example (Figure 3/6): pattern CTGA against text
+	// CGTGA contains one deletion.
+	al, err := genasm.NewAligner(genasm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aln, err := al.AlignGlobal([]byte("CGTGA"), []byte("CTGA"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== paper example: CTGA vs CGTGA ==")
+	fmt.Printf("CIGAR %s  distance %d\n\n", aln.CIGAR, aln.Distance)
+
+	// A more realistic case: a 100 bp read with a few errors against its
+	// candidate region.
+	region := []byte("TTACGGATCGTTGCAATCGGATCGATTACAGGCTTAACGGATCCTAGGACCAGTTACGGATCGTTGCAATCGGATCGATTACAGGCTTAACGGATCCTAGGACCAGAAACCCGGG")
+	read := []byte("TTACGGATCGTTGCAATCGGATCGATTACAGGCTTAACGGATCCTAGGACCAGTTACGGATCGTTGCTATCGGATCGATTACAGGCTTAACGGATTCTAGGACCAG")
+	aln, err = al.Align(region, read)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== read vs candidate region ==")
+	fmt.Printf("CIGAR    %s\n", aln.CIGAR)
+	fmt.Printf("classic  %s\n", aln.ClassicCIGAR)
+	fmt.Printf("distance %d, matches %d, text span [%d,%d)\n",
+		aln.Distance, aln.Matches, aln.TextStart, aln.TextEnd)
+	fmt.Printf("score    %d (BWA-MEM scheme), %d (Minimap2 scheme)\n\n",
+		aln.Score(genasm.ScoringBWAMEM), aln.Score(genasm.ScoringMinimap2))
+
+	// Edit distance between arbitrary-length sequences.
+	d, err := genasm.EditDistance([]byte("GATTACAGATTACA"), []byte("GATTACAGTTTACA"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("edit distance: %d\n", d)
+
+	// Pre-alignment filtering: should this pair go to full alignment?
+	ok, err := genasm.Filter(region, read, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("filter at k=8: accept=%v\n", ok)
+
+	// The hardware model: what would the accelerator deliver?
+	acc, err := genasm.NewAccelerator(genasm.AcceleratorConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("modelled accelerator: %.1f M short reads/s, %.2f mm2, %.2f W\n",
+		acc.AlignmentsPerSecond(100, 0.05)/1e6, acc.AreaMM2(), acc.PowerW())
+}

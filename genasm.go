@@ -1,0 +1,188 @@
+package genasm
+
+import (
+	"fmt"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/cigar"
+	"genasm/internal/core"
+)
+
+// Alphabet selects the character set of the inputs.
+type Alphabet int
+
+// Supported alphabets (Section 11: DNA plus RNA, protein and raw bytes for
+// generic text search).
+const (
+	DNA Alphabet = iota
+	RNA
+	Protein
+	Bytes
+)
+
+func (a Alphabet) impl() *alphabet.Alphabet {
+	switch a {
+	case RNA:
+		return alphabet.RNA
+	case Protein:
+		return alphabet.Protein
+	case Bytes:
+		return alphabet.Bytes
+	default:
+		return alphabet.DNA
+	}
+}
+
+// String implements fmt.Stringer.
+func (a Alphabet) String() string { return a.impl().Name() }
+
+// Config parameterizes an Aligner. The zero value is the paper's setup:
+// DNA alphabet, window size 64, overlap 24, affine-gap-aware traceback.
+type Config struct {
+	// Alphabet of the input sequences.
+	Alphabet Alphabet
+	// WindowSize (W) and Overlap (O) are the divide-and-conquer
+	// parameters; zero values select the paper's W=64, O=24.
+	WindowSize int
+	Overlap    int
+	// SearchStart lets the alignment begin at the best matching position
+	// within the first window instead of exactly at the text start —
+	// the right setting when the text is a candidate region whose start
+	// is approximate.
+	SearchStart bool
+	// GapsBeforeSubstitutions inverts the traceback preference order for
+	// scoring schemes where gaps are cheaper than substitutions
+	// (Section 6, partial support for complex scoring schemes).
+	GapsBeforeSubstitutions bool
+}
+
+// Alignment is the result of aligning a query against a text.
+type Alignment struct {
+	// CIGAR is the extended CIGAR string ('='/'X'/'I'/'D').
+	CIGAR string
+	// ClassicCIGAR merges '=' and 'X' into 'M' runs.
+	ClassicCIGAR string
+	// Distance is the edit distance of the alignment.
+	Distance int
+	// TextStart and TextEnd delimit the aligned text region.
+	TextStart, TextEnd int
+	// Matches is the number of exactly matching positions.
+	Matches int
+
+	runs cigar.Cigar
+}
+
+// Score evaluates the alignment under an affine-gap scoring scheme.
+func (a Alignment) Score(s Scoring) int {
+	return cigar.Scoring(s).Score(a.runs)
+}
+
+// Scoring is an affine-gap scoring scheme: Match is a reward (positive),
+// the rest are penalties (negative). GapOpen is charged once per gap in
+// addition to GapExtend per gapped character.
+type Scoring struct {
+	Match     int
+	Mismatch  int
+	GapOpen   int
+	GapExtend int
+}
+
+// Predefined scoring schemes used in the paper's accuracy analysis.
+var (
+	// ScoringBWAMEM is BWA-MEM's default scheme.
+	ScoringBWAMEM = Scoring{Match: 1, Mismatch: -4, GapOpen: -6, GapExtend: -1}
+	// ScoringMinimap2 is Minimap2's default scheme.
+	ScoringMinimap2 = Scoring{Match: 2, Mismatch: -4, GapOpen: -4, GapExtend: -2}
+)
+
+// Aligner aligns queries against texts with the GenASM algorithms. An
+// Aligner owns reusable scratch memory (the software analogue of one
+// accelerator's SRAMs) and is not safe for concurrent use; create one per
+// goroutine.
+type Aligner struct {
+	cfg Config
+	ws  *core.Workspace
+	a   *alphabet.Alphabet
+}
+
+// NewAligner builds an Aligner.
+func NewAligner(cfg Config) (*Aligner, error) {
+	coreCfg := core.Config{
+		Alphabet:             cfg.Alphabet.impl(),
+		WindowSize:           cfg.WindowSize,
+		Overlap:              cfg.Overlap,
+		FindFirstWindowStart: cfg.SearchStart,
+	}
+	if cfg.GapsBeforeSubstitutions {
+		coreCfg.Order = core.OrderGapFirst
+	}
+	ws, err := core.New(coreCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Aligner{cfg: cfg, ws: ws, a: coreCfg.Alphabet}, nil
+}
+
+// Align aligns query against text semi-globally: the query is consumed in
+// full, the text may end early (and may start late with
+// Config.SearchStart). This is the read alignment use case: text is the
+// candidate reference region, query is the read.
+func (al *Aligner) Align(text, query []byte) (Alignment, error) {
+	return al.run(text, query, false)
+}
+
+// AlignGlobal aligns query against text end to end; Distance is then the
+// (upper-bound, almost always exact — see package tests) edit distance
+// between the two sequences.
+func (al *Aligner) AlignGlobal(text, query []byte) (Alignment, error) {
+	return al.run(text, query, true)
+}
+
+// EditDistance returns the edit distance between two sequences of
+// arbitrary length (the Section 10.4 use case).
+func (al *Aligner) EditDistance(a, b []byte) (int, error) {
+	aln, err := al.AlignGlobal(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return aln.Distance, nil
+}
+
+func (al *Aligner) run(text, query []byte, global bool) (Alignment, error) {
+	encText, err := al.a.Encode(text)
+	if err != nil {
+		return Alignment{}, fmt.Errorf("genasm: text: %w", err)
+	}
+	encQuery, err := al.a.Encode(query)
+	if err != nil {
+		return Alignment{}, fmt.Errorf("genasm: query: %w", err)
+	}
+	var aln core.Alignment
+	if global {
+		aln, err = al.ws.AlignGlobal(encText, encQuery)
+	} else {
+		aln, err = al.ws.Align(encText, encQuery)
+	}
+	if err != nil {
+		return Alignment{}, err
+	}
+	return Alignment{
+		CIGAR:        aln.Cigar.String(),
+		ClassicCIGAR: aln.Cigar.Format(false),
+		Distance:     aln.Distance,
+		TextStart:    aln.TextStart,
+		TextEnd:      aln.TextEnd,
+		Matches:      aln.Cigar.Matches(),
+		runs:         aln.Cigar,
+	}, nil
+}
+
+// EditDistance is a convenience wrapper: DNA alphabet, default
+// configuration.
+func EditDistance(a, b []byte) (int, error) {
+	al, err := NewAligner(Config{})
+	if err != nil {
+		return 0, err
+	}
+	return al.EditDistance(a, b)
+}

@@ -1,0 +1,69 @@
+package genasm
+
+import (
+	"fmt"
+
+	"genasm/internal/hw"
+)
+
+// Accelerator models the GenASM hardware design (Section 7): one systolic
+// GenASM-DC array plus a GenASM-TB unit per vault of a 3D-stacked memory.
+// The zero value is not useful; construct with NewAccelerator.
+type Accelerator struct {
+	cfg hw.Config
+}
+
+// AcceleratorConfig selects the hardware parameters; zero values take the
+// paper's defaults (64 PEs x 64 bits, W=64/O=24, 1 GHz, 32 vaults).
+type AcceleratorConfig struct {
+	PEs    int
+	Vaults int
+	FreqHz float64
+}
+
+// NewAccelerator builds the hardware model.
+func NewAccelerator(cfg AcceleratorConfig) (*Accelerator, error) {
+	if cfg.PEs < 0 || cfg.Vaults < 0 || cfg.FreqHz < 0 {
+		return nil, fmt.Errorf("genasm: negative accelerator parameter in %+v", cfg)
+	}
+	c := hw.Default()
+	if cfg.PEs > 0 {
+		c.PEs = cfg.PEs
+	}
+	if cfg.Vaults > 0 {
+		c.Vaults = cfg.Vaults
+	}
+	if cfg.FreqHz > 0 {
+		c.FreqHz = cfg.FreqHz
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accelerator{cfg: c}, nil
+}
+
+// AlignmentsPerSecond is the modelled read alignment throughput across all
+// vaults for reads of the given length and error rate.
+func (a *Accelerator) AlignmentsPerSecond(readLen int, errorRate float64) float64 {
+	k := int(float64(readLen) * errorRate)
+	if k < 1 {
+		k = 1
+	}
+	return a.cfg.AlignmentsPerSecond(readLen, k)
+}
+
+// AlignmentLatency is the modelled seconds per alignment on one
+// accelerator.
+func (a *Accelerator) AlignmentLatency(readLen int, errorRate float64) float64 {
+	k := int(float64(readLen) * errorRate)
+	if k < 1 {
+		k = 1
+	}
+	return a.cfg.AlignmentSeconds(readLen, k)
+}
+
+// AreaMM2 is the total silicon area of the design at 28 nm (Table 1).
+func (a *Accelerator) AreaMM2() float64 { return a.cfg.Total().AreaMM2 }
+
+// PowerW is the total power of the design (Table 1).
+func (a *Accelerator) PowerW() float64 { return a.cfg.Total().PowerW }

@@ -1,0 +1,143 @@
+package alphabet
+
+import (
+	"bytes"
+	"testing"
+
+	"genasm/internal/bitvec"
+)
+
+func TestDNAEncodeDecode(t *testing.T) {
+	in := []byte("ACGTacgt")
+	codes, err := DNA.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 1, 2, 3, 0, 1, 2, 3}
+	if !bytes.Equal(codes, want) {
+		t.Fatalf("Encode = %v, want %v", codes, want)
+	}
+	if got := DNA.Decode(codes); !bytes.Equal(got, []byte("ACGTACGT")) {
+		t.Fatalf("Decode = %s", got)
+	}
+}
+
+func TestEncodeInvalid(t *testing.T) {
+	if _, err := DNA.Encode([]byte("ACGN")); err == nil {
+		t.Fatal("expected error for N")
+	}
+	if DNA.Valid([]byte("ACGN")) {
+		t.Fatal("Valid should be false for N")
+	}
+	if !DNA.Valid([]byte("acgt")) {
+		t.Fatal("Valid should fold case")
+	}
+}
+
+func TestAlphabetSizes(t *testing.T) {
+	cases := []struct {
+		a    *Alphabet
+		size int
+	}{
+		{DNA, 4}, {RNA, 4}, {Protein, 20}, {Bytes, 256},
+	}
+	for _, c := range cases {
+		if c.a.Size() != c.size {
+			t.Errorf("%s: Size = %d, want %d", c.a.Name(), c.a.Size(), c.size)
+		}
+	}
+}
+
+func TestCodeLetterRoundTrip(t *testing.T) {
+	for code := 0; code < Protein.Size(); code++ {
+		l := Protein.Letter(code)
+		if Protein.Code(l) != code {
+			t.Errorf("Protein letter %q: code %d != %d", l, Protein.Code(l), code)
+		}
+	}
+	if DNA.Code('N') != -1 {
+		t.Error("DNA.Code('N') should be -1")
+	}
+}
+
+// TestPatternMasksPaperExample reproduces the pre-processing step of
+// Figure 3: pattern CTGA yields PM(A)=1110, PM(C)=0111, PM(G)=1101,
+// PM(T)=1011.
+func TestPatternMasksPaperExample(t *testing.T) {
+	pattern := DNA.MustEncode([]byte("CTGA"))
+	pm := GeneratePatternMasks(DNA, pattern)
+	want := map[byte]string{'A': "1110", 'C': "0111", 'G': "1101", 'T': "1011"}
+	for letter, bitsWant := range want {
+		code := byte(DNA.Code(letter))
+		got := bitvec.String(pm.Mask(code), 4)
+		if got != bitsWant {
+			t.Errorf("PM(%c) = %s, want %s", letter, got, bitsWant)
+		}
+	}
+}
+
+func TestPatternMasksMultiWord(t *testing.T) {
+	// 70-char pattern spans two words.
+	pattern := make([]byte, 70)
+	for i := range pattern {
+		pattern[i] = byte(i % 4)
+	}
+	pm := GeneratePatternMasks(DNA, pattern)
+	if pm.Words != 2 {
+		t.Fatalf("Words = %d, want 2", pm.Words)
+	}
+	for pos, code := range pattern {
+		bit := len(pattern) - 1 - pos
+		for c := byte(0); c < 4; c++ {
+			isZero := bitvec.IsZeroBit(pm.Mask(c), bit)
+			if (c == code) != isZero {
+				t.Fatalf("pos %d letter %d mask %d: zero=%v", pos, code, c, isZero)
+			}
+		}
+	}
+}
+
+func TestGenerateIntoReuses(t *testing.T) {
+	pm := GeneratePatternMasks(DNA, DNA.MustEncode([]byte("ACGTACGT")))
+	before := &pm.Masks[0][0]
+	pm.GenerateInto(DNA, DNA.MustEncode([]byte("TTTT")))
+	after := &pm.Masks[0][0]
+	if before != after {
+		t.Fatal("GenerateInto should reuse storage for smaller patterns")
+	}
+	if pm.M != 4 {
+		t.Fatalf("M = %d, want 4", pm.M)
+	}
+	got := bitvec.String(pm.Mask(byte(DNA.Code('T'))), 4)
+	if got != "0000" {
+		t.Fatalf("PM(T) = %s, want 0000", got)
+	}
+	// Growing beyond capacity must still work (falls back to realloc).
+	long := make([]byte, 200)
+	pm.GenerateInto(DNA, long)
+	if pm.M != 200 || pm.Words < bitvec.Words(200) {
+		t.Fatalf("GenerateInto grow: M=%d Words=%d", pm.M, pm.Words)
+	}
+}
+
+func TestBytesAlphabetGenericSearch(t *testing.T) {
+	pattern := Bytes.MustEncode([]byte("hello"))
+	pm := GeneratePatternMasks(Bytes, pattern)
+	// 'l' appears at positions 2 and 3 -> bits 2 and 1 are zero.
+	mask := pm.Mask('l')
+	if !bitvec.IsZeroBit(mask, 2) || !bitvec.IsZeroBit(mask, 1) {
+		t.Fatal("mask for 'l' wrong")
+	}
+	if bitvec.IsZeroBit(mask, 0) || bitvec.IsZeroBit(mask, 3) || bitvec.IsZeroBit(mask, 4) {
+		t.Fatal("mask for 'l' has spurious zeros")
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	pm := GeneratePatternMasks(DNA, nil)
+	if pm.M != 0 {
+		t.Fatalf("M = %d", pm.M)
+	}
+	// Masks must stay indexable.
+	_ = pm.Mask(0)
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// The harness tests run every experiment at tiny scale: they guard against
+// regressions in the experiment plumbing itself (panics, errors, empty
+// tables), not against performance numbers.
+
+func requireTable(t *testing.T, tb interface{ String() string }, wantSubstrings ...string) {
+	t.Helper()
+	out := tb.String()
+	if len(out) == 0 {
+		t.Fatal("empty table")
+	}
+	for _, want := range wantSubstrings {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	requireTable(t, Table1(), "GenASM-DC", "TB-SRAMs", "0.334", "10.69", "3.23")
+}
+
+func TestFig9Tiny(t *testing.T) {
+	tb, err := Fig9(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTable(t, tb, "PacBio-10%", "ONT-15%", "GenASM accel")
+}
+
+func TestFig10Tiny(t *testing.T) {
+	tb, err := Fig10(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTable(t, tb, "Illumina-100bp", "Illumina-250bp")
+}
+
+func TestFig11Tiny(t *testing.T) {
+	tb, err := Fig11(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTable(t, tb, "Illumina-250bp", "PacBio-15%", "GenASM sw pipeline")
+}
+
+func TestFig12Tiny(t *testing.T) {
+	tb, err := Fig12(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTable(t, tb, "1000 bp", "10000 bp", "Average", "3.9x")
+}
+
+func TestFig13Tiny(t *testing.T) {
+	tb, err := Fig13(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTable(t, tb, "100 bp", "300 bp")
+}
+
+func TestFig14Tiny(t *testing.T) {
+	tb, err := Fig14(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTable(t, tb, "60.0%", "99.0%", "GenASM sw")
+}
+
+func TestFilterAccuracyTiny(t *testing.T) {
+	tb, err := FilterAccuracy(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTable(t, tb, "GenASM-DC", "Shouji", "100bp E=5", "250bp E=15")
+}
+
+func TestFilterModelled(t *testing.T) {
+	requireTable(t, FilterModelled(), "100bp E=5", "250bp E=15")
+}
+
+func TestAccuracyTiny(t *testing.T) {
+	tb, err := Accuracy(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTable(t, tb, "BWA-MEM", "Minimap2")
+}
+
+func TestAblationTiny(t *testing.T) {
+	tb, err := Ablation(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTable(t, tb, "windowed vs unwindowed DC", "PE scaling", "vault scaling", "W=64 O=24 (paper)")
+}
+
+func TestStaticTables(t *testing.T) {
+	requireTable(t, SillaX(), "SillaX", "GenASM/SillaX")
+	requireTable(t, ASAP(), "64 bp", "320 bp")
+	requireTable(t, GASAL2(), "100 bp", "250 bp")
+}
+
+func TestScaleDefaults(t *testing.T) {
+	s := Scale{}.withDefaults()
+	if s.LongReads == 0 || s.ShortReads == 0 || s.GenomeLen == 0 || s.Seed == 0 {
+		t.Fatalf("defaults incomplete: %+v", s)
+	}
+	// Determinism: same seed, same genome.
+	g1 := s.genome(1)
+	g2 := s.genome(1)
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatal("genome generation not deterministic")
+		}
+	}
+}

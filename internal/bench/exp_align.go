@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"genasm/internal/cigar"
+	"genasm/internal/dp"
+	"genasm/internal/filter"
+	"genasm/internal/hw"
+	"genasm/internal/mapper"
+	"genasm/internal/simulate"
+	"genasm/internal/stats"
+)
+
+// Table1 regenerates the paper's Table 1 (area and power breakdown).
+func Table1() *stats.Table {
+	cfg := hw.Default()
+	t := stats.NewTable("Table 1: area and power breakdown of GenASM (28 nm)",
+		"Component", "Area (mm2)", "Power (W)")
+	for _, comp := range cfg.Components() {
+		t.Row(comp.Name, fmt.Sprintf("%.3f", comp.AreaMM2), fmt.Sprintf("%.3f", comp.PowerW))
+	}
+	one := cfg.Accelerator()
+	all := cfg.Total()
+	t.Row("Total - 1 vault", fmt.Sprintf("%.3f", one.AreaMM2), fmt.Sprintf("%.3f", one.PowerW))
+	t.Row(fmt.Sprintf("Total - %d vaults", cfg.Vaults), fmt.Sprintf("%.2f", all.AreaMM2), fmt.Sprintf("%.2f", all.PowerW))
+	return t
+}
+
+// alignThroughput measures reads/second of an alignment function over the
+// cases, running enough repetitions for a stable figure.
+func alignThroughput(cases []alignmentCase, minReps int, align func(c alignmentCase) error) (float64, error) {
+	reps := max(1, minReps)
+	start := time.Now()
+	n := 0
+	for time.Since(start) < 200*time.Millisecond || n < reps*len(cases) {
+		for _, c := range cases {
+			if err := align(c); err != nil {
+				return 0, err
+			}
+			n++
+		}
+		if n >= 10000 {
+			break
+		}
+	}
+	return stats.Throughput(n, time.Since(start)), nil
+}
+
+// figAlignment is the shared implementation of Figures 9 and 10: per
+// dataset, the measured software DP baseline (the BWA-MEM/Minimap2
+// alignment-step stand-in), measured GenASM software, and the modelled
+// GenASM accelerator, with the paper's reported speedups alongside.
+func figAlignment(s Scale, title string, profiles []simulate.Profile, n int, paperNote string) (*stats.Table, error) {
+	t := stats.NewTable(title,
+		"Dataset", "DP sw (reads/s)", "GenASM sw (reads/s)", "GenASM accel (reads/s)",
+		"sw/sw", "accel/DP-sw", "paper (alignment step)")
+	for pi, p := range profiles {
+		cases, err := s.alignmentCases(uint64(100+pi), n, p)
+		if err != nil {
+			return nil, err
+		}
+		k := int(float64(p.ReadLen)*p.ErrorRate) + 8
+
+		ws, err := newGenASM()
+		if err != nil {
+			return nil, err
+		}
+		genasmTP, err := alignThroughput(cases, 1, func(c alignmentCase) error {
+			_, err := ws.Align(c.region, c.read)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		band := k + 16
+		dpTP, err := alignThroughput(cases, 1, func(c alignmentCase) error {
+			dp.Align(c.region, c.read, cigar.Minimap2, dp.Fit, band)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		accel := hw.Default().AlignmentsPerSecond(p.ReadLen, int(float64(p.ReadLen)*p.ErrorRate))
+		t.Row(p.Name, dpTP, genasmTP, accel,
+			stats.Ratio(genasmTP, dpTP), stats.Ratio(accel, dpTP), paperNote)
+	}
+	return t, nil
+}
+
+// Fig9 regenerates Figure 9: long-read alignment throughput.
+func Fig9(s Scale) (*stats.Table, error) {
+	s = s.withDefaults()
+	return figAlignment(s, "Figure 9: read alignment throughput, long reads",
+		simulate.LongReadProfiles, s.LongReads,
+		"116x vs Minimap2 t=12, 648x vs BWA-MEM t=12")
+}
+
+// Fig10 regenerates Figure 10: short-read alignment throughput.
+func Fig10(s Scale) (*stats.Table, error) {
+	s = s.withDefaults()
+	return figAlignment(s, "Figure 10: read alignment throughput, short reads",
+		simulate.ShortReadProfiles, s.ShortReads,
+		"158x vs Minimap2 t=12, 111x vs BWA-MEM t=12")
+}
+
+// Fig11 regenerates Figure 11: end-to-end read mapping time with the
+// alignment step implemented by DP vs by GenASM, for the three
+// representative datasets.
+func Fig11(s Scale) (*stats.Table, error) {
+	s = s.withDefaults()
+	t := stats.NewTable("Figure 11: end-to-end mapping time, DP pipeline vs GenASM pipeline",
+		"Dataset", "DP pipeline", "GenASM sw pipeline", "sw speedup", "paper (vs Minimap2)")
+	datasets := []struct {
+		p     simulate.Profile
+		n     int
+		seedK int
+		paper string
+	}{
+		{simulate.Illumina250, s.PipelineReads, 15, "1.9x"},
+		{simulate.PacBio15, max(2, s.PipelineReads/10), 13, "3.4x"},
+		{simulate.ONT15, max(2, s.PipelineReads/10), 13, "2.1x"},
+	}
+	for di, d := range datasets {
+		genome := s.genome(uint64(200 + di))
+		reads, err := simulate.Reads(s.rng(uint64(210+di)), genome, d.n, d.p, false)
+		if err != nil {
+			return nil, err
+		}
+		rs := make([][]byte, len(reads))
+		for i, r := range reads {
+			rs[i] = r.Seq
+		}
+
+		// Pre-alignment filtering is a short-read pipeline step
+		// (Section 8: the O(m x n x k) scan is efficient "especially
+		// [for] short read mapping"; long-read filtering is left as
+		// future work in the paper).
+		var flt filter.Filter
+		if d.p.ReadLen <= 1000 {
+			flt = filter.GenASMDC{}
+		}
+
+		run := func(aligner mapper.Aligner) (time.Duration, error) {
+			m, err := mapper.New(genome, mapper.Config{
+				SeedK:     d.seedK,
+				ErrorRate: d.p.ErrorRate,
+				Filter:    flt,
+				Aligner:   aligner,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return timeIt(func() error {
+				_, _, err := m.MapAll(rs, nil, 0)
+				return err
+			})
+		}
+
+		k := int(float64(d.p.ReadLen)*d.p.ErrorRate) + 8
+		dpTime, err := run(mapper.DPAligner{Band: k + 16})
+		if err != nil {
+			return nil, err
+		}
+		ga, err := mapper.NewGenASMAligner()
+		if err != nil {
+			return nil, err
+		}
+		gaTime, err := run(ga)
+		if err != nil {
+			return nil, err
+		}
+		t.Row(d.p.Name, dpTime, gaTime,
+			stats.Ratio(dpTime.Seconds(), gaTime.Seconds()), d.paper)
+	}
+	return t, nil
+}
+
+// Accuracy regenerates the Section 10.2 accuracy analysis: GenASM's
+// alignment scores against the optimal affine-gap DP scores under the
+// BWA-MEM (short reads) and Minimap2 (long reads) default schemes.
+func Accuracy(s Scale) (*stats.Table, error) {
+	s = s.withDefaults()
+	t := stats.NewTable("Accuracy analysis (Section 10.2): GenASM score vs optimal DP score",
+		"Dataset", "Scoring", "score-equal", "within-band", "paper")
+	type row struct {
+		p       simulate.Profile
+		n       int
+		scoring cigar.Scoring
+		band    float64
+		paper   string
+	}
+	rows := []row{
+		{simulate.Illumina100, s.ShortReads, cigar.BWAMEM, 0.045, "96.6% equal, 99.7% within 4.5%"},
+		{simulate.PacBio10, max(s.LongReads, 8), cigar.Minimap2, 0.004, "99.6% within 0.4%"},
+		{simulate.ONT15, max(s.LongReads, 8), cigar.Minimap2, 0.007, "99.7% within 0.7%"},
+	}
+	for ri, r := range rows {
+		cases, err := s.alignmentCases(uint64(300+ri), r.n, r.p)
+		if err != nil {
+			return nil, err
+		}
+		ws, err := newGenASM()
+		if err != nil {
+			return nil, err
+		}
+		band := int(float64(r.p.ReadLen)*r.p.ErrorRate) + 200
+		equal, within := 0, 0
+		for _, c := range cases {
+			aln, err := ws.Align(c.region, c.read)
+			if err != nil {
+				return nil, err
+			}
+			got := r.scoring.Score(aln.Cigar)
+			opt := dp.Align(c.region, c.read, r.scoring, dp.Fit, band).Score
+			if got == opt {
+				equal++
+			}
+			diff := float64(opt - got)
+			ref := float64(max(1, abs(opt)))
+			if diff <= r.band*ref {
+				within++
+			}
+		}
+		n := float64(len(cases))
+		t.Row(r.p.Name, scoringName(r.scoring),
+			stats.Percent(float64(equal)/n), stats.Percent(float64(within)/n), r.paper)
+	}
+	return t, nil
+}
+
+func scoringName(sc cigar.Scoring) string {
+	switch sc {
+	case cigar.BWAMEM:
+		return "BWA-MEM"
+	case cigar.Minimap2:
+		return "Minimap2"
+	}
+	return "custom"
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

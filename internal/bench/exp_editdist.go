@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"genasm/internal/core"
+	"genasm/internal/dp"
+	"genasm/internal/hw"
+	"genasm/internal/myers"
+	"genasm/internal/stats"
+)
+
+// Fig14 regenerates Figure 14: edit distance calculation time for long
+// sequence pairs across similarity levels, comparing the measured Go
+// implementations of Edlib's algorithm (Myers' bit-vector, no traceback),
+// Hirschberg (the with-traceback baseline) and GenASM, plus the modelled
+// accelerator.
+//
+// The paper uses 100 kbp and 1 Mbp sequences; this harness defaults to
+// Scale.EditDistLen (100 kbp) and Scale.EditDistLen/10, recording the scale
+// in the output. Hirschberg is skipped above 20 kbp where its quadratic
+// time stops being laptop-friendly.
+func Fig14(s Scale) (*stats.Table, error) {
+	s = s.withDefaults()
+	lengths := []int{s.EditDistLen / 10, s.EditDistLen}
+	sims := []float64{0.60, 0.80, 0.90, 0.95, 0.99}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Figure 14: edit distance calculation (lengths %d and %d; paper: 100 kbp and 1 Mbp)",
+			lengths[0], lengths[1]),
+		"Length", "Similarity", "Edlib-alg w/o TB", "w/ TB (Hirschberg)", "GenASM sw",
+		"GenASM accel (model)", "sw speedup", "accel speedup")
+
+	ws, err := core.New(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	for li, length := range lengths {
+		for _, sim := range sims {
+			rng := s.rng(uint64(600 + li*10 + int(sim*100)))
+			a := make([]byte, length)
+			for i := range a {
+				a[i] = byte(rng.IntN(4))
+			}
+			b := mutatePair(rng, a, sim)
+
+			var myersDist int
+			myersT, err := timeIt(func() error {
+				var err error
+				myersDist, err = myers.Distance(a, b, 4)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+
+			hirschCell := "skipped"
+			if length <= 20000 {
+				hT, err := timeIt(func() error {
+					dp.Hirschberg(a, b)
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				hirschCell = hT.Round(time.Millisecond).String()
+			}
+
+			var genasmDist int
+			genasmT, err := timeIt(func() error {
+				var err error
+				genasmDist, err = ws.EditDistance(a, b)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if genasmDist < myersDist {
+				return nil, fmt.Errorf("fig14: GenASM distance %d below exact %d", genasmDist, myersDist)
+			}
+
+			k := max(1, int(float64(length)*(1-sim)*2))
+			accelS := hw.Default().DistanceCycles(length, k) / hw.Default().FreqHz
+			t.Row(fmt.Sprintf("%d", length), stats.Percent(sim),
+				myersT.Round(time.Millisecond).String(), hirschCell,
+				genasmT.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.2fms", accelS*1e3),
+				stats.Ratio(myersT.Seconds(), genasmT.Seconds()),
+				stats.Ratio(myersT.Seconds(), accelS))
+		}
+	}
+	t.Row("paper", "", "22-12501x speedup over Edlib (w/ and w/o TB), 548-582x less power", "", "", "", "", "")
+	return t, nil
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"genasm/internal/dp"
+	"genasm/internal/filter"
+	"genasm/internal/hw"
+	"genasm/internal/stats"
+)
+
+// FilterAccuracy regenerates the Section 10.3 pre-alignment filtering
+// comparison on the two Shouji-style datasets (100 bp at E=5, 250 bp at
+// E=15): false accept rate, false reject rate and measured throughput for
+// every implemented filter, with the paper's reported rates alongside.
+func FilterAccuracy(s Scale) (*stats.Table, error) {
+	s = s.withDefaults()
+	t := stats.NewTable("Section 10.3: pre-alignment filtering accuracy and speed",
+		"Dataset", "Filter", "false accept", "false reject", "measured (pairs/s)", "paper")
+
+	datasets := []struct {
+		length, e int
+		salt      uint64
+	}{
+		{100, 5, 700},
+		{250, 15, 701},
+	}
+	paper := map[string]map[int]string{
+		"GenASM-DC": {100: "FA 0.02%, FR 0%", 250: "FA 0.002%, FR 0%"},
+		"Shouji":    {100: "FA 4%, FR 0%", 250: "FA 17%, FR 0%"},
+	}
+	filters := []filter.Filter{filter.GenASMDC{}, filter.Shouji{}, filter.SHD{}, filter.BaseCount{}}
+
+	for _, d := range datasets {
+		pairs := filter.GeneratePairs(s.rng(d.salt), s.FilterPairs, d.length, d.e, dp.EditDistance)
+		for _, f := range filters {
+			st, err := filter.Evaluate(f, pairs, d.e)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			n := 0
+			for time.Since(start) < 100*time.Millisecond {
+				p := pairs[n%len(pairs)]
+				if _, err := f.Accept(p.Ref, p.Read, d.e); err != nil {
+					return nil, err
+				}
+				n++
+			}
+			tp := stats.Throughput(n, time.Since(start))
+			note := paper[f.Name()][d.length]
+			t.Row(fmt.Sprintf("%dbp E=%d", d.length, d.e), f.Name(),
+				stats.Percent(st.FalseAcceptRate()), stats.Percent(st.FalseRejectRate()),
+				tp, note)
+		}
+	}
+	t.Row("", "GenASM vs Shouji speed", "", "", "",
+		fmt.Sprintf("paper: 3.7x faster @100bp (%.1fx less power), 1.0x @250bp (%.1fx less power)",
+			hw.ShoujiPowerRatio100bp, hw.ShoujiPowerRatio250bp))
+	return t, nil
+}
+
+// FilterModelled adds the hardware-model view of the filtering use case:
+// GenASM-DC cycles per pair at the two dataset shapes.
+func FilterModelled() *stats.Table {
+	cfg := hw.Default()
+	t := stats.NewTable("Pre-alignment filtering: modelled GenASM-DC cost",
+		"Dataset", "cycles/pair", "pairs/s (one accelerator)", "pairs/s (32 vaults)")
+	for _, d := range []struct{ m, e int }{{100, 5}, {250, 15}} {
+		cyc := cfg.FilterCycles(d.m, d.m, d.e)
+		one := cfg.FreqHz / cyc
+		t.Row(fmt.Sprintf("%dbp E=%d", d.m, d.e), cyc, one, one*float64(cfg.Vaults))
+	}
+	return t
+}

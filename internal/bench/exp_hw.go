@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+
+	"genasm/internal/core"
+	"genasm/internal/gact"
+	"genasm/internal/hw"
+	"genasm/internal/stats"
+)
+
+// Fig12 regenerates Figure 12: GenASM vs GACT throughput for long reads
+// (1-10 kbp), both as the calibrated hardware models and as the measured
+// ratio of the two Go implementations.
+func Fig12(s Scale) (*stats.Table, error) {
+	return figVsGACT(s, "Figure 12: GenASM vs GACT (Darwin), long reads",
+		[]int{1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 9000, 10000},
+		0.15, "3.9x average")
+}
+
+// Fig13 regenerates Figure 13: GenASM vs GACT for short reads (100-300 bp).
+func Fig13(s Scale) (*stats.Table, error) {
+	return figVsGACT(s, "Figure 13: GenASM vs GACT (Darwin), short reads",
+		[]int{100, 150, 200, 250, 300},
+		0.05, "7.4x average")
+}
+
+func figVsGACT(s Scale, title string, lengths []int, errRate float64, paper string) (*stats.Table, error) {
+	s = s.withDefaults()
+	cfg := hw.Default()
+	g := hw.DefaultGACT()
+	t := stats.NewTable(title,
+		"Length", "GACT model (aligns/s)", "GenASM model (aligns/s)", "model ratio",
+		"measured sw ratio", "paper")
+
+	ws, err := core.New(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	sum := 0.0
+	for _, length := range lengths {
+		k := max(1, int(float64(length)*errRate))
+		genasmModel := cfg.AlignmentsPerSecondOneAccel(length, k)
+		gactModel := g.AlignmentsPerSecond(length)
+		ratio := genasmModel / gactModel
+		sum += ratio
+
+		// Measured: one pair per length, Go GenASM vs Go GACT.
+		rng := s.rng(uint64(400 + length))
+		text := make([]byte, length+k+16)
+		for i := range text {
+			text[i] = byte(rng.IntN(4))
+		}
+		read := mutatePair(rng, text[:length], 1-errRate)
+		genasmT, err := timeIt(func() error {
+			_, err := ws.Align(text, read)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		gactT, err := timeIt(func() error {
+			_, err := gact.Align(text, read, gact.Config{})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Row(fmt.Sprintf("%d bp", length), gactModel, genasmModel,
+			stats.Ratio(genasmModel, gactModel),
+			stats.Ratio(gactT.Seconds(), genasmT.Seconds()), "")
+	}
+	t.Row("Average", "", "", stats.Ratio(sum, float64(len(lengths))), "", paper)
+	return t, nil
+}
+
+// SillaX regenerates the Section 10.2 GenAx/SillaX comparison.
+func SillaX() *stats.Table {
+	cfg := hw.Default()
+	sx := hw.DefaultSillaX()
+	genasm := cfg.AlignmentsPerSecond(101, 5)
+	t := stats.NewTable("SillaX (GenAx) comparison, 101 bp short reads",
+		"System", "Throughput (aligns/s)", "Logic area (mm2)", "Total area (mm2)", "Logic power (W)")
+	t.Row("SillaX @2GHz (paper-reported)", sx.AlignmentsPerSecond, sx.LogicAreaMM2, sx.TotalAreaMM2(), sx.LogicPowerW)
+	t.Row("GenASM @1GHz (modelled, 32 vaults)", genasm,
+		fmt.Sprintf("%.2f", hw.DCLogicPer64PE.Add(hw.TBLogic).Scale(float64(cfg.Vaults)).AreaMM2),
+		fmt.Sprintf("%.2f", cfg.Total().AreaMM2),
+		fmt.Sprintf("%.2f", hw.DCLogicPer64PE.Add(hw.TBLogic).Scale(float64(cfg.Vaults)).PowerW))
+	t.Row("GenASM/SillaX", stats.Ratio(genasm, sx.AlignmentsPerSecond), "", "", "")
+	t.Row("paper", "1.9x", "63% less logic area", "17% more total area", "82% less logic power")
+	return t
+}
+
+// ASAP regenerates the Section 10.4 ASAP comparison: edit distance latency
+// for 64-320 bp sequences.
+func ASAP() *stats.Table {
+	cfg := hw.Default()
+	a := hw.DefaultASAP()
+	t := stats.NewTable("ASAP comparison: edit distance latency (Section 10.4)",
+		"Length", "ASAP (us, paper-reported)", "GenASM model (us)", "speedup")
+	for _, length := range []int{64, 128, 192, 256, 320} {
+		k := max(1, length*5/100)
+		asap := a.LatencySeconds(length) * 1e6
+		genasm := cfg.AlignmentSeconds(length, k) * 1e6
+		t.Row(fmt.Sprintf("%d bp", length),
+			fmt.Sprintf("%.1f", asap), fmt.Sprintf("%.3f", genasm),
+			stats.Ratio(asap, genasm))
+	}
+	t.Row("paper", "", "", "9.3-400x, 67x less power")
+	return t
+}
+
+// GASAL2 reprints the paper's GPU comparison (Section 10.2) next to the
+// modelled GenASM throughput per read length.
+func GASAL2() *stats.Table {
+	cfg := hw.Default()
+	t := stats.NewTable("GASAL2 (GPU) comparison, paper-reported speedups",
+		"Read length", "GenASM model (aligns/s)", "paper speedup 100K/1M/10M pairs")
+	for _, length := range []int{100, 150, 250} {
+		k := max(1, length*5/100)
+		rep := hw.GASAL2SpeedupReported[length]
+		t.Row(fmt.Sprintf("%d bp", length),
+			cfg.AlignmentsPerSecond(length, k),
+			fmt.Sprintf("%.1fx / %.1fx / %.1fx", rep["100K"], rep["1M"], rep["10M"]))
+	}
+	return t
+}
+
+// Ablation regenerates the Section 10.5 "sources of improvement" analysis:
+// the windowing ablation, PE scaling and vault scaling.
+func Ablation(s Scale) (*stats.Table, error) {
+	s = s.withDefaults()
+	cfg := hw.Default()
+	t := stats.NewTable("Ablations (Section 10.5): sources of improvement",
+		"Study", "Configuration", "Value")
+
+	// Windowing ablation (algorithm-level).
+	for _, c := range []struct {
+		name string
+		m, k int
+	}{
+		{"long 10 kbp @15%", 10000, 1500},
+		{"short 250 bp @5%", 250, 12},
+		{"short 100 bp @5%", 100, 5},
+	} {
+		ratio := cfg.DCCyclesUnwindowed(c.m, c.k) / cfg.DCCyclesWindowed(c.m, c.k)
+		t.Row("windowed vs unwindowed DC", c.name, stats.Ratio(ratio, 1))
+	}
+	t.Row("windowed vs unwindowed DC", "paper", "3662x long, 1.6-3.9x short")
+
+	// PE scaling (hardware-level): systolic simulation of one window.
+	for _, pes := range []int{8, 16, 32, 64} {
+		c := cfg
+		c.PEs = pes
+		sim := c.SimulateWindow(c.WindowSize, c.WindowSize)
+		t.Row("PE scaling (window cycles)", fmt.Sprintf("%d PEs", pes), sim.Cycles)
+	}
+
+	// Vault scaling (technology-level).
+	for _, vaults := range []int{1, 8, 16, 32} {
+		c := cfg
+		c.Vaults = vaults
+		t.Row("vault scaling (10 kbp aligns/s)", fmt.Sprintf("%d vaults", vaults),
+			c.AlignmentsPerSecond(10000, 1500))
+	}
+
+	// Window size / overlap accuracy ablation (measured): the fraction of
+	// global alignments that land exactly on the true edit distance.
+	ws64, err := core.New(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	ws32, err := core.New(core.Config{WindowSize: 32, Overlap: 12})
+	if err != nil {
+		return nil, err
+	}
+	ws128, err := core.New(core.Config{WindowSize: 128, Overlap: 48})
+	if err != nil {
+		return nil, err
+	}
+	for _, wcfg := range []struct {
+		name string
+		ws   *core.Workspace
+	}{
+		{"W=32 O=12", ws32}, {"W=64 O=24 (paper)", ws64}, {"W=128 O=48", ws128},
+	} {
+		exact, total := windowAccuracy(s, wcfg.ws)
+		t.Row("window accuracy (exact-distance rate)", wcfg.name,
+			stats.Percent(float64(exact)/float64(max(1, total))))
+	}
+	return t, nil
+}
+
+func windowAccuracy(s Scale, ws *core.Workspace) (exact, total int) {
+	rng := s.rng(500)
+	for trial := 0; trial < 40; trial++ {
+		n := 100 + rng.IntN(300)
+		text := make([]byte, n)
+		for i := range text {
+			text[i] = byte(rng.IntN(4))
+		}
+		pattern := mutatePair(rng, text, 0.95)
+		aln, err := ws.AlignGlobal(text, pattern)
+		if err != nil {
+			continue
+		}
+		want := levenshteinRef(pattern, text)
+		total++
+		if aln.Distance == want {
+			exact++
+		}
+	}
+	return exact, total
+}
+
+func levenshteinRef(a, b []byte) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j-1]+cost, min(prev[j]+1, cur[j-1]+1))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}

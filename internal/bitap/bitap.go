@@ -1,0 +1,261 @@
+// Package bitap implements the baseline Bitap algorithm (Baeza-Yates &
+// Gonnet 1992; Wu & Manber 1992) exactly as presented in Algorithm 1 of the
+// GenASM paper, in both the classic single-word form (pattern limited to
+// the machine word) and a straightforward multi-word form (the paper's
+// "long read support" modification from Section 5, without windowing).
+//
+// These implementations are the reference points for the GenASM core: the
+// single-word version demonstrates the word-length limitation the paper
+// sets out to remove (Section 3.1), and the multi-word version is the
+// non-windowed GenASM-DC used for pre-alignment filtering (Section 8) and
+// for the divide-and-conquer ablation (Section 10.5).
+package bitap
+
+import (
+	"errors"
+	"fmt"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/bitvec"
+)
+
+// Match records an approximate occurrence of the pattern in the text.
+type Match struct {
+	// Loc is the text position where the occurrence starts.
+	Loc int
+	// Dist is the number of edits of the occurrence (minimum d at which
+	// the MSB of R[d] became 0 at this position).
+	Dist int
+}
+
+// ErrPatternTooLong is returned by the single-word functions when the
+// pattern exceeds the 64-bit machine word — the exact limitation that
+// motivates GenASM's multi-word bitvectors (Section 3.1).
+var ErrPatternTooLong = errors.New("bitap: pattern longer than machine word (64)")
+
+// Search runs the classic single-word Bitap over text, reporting every
+// position where the pattern matches with at most k edits. Pattern and
+// text must be encoded with the same alphabet (dense codes). The text is
+// scanned right to left as in Algorithm 1, so matches are reported in
+// decreasing Loc order.
+func Search(a *alphabet.Alphabet, text, pattern []byte, k int) ([]Match, error) {
+	m := len(pattern)
+	if m == 0 {
+		return nil, errors.New("bitap: empty pattern")
+	}
+	if m > bitvec.WordSize {
+		return nil, ErrPatternTooLong
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("bitap: negative edit distance threshold %d", k)
+	}
+
+	// Pre-processing: pattern bitmasks, one word per letter.
+	pm := make([]uint64, a.Size())
+	for i := range pm {
+		pm[i] = ^uint64(0)
+	}
+	for pos, c := range pattern {
+		pm[c] &^= 1 << uint(m-1-pos)
+	}
+
+	msb := uint64(1) << uint(m-1)
+	r := make([]uint64, k+1)
+	oldR := make([]uint64, k+1)
+	for d := range r {
+		r[d] = ^uint64(0)
+	}
+
+	var matches []Match
+	for i := len(text) - 1; i >= 0; i-- {
+		curPM := pm[text[i]]
+		copy(oldR, r)
+		r[0] = oldR[0]<<1 | curPM
+		for d := 1; d <= k; d++ {
+			del := oldR[d-1]
+			sub := oldR[d-1] << 1
+			ins := r[d-1] << 1
+			match := oldR[d]<<1 | curPM
+			r[d] = del & sub & ins & match
+		}
+		for d := 0; d <= k; d++ {
+			if r[d]&msb == 0 {
+				matches = append(matches, Match{Loc: i, Dist: d})
+				break
+			}
+		}
+	}
+	return matches, nil
+}
+
+// Distance returns the minimum number of edits over all semi-global
+// occurrences of pattern in text (pattern fully consumed, occurrence may
+// start anywhere), or k+1 if no occurrence within k edits exists.
+// Single-word variant; see MultiWord for longer patterns.
+func Distance(a *alphabet.Alphabet, text, pattern []byte, k int) (int, error) {
+	matches, err := Search(a, text, pattern, k)
+	if err != nil {
+		return 0, err
+	}
+	best := k + 1
+	for _, m := range matches {
+		if m.Dist < best {
+			best = m.Dist
+		}
+	}
+	return best, nil
+}
+
+// MultiWord is the non-windowed multi-word Bitap: GenASM-DC's long-read
+// support (Section 5) without the divide-and-conquer step. Bitvectors span
+// ceil(m/64) words; shifting carries the MSB of word w-1 into the LSB of
+// word w, exactly the scheme the paper describes.
+//
+// The zero value is not usable; construct with NewMultiWord.
+type MultiWord struct {
+	a  *alphabet.Alphabet
+	pm *alphabet.PatternMasks
+	m  int
+	nw int
+
+	// Scratch reused across Search calls (one row per distance level).
+	r    [][]uint64
+	oldR [][]uint64
+	k    int
+
+	// endPad enables phantom end-padding (see SetEndPadding).
+	endPad bool
+	ones   []uint64
+}
+
+// NewMultiWord prepares a multi-word Bitap searcher for the given encoded
+// pattern and maximum edit distance k.
+func NewMultiWord(a *alphabet.Alphabet, pattern []byte, k int) (*MultiWord, error) {
+	if len(pattern) == 0 {
+		return nil, errors.New("bitap: empty pattern")
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("bitap: negative edit distance threshold %d", k)
+	}
+	mw := &MultiWord{
+		a:  a,
+		pm: alphabet.GeneratePatternMasks(a, pattern),
+		m:  len(pattern),
+		nw: bitvec.Words(len(pattern)),
+		k:  k,
+	}
+	mw.r = newRows(k+1, mw.nw)
+	mw.oldR = newRows(k+1, mw.nw)
+	mw.ones = make([]uint64, mw.nw)
+	bitvec.Fill(mw.ones, ^uint64(0))
+	return mw, nil
+}
+
+// SetEndPadding toggles phantom end-padding. The right-to-left Bitap scan
+// cannot represent pattern insertions past the end of the text (the
+// bitvector chain for "insert the remaining pattern characters" would live
+// at text positions that are never scanned), so distances of alignments
+// pressing against the text end are overestimated by up to the number of
+// trailing insertions. Padding prepends min(k, m) sentinel iterations whose
+// pattern bitmask matches nothing: every op consuming a sentinel costs one
+// error and consumes no real text, which is exactly an insertion, making
+// the reported distance the exact semi-global distance. Matches are still
+// only reported at real text positions.
+//
+// The pre-alignment filter enables this (Section 10.3's "GenASM calculates
+// the actual distance"); Search keeps the raw Algorithm 1 semantics by
+// default.
+func (mw *MultiWord) SetEndPadding(on bool) { mw.endPad = on }
+
+func newRows(n, nw int) [][]uint64 {
+	flat := make([]uint64, n*nw)
+	rows := make([][]uint64, n)
+	for i := range rows {
+		rows[i] = flat[i*nw : (i+1)*nw]
+	}
+	return rows
+}
+
+// Pattern length in characters.
+func (mw *MultiWord) PatternLen() int { return mw.m }
+
+// Search scans the encoded text and returns all matches with at most k
+// edits, in decreasing location order.
+func (mw *MultiWord) Search(text []byte) []Match {
+	var matches []Match
+	mw.scan(text, func(loc, dist int) bool {
+		matches = append(matches, Match{Loc: loc, Dist: dist})
+		return true
+	})
+	return matches
+}
+
+// Distance returns the minimum edit distance over all occurrences, or k+1
+// if none is found within the threshold. This is the operation GenASM-DC
+// performs in pre-alignment filtering (Section 8): only the estimate
+// against the threshold matters, no traceback.
+func (mw *MultiWord) Distance(text []byte) int {
+	best := mw.k + 1
+	mw.scan(text, func(loc, dist int) bool {
+		if dist < best {
+			best = dist
+		}
+		// Early exit on a perfect match: nothing can beat distance 0.
+		return best > 0
+	})
+	return best
+}
+
+// scan runs the DC recurrence right to left over the text, invoking report
+// for each (location, distance) where the MSB of some R[d] is 0. Returning
+// false from report stops the scan early.
+func (mw *MultiWord) scan(text []byte, report func(loc, dist int) bool) {
+	k, nw := mw.k, mw.nw
+	r, oldR := mw.r, mw.oldR
+	for d := 0; d <= k; d++ {
+		bitvec.Fill(r[d], ^uint64(0))
+	}
+	pad := 0
+	if mw.endPad {
+		pad = min(k, mw.m)
+	}
+	msbIdx := mw.m - 1
+	for i := len(text) - 1 + pad; i >= 0; i-- {
+		curPM := mw.ones
+		if i < len(text) {
+			curPM = mw.pm.Mask(text[i])
+		}
+		// Swap roles: previous iteration's r becomes oldR.
+		r, oldR = oldR, r
+		// r rows currently hold stale data; each is fully overwritten.
+		bitvec.ShiftLeft1Or(r[0], oldR[0], curPM)
+		for d := 1; d <= k; d++ {
+			rd, rd1, old1, old := r[d], r[d-1], oldR[d-1], oldR[d]
+			carryS, carryI, carryM := uint64(0), uint64(0), uint64(0)
+			for w := 0; w < nw; w++ {
+				del := old1[w]
+				ws, wi, wm := old1[w], rd1[w], old[w]
+				sub := ws<<1 | carryS
+				ins := wi<<1 | carryI
+				match := wm<<1 | carryM | curPM[w]
+				carryS = ws >> 63
+				carryI = wi >> 63
+				carryM = wm >> 63
+				rd[w] = del & sub & ins & match
+			}
+		}
+		if i >= len(text) {
+			continue // sentinel iterations never report matches
+		}
+		for d := 0; d <= k; d++ {
+			if bitvec.IsZeroBit(r[d], msbIdx) {
+				if !report(i, d) {
+					mw.r, mw.oldR = r, oldR
+					return
+				}
+				break
+			}
+		}
+	}
+	mw.r, mw.oldR = r, oldR
+}

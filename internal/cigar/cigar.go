@@ -1,0 +1,399 @@
+// Package cigar represents alignments as sequences of edit operations and
+// provides parsing, formatting, validation and scoring.
+//
+// Throughout this repository the query (pattern, read) plays the role of
+// the SAM query and the text (reference region) the role of the SAM
+// reference: an insertion consumes a query character only, a deletion a
+// text character only (Section 6 of the paper).
+package cigar
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Op is a single alignment operation.
+type Op byte
+
+// Alignment operations. Values are chosen to match the paper's traceback
+// status codes (Algorithm 2): 1=match, 2=substitution, 3=insertion,
+// 4=deletion.
+const (
+	OpNone  Op = 0
+	OpMatch Op = 1 // query char == text char
+	OpSubst Op = 2 // mismatch: both consumed, one edit
+	OpIns   Op = 3 // query char consumed only
+	OpDel   Op = 4 // text char consumed only
+)
+
+// Byte returns the canonical single-letter representation. Matches use '='
+// and substitutions 'X' (extended CIGAR); Format can also render classic
+// 'M' CIGAR where both map to 'M'.
+func (op Op) Byte() byte {
+	switch op {
+	case OpMatch:
+		return '='
+	case OpSubst:
+		return 'X'
+	case OpIns:
+		return 'I'
+	case OpDel:
+		return 'D'
+	}
+	return '?'
+}
+
+// String implements fmt.Stringer.
+func (op Op) String() string { return string(op.Byte()) }
+
+// IsEdit reports whether the operation counts toward edit distance.
+func (op Op) IsEdit() bool { return op == OpSubst || op == OpIns || op == OpDel }
+
+// ConsumesQuery reports whether the op consumes a query character.
+func (op Op) ConsumesQuery() bool { return op == OpMatch || op == OpSubst || op == OpIns }
+
+// ConsumesText reports whether the op consumes a text character.
+func (op Op) ConsumesText() bool { return op == OpMatch || op == OpSubst || op == OpDel }
+
+// Run is a run-length-encoded stretch of one operation.
+type Run struct {
+	Len int
+	Op  Op
+}
+
+// Cigar is an alignment as run-length-encoded operations.
+type Cigar []Run
+
+// Builder accumulates operations one at a time, merging adjacent equal ops.
+// The zero value is ready to use.
+type Builder struct {
+	runs Cigar
+}
+
+// Append adds n repetitions of op.
+func (b *Builder) Append(op Op, n int) {
+	if n <= 0 {
+		return
+	}
+	if k := len(b.runs); k > 0 && b.runs[k-1].Op == op {
+		b.runs[k-1].Len += n
+		return
+	}
+	b.runs = append(b.runs, Run{Len: n, Op: op})
+}
+
+// Add adds a single operation.
+func (b *Builder) Add(op Op) { b.Append(op, 1) }
+
+// Cigar returns the accumulated alignment. The builder may continue to be
+// used afterwards only if the result is no longer needed.
+func (b *Builder) Cigar() Cigar { return b.runs }
+
+// Reset clears the builder for reuse, retaining storage.
+func (b *Builder) Reset() { b.runs = b.runs[:0] }
+
+// Len returns the total number of operations.
+func (c Cigar) Len() int {
+	n := 0
+	for _, r := range c {
+		n += r.Len
+	}
+	return n
+}
+
+// EditDistance returns the number of edit operations (substitutions,
+// insertions, deletions).
+func (c Cigar) EditDistance() int {
+	n := 0
+	for _, r := range c {
+		if r.Op.IsEdit() {
+			n += r.Len
+		}
+	}
+	return n
+}
+
+// Matches returns the number of exact-match operations.
+func (c Cigar) Matches() int {
+	n := 0
+	for _, r := range c {
+		if r.Op == OpMatch {
+			n += r.Len
+		}
+	}
+	return n
+}
+
+// QueryLen returns the number of query characters the alignment consumes.
+func (c Cigar) QueryLen() int {
+	n := 0
+	for _, r := range c {
+		if r.Op.ConsumesQuery() {
+			n += r.Len
+		}
+	}
+	return n
+}
+
+// TextLen returns the number of text characters the alignment consumes.
+func (c Cigar) TextLen() int {
+	n := 0
+	for _, r := range c {
+		if r.Op.ConsumesText() {
+			n += r.Len
+		}
+	}
+	return n
+}
+
+// Counts returns the number of each operation kind.
+func (c Cigar) Counts() (match, subst, ins, del int) {
+	for _, r := range c {
+		switch r.Op {
+		case OpMatch:
+			match += r.Len
+		case OpSubst:
+			subst += r.Len
+		case OpIns:
+			ins += r.Len
+		case OpDel:
+			del += r.Len
+		}
+	}
+	return
+}
+
+// String renders the extended CIGAR (e.g. "10=1X3I2D").
+func (c Cigar) String() string { return c.Format(true) }
+
+// Format renders the CIGAR string. With extended=false, matches and
+// substitutions are merged into 'M' runs as in classic SAM.
+func (c Cigar) Format(extended bool) string {
+	var sb strings.Builder
+	if extended {
+		for _, r := range c {
+			sb.WriteString(strconv.Itoa(r.Len))
+			sb.WriteByte(r.Op.Byte())
+		}
+		return sb.String()
+	}
+	// Classic: coalesce = and X into M.
+	pendingM := 0
+	flush := func() {
+		if pendingM > 0 {
+			sb.WriteString(strconv.Itoa(pendingM))
+			sb.WriteByte('M')
+			pendingM = 0
+		}
+	}
+	for _, r := range c {
+		switch r.Op {
+		case OpMatch, OpSubst:
+			pendingM += r.Len
+		default:
+			flush()
+			sb.WriteString(strconv.Itoa(r.Len))
+			sb.WriteByte(r.Op.Byte())
+		}
+	}
+	flush()
+	return sb.String()
+}
+
+// Ops expands the run-length encoding into one Op per operation.
+func (c Cigar) Ops() []Op {
+	out := make([]Op, 0, c.Len())
+	for _, r := range c {
+		for i := 0; i < r.Len; i++ {
+			out = append(out, r.Op)
+		}
+	}
+	return out
+}
+
+// Parse parses an extended or classic CIGAR string. 'M' is accepted and
+// parsed as OpMatch (callers that need =/X resolution should re-validate
+// against the sequences).
+func Parse(s string) (Cigar, error) {
+	var c Cigar
+	n := 0
+	sawDigit := false
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		if ch >= '0' && ch <= '9' {
+			n = n*10 + int(ch-'0')
+			sawDigit = true
+			continue
+		}
+		if !sawDigit {
+			return nil, fmt.Errorf("cigar: missing length before %q at %d", ch, i)
+		}
+		var op Op
+		switch ch {
+		case '=', 'M':
+			op = OpMatch
+		case 'X':
+			op = OpSubst
+		case 'I':
+			op = OpIns
+		case 'D':
+			op = OpDel
+		default:
+			return nil, fmt.Errorf("cigar: unknown op %q at %d", ch, i)
+		}
+		c = append(c, Run{Len: n, Op: op})
+		n, sawDigit = 0, false
+	}
+	if sawDigit {
+		return nil, fmt.Errorf("cigar: trailing length without op in %q", s)
+	}
+	return c, nil
+}
+
+// Validate replays the alignment against the query and the text and reports
+// an error if any operation is inconsistent (a '=' over differing
+// characters, an 'X' over equal ones, or consumed lengths that do not
+// match the inputs). The text slice should start at the alignment's start
+// position. Full consumption of the query is required; requireTextEnd
+// additionally requires the text to be fully consumed (global alignment).
+//
+// This is the central correctness oracle of the repository's tests: a CIGAR
+// that validates proves the reported alignment is a real alignment, so the
+// reported edit distance is an achievable (upper-bound) distance.
+func Validate(c Cigar, query, text []byte, requireTextEnd bool) error {
+	qi, ti := 0, 0
+	for ri, r := range c {
+		for i := 0; i < r.Len; i++ {
+			switch r.Op {
+			case OpMatch:
+				if qi >= len(query) || ti >= len(text) {
+					return fmt.Errorf("cigar: run %d '=' overruns (q=%d/%d t=%d/%d)", ri, qi, len(query), ti, len(text))
+				}
+				if query[qi] != text[ti] {
+					return fmt.Errorf("cigar: run %d '=' over differing chars at q=%d t=%d", ri, qi, ti)
+				}
+				qi++
+				ti++
+			case OpSubst:
+				if qi >= len(query) || ti >= len(text) {
+					return fmt.Errorf("cigar: run %d 'X' overruns (q=%d/%d t=%d/%d)", ri, qi, len(query), ti, len(text))
+				}
+				if query[qi] == text[ti] {
+					return fmt.Errorf("cigar: run %d 'X' over equal chars at q=%d t=%d", ri, qi, ti)
+				}
+				qi++
+				ti++
+			case OpIns:
+				if qi >= len(query) {
+					return fmt.Errorf("cigar: run %d 'I' overruns query (q=%d/%d)", ri, qi, len(query))
+				}
+				qi++
+			case OpDel:
+				if ti >= len(text) {
+					return fmt.Errorf("cigar: run %d 'D' overruns text (t=%d/%d)", ri, ti, len(text))
+				}
+				ti++
+			default:
+				return fmt.Errorf("cigar: run %d has invalid op %d", ri, r.Op)
+			}
+		}
+	}
+	if qi != len(query) {
+		return fmt.Errorf("cigar: consumed %d of %d query chars", qi, len(query))
+	}
+	if requireTextEnd && ti != len(text) {
+		return fmt.Errorf("cigar: consumed %d of %d text chars", ti, len(text))
+	}
+	return nil
+}
+
+// Scoring is an affine-gap alignment scoring scheme. Penalties are stored
+// as the (typically negative) score contributions of each event; GapOpen is
+// charged once per gap in addition to GapExtend for every gapped character,
+// matching the conventions of BWA-MEM and Minimap2 (Section 10.2).
+type Scoring struct {
+	Match     int // score per exact match (positive)
+	Mismatch  int // score per substitution (negative)
+	GapOpen   int // additional score for opening a gap (negative)
+	GapExtend int // score per gap character (negative)
+}
+
+// Standard scoring schemes used by the paper's accuracy analysis
+// (Section 10.2).
+var (
+	// BWAMEM is BWA-MEM's default: match=+1, substitution=-4,
+	// gap opening=-6, gap extension=-1.
+	BWAMEM = Scoring{Match: 1, Mismatch: -4, GapOpen: -6, GapExtend: -1}
+	// Minimap2 is Minimap2's default: match=+2, substitution=-4,
+	// gap opening=-4, gap extension=-2.
+	Minimap2 = Scoring{Match: 2, Mismatch: -4, GapOpen: -4, GapExtend: -2}
+	// Unit scores edit distance: 0 for match, -1 per edit, no affine part.
+	Unit = Scoring{Match: 0, Mismatch: -1, GapOpen: 0, GapExtend: -1}
+)
+
+// Score computes the alignment score of the CIGAR under the scheme.
+func (s Scoring) Score(c Cigar) int {
+	score := 0
+	var prev Op
+	for _, r := range c {
+		switch r.Op {
+		case OpMatch:
+			score += r.Len * s.Match
+		case OpSubst:
+			score += r.Len * s.Mismatch
+		case OpIns, OpDel:
+			score += r.Len * s.GapExtend
+			if prev != r.Op {
+				score += s.GapOpen
+			}
+		}
+		prev = r.Op
+	}
+	return score
+}
+
+// FromOps builds a Cigar from a flat list of operations.
+func FromOps(ops []Op) Cigar {
+	var b Builder
+	for _, op := range ops {
+		b.Add(op)
+	}
+	return b.Cigar()
+}
+
+// Reverse returns the CIGAR with runs in reverse order (used by DP
+// tracebacks that walk from the end of the matrix).
+func (c Cigar) Reverse() Cigar {
+	out := make(Cigar, len(c))
+	for i, r := range c {
+		out[len(c)-1-i] = r
+	}
+	// Merge adjacent equal runs created by the reversal.
+	merged := out[:0]
+	for _, r := range out {
+		if k := len(merged); k > 0 && merged[k-1].Op == r.Op {
+			merged[k-1].Len += r.Len
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}
+
+// Concat appends other to c, merging the boundary runs when equal.
+func (c Cigar) Concat(other Cigar) Cigar {
+	if len(c) == 0 {
+		return append(Cigar(nil), other...)
+	}
+	out := append(append(Cigar(nil), c...), other...)
+	merged := out[:0]
+	for _, r := range out {
+		if k := len(merged); k > 0 && merged[k-1].Op == r.Op {
+			merged[k-1].Len += r.Len
+			continue
+		}
+		merged = append(merged, r)
+	}
+	return merged
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchJob is one alignment task for AlignBatch.
+type BatchJob struct {
+	// Text is the reference region, Pattern the query — both encoded.
+	Text, Pattern []byte
+	// Global selects end-to-end alignment (see AlignGlobal).
+	Global bool
+}
+
+// BatchResult pairs a job's alignment with its error, in job order.
+type BatchResult struct {
+	Alignment Alignment
+	Err       error
+}
+
+// AlignBatch aligns many pairs in parallel, one Workspace per worker — the
+// software mirror of the accelerator's vault-level parallelism (Section 7:
+// one independent GenASM accelerator per vault, which is what lets the
+// design scale linearly). workers <= 0 selects GOMAXPROCS.
+//
+// Results are returned in job order. Each worker clones the configuration
+// of the template workspace.
+func AlignBatch(cfg Config, jobs []BatchJob, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = max(1, len(jobs))
+	}
+	results := make([]BatchResult, len(jobs))
+	var next sync.Mutex
+	idx := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws, err := New(cfg)
+			if err != nil {
+				// Configuration errors hit every job identically; report
+				// on whichever jobs this worker claims.
+				for {
+					next.Lock()
+					i := idx
+					idx++
+					next.Unlock()
+					if i >= len(jobs) {
+						return
+					}
+					results[i].Err = err
+				}
+			}
+			for {
+				next.Lock()
+				i := idx
+				idx++
+				next.Unlock()
+				if i >= len(jobs) {
+					return
+				}
+				job := jobs[i]
+				var aln Alignment
+				if job.Global {
+					aln, err = ws.AlignGlobal(job.Text, job.Pattern)
+				} else {
+					aln, err = ws.Align(job.Text, job.Pattern)
+				}
+				results[i] = BatchResult{Alignment: aln, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func makeBatch(n int, seed uint64) []BatchJob {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	jobs := make([]BatchJob, n)
+	for i := range jobs {
+		text := randSeq(rng, 80+rng.IntN(200))
+		pattern := mutate(rng, text, 3, 2, 2)
+		jobs[i] = BatchJob{Text: text, Pattern: pattern, Global: i%2 == 0}
+	}
+	return jobs
+}
+
+func TestAlignBatchMatchesSerial(t *testing.T) {
+	jobs := makeBatch(60, 11)
+	parallel := AlignBatch(Config{}, jobs, 4)
+	ws := mustWS(t, Config{})
+	for i, job := range jobs {
+		var want Alignment
+		var err error
+		if job.Global {
+			want, err = ws.AlignGlobal(job.Text, job.Pattern)
+		} else {
+			want, err = ws.Align(job.Text, job.Pattern)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := parallel[i]
+		if got.Err != nil {
+			t.Fatalf("job %d: %v", i, got.Err)
+		}
+		if got.Alignment.Cigar.String() != want.Cigar.String() {
+			t.Fatalf("job %d: parallel %s vs serial %s", i, got.Alignment.Cigar, want.Cigar)
+		}
+		if got.Alignment.Distance != want.Distance {
+			t.Fatalf("job %d: distance %d vs %d", i, got.Alignment.Distance, want.Distance)
+		}
+	}
+}
+
+func TestAlignBatchWorkerCounts(t *testing.T) {
+	jobs := makeBatch(10, 12)
+	for _, workers := range []int{0, 1, 2, 16, 100} {
+		res := AlignBatch(Config{}, jobs, workers)
+		if len(res) != len(jobs) {
+			t.Fatalf("workers=%d: %d results", workers, len(res))
+		}
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, r.Err)
+			}
+		}
+	}
+}
+
+func TestAlignBatchEmpty(t *testing.T) {
+	if res := AlignBatch(Config{}, nil, 4); len(res) != 0 {
+		t.Fatalf("expected empty results, got %d", len(res))
+	}
+}
+
+func TestAlignBatchBadConfig(t *testing.T) {
+	jobs := makeBatch(3, 13)
+	res := AlignBatch(Config{WindowSize: 1}, jobs, 2)
+	for i, r := range res {
+		if r.Err == nil {
+			t.Fatalf("job %d: expected config error", i)
+		}
+	}
+}
+
+func TestAlignBatchJobErrors(t *testing.T) {
+	jobs := []BatchJob{
+		{Text: []byte{0, 1, 2}, Pattern: []byte{1, 2}},
+		{Text: []byte{0, 1, 2}, Pattern: nil},       // empty pattern errors
+		{Text: []byte{0, 1, 2}, Pattern: []byte{9}}, // invalid code errors
+	}
+	res := AlignBatch(Config{}, jobs, 2)
+	if res[0].Err != nil {
+		t.Fatalf("job 0 should succeed: %v", res[0].Err)
+	}
+	if res[1].Err == nil || res[2].Err == nil {
+		t.Fatal("jobs 1 and 2 should fail")
+	}
+}
+
+func BenchmarkAlignBatchParallel(b *testing.B) {
+	jobs := makeBatch(64, 14)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AlignBatch(Config{}, jobs, 0)
+	}
+}

@@ -1,0 +1,268 @@
+// Package core implements the GenASM algorithms — the paper's primary
+// contribution:
+//
+//   - GenASM-DC (Section 5): the modified Bitap algorithm with multi-word
+//     bitvectors (long-read support) computing per-iteration intermediate
+//     match/insertion/deletion bitvectors and the minimum edit distance;
+//   - GenASM-TB (Section 6): the first Bitap-compatible traceback, which
+//     walks a chain of 0s through the stored bitvectors from MSB to LSB,
+//     emitting the CIGAR of the optimal alignment;
+//   - the divide-and-conquer window scheme (Section 6) that bounds the
+//     memory footprint to W×3×W×W bits per window (substitution bitvectors
+//     are re-derived as deletion<<1 instead of being stored).
+//
+// Conventions (matching Algorithm 1/2 and Figure 3 of the paper): bit j of
+// every bitvector refers to pattern position m-1-j, so bit m-1 (the "MSB")
+// becoming 0 signals that the whole pattern has been consumed; the text is
+// scanned right to left during DC, and the stored bitvectors are indexed by
+// absolute text position so that TB walks forward through the text.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/bitvec"
+	"genasm/internal/cigar"
+)
+
+// Default hardware-faithful parameters (Sections 7 and 10.2: the optimum
+// (W, O) setting in terms of performance and accuracy is W=64, O=24).
+const (
+	DefaultWindowSize = 64
+	DefaultOverlap    = 24
+)
+
+// Order fixes the priority of the three error cases during traceback.
+// Algorithm 2's default checks substitution before the gap-open cases,
+// which mimics schemes where substitutions are cheaper than gap openings;
+// Section 6 notes the order should be inverted for the opposite scheme.
+type Order int
+
+// Traceback orders.
+const (
+	// OrderSubFirst checks substitution, then insertion-open, then
+	// deletion-open (Algorithm 2 as printed).
+	OrderSubFirst Order = iota
+	// OrderGapFirst checks insertion-open, then deletion-open, then
+	// substitution (for scoring schemes where gaps are cheaper).
+	OrderGapFirst
+	// OrderDelFirst checks deletion-open, then substitution, then
+	// insertion-open (useful when the text is expected to be longer).
+	OrderDelFirst
+)
+
+// Config parameterizes a GenASM aligner.
+type Config struct {
+	// Alphabet of the inputs. Defaults to alphabet.DNA.
+	Alphabet *alphabet.Alphabet
+	// WindowSize is W, the number of pattern/text characters per window.
+	// Defaults to 64 (the hardware configuration).
+	WindowSize int
+	// Overlap is O, the number of characters shared between consecutive
+	// windows. Defaults to 24.
+	Overlap int
+	// MaxWindowErrors caps the number of R-bitvector levels (k) computed
+	// per window. Defaults to WindowSize, which can never be exceeded by
+	// a window-local alignment; smaller values trade fidelity for speed
+	// and cause ErrWindowBudget when exceeded.
+	MaxWindowErrors int
+	// Adaptive enables the software optimization of computing only as
+	// many error levels as the window needs (retrying with doubled k on
+	// failure). The hardware always computes all 64 levels; disable for
+	// hardware-faithful operation counts. Defaults to true.
+	Adaptive bool
+	// NoAdaptive disables Adaptive when set (kept separate so the zero
+	// Config enables the optimization).
+	NoAdaptive bool
+	// Order is the preferred traceback priority of the error cases (it is
+	// tried first and wins ties during per-window order selection).
+	Order Order
+	// NoOrderSelection disables the per-window selection among the three
+	// error orders, restoring the single fixed order of Algorithm 2 as
+	// printed. Selection is on by default because a fixed greedy order
+	// can mis-anchor subsequent windows on indel-heavy reads (see
+	// tbSelect).
+	NoOrderSelection bool
+	// NoAffineExtend disables the insertion-extend/deletion-extend
+	// priority checks (Algorithm 2 lines 13-16) that mimic the affine gap
+	// model. The default (false) matches the paper.
+	NoAffineExtend bool
+	// FindFirstWindowStart runs the first window's DC in search mode: the
+	// traceback starts at the minimum-distance matching location within
+	// the window rather than at text position 0, skipping leading text
+	// for free. This reproduces the paper's leading-deletion quirk
+	// (Section 10.3, footnote 4) and suits read alignment where the
+	// candidate region start is approximate.
+	FindFirstWindowStart bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Alphabet == nil {
+		c.Alphabet = alphabet.DNA
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = DefaultWindowSize
+	}
+	if c.Overlap == 0 {
+		c.Overlap = DefaultOverlap
+	}
+	if c.MaxWindowErrors == 0 {
+		c.MaxWindowErrors = c.WindowSize
+	}
+	c.Adaptive = !c.NoAdaptive
+	return c
+}
+
+func (c Config) validate() error {
+	if c.WindowSize < 2 {
+		return fmt.Errorf("core: window size %d too small", c.WindowSize)
+	}
+	if c.Overlap < 0 || c.Overlap >= c.WindowSize {
+		return fmt.Errorf("core: overlap %d must be in [0, W=%d)", c.Overlap, c.WindowSize)
+	}
+	if c.MaxWindowErrors < 1 || c.MaxWindowErrors > c.WindowSize {
+		return fmt.Errorf("core: max window errors %d must be in [1, W=%d]", c.MaxWindowErrors, c.WindowSize)
+	}
+	return nil
+}
+
+// ErrWindowBudget is returned when a window's alignment needs more error
+// levels than Config.MaxWindowErrors allows.
+var ErrWindowBudget = errors.New("core: window exceeded error budget (raise MaxWindowErrors)")
+
+// Alignment is the result of a GenASM alignment.
+type Alignment struct {
+	// Cigar is the traceback output (Section 6), query-vs-text.
+	Cigar cigar.Cigar
+	// Distance is the number of edit operations in Cigar.
+	Distance int
+	// TextStart is the text offset where the alignment begins (non-zero
+	// only with FindFirstWindowStart).
+	TextStart int
+	// TextEnd is the exclusive text offset where the alignment ends.
+	TextEnd int
+	// Windows is the number of DC/TB windows processed.
+	Windows int
+}
+
+// Workspace holds all scratch memory for one aligner; it is the software
+// analogue of one accelerator's DC-SRAM + TB-SRAMs and is reused across
+// alignments. A Workspace is not safe for concurrent use; create one per
+// goroutine (the hardware analogue: one accelerator per vault).
+type Workspace struct {
+	cfg    Config
+	nw     int // words per bitvector row (ceil(W/64))
+	stride int // error levels per stored text position (maxK+1)
+
+	pm alphabet.PatternMasks
+
+	// R status rows, (maxK+1) x nw each.
+	r, oldR [][]uint64
+
+	// Stored intermediate bitvectors, the TB-SRAM contents: indexed
+	// [textPos*stride + level]*nw. mStore holds levels 0..k, iStore and
+	// dStore levels 1..k (level 0 slots unused, kept for simple indexing).
+	mStore, iStore, dStore []uint64
+
+	// ones is an all-ones pattern-mask row used for phantom end-padding
+	// iterations (sentinel text characters that match nothing).
+	ones []uint64
+
+	builder cigar.Builder
+}
+
+// New creates a Workspace from the configuration. A zero Config gives the
+// paper's default setup: DNA, W=64, O=24, k=W, affine-extend traceback.
+func New(cfg Config) (*Workspace, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	w := &Workspace{cfg: cfg}
+	w.nw = bitvec.Words(cfg.WindowSize)
+	w.stride = cfg.MaxWindowErrors + 1
+	w.r = newRows(w.stride, w.nw)
+	w.oldR = newRows(w.stride, w.nw)
+	// Stores cover up to 2W text positions: W real characters plus up to W
+	// phantom end-padding iterations in the terminal window (see dcScan).
+	storeWords := 2 * cfg.WindowSize * w.stride * w.nw
+	w.mStore = make([]uint64, storeWords)
+	w.iStore = make([]uint64, storeWords)
+	w.dStore = make([]uint64, storeWords)
+	w.ones = make([]uint64, w.nw)
+	bitvec.Fill(w.ones, ^uint64(0))
+	w.pm.GenerateInto(cfg.Alphabet, make([]byte, cfg.WindowSize))
+	return w, nil
+}
+
+// MustNew is New for known-good configurations; it panics on error.
+func MustNew(cfg Config) *Workspace {
+	w, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Config returns the (defaulted) configuration of the workspace.
+func (w *Workspace) Config() Config { return w.cfg }
+
+func newRows(n, nw int) [][]uint64 {
+	flat := make([]uint64, n*nw)
+	rows := make([][]uint64, n)
+	for i := range rows {
+		rows[i] = flat[i*nw : (i+1)*nw]
+	}
+	return rows
+}
+
+// store offset helpers ------------------------------------------------------
+
+func (w *Workspace) off(textPos, level int) int {
+	return (textPos*w.stride + level) * w.nw
+}
+
+func (w *Workspace) mRow(textPos, level int) []uint64 {
+	o := w.off(textPos, level)
+	return w.mStore[o : o+w.nw]
+}
+
+func (w *Workspace) iRow(textPos, level int) []uint64 {
+	o := w.off(textPos, level)
+	return w.iStore[o : o+w.nw]
+}
+
+func (w *Workspace) dRow(textPos, level int) []uint64 {
+	o := w.off(textPos, level)
+	return w.dStore[o : o+w.nw]
+}
+
+// matchZero reports whether the stored match bitvector at (textPos, level)
+// has a 0 at bit j.
+func (w *Workspace) matchZero(textPos, level, j int) bool {
+	return bitvec.IsZeroBit(w.mRow(textPos, level), j)
+}
+
+// insZero reports whether the stored insertion bitvector has a 0 at bit j.
+// Level must be >= 1.
+func (w *Workspace) insZero(textPos, level, j int) bool {
+	return bitvec.IsZeroBit(w.iRow(textPos, level), j)
+}
+
+// delZero reports whether the stored deletion bitvector has a 0 at bit j.
+// Level must be >= 1.
+func (w *Workspace) delZero(textPos, level, j int) bool {
+	return bitvec.IsZeroBit(w.dRow(textPos, level), j)
+}
+
+// subZero reports whether the derived substitution bitvector (deletion<<1,
+// Section 6's storage optimization) has a 0 at bit j. Bit 0 of a shifted
+// vector is always 0: the final pattern character can always be substituted.
+func (w *Workspace) subZero(textPos, level, j int) bool {
+	if j == 0 {
+		return true
+	}
+	return bitvec.IsZeroBit(w.dRow(textPos, level), j-1)
+}

@@ -1,0 +1,146 @@
+package core
+
+import "genasm/internal/bitvec"
+
+// dcResult is the outcome of running GenASM-DC over one window.
+type dcResult struct {
+	// dist is the minimum edit distance found, or -1 when no match exists
+	// within the computed error levels.
+	dist int
+	// loc is the text position the traceback starts from (0 when
+	// anchored; the best matching location in search mode).
+	loc int
+	// levels is the number of error levels actually computed (for the
+	// adaptive optimization and for operation accounting).
+	levels int
+}
+
+// dcWindow runs GenASM-DC over one window: it searches subpattern within
+// subtext, filling the workspace's stored match/insertion/deletion
+// bitvectors (the TB-SRAM contents) for every text position and error
+// level.
+//
+// In anchored mode the result distance is the minimum d whose R[d] has a 0
+// MSB after the final iteration (text position 0), i.e. the best alignment
+// that starts exactly at the window start. In search mode every text
+// position is a candidate and the minimum-distance one wins (ties prefer
+// the smallest position, keeping the most text available for traceback).
+//
+// pad > 0 prepends that many phantom iterations at the scan start (i.e.
+// past the text end): sentinel characters whose pattern mask matches
+// nothing. The right-to-left Bitap recurrence cannot otherwise represent
+// pattern insertions after the last text character (their bitvector chain
+// would live at unscanned text positions), so terminal windows pass
+// pad = len(subpattern) to make the anchored distance exact.
+func (w *Workspace) dcWindow(subtext, subpattern []byte, search bool, pad int) dcResult {
+	mp := len(subpattern)
+	kMax := w.cfg.MaxWindowErrors
+	if kMax > mp {
+		// A window alignment never needs more error levels than the
+		// pattern length: an all-insertion path always reaches the MSB at
+		// level mp (R[d] bit d-1 is 0 by induction on the shifted-in zero
+		// of the insertion case).
+		kMax = mp
+	}
+
+	w.pm.GenerateInto(w.cfg.Alphabet, subpattern)
+
+	k := kMax
+	if w.cfg.Adaptive {
+		k = 8
+		if k > kMax {
+			k = kMax
+		}
+	}
+	for {
+		res := w.dcScan(subtext, mp, k, search, pad)
+		if res.dist >= 0 || k >= kMax {
+			return res
+		}
+		k *= 2
+		if k > kMax {
+			k = kMax
+		}
+	}
+}
+
+// dcScan is one full right-to-left pass of the DC recurrence with k error
+// levels (Algorithm 1 lines 7-22, storing the intermediate bitvectors of
+// lines 15-18 for the traceback).
+func (w *Workspace) dcScan(subtext []byte, mp, k int, search bool, pad int) dcResult {
+	// The window's bitvectors span only as many words as the sub-pattern
+	// needs; a multi-word workspace (W > 64) still processes short final
+	// windows with single-word rows.
+	nw := bitvec.Words(mp)
+	if nw == 0 {
+		nw = 1
+	}
+	nt := len(subtext)
+	msb := mp - 1
+
+	r, oldR := w.r, w.oldR
+	for d := 0; d <= k; d++ {
+		bitvec.Fill(r[d][:nw], ^uint64(0))
+	}
+
+	bestDist, bestLoc := -1, 0
+	for i := nt - 1 + pad; i >= 0; i-- {
+		curPM := w.ones[:nw]
+		if i < nt {
+			curPM = w.pm.Mask(subtext[i])
+		}
+		r, oldR = oldR, r // previous iteration's rows become oldR
+
+		// R[0] = (oldR[0] << 1) | PM  (exact-match level; also its own
+		// "match" bitvector for traceback).
+		bitvec.ShiftLeft1Or(r[0][:nw], oldR[0][:nw], curPM)
+		copy(w.mRow(i, 0), r[0][:nw])
+
+		for d := 1; d <= k; d++ {
+			rd, rd1, old1, old := r[d], r[d-1], oldR[d-1], oldR[d]
+			iRow := w.iRow(i, d)
+			dRow := w.dRow(i, d)
+			mRow := w.mRow(i, d)
+			var carryS, carryI, carryM uint64
+			for wi := 0; wi < nw; wi++ {
+				del := old1[wi]
+				ins := rd1[wi]<<1 | carryI
+				sub := old1[wi]<<1 | carryS
+				match := old[wi]<<1 | carryM | curPM[wi]
+				carryI = rd1[wi] >> 63
+				carryS = old1[wi] >> 63
+				carryM = old[wi] >> 63
+				dRow[wi] = del
+				iRow[wi] = ins
+				mRow[wi] = match
+				rd[wi] = del & sub & ins & match
+			}
+		}
+
+		if search && i < nt {
+			for d := 0; d <= k; d++ {
+				if bitvec.IsZeroBit(r[d], msb) {
+					if bestDist < 0 || d < bestDist || (d == bestDist && i < bestLoc) {
+						bestDist, bestLoc = d, i
+					}
+					break
+				}
+			}
+		}
+	}
+	w.r, w.oldR = r, oldR
+
+	if !search {
+		// Anchored: inspect the final iteration's levels at text pos 0.
+		if nt == 0 {
+			return dcResult{dist: -1, levels: k}
+		}
+		for d := 0; d <= k; d++ {
+			if bitvec.IsZeroBit(w.r[d], msb) {
+				return dcResult{dist: d, loc: 0, levels: k}
+			}
+		}
+		return dcResult{dist: -1, levels: k}
+	}
+	return dcResult{dist: bestDist, loc: bestLoc, levels: k}
+}

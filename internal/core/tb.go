@@ -1,0 +1,269 @@
+package core
+
+import "genasm/internal/cigar"
+
+// tbResult reports how much of a window the traceback consumed.
+type tbResult struct {
+	patternConsumed int
+	textConsumed    int
+	errorsUsed      int
+}
+
+// tbWindow is GenASM-TB over one window (Algorithm 2 lines 6-30). It walks
+// forward through the stored bitvectors starting at text position startLoc
+// with patternI at the MSB, following a chain of 0s and emitting one CIGAR
+// operation per step:
+//
+//   - match: both characters consumed, error count unchanged;
+//   - substitution (derived as deletion<<1): both consumed, one error;
+//   - insertion: pattern character consumed only, one error;
+//   - deletion: text character consumed only, one error.
+//
+// For non-final windows, consumption is capped at W-O characters on both
+// sides so consecutive windows overlap by O characters (Algorithm 2
+// line 11). The final pattern window runs until the pattern or the text is
+// exhausted.
+//
+// pad phantom positions (matching dcWindow's pad) extend the walk past the
+// real text end. A phantom position holds no real character, so any op the
+// bitvectors offer there is re-expressed as what it really is: a phantom
+// substitution consumes the pattern character for one error — an insertion
+// — and a phantom deletion consumes nothing for one error (a wasted move
+// that minimal paths avoid). Phantom moves never count as consumed text.
+func (w *Workspace) tbWindow(mp, nt, pad, startLoc, dist int, final bool, b *cigar.Builder) tbResult {
+	patternI := mp - 1
+	textI := startLoc
+	curError := dist
+	limit := w.cfg.WindowSize - w.cfg.Overlap
+	prev := cigar.OpNone
+	affine := !w.cfg.NoAffineExtend
+
+	var res tbResult
+	for {
+		if patternI < 0 || textI >= nt+pad {
+			break
+		}
+		if !final && (res.patternConsumed >= limit || res.textConsumed >= limit) {
+			break
+		}
+
+		status := cigar.OpNone
+		// Gap-extend priority (Algorithm 2 lines 13-16): if the previous
+		// operation opened a gap and the same gap can continue, extend it,
+		// mimicking the affine gap penalty model.
+		if affine && curError > 0 {
+			if prev == cigar.OpIns && w.insZero(textI, curError, patternI) {
+				status = cigar.OpIns
+			} else if prev == cigar.OpDel && w.delZero(textI, curError, patternI) {
+				status = cigar.OpDel
+			}
+		}
+		if status == cigar.OpNone && w.matchZero(textI, curError, patternI) {
+			status = cigar.OpMatch
+		}
+		if status == cigar.OpNone && curError > 0 {
+			status = w.pickError(textI, curError, patternI)
+		}
+		if status == cigar.OpNone {
+			// Unreachable when dist came from dcWindow: R[d] being 0 at
+			// the current bit guarantees one of the four cases is 0.
+			break
+		}
+
+		if textI >= nt {
+			// Phantom region: re-express the op (see doc comment). A
+			// phantom match is impossible: the sentinel mask matches
+			// nothing, so the match bitvector is all ones there.
+			switch status {
+			case cigar.OpSubst:
+				b.Add(cigar.OpIns)
+				prev = cigar.OpIns
+				curError--
+				res.errorsUsed++
+				textI++
+				patternI--
+				res.patternConsumed++
+			case cigar.OpIns:
+				b.Add(cigar.OpIns)
+				prev = cigar.OpIns
+				curError--
+				res.errorsUsed++
+				patternI--
+				res.patternConsumed++
+			case cigar.OpDel:
+				prev = cigar.OpDel
+				curError--
+				res.errorsUsed++
+				textI++
+			}
+			continue
+		}
+
+		b.Add(status)
+		prev = status
+		if status != cigar.OpMatch {
+			curError--
+			res.errorsUsed++
+		}
+		if status.ConsumesText() {
+			textI++
+			res.textConsumed++
+		}
+		if status.ConsumesQuery() {
+			patternI--
+			res.patternConsumed++
+		}
+	}
+	return res
+}
+
+// tbBest runs the terminal window's traceback. Because Bitap is inherently
+// semi-global (the text end is free), a greedy single traceback of the last
+// window can leave trailing text that the global cleanup must charge as
+// deletions, overshooting the optimal distance. tbBest therefore evaluates
+// candidate tracebacks — over error levels from the DC minimum upward and
+// over the three error-case orders — and keeps the complete alignment with
+// the lowest total cost (errors used + unconsumed pattern + unconsumed
+// trailing text when global). The candidate count is bounded by the first
+// candidate's cost, so the extra work is a small constant factor on the
+// final window only.
+func (w *Workspace) tbBest(subtext, subpattern []byte, pad, loc, dmin, levels int, global bool, b *cigar.Builder) tbResult {
+	mp, nt := len(subpattern), len(subtext)
+	costOf := func(r tbResult) int {
+		c := r.errorsUsed + (mp - r.patternConsumed)
+		if global {
+			c += nt - loc - r.textConsumed
+		}
+		return c
+	}
+
+	savedOrder := w.cfg.Order
+	defer func() { w.cfg.Order = savedOrder }()
+	orders := [...]Order{savedOrder, OrderDelFirst, OrderGapFirst, OrderSubFirst}
+
+	var (
+		scratch  cigar.Builder
+		bestOps  cigar.Cigar
+		bestRes  tbResult
+		bestCost = int(^uint(0) >> 1)
+	)
+	kCap := w.cfg.MaxWindowErrors
+	if m := max(mp, nt); kCap > m {
+		kCap = m
+	}
+	maxD := dmin
+	for d := dmin; d <= maxD; d++ {
+		if d > levels {
+			// Deeper candidate levels than DC computed: re-run the scan
+			// with enough levels (stores are rewritten in full).
+			levels = min(kCap, maxD)
+			if d > levels {
+				break
+			}
+			w.dcScan(subtext, mp, levels, false, pad)
+		}
+		for oi, o := range orders {
+			if oi > 0 && o == savedOrder {
+				continue // skip the duplicate of the configured order
+			}
+			w.cfg.Order = o
+			scratch.Reset()
+			r := w.tbWindow(mp, nt, pad, loc, d, true, &scratch)
+			if c := costOf(r); c < bestCost {
+				bestCost = c
+				bestRes = r
+				bestOps = append(bestOps[:0], scratch.Cigar()...)
+			}
+		}
+		// No alignment cheaper than bestCost can use more errors than
+		// bestCost, so cap the level sweep accordingly (the loop exits as
+		// soon as the cap falls below the next level).
+		maxD = min(kCap, bestCost)
+	}
+	for _, r := range bestOps {
+		b.Append(r.Op, r.Len)
+	}
+	return bestRes
+}
+
+// tbSelect runs a non-terminal window's traceback, trying the three error
+// orders and keeping the cheapest (fewest errors per consumed character,
+// ties broken toward the configured order). With a single fixed order,
+// greedy choices such as substitution-over-deletion can mis-anchor the next
+// window and the drift compounds across deletion-heavy long reads; order
+// selection keeps the chain on the low-error path at negligible cost (the
+// traceback is ~W steps against the DC's W x k word operations).
+// Config.NoOrderSelection restores the fixed Algorithm 2 behaviour.
+func (w *Workspace) tbSelect(mp, nt, pad, loc, dist int, final bool, b *cigar.Builder) tbResult {
+	if w.cfg.NoOrderSelection {
+		return w.tbWindow(mp, nt, pad, loc, dist, final, b)
+	}
+	savedOrder := w.cfg.Order
+	defer func() { w.cfg.Order = savedOrder }()
+	orders := [...]Order{savedOrder, OrderDelFirst, OrderGapFirst, OrderSubFirst}
+
+	var (
+		scratch  cigar.Builder
+		bestOps  cigar.Cigar
+		bestRes  tbResult
+		haveBest bool
+	)
+	// Cost: error density over consumed characters (scaled to avoid
+	// floats); lower is better.
+	cost := func(r tbResult) int {
+		consumed := r.patternConsumed + r.textConsumed
+		if consumed == 0 {
+			return int(^uint(0) >> 1)
+		}
+		return r.errorsUsed * 4096 / consumed
+	}
+	for oi, o := range orders {
+		if oi > 0 && o == savedOrder {
+			continue
+		}
+		w.cfg.Order = o
+		scratch.Reset()
+		r := w.tbWindow(mp, nt, pad, loc, dist, final, &scratch)
+		if !haveBest || cost(r) < cost(bestRes) {
+			haveBest = true
+			bestRes = r
+			bestOps = append(bestOps[:0], scratch.Cigar()...)
+		}
+	}
+	for _, r := range bestOps {
+		b.Append(r.Op, r.Len)
+	}
+	return bestRes
+}
+
+// pickError selects among substitution, insertion-open and deletion-open in
+// the configured priority order (Section 6, partial support for complex
+// scoring schemes).
+func (w *Workspace) pickError(textI, curError, patternI int) cigar.Op {
+	check := func(op cigar.Op) bool {
+		switch op {
+		case cigar.OpSubst:
+			return w.subZero(textI, curError, patternI)
+		case cigar.OpIns:
+			return w.insZero(textI, curError, patternI)
+		case cigar.OpDel:
+			return w.delZero(textI, curError, patternI)
+		}
+		return false
+	}
+	var order [3]cigar.Op
+	switch w.cfg.Order {
+	case OrderGapFirst:
+		order = [3]cigar.Op{cigar.OpIns, cigar.OpDel, cigar.OpSubst}
+	case OrderDelFirst:
+		order = [3]cigar.Op{cigar.OpDel, cigar.OpSubst, cigar.OpIns}
+	default: // OrderSubFirst, Algorithm 2 as printed
+		order = [3]cigar.Op{cigar.OpSubst, cigar.OpIns, cigar.OpDel}
+	}
+	for _, op := range order {
+		if check(op) {
+			return op
+		}
+	}
+	return cigar.OpNone
+}

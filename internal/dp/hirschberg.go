@@ -1,0 +1,111 @@
+package dp
+
+import "genasm/internal/cigar"
+
+// Hirschberg computes an optimal unit-cost global alignment in linear
+// space, O(n*m) time (Myers & Miller 1988). It is the "with traceback"
+// software baseline for long-sequence edit distance (Figure 14's Edlib w/
+// traceback), where a full traceback matrix would not fit in memory.
+func Hirschberg(text, pattern []byte) Result {
+	var b cigar.Builder
+	hirsch(text, pattern, &b)
+	c := b.Cigar()
+	return Result{
+		Score:      -c.EditDistance(),
+		Cigar:      c,
+		TextEnd:    len(text),
+		PatternEnd: len(pattern),
+	}
+}
+
+// lastRow returns the final row of the unit-cost global DP of pattern vs
+// text: out[j] = distance(pattern, text[:j]).
+func lastRow(text, pattern []byte, out, tmp []int) []int {
+	prev, cur := out[:len(text)+1], tmp[:len(text)+1]
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(pattern); i++ {
+		cur[0] = i
+		pc := pattern[i-1]
+		for j := 1; j <= len(text); j++ {
+			cost := 1
+			if pc == text[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j-1]+cost, min(prev[j]+1, cur[j-1]+1))
+		}
+		prev, cur = cur, prev
+	}
+	return prev
+}
+
+// lastRowRev is lastRow over the reversed sequences:
+// out[j] = distance(reverse(pattern), reverse(text)[:j])
+//
+//	= distance(pattern, text[len(text)-j:]).
+func lastRowRev(text, pattern []byte, out, tmp []int) []int {
+	prev, cur := out[:len(text)+1], tmp[:len(text)+1]
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(pattern); i++ {
+		cur[0] = i
+		pc := pattern[len(pattern)-i]
+		for j := 1; j <= len(text); j++ {
+			cost := 1
+			if pc == text[len(text)-j] {
+				cost = 0
+			}
+			cur[j] = min(prev[j-1]+cost, min(prev[j]+1, cur[j-1]+1))
+		}
+		prev, cur = cur, prev
+	}
+	return prev
+}
+
+func hirsch(text, pattern []byte, b *cigar.Builder) {
+	n, m := len(text), len(pattern)
+	switch {
+	case m == 0:
+		b.Append(cigar.OpDel, n)
+		return
+	case n == 0:
+		b.Append(cigar.OpIns, m)
+		return
+	case m == 1:
+		// Base case: place the single pattern character optimally.
+		matchAt := -1
+		for j, t := range text {
+			if t == pattern[0] {
+				matchAt = j
+				break
+			}
+		}
+		if matchAt >= 0 {
+			b.Append(cigar.OpDel, matchAt)
+			b.Add(cigar.OpMatch)
+			b.Append(cigar.OpDel, n-matchAt-1)
+		} else {
+			// Substitute at position 0; remaining text is deleted.
+			b.Add(cigar.OpSubst)
+			b.Append(cigar.OpDel, n-1)
+		}
+		return
+	}
+	mid := m / 2
+	rowBuf := make([]int, n+1)
+	tmpBuf := make([]int, n+1)
+	scoreL := lastRow(text, pattern[:mid], rowBuf, tmpBuf)
+	rowBuf2 := make([]int, n+1)
+	tmpBuf2 := make([]int, n+1)
+	scoreR := lastRowRev(text, pattern[mid:], rowBuf2, tmpBuf2)
+	split, best := 0, int(^uint(0)>>1)
+	for j := 0; j <= n; j++ {
+		if s := scoreL[j] + scoreR[n-j]; s < best {
+			best, split = s, j
+		}
+	}
+	hirsch(text[:split], pattern[:mid], b)
+	hirsch(text[split:], pattern[mid:], b)
+}

@@ -1,0 +1,150 @@
+// Package gact reimplements the GACT tiled alignment algorithm of Darwin
+// (Turakhia et al., ASPLOS 2018), the paper's primary hardware baseline for
+// read alignment (Figures 12 and 13). GACT bounds the memory of long
+// alignments by processing fixed-size tiles of the DP matrix with
+// traceback inside each tile and an overlap between consecutive tiles —
+// the approach the paper explicitly cites as the inspiration for GenASM's
+// divide-and-conquer windows (Section 6).
+//
+// The difference the paper's comparison hinges on is the per-tile kernel:
+// GACT fills a quadratic DP matrix with traceback pointers per tile,
+// whereas GenASM runs the bitwise Bitap recurrence (Section 10.2, "the
+// main difference between GenASM and GACT is the underlying algorithms").
+package gact
+
+import (
+	"errors"
+	"fmt"
+
+	"genasm/internal/cigar"
+	"genasm/internal/dp"
+)
+
+// Default tile parameters from the Darwin paper's GACT configuration.
+const (
+	DefaultTileSize = 512
+	DefaultOverlap  = 128
+)
+
+// Config parameterizes the tiled aligner.
+type Config struct {
+	// TileSize is T, the tile edge length. Defaults to 512.
+	TileSize int
+	// Overlap is O, the number of characters shared between consecutive
+	// tiles. Defaults to 128.
+	Overlap int
+	// Scoring must have a positive match score (extension alignments
+	// cannot make progress otherwise). Defaults to cigar.Minimap2.
+	Scoring cigar.Scoring
+}
+
+func (c Config) withDefaults() Config {
+	if c.TileSize == 0 {
+		c.TileSize = DefaultTileSize
+	}
+	if c.Overlap == 0 {
+		c.Overlap = DefaultOverlap
+	}
+	if c.Scoring == (cigar.Scoring{}) {
+		c.Scoring = cigar.Minimap2
+	}
+	return c
+}
+
+// Result is a GACT alignment.
+type Result struct {
+	// Cigar is the merged traceback of all tiles.
+	Cigar cigar.Cigar
+	// Score of the CIGAR under the configured scoring.
+	Score int
+	// TextEnd is the exclusive end of consumed text.
+	TextEnd int
+	// Tiles is the number of tiles processed.
+	Tiles int
+}
+
+// ErrNoProgress is returned when a tile's extension alignment is empty and
+// the driver cannot advance (completely dissimilar sequences).
+var ErrNoProgress = errors.New("gact: tile alignment made no progress")
+
+// Align aligns pattern against text with tiled DP. Semantics mirror the
+// GenASM driver: the pattern is consumed in full (semi-global); trailing
+// pattern after text exhaustion becomes insertions.
+func Align(text, pattern []byte, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Scoring.Match <= 0 {
+		return Result{}, fmt.Errorf("gact: match score must be positive, got %d", cfg.Scoring.Match)
+	}
+	if cfg.Overlap < 0 || cfg.Overlap >= cfg.TileSize {
+		return Result{}, fmt.Errorf("gact: overlap %d must be in [0, T=%d)", cfg.Overlap, cfg.TileSize)
+	}
+
+	T, O := cfg.TileSize, cfg.Overlap
+	var b cigar.Builder
+	curP, curT := 0, 0
+	tiles := 0
+
+	for curP < len(pattern) && curT < len(text) {
+		tp := min(T, len(pattern)-curP)
+		tt := min(T, len(text)-curT)
+		final := tp == len(pattern)-curP
+
+		res := dp.Align(text[curT:curT+tt], pattern[curP:curP+tp], cfg.Scoring, dp.Extend, 0)
+		pc, tc := res.PatternEnd, res.TextEnd
+		if pc == 0 && tc == 0 {
+			return Result{}, fmt.Errorf("%w at pattern %d, text %d", ErrNoProgress, curP, curT)
+		}
+		tiles++
+
+		if final {
+			// Terminal tile: keep the whole traceback. The extension may
+			// stop short of the last pattern characters when trailing
+			// errors cannot raise the score; the remainder is emitted as
+			// insertions by the cleanup below (the clipped-tail handling
+			// of extension aligners).
+			for _, r := range res.Cigar {
+				b.Append(r.Op, r.Len)
+			}
+			curP += pc
+			curT += tc
+			break
+		}
+
+		// Keep the traceback prefix until T-O characters are consumed on
+		// either side; the overlap is recomputed by the next tile.
+		keepP, keepT := 0, 0
+		limit := T - O
+	keep:
+		for _, r := range res.Cigar {
+			for i := 0; i < r.Len; i++ {
+				if keepP >= limit || keepT >= limit {
+					break keep
+				}
+				b.Add(r.Op)
+				if r.Op.ConsumesQuery() {
+					keepP++
+				}
+				if r.Op.ConsumesText() {
+					keepT++
+				}
+			}
+		}
+		if keepP == 0 && keepT == 0 {
+			return Result{}, fmt.Errorf("%w at pattern %d, text %d", ErrNoProgress, curP, curT)
+		}
+		curP += keepP
+		curT += keepT
+	}
+
+	if curP < len(pattern) {
+		b.Append(cigar.OpIns, len(pattern)-curP)
+	}
+
+	c := append(cigar.Cigar(nil), b.Cigar()...)
+	return Result{
+		Cigar:   c,
+		Score:   cfg.Scoring.Score(c),
+		TextEnd: curT,
+		Tiles:   tiles,
+	}, nil
+}

@@ -1,0 +1,146 @@
+package gact
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"genasm/internal/cigar"
+	"genasm/internal/dp"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.IntN(4))
+	}
+	return s
+}
+
+func mutate(rng *rand.Rand, s []byte, nSub, nIns, nDel int) []byte {
+	out := append([]byte(nil), s...)
+	for i := 0; i < nSub && len(out) > 0; i++ {
+		p := rng.IntN(len(out))
+		out[p] = (out[p] + byte(1+rng.IntN(3))) % 4
+	}
+	for i := 0; i < nIns; i++ {
+		p := rng.IntN(len(out) + 1)
+		out = append(out[:p], append([]byte{byte(rng.IntN(4))}, out[p:]...)...)
+	}
+	for i := 0; i < nDel && len(out) > 1; i++ {
+		p := rng.IntN(len(out))
+		out = append(out[:p], out[p+1:]...)
+	}
+	return out
+}
+
+func TestExactMatchSingleTile(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	text := randSeq(rng, 300)
+	res, err := Align(text, text, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cigar.String() != "300=" || res.Tiles != 1 {
+		t.Fatalf("got %s tiles=%d", res.Cigar, res.Tiles)
+	}
+}
+
+func TestMultiTileLongAlignment(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	text := randSeq(rng, 6000)
+	pattern := mutate(rng, text[:5000], 150, 75, 75)
+	res, err := Align(text, pattern, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tiles < 5000/(DefaultTileSize-DefaultOverlap) {
+		t.Fatalf("tiles = %d, expected at least %d", res.Tiles, 5000/(DefaultTileSize-DefaultOverlap))
+	}
+	if err := cigar.Validate(res.Cigar, pattern, text[:res.TextEnd], false); err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Cigar.EditDistance(); d > 450 {
+		t.Fatalf("distance %d too high for ~300 planted edits", d)
+	}
+}
+
+func TestScoreNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	text := randSeq(rng, 1200)
+	pattern := mutate(rng, text[:1000], 30, 10, 10)
+	res, err := Align(text, pattern, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := dp.Align(text, pattern, cigar.Minimap2, dp.Fit, 0)
+	if res.Score < opt.Score-40 {
+		t.Fatalf("GACT score %d far below optimal %d", res.Score, opt.Score)
+	}
+	if res.Score > opt.Score {
+		t.Fatalf("GACT score %d exceeds optimal %d (impossible)", res.Score, opt.Score)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	text := randSeq(rand.New(rand.NewPCG(4, 4)), 100)
+	if _, err := Align(text, text, Config{Scoring: cigar.Unit}); err == nil {
+		t.Fatal("unit scoring (match=0) must be rejected")
+	}
+	if _, err := Align(text, text, Config{TileSize: 64, Overlap: 64}); err == nil {
+		t.Fatal("overlap >= tile size must be rejected")
+	}
+}
+
+func TestNoProgressError(t *testing.T) {
+	// Completely dissimilar sequences: extension cannot leave (0,0).
+	text := make([]byte, 100) // all A
+	pattern := make([]byte, 100)
+	for i := range pattern {
+		pattern[i] = 3 // all T
+	}
+	if _, err := Align(text, pattern, Config{}); err == nil {
+		t.Fatal("expected ErrNoProgress")
+	}
+}
+
+func TestTrailingInsertions(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	text := randSeq(rng, 200)
+	pattern := append(append([]byte(nil), text...), randSeq(rng, 20)...)
+	res, err := Align(text, pattern, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cigar.Validate(res.Cigar, pattern, text, false); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cigar.QueryLen() != len(pattern) {
+		t.Fatalf("pattern not fully consumed: %d/%d", res.Cigar.QueryLen(), len(pattern))
+	}
+}
+
+func TestSmallTiles(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	text := randSeq(rng, 800)
+	pattern := mutate(rng, text[:700], 20, 8, 8)
+	res, err := Align(text, pattern, Config{TileSize: 64, Overlap: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cigar.Validate(res.Cigar, pattern, text[:res.TextEnd], false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGACT1kbp(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	text := randSeq(rng, 1200)
+	pattern := mutate(rng, text[:1000], 50, 25, 25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Align(text, pattern, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package hw
+
+// Baseline constants from the paper (Sections 9 and 10). Where the paper
+// itself only models a comparison from reported numbers (SillaX, ASAP,
+// GASAL2), this reproduction keeps the same reported constants — marked
+// "paper-reported" in the harness output — and puts our measured/modelled
+// GenASM numbers next to them.
+
+// CPU/software baseline power measurements (Intel PCM on a Xeon Gold
+// 6126), Section 10.2/10.4.
+const (
+	// BWAMEMPowerT1W / T12W: BWA-MEM alignment step power, 1 / 12 threads.
+	BWAMEMPowerT1W  = 58.6
+	BWAMEMPowerT12W = 109.5
+	// Minimap2PowerT1W / T12W: Minimap2 alignment step power.
+	Minimap2PowerT1W  = 59.8
+	Minimap2PowerT12W = 118.9
+	// EdlibPower100KbpW / 1MbpW: Edlib edit distance power.
+	EdlibPower100KbpW = 55.3
+	EdlibPower1MbpW   = 58.8
+	// XeonCorePowerW / XeonCoreAreaMM2: one Xeon Gold 6126 core
+	// (conservative estimates the paper uses for the area/power contrast).
+	XeonCorePowerW  = 10.4
+	XeonCoreAreaMM2 = 32.2
+	// ShoujiPowerRatio100bp / 250bp: GenASM power reduction vs the Shouji
+	// FPGA filter (Section 10.3).
+	ShoujiPowerRatio100bp = 1.7
+	ShoujiPowerRatio250bp = 1.6
+)
+
+// GACT models Darwin's GACT alignment accelerator (64-PE array at 1 GHz),
+// whose open-source RTL the paper synthesizes. The cycle model is an
+// anti-diagonal wavefront over T x T tiles with O overlap:
+// roughly 2T cycles of wavefront per tile row-block over T/PEs passes,
+// calibrated against the two throughput endpoints the paper reports in
+// Figure 12 (55,556 alignments/s at 1 kbp, 6,289 at 10 kbp).
+type GACT struct {
+	TileSize int
+	Overlap  int
+	PEs      int
+	FreqHz   float64
+	PowerW   float64
+	// CyclesPerTile is calibrated from the Figure 12 endpoints.
+	CyclesPerTile float64
+}
+
+// DefaultGACT returns the Darwin configuration the paper compares against.
+func DefaultGACT() GACT {
+	return GACT{
+		TileSize: 512,
+		Overlap:  128,
+		PEs:      64,
+		FreqHz:   1e9,
+		PowerW:   0.2777,
+		// Calibrated with fractional (partial) tiles against three points
+		// the paper reports: 55,556 aligns/s at 1 kbp and 6,289 at 10 kbp
+		// (Figure 12, both within 6%), and the 7.4x average GenASM
+		// advantage for 100-300 bp short reads (Figure 13).
+		CyclesPerTile: 6500,
+	}
+}
+
+// Tiles returns the (fractional) tile count for a sequence of the given
+// length: the final tile's wavefront only covers the remaining characters.
+func (g GACT) Tiles(length int) float64 {
+	return float64(length) / float64(g.TileSize-g.Overlap)
+}
+
+// AlignmentsPerSecond is GACT's modelled throughput for one array.
+func (g GACT) AlignmentsPerSecond(length int) float64 {
+	return g.FreqHz / (g.Tiles(length) * g.CyclesPerTile)
+}
+
+// GACTAreaRatioVsGenASM is the paper's synthesis result: GenASM requires
+// 1.7x less area than GACT logic + 128 KB SRAM at 28 nm (Section 10.2).
+const GACTAreaRatioVsGenASM = 1.7
+
+// SillaX models the alignment accelerator of GenAx as reported
+// (Section 10.2): ~50 M alignments/s for 101 bp short reads at 2 GHz.
+type SillaX struct {
+	FreqHz              float64
+	AlignmentsPerSecond float64
+	LogicAreaMM2        float64
+	SRAMAreaMM2         float64
+	LogicPowerW         float64
+}
+
+// DefaultSillaX returns the paper-reported SillaX figures.
+func DefaultSillaX() SillaX {
+	return SillaX{
+		FreqHz:              2e9,
+		AlignmentsPerSecond: 50e6,
+		LogicAreaMM2:        5.64,
+		SRAMAreaMM2:         3.47,
+		LogicPowerW:         6.6,
+	}
+}
+
+// TotalAreaMM2 is SillaX's logic + CACTI-estimated SRAM area.
+func (s SillaX) TotalAreaMM2() float64 { return s.LogicAreaMM2 + s.SRAMAreaMM2 }
+
+// ASAP models the FPGA edit distance accelerator as reported
+// (Section 10.4): latency grows linearly from 6.8 us at 64 bp to 18.8 us
+// at 320 bp, at 6.8 W.
+type ASAP struct {
+	PowerW float64
+}
+
+// DefaultASAP returns the paper-reported ASAP figures.
+func DefaultASAP() ASAP { return ASAP{PowerW: 6.8} }
+
+// LatencySeconds interpolates ASAP's reported latency for sequence lengths
+// in its reported 64-320 bp range (clamped outside it).
+func (ASAP) LatencySeconds(length int) float64 {
+	const (
+		l0, t0 = 64.0, 6.8e-6
+		l1, t1 = 320.0, 18.8e-6
+	)
+	l := float64(length)
+	if l < l0 {
+		l = l0
+	}
+	if l > l1 {
+		l = l1
+	}
+	return t0 + (t1-t0)*(l-l0)/(l1-l0)
+}
+
+// GASAL2SpeedupReported holds the paper's measured GenASM-over-GASAL2
+// speedups (GPU baseline, Section 10.2) per read length and batch size —
+// kept for harness context next to our modelled numbers.
+var GASAL2SpeedupReported = map[int]map[string]float64{
+	100: {"100K": 9.9, "1M": 9.2, "10M": 8.5},
+	150: {"100K": 15.8, "1M": 13.1, "10M": 13.4},
+	250: {"100K": 21.5, "1M": 20.6, "10M": 21.1},
+}

@@ -1,0 +1,299 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.PEs = 0 },
+		func(c *Config) { c.PEWidth = 0 },
+		func(c *Config) { c.WindowSize = 1 },
+		func(c *Config) { c.Overlap = 64 },
+		func(c *Config) { c.FreqHz = 0 },
+		func(c *Config) { c.Vaults = 0 },
+	}
+	for i, mut := range bad {
+		c := Default()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+// TestTable1AreaPower reproduces Table 1: one accelerator is 0.334 mm^2 /
+// 101 mW; 32 accelerators are 10.69 mm^2 / 3.23 W.
+func TestTable1AreaPower(t *testing.T) {
+	c := Default()
+	a := c.Accelerator()
+	if !approx(a.AreaMM2, 0.334, 0.01) {
+		t.Errorf("accelerator area %.3f mm^2, want 0.334", a.AreaMM2)
+	}
+	if !approx(a.PowerW, 0.101, 0.01) {
+		t.Errorf("accelerator power %.3f W, want 0.101", a.PowerW)
+	}
+	tot := c.Total()
+	if !approx(tot.AreaMM2, 10.69, 0.01) {
+		t.Errorf("total area %.2f mm^2, want 10.69", tot.AreaMM2)
+	}
+	if !approx(tot.PowerW, 3.23, 0.01) {
+		t.Errorf("total power %.2f W, want 3.23", tot.PowerW)
+	}
+	if !c.FitsVaultBudget() {
+		t.Error("the paper's configuration must fit the vault budget")
+	}
+}
+
+func TestComponentsMatchTable1(t *testing.T) {
+	comps := Default().Components()
+	want := map[string]AreaPower{
+		"GenASM-DC": {0.049, 0.033},
+		"GenASM-TB": {0.016, 0.004},
+		"DC-SRAM":   {0.013, 0.009},
+		"TB-SRAMs":  {0.256, 0.055},
+	}
+	for _, comp := range comps {
+		w, ok := want[comp.Name]
+		if !ok {
+			t.Errorf("unexpected component %q", comp.Name)
+			continue
+		}
+		if !approx(comp.AreaMM2, w.AreaMM2, 0.001) || !approx(comp.PowerW, w.PowerW, 0.001) {
+			t.Errorf("%s: got (%.3f, %.3f), want (%.3f, %.3f)",
+				comp.Name, comp.AreaMM2, comp.PowerW, w.AreaMM2, w.PowerW)
+		}
+	}
+}
+
+// TestCalibratedFigure12Points checks the analytical model against the two
+// single-accelerator GenASM throughputs the paper reports in Figure 12:
+// 236,686 alignments/s at 1 kbp and 23,669 at 10 kbp (15% error rate).
+func TestCalibratedFigure12Points(t *testing.T) {
+	c := Default()
+	got1k := c.AlignmentsPerSecondOneAccel(1000, 150)
+	if !approx(got1k, 236686, 0.02) {
+		t.Errorf("1 kbp throughput %.0f/s, paper reports 236,686", got1k)
+	}
+	got10k := c.AlignmentsPerSecondOneAccel(10000, 1500)
+	if !approx(got10k, 23669, 0.02) {
+		t.Errorf("10 kbp throughput %.0f/s, paper reports 23,669", got10k)
+	}
+}
+
+// TestWindowingAblation reproduces the Section 10.5 claim shape: the
+// divide-and-conquer approach reduces DC cycles by orders of magnitude for
+// long reads and by a small factor for short reads.
+func TestWindowingAblation(t *testing.T) {
+	c := Default()
+	longRatio := c.DCCyclesUnwindowed(10000, 1500) / c.DCCyclesWindowed(10000, 1500)
+	if longRatio < 1000 {
+		t.Errorf("long-read windowing speedup %.0fx, expected >1000x (paper: 3662x)", longRatio)
+	}
+	shortRatio := c.DCCyclesUnwindowed(250, 15) / c.DCCyclesWindowed(250, 15)
+	if shortRatio < 1.2 || shortRatio > 6 {
+		t.Errorf("short-read windowing speedup %.1fx, expected in the paper's 1.6-3.9x band", shortRatio)
+	}
+}
+
+// TestSystolicSchedule verifies the Figure 5 schedule: with P >= k+1 PEs,
+// cell (i, d) retires at cycle i+d+1, so a window of n iterations and k
+// levels takes n+k+1 cycles.
+func TestSystolicSchedule(t *testing.T) {
+	c := Default()
+	res := c.SimulateWindow(64, 64)
+	if want := 64 + 63; res.Cycles != want {
+		t.Errorf("window makespan %d cycles, want %d", res.Cycles, want)
+	}
+	if res.Cells != 64*64 {
+		t.Errorf("cells = %d, want 4096", res.Cells)
+	}
+	if res.PEUtilization <= 0.45 || res.PEUtilization > 1 {
+		t.Errorf("utilization %.2f out of expected range", res.PEUtilization)
+	}
+	if res.TBSRAMWriteBitsPerPECycle != 192 {
+		t.Errorf("TB-SRAM write width %d bits, paper says 192", res.TBSRAMWriteBitsPerPECycle)
+	}
+	if res.DCSRAMMaxReadsPerCycle != 1 || res.DCSRAMMaxWritesPerCycle != 1 {
+		t.Error("DC-SRAM port pressure should be one read + one write per cycle")
+	}
+}
+
+// TestSystolicFewerPEs checks PE serialization: with fewer PEs than error
+// levels, the makespan grows accordingly (each PE handles several levels
+// cyclically, Figure 5's right-hand table shows the 1-PE case).
+func TestSystolicFewerPEs(t *testing.T) {
+	c := Default()
+	c.PEs = 1
+	res := c.SimulateWindow(4, 8)
+	// One PE executes all 32 cells serially: exactly 32 cycles
+	// (Figure 5's single-thread table).
+	if res.Cycles != 32 {
+		t.Errorf("1-PE makespan %d, want 32", res.Cycles)
+	}
+	if res.PEUtilization != 1 {
+		t.Errorf("1-PE utilization %.2f, want 1.0", res.PEUtilization)
+	}
+	c.PEs = 4
+	res = c.SimulateWindow(4, 8)
+	// Figure 5's left-hand table: 4 threads, T0-R0..T3-R7 finish at
+	// cycle 11.
+	if res.Cycles != 11 {
+		t.Errorf("4-PE makespan %d, want 11 (Figure 5)", res.Cycles)
+	}
+}
+
+func TestSimulateAlignmentConsistentWithAnalytical(t *testing.T) {
+	c := Default()
+	sim := c.SimulateAlignment(10000, 1500)
+	ana := c.AlignmentCycles(10000, 1500)
+	ratio := float64(sim.Cycles) / ana
+	if ratio < 0.7 || ratio > 1.5 {
+		t.Errorf("simulated %d vs analytical %.0f cycles: ratio %.2f outside [0.7, 1.5]",
+			sim.Cycles, ana, ratio)
+	}
+}
+
+func TestVaultScalingLinear(t *testing.T) {
+	c := Default()
+	base := c.AlignmentsPerSecond(10000, 1500)
+	c.Vaults = 64
+	if got := c.AlignmentsPerSecond(10000, 1500); !approx(got, 2*base, 1e-9) {
+		t.Errorf("doubling vaults: %.0f, want %.0f", got, 2*base)
+	}
+}
+
+func TestTBSRAMCapacityFitsWindow(t *testing.T) {
+	c := Default()
+	need := c.TBSRAMBytesNeededPerWindow()
+	have := c.TBSRAMBytesTotal()
+	if need > have {
+		t.Errorf("window needs %d B of TB-SRAM, accelerator has %d B", need, have)
+	}
+	// The paper's numbers: 96 KB needed and provided.
+	if have != 96*1024 {
+		t.Errorf("TB-SRAM total %d B, want 96 KB", have)
+	}
+	if need != 96*1024 {
+		t.Errorf("window need %d B, want 96 KB (W x 3 x W x W bits)", need)
+	}
+}
+
+func TestGACTModelEndpoints(t *testing.T) {
+	g := DefaultGACT()
+	if got := g.AlignmentsPerSecond(1000); !approx(got, 55556, 0.08) {
+		t.Errorf("GACT 1 kbp: %.0f/s, paper reports 55,556", got)
+	}
+	if got := g.AlignmentsPerSecond(10000); !approx(got, 6289, 0.08) {
+		t.Errorf("GACT 10 kbp: %.0f/s, paper reports 6,289", got)
+	}
+}
+
+// TestFigure12Shape: GenASM vs GACT across 1-10 kbp should average ~3.9x
+// (the paper's headline for long reads).
+func TestFigure12Shape(t *testing.T) {
+	c := Default()
+	g := DefaultGACT()
+	sum := 0.0
+	n := 0
+	for length := 1000; length <= 10000; length += 1000 {
+		k := length * 15 / 100
+		ratio := c.AlignmentsPerSecondOneAccel(length, k) / g.AlignmentsPerSecond(length)
+		if ratio < 2 || ratio > 8 {
+			t.Errorf("length %d: GenASM/GACT ratio %.1fx outside plausible band", length, ratio)
+		}
+		sum += ratio
+		n++
+	}
+	if avg := sum / float64(n); avg < 3 || avg > 6 {
+		t.Errorf("average GenASM/GACT ratio %.1fx, paper reports 3.9x", avg)
+	}
+}
+
+func TestASAPComparisonShape(t *testing.T) {
+	c := Default()
+	a := DefaultASAP()
+	// Section 10.4: GenASM is 9.3-400x faster over 64-320 bp.
+	for _, length := range []int{64, 128, 250, 320} {
+		k := max(1, length*5/100)
+		genasm := c.AlignmentSeconds(length, k)
+		ratio := a.LatencySeconds(length) / genasm
+		if ratio < 5 || ratio > 1000 {
+			t.Errorf("length %d: ASAP/GenASM latency ratio %.0fx outside the paper's band", length, ratio)
+		}
+	}
+	// Power ratio: 6.8 W vs 0.101 W = 67x (Section 10.4).
+	if got := a.PowerW / Default().Accelerator().PowerW; !approx(got, 67, 0.02) {
+		t.Errorf("ASAP power ratio %.1fx, paper reports 67x", got)
+	}
+}
+
+func TestSillaXComparison(t *testing.T) {
+	s := DefaultSillaX()
+	c := Default()
+	// GenASM (32 accelerators) vs SillaX for 101 bp reads: paper reports
+	// 1.9x throughput.
+	genasm := c.AlignmentsPerSecond(101, 5)
+	ratio := genasm / s.AlignmentsPerSecond
+	if ratio < 1.2 || ratio > 4 {
+		t.Errorf("GenASM/SillaX ratio %.2fx, paper reports 1.9x", ratio)
+	}
+	if !approx(s.TotalAreaMM2(), 9.11, 0.01) {
+		t.Errorf("SillaX total area %.2f, paper reports 9.11", s.TotalAreaMM2())
+	}
+}
+
+func TestMemoryBandwidthWithinBudget(t *testing.T) {
+	c := Default()
+	// Section 7: one accelerator per vault needs 105-142 MB/s; all 32 need
+	// 3.3-4.4 GB/s, far below the 256 GB/s internal bandwidth.
+	perRead := c.MemoryBandwidthBytesPerRead(10000, 1500)
+	readsPerSec := c.AlignmentsPerSecondOneAccel(10000, 1500)
+	mbps := perRead * readsPerSec / 1e6
+	if mbps < 50 || mbps > 300 {
+		t.Errorf("per-accelerator bandwidth %.0f MB/s, paper reports 105-142", mbps)
+	}
+	total := mbps * float64(c.Vaults) / 1e3
+	if total > 256 {
+		t.Errorf("total bandwidth %.1f GB/s exceeds 3D-stacked internal bandwidth", total)
+	}
+}
+
+// TestDCSRAMSizing checks the Section 7 sizing example: a 10 kbp read at
+// 15% error (11.5 kbp text region) needs a total of 8 KB DC-SRAM.
+func TestDCSRAMSizing(t *testing.T) {
+	c := Default()
+	need := c.DCSRAMBytesNeeded(10000, 1500)
+	if need > c.DCSRAMBytes {
+		t.Errorf("10 kbp @15%% needs %d B, DC-SRAM has %d B", need, c.DCSRAMBytes)
+	}
+	if need < c.DCSRAMBytes*3/4 {
+		t.Errorf("10 kbp @15%% needs only %d B; the paper sized 8 KB for this case", need)
+	}
+	// Short reads need much less.
+	if short := c.DCSRAMBytesNeeded(100, 5); short > need/4 {
+		t.Errorf("100 bp working set %d B not much smaller than long-read %d B", short, need)
+	}
+}
+
+func TestXeonContrast(t *testing.T) {
+	// Section 10.1: GenASM vs one Xeon core.
+	a := Default().Accelerator()
+	if XeonCoreAreaMM2/a.AreaMM2 < 50 {
+		t.Error("GenASM should be orders of magnitude smaller than a Xeon core")
+	}
+	if XeonCorePowerW/a.PowerW < 50 {
+		t.Error("GenASM should use orders of magnitude less power than a Xeon core")
+	}
+}

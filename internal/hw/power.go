@@ -1,0 +1,91 @@
+package hw
+
+// Area/power model seeded with the Table 1 component values (28 nm
+// low-power process, post-place-and-route, 1 GHz):
+//
+//	Component              Area (mm^2)  Power (W)
+//	GenASM-DC (64 PEs)     0.049        0.033
+//	GenASM-TB              0.016        0.004
+//	DC-SRAM (8 KB)         0.013        0.009
+//	TB-SRAMs (64 x 1.5 KB) 0.256        0.055
+//	Total - 1 vault        0.334        0.101
+//	Total - 32 vaults      10.69        3.23
+//
+// Components scale linearly with PE count and SRAM capacity, which is how
+// the ablation benchmarks explore other configurations.
+
+// AreaPower is an (area, power) pair.
+type AreaPower struct {
+	AreaMM2 float64
+	PowerW  float64
+}
+
+// Add returns the component-wise sum.
+func (a AreaPower) Add(b AreaPower) AreaPower {
+	return AreaPower{a.AreaMM2 + b.AreaMM2, a.PowerW + b.PowerW}
+}
+
+// Scale returns the component-wise scaling.
+func (a AreaPower) Scale(f float64) AreaPower {
+	return AreaPower{a.AreaMM2 * f, a.PowerW * f}
+}
+
+// Table 1 reference components.
+var (
+	// DCLogicPer64PE is the GenASM-DC systolic array, 64 PEs.
+	DCLogicPer64PE = AreaPower{0.049, 0.033}
+	// TBLogic is the GenASM-TB unit.
+	TBLogic = AreaPower{0.016, 0.004}
+	// DCSRAMPer8KB is the 8 KB DC-SRAM.
+	DCSRAMPer8KB = AreaPower{0.013, 0.009}
+	// TBSRAMPer96KB is the 64 x 1.5 KB TB-SRAM set.
+	TBSRAMPer96KB = AreaPower{0.256, 0.055}
+)
+
+// Component is a named area/power contribution.
+type Component struct {
+	Name string
+	AreaPower
+}
+
+// Components returns the per-component breakdown for this configuration
+// (Table 1's rows, rescaled if the configuration deviates from the paper).
+func (c Config) Components() []Component {
+	return []Component{
+		{"GenASM-DC", DCLogicPer64PE.Scale(float64(c.PEs) / 64)},
+		{"GenASM-TB", TBLogic},
+		{"DC-SRAM", DCSRAMPer8KB.Scale(float64(c.DCSRAMBytes) / (8 * 1024))},
+		{"TB-SRAMs", TBSRAMPer96KB.Scale(float64(c.TBSRAMBytesTotal()) / (96 * 1024))},
+	}
+}
+
+// Accelerator returns one accelerator's total area and power (Table 1,
+// "Total - 1 vault").
+func (c Config) Accelerator() AreaPower {
+	var t AreaPower
+	for _, comp := range c.Components() {
+		t = t.Add(comp.AreaPower)
+	}
+	return t
+}
+
+// Total returns the whole design's area and power across all vaults
+// (Table 1, "Total - 32 vaults").
+func (c Config) Total() AreaPower {
+	return c.Accelerator().Scale(float64(c.Vaults))
+}
+
+// VaultAreaBudgetMM2 and VaultPowerBudgetW are the logic-layer constraints
+// the paper designs against: 3.5-4.4 mm^2 of area and 312 mW of power per
+// vault (Section 9). FitsVaultBudget checks them.
+const (
+	VaultAreaBudgetMM2 = 3.5
+	VaultPowerBudgetW  = 0.312
+)
+
+// FitsVaultBudget reports whether one accelerator fits the logic layer's
+// per-vault area and power budget.
+func (c Config) FitsVaultBudget() bool {
+	a := c.Accelerator()
+	return a.AreaMM2 <= VaultAreaBudgetMM2 && a.PowerW <= VaultPowerBudgetW
+}

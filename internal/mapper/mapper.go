@@ -1,0 +1,321 @@
+// Package mapper assembles the full read-mapping pipeline of Figure 1:
+// indexing (offline), seeding, pre-alignment filtering and read alignment,
+// with the alignment step pluggable so the pipeline can run with GenASM,
+// with classic affine-gap DP (the BWA-MEM/Minimap2 stand-in) or with GACT
+// — enabling the Figure 11 end-to-end comparison of swapping only the
+// alignment step.
+package mapper
+
+import (
+	"fmt"
+
+	"genasm/internal/cigar"
+	"genasm/internal/core"
+	"genasm/internal/dp"
+	"genasm/internal/filter"
+	"genasm/internal/gact"
+	"genasm/internal/index"
+	"genasm/internal/seq"
+)
+
+// Aligner is the pipeline's pluggable alignment step: align read against a
+// candidate reference region.
+type Aligner interface {
+	Name() string
+	// AlignRegion aligns read (fully consumed) against region; start is
+	// the offset within region where the alignment begins.
+	AlignRegion(region, read []byte) (cg cigar.Cigar, start int, err error)
+}
+
+// GenASMAligner is the paper's accelerator algorithm as the alignment step.
+type GenASMAligner struct {
+	ws *core.Workspace
+}
+
+// NewGenASMAligner builds a GenASM alignment step with the paper's default
+// configuration (W=64, O=24, search in the first window).
+func NewGenASMAligner() (*GenASMAligner, error) {
+	ws, err := core.New(core.Config{FindFirstWindowStart: true})
+	if err != nil {
+		return nil, err
+	}
+	return &GenASMAligner{ws: ws}, nil
+}
+
+// Name implements Aligner.
+func (a *GenASMAligner) Name() string { return "GenASM" }
+
+// AlignRegion implements Aligner.
+func (a *GenASMAligner) AlignRegion(region, read []byte) (cigar.Cigar, int, error) {
+	aln, err := a.ws.Align(region, read)
+	if err != nil {
+		return nil, 0, err
+	}
+	return aln.Cigar, aln.TextStart, nil
+}
+
+// DPAligner is the software-baseline alignment step: banded affine-gap
+// fit alignment, the algorithmic core of BWA-MEM's and Minimap2's
+// alignment steps.
+type DPAligner struct {
+	// Scoring defaults to cigar.Minimap2.
+	Scoring cigar.Scoring
+	// Band restricts the DP to a diagonal band (0 = full matrix).
+	Band int
+}
+
+// Name implements Aligner.
+func (a DPAligner) Name() string { return "DP" }
+
+// AlignRegion implements Aligner.
+func (a DPAligner) AlignRegion(region, read []byte) (cigar.Cigar, int, error) {
+	sc := a.Scoring
+	if sc == (cigar.Scoring{}) {
+		sc = cigar.Minimap2
+	}
+	res := dp.Align(region, read, sc, dp.Fit, a.Band)
+	return res.Cigar, res.TextStart, nil
+}
+
+// GACTAligner is Darwin's tiled DP as the alignment step.
+type GACTAligner struct {
+	Config gact.Config
+}
+
+// Name implements Aligner.
+func (GACTAligner) Name() string { return "GACT" }
+
+// Anchored reports that GACT starts its alignment exactly at the region
+// start, so the pipeline hands it regions without leading slack.
+func (GACTAligner) Anchored() bool { return true }
+
+// AlignRegion implements Aligner.
+func (a GACTAligner) AlignRegion(region, read []byte) (cigar.Cigar, int, error) {
+	res, err := gact.Align(region, read, a.Config)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Cigar, 0, nil
+}
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// SeedK is the seed length (default 15).
+	SeedK int
+	// MinimizerW samples the index with minimizers when > 0.
+	MinimizerW int
+	// MaxCandidates bounds the candidate locations tried per strand
+	// (default 8).
+	MaxCandidates int
+	// ErrorRate is the expected sequencing error rate, used for region
+	// slack and the filtering threshold (default 0.10).
+	ErrorRate float64
+	// Filter is the optional pre-alignment filter (step 2 of Figure 1);
+	// nil maps without filtering.
+	Filter filter.Filter
+	// Aligner is the alignment step (step 3); defaults to GenASM.
+	Aligner Aligner
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.SeedK == 0 {
+		c.SeedK = 15
+	}
+	if c.MaxCandidates == 0 {
+		c.MaxCandidates = 8
+	}
+	if c.ErrorRate == 0 {
+		c.ErrorRate = 0.10
+	}
+	if c.Aligner == nil {
+		a, err := NewGenASMAligner()
+		if err != nil {
+			return c, err
+		}
+		c.Aligner = a
+	}
+	return c, nil
+}
+
+// Mapping is the result of mapping one read.
+type Mapping struct {
+	// Mapped reports whether any candidate produced an alignment.
+	Mapped bool
+	// Pos is the reference position the read aligned to.
+	Pos int
+	// RevComp reports whether the reverse-complement strand aligned.
+	RevComp bool
+	// Cigar of the best alignment.
+	Cigar cigar.Cigar
+	// Distance is the edit distance of the best alignment.
+	Distance int
+	// Candidates is the number of candidate locations considered.
+	Candidates int
+	// Filtered is the number of candidates rejected by the pre-alignment
+	// filter.
+	Filtered int
+	// Aligned is the number of candidates that reached the alignment
+	// step.
+	Aligned int
+}
+
+// Mapper maps reads against an indexed reference.
+type Mapper struct {
+	cfg Config
+	idx *index.Index
+	ref []byte
+}
+
+// New indexes the encoded reference and returns a ready Mapper.
+func New(ref []byte, cfg Config) (*Mapper, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	var idx *index.Index
+	if cfg.MinimizerW > 0 {
+		idx, err = index.BuildMinimizer(ref, cfg.SeedK, cfg.MinimizerW)
+	} else {
+		idx, err = index.Build(ref, cfg.SeedK)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Mapper{cfg: cfg, idx: idx, ref: ref}, nil
+}
+
+// Index exposes the underlying seed index.
+func (m *Mapper) Index() *index.Index { return m.idx }
+
+// MapRead maps one encoded read, trying both strands, and returns the
+// lowest-edit-distance alignment across all surviving candidates.
+func (m *Mapper) MapRead(read []byte) (Mapping, error) {
+	if len(read) < m.cfg.SeedK {
+		return Mapping{}, fmt.Errorf("mapper: read length %d below seed length %d", len(read), m.cfg.SeedK)
+	}
+	best := Mapping{Distance: int(^uint(0) >> 1)}
+
+	maxEdits := int(float64(len(read))*m.cfg.ErrorRate) + 4
+	// Anything beyond this is a wrong location, not a noisy alignment.
+	rejectAbove := 2*maxEdits + 8
+
+	// Seed with a read prefix: implied start positions drift with
+	// accumulated indel imbalance, so voting with the whole of a long read
+	// smears candidates over hundreds of positions. A ~256 bp prefix keeps
+	// the drift within the aligner's first search window while still
+	// casting a couple hundred votes.
+	seedLen := min(len(read), 256)
+
+	// Aligners that anchor at the region start (GACT) would pay for any
+	// leading slack as deletions; search-capable aligners get slack to
+	// absorb anchor imprecision.
+	leading := 16
+	if a, ok := m.cfg.Aligner.(interface{ Anchored() bool }); ok && a.Anchored() {
+		leading = 2
+	}
+
+	// A mapping at or below the expected error budget is a confident hit:
+	// stop scanning further candidates (and skip the other strand), as
+	// production mappers do once the best chain is aligned.
+	good := func() bool { return best.Mapped && best.Distance <= maxEdits }
+
+strands:
+	for _, rc := range []bool{false, true} {
+		if good() {
+			break
+		}
+		r := read
+		if rc {
+			r = seq.ReverseComplement(read)
+		}
+		for _, cand := range m.idx.CandidateLocations(r[:seedLen], m.cfg.MaxCandidates) {
+			best.Candidates++
+			// Candidate anchors are near-exact (the seeding step reports
+			// the most-voted exact start), so only a small leading slack
+			// is needed; the trailing slack absorbs deletion drift — the
+			// paper's "text region of length m+k" (Section 6).
+			start := max(0, cand.Pos-leading)
+			end := min(len(m.ref), cand.Pos+len(r)+maxEdits+16)
+			region := m.ref[start:end]
+
+			if m.cfg.Filter != nil {
+				ok, err := m.cfg.Filter.Accept(region, r, maxEdits)
+				if err != nil {
+					return Mapping{}, err
+				}
+				if !ok {
+					best.Filtered++
+					continue
+				}
+			}
+			best.Aligned++
+			cg, off, err := m.cfg.Aligner.AlignRegion(region, r)
+			if err != nil {
+				// A single over-budget candidate is not fatal; try the
+				// next one.
+				continue
+			}
+			if d := cg.EditDistance(); d <= rejectAbove && d < best.Distance {
+				best.Mapped = true
+				best.Pos = start + off
+				best.RevComp = rc
+				best.Cigar = cg
+				best.Distance = d
+			}
+			if good() {
+				break strands
+			}
+		}
+	}
+	if !best.Mapped {
+		best.Distance = 0
+	}
+	return best, nil
+}
+
+// Stats aggregates mapping outcomes over a read set.
+type Stats struct {
+	Reads      int
+	Mapped     int
+	Correct    int // mapped within tolerance of the true location
+	Candidates int
+	Filtered   int
+	Aligned    int
+	TotalEdits int
+}
+
+// MapAll maps a simulated read set and scores positional correctness
+// against the ground truth within the given tolerance.
+func (m *Mapper) MapAll(reads [][]byte, truePos []int, tol int) ([]Mapping, Stats, error) {
+	if truePos != nil && len(truePos) != len(reads) {
+		return nil, Stats{}, fmt.Errorf("mapper: %d reads but %d true positions", len(reads), len(truePos))
+	}
+	out := make([]Mapping, len(reads))
+	var st Stats
+	for i, r := range reads {
+		mp, err := m.MapRead(r)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("read %d: %w", i, err)
+		}
+		out[i] = mp
+		st.Reads++
+		st.Candidates += mp.Candidates
+		st.Filtered += mp.Filtered
+		st.Aligned += mp.Aligned
+		if mp.Mapped {
+			st.Mapped++
+			st.TotalEdits += mp.Distance
+			if truePos != nil && abs(mp.Pos-truePos[i]) <= tol {
+				st.Correct++
+			}
+		}
+	}
+	return out, st, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

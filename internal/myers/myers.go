@@ -1,0 +1,150 @@
+// Package myers implements Myers' 1999 bit-vector edit distance algorithm
+// in its block-based (arbitrary pattern length) form — the algorithmic core
+// of Edlib, the software library the paper's edit distance use case is
+// compared against (Section 10.4).
+//
+// Like Bitap, the algorithm is bit-parallel; unlike Bitap it encodes the
+// *differences* between adjacent DP cells (Pv/Mv vertical delta vectors)
+// rather than match states per error level, so a single pass computes the
+// exact distance without a per-error-level loop. The trade-off the paper
+// exploits is that Myers' algorithm does not produce the traceback
+// bitvectors GenASM-TB needs.
+package myers
+
+import "fmt"
+
+const wordSize = 64
+
+// state holds the per-block vertical delta vectors.
+type state struct {
+	pv, mv []uint64
+}
+
+// peq builds the match-equivalence masks: bit i of peq[c][b] is set iff
+// pattern[b*64+i] == c (note: 1 means match here, the opposite of Bitap's
+// convention).
+func buildPEq(pattern []byte, alphabetSize, blocks int) ([][]uint64, error) {
+	peq := make([][]uint64, alphabetSize)
+	flat := make([]uint64, alphabetSize*blocks)
+	for c := range peq {
+		peq[c] = flat[c*blocks : (c+1)*blocks]
+	}
+	for i, c := range pattern {
+		if int(c) >= alphabetSize {
+			return nil, fmt.Errorf("myers: pattern code %d outside alphabet of size %d at %d", c, alphabetSize, i)
+		}
+		peq[c][i/wordSize] |= 1 << (uint(i) % wordSize)
+	}
+	return peq, nil
+}
+
+// advance processes one text character over one block. hin is the
+// horizontal delta entering the block's top (-1, 0, +1); hout is the delta
+// leaving its bottom. phPre/mhPre are the horizontal delta vectors before
+// shifting: bit i set in phPre (mhPre) means the DP cell at the block's row
+// i+1 increased (decreased) relative to the previous column — the hook used
+// to track the score at an interior row when the pattern does not fill the
+// block.
+func advance(pv, mv, eq uint64, hin int) (npv, nmv, phPre, mhPre uint64, hout int) {
+	xv := eq | mv
+	if hin < 0 {
+		eq |= 1
+	}
+	xh := (((eq & pv) + pv) ^ pv) | eq
+
+	ph := mv | ^(xh | pv)
+	mh := pv & xh
+	phPre, mhPre = ph, mh
+
+	const msb = uint64(1) << (wordSize - 1)
+	if ph&msb != 0 {
+		hout = 1
+	} else if mh&msb != 0 {
+		hout = -1
+	}
+
+	ph <<= 1
+	mh <<= 1
+	if hin < 0 {
+		mh |= 1
+	} else if hin > 0 {
+		ph |= 1
+	}
+
+	npv = mh | ^(xv | ph)
+	nmv = ph & xv
+	return npv, nmv, phPre, mhPre, hout
+}
+
+// run executes the block algorithm. With global set, the DP's first row
+// costs j (text prefix consumption is charged), computing the
+// Needleman-Wunsch distance; otherwise the first row is free (semi-global
+// search: the occurrence may start anywhere) and the minimum over all end
+// positions is tracked.
+func run(text, pattern []byte, alphabetSize int, global bool) (dist, endPos int, err error) {
+	m := len(pattern)
+	if m == 0 {
+		if global {
+			return len(text), len(text), nil
+		}
+		return 0, 0, nil
+	}
+	blocks := (m + wordSize - 1) / wordSize
+	peq, err := buildPEq(pattern, alphabetSize, blocks)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	st := state{pv: make([]uint64, blocks), mv: make([]uint64, blocks)}
+	for b := range st.pv {
+		st.pv[b] = ^uint64(0)
+	}
+	// The score tracks the DP cell at the last pattern row, bit (m-1)%64
+	// of the last block in the pre-shift horizontal delta vectors. Bits
+	// above it are phantom never-match rows; information only flows upward
+	// (adds carry low-to-high, shifts move low-to-high), so they cannot
+	// disturb the real rows.
+	tbBit := uint((m - 1) % wordSize)
+
+	score := m
+	best := score
+	bestPos := 0
+	for j, c := range text {
+		if int(c) >= alphabetSize {
+			return 0, 0, fmt.Errorf("myers: text code %d outside alphabet of size %d at %d", c, alphabetSize, j)
+		}
+		hin := 0
+		if global {
+			hin = 1
+		}
+		var phPre, mhPre uint64
+		for b := 0; b < blocks; b++ {
+			st.pv[b], st.mv[b], phPre, mhPre, hin = advance(st.pv[b], st.mv[b], peq[c][b], hin)
+		}
+		score += int(phPre>>tbBit&1) - int(mhPre>>tbBit&1)
+		if !global && score < best {
+			best, bestPos = score, j+1
+		}
+	}
+	if global {
+		return score, len(text), nil
+	}
+	return best, bestPos, nil
+}
+
+// Distance returns the global (Needleman-Wunsch) edit distance between
+// pattern and text. Inputs are dense-coded sequences; alphabetSize bounds
+// the codes (4 for DNA).
+func Distance(text, pattern []byte, alphabetSize int) (int, error) {
+	d, _, err := run(text, pattern, alphabetSize, true)
+	return d, err
+}
+
+// SemiGlobal returns the minimum edit distance of pattern against any
+// substring of text (free start and end in the text) and the text position
+// just past the best occurrence. This is the ground-truth oracle used by
+// the pre-alignment filtering accuracy analysis (Section 10.3, which uses
+// Edlib the same way).
+func SemiGlobal(text, pattern []byte, alphabetSize int) (dist, endPos int, err error) {
+	return run(text, pattern, alphabetSize, false)
+}

@@ -1,0 +1,57 @@
+package myers
+
+import (
+	"testing"
+	"testing/quick"
+
+	"genasm/internal/dp"
+)
+
+func clamp(raw []byte, maxLen int) []byte {
+	if len(raw) > maxLen {
+		raw = raw[:maxLen]
+	}
+	out := make([]byte, len(raw))
+	for i, b := range raw {
+		out[i] = b & 3
+	}
+	return out
+}
+
+// TestQuickAgainstDP: the bit-parallel distance equals the DP distance on
+// arbitrary inputs, including multi-word patterns.
+func TestQuickAgainstDP(t *testing.T) {
+	prop := func(rawText, rawPattern []byte) bool {
+		text := clamp(rawText, 250)
+		pattern := clamp(rawPattern, 200)
+		got, err := Distance(text, pattern, 4)
+		if err != nil {
+			return false
+		}
+		return got == dp.EditDistance(text, pattern)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSemiGlobalBounds: the semi-global distance never exceeds the
+// global one, and is at most the pattern length.
+func TestQuickSemiGlobalBounds(t *testing.T) {
+	prop := func(rawText, rawPattern []byte) bool {
+		text := clamp(rawText, 250)
+		pattern := clamp(rawPattern, 150)
+		sg, _, err := SemiGlobal(text, pattern, 4)
+		if err != nil {
+			return false
+		}
+		g, err := Distance(text, pattern, 4)
+		if err != nil {
+			return false
+		}
+		return sg <= g && sg <= len(pattern)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

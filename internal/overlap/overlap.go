@@ -1,0 +1,199 @@
+// Package overlap implements the read-to-read overlap finding step of de
+// novo assembly (Section 11): candidate overlapping pairs are found by
+// shared k-mers (as no reference genome exists) and confirmed with GenASM
+// pairwise alignment — the paper's proposed use of GenASM for the pairwise
+// read alignment step of overlap finding.
+package overlap
+
+import (
+	"fmt"
+	"sort"
+
+	"genasm/internal/core"
+)
+
+// Config parameterizes overlap finding.
+type Config struct {
+	// SeedK is the shared k-mer length (default 15).
+	SeedK int
+	// MinSharedSeeds is the number of shared seeds required before a pair
+	// is aligned (default 4).
+	MinSharedSeeds int
+	// MinOverlap is the minimum confirmed overlap length (default 100).
+	MinOverlap int
+	// MaxErrorRate is the maximum edit rate within the overlapping region
+	// (default 0.20: two long reads at 10% error each).
+	MaxErrorRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SeedK == 0 {
+		c.SeedK = 15
+	}
+	if c.MinSharedSeeds == 0 {
+		c.MinSharedSeeds = 4
+	}
+	if c.MinOverlap == 0 {
+		c.MinOverlap = 100
+	}
+	if c.MaxErrorRate == 0 {
+		c.MaxErrorRate = 0.20
+	}
+	return c
+}
+
+// Overlap is a confirmed suffix-prefix overlap: read A's suffix starting
+// at AStart aligns to read B's prefix of length BLen with Distance edits.
+type Overlap struct {
+	A, B     int // read indices
+	AStart   int // offset in A where the overlap begins
+	BLen     int // number of B characters covered
+	Length   int // overlap length on A (len(A) - AStart)
+	Distance int
+}
+
+// Find detects pairwise overlaps among the reads. For every pair sharing
+// enough seeds, the implied relative offset is estimated by seed voting and
+// the suffix/prefix pair is confirmed with GenASM semi-global alignment.
+func Find(reads [][]byte, cfg Config) ([]Overlap, error) {
+	cfg = cfg.withDefaults()
+	ws, err := core.New(core.Config{FindFirstWindowStart: true})
+	if err != nil {
+		return nil, err
+	}
+
+	// Candidate pairs by shared-seed voting: seed -> (read, offset) list.
+	type hit struct {
+		read, off int32
+	}
+	seeds := make(map[uint64][]hit)
+	for ri, r := range reads {
+		for off := 0; off+cfg.SeedK <= len(r); off++ {
+			key, ok := pack(r[off : off+cfg.SeedK])
+			if !ok {
+				return nil, fmt.Errorf("overlap: read %d has invalid codes", ri)
+			}
+			seeds[key] = append(seeds[key], hit{int32(ri), int32(off)})
+		}
+	}
+
+	type pairKey struct{ a, b int32 }
+	// votes[pair] -> exact diagonal offset (A position minus B position of
+	// the shared seed) -> count. Exact offsets give the aligner a precise
+	// anchor; indel drift spreads them slightly, which the support window
+	// below tolerates.
+	votes := make(map[pairKey]map[int32]int32)
+	for _, hits := range seeds {
+		if len(hits) > 50 {
+			continue // repeat seed: uninformative
+		}
+		for i := 0; i < len(hits); i++ {
+			for j := i + 1; j < len(hits); j++ {
+				a, b := hits[i], hits[j]
+				if a.read == b.read {
+					continue
+				}
+				if a.read > b.read {
+					a, b = b, a
+				}
+				pk := pairKey{a.read, b.read}
+				m := votes[pk]
+				if m == nil {
+					m = make(map[int32]int32)
+					votes[pk] = m
+				}
+				m[a.off-b.off]++
+			}
+		}
+	}
+
+	var overlaps []Overlap
+	for pk, diffs := range votes {
+		// Modal exact offset, supported by votes within an indel-drift
+		// neighborhood.
+		var modal, modalVotes int32
+		first := true
+		for d, v := range diffs {
+			if first || v > modalVotes || (v == modalVotes && d < modal) {
+				modal, modalVotes, first = d, v, false
+			}
+		}
+		support := 0
+		for d, v := range diffs {
+			if d-modal <= 48 && modal-d <= 48 {
+				support += int(v)
+			}
+		}
+		if support < cfg.MinSharedSeeds {
+			continue
+		}
+		a, b := int(pk.a), int(pk.b)
+		offset := int(modal)
+		if offset < 0 {
+			// B starts before A: swap roles so the suffix side is A.
+			a, b = b, a
+			offset = -offset
+		}
+		ov, ok := confirm(ws, reads, a, b, offset, cfg)
+		if ok {
+			overlaps = append(overlaps, ov)
+		}
+	}
+	sort.Slice(overlaps, func(i, j int) bool {
+		if overlaps[i].A != overlaps[j].A {
+			return overlaps[i].A < overlaps[j].A
+		}
+		return overlaps[i].B < overlaps[j].B
+	})
+	return overlaps, nil
+}
+
+// confirm aligns B's prefix against A's suffix starting near offset.
+func confirm(ws *core.Workspace, reads [][]byte, a, b, offset int, cfg Config) (Overlap, bool) {
+	ra, rb := reads[a], reads[b]
+	// offset estimates where B starts within A, so the overlap spans about
+	// len(ra)-offset characters. The aligned B prefix is kept a little
+	// shorter than that: the anchor is only accurate to the voting bin, and
+	// pattern characters beyond A's end would be charged as insertions.
+	expected := len(ra) - offset
+	if expected < cfg.MinOverlap {
+		return Overlap{}, false
+	}
+	start := max(0, offset-8)
+	if start >= len(ra) {
+		return Overlap{}, false
+	}
+	suffix := ra[start:]
+	maxB := min(len(rb), max(16, expected-16))
+	prefix := rb[:maxB]
+	aln, err := ws.Align(suffix, prefix)
+	if err != nil {
+		return Overlap{}, false
+	}
+	length := len(ra) - (start + aln.TextStart)
+	if length < cfg.MinOverlap {
+		return Overlap{}, false
+	}
+	if float64(aln.Distance) > cfg.MaxErrorRate*float64(len(prefix)) {
+		return Overlap{}, false
+	}
+	return Overlap{
+		A:        a,
+		B:        b,
+		AStart:   start + aln.TextStart,
+		BLen:     aln.Cigar.QueryLen(),
+		Length:   length,
+		Distance: aln.Distance,
+	}, true
+}
+
+func pack(kmer []byte) (uint64, bool) {
+	var v uint64
+	for _, c := range kmer {
+		if c > 3 {
+			return 0, false
+		}
+		v = v<<2 | uint64(c)
+	}
+	return v, true
+}

@@ -1,0 +1,114 @@
+package overlap
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"genasm/internal/seq"
+)
+
+// makeOverlappingReads tiles a genome with reads of the given length and
+// stride so consecutive reads overlap by length-stride.
+func makeOverlappingReads(genome []byte, length, stride int) [][]byte {
+	var reads [][]byte
+	for pos := 0; pos+length <= len(genome); pos += stride {
+		reads = append(reads, genome[pos:pos+length])
+	}
+	return reads
+}
+
+func TestFindPerfectOverlaps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	genome := seq.Random(rng, 3000)
+	reads := makeOverlappingReads(genome, 500, 300) // 200 bp overlaps
+	overlaps, err := Find(reads, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every consecutive pair must be found with distance 0.
+	found := map[[2]int]Overlap{}
+	for _, ov := range overlaps {
+		found[[2]int{ov.A, ov.B}] = ov
+	}
+	for i := 0; i+1 < len(reads); i++ {
+		ov, ok := found[[2]int{i, i + 1}]
+		if !ok {
+			t.Fatalf("missing overlap (%d,%d); got %v", i, i+1, overlaps)
+		}
+		if ov.Distance != 0 {
+			t.Errorf("overlap (%d,%d) distance %d, want 0", i, i+1, ov.Distance)
+		}
+		if ov.Length < 180 || ov.Length > 220 {
+			t.Errorf("overlap (%d,%d) length %d, want ~200", i, i+1, ov.Length)
+		}
+	}
+}
+
+func TestFindNoisyOverlaps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	genome := seq.Random(rng, 2000)
+	clean := makeOverlappingReads(genome, 400, 250)
+	reads := make([][]byte, len(clean))
+	for i, r := range clean {
+		noisy := append([]byte(nil), r...)
+		for e := 0; e < len(noisy)/25; e++ { // 4% substitutions
+			p := rng.IntN(len(noisy))
+			noisy[p] = (noisy[p] + byte(1+rng.IntN(3))) % 4
+		}
+		reads[i] = noisy
+	}
+	overlaps, err := Find(reads, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consecutive := 0
+	for _, ov := range overlaps {
+		if ov.B == ov.A+1 {
+			consecutive++
+			if ov.Distance == 0 {
+				t.Logf("noisy overlap (%d,%d) with distance 0 (possible but unlikely)", ov.A, ov.B)
+			}
+		}
+	}
+	if consecutive < len(reads)-2 {
+		t.Fatalf("found %d consecutive overlaps, want >= %d", consecutive, len(reads)-2)
+	}
+}
+
+func TestNoSpuriousOverlaps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	// Independent random reads: no overlaps should be confirmed.
+	reads := make([][]byte, 8)
+	for i := range reads {
+		reads[i] = seq.Random(rng, 400)
+	}
+	overlaps, err := Find(reads, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(overlaps) != 0 {
+		t.Fatalf("spurious overlaps: %v", overlaps)
+	}
+}
+
+func TestInvalidReadCodes(t *testing.T) {
+	if _, err := Find([][]byte{{9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9, 9}}, Config{}); err == nil {
+		t.Fatal("invalid codes should error")
+	}
+}
+
+func TestMinOverlapEnforced(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	genome := seq.Random(rng, 1000)
+	// 50 bp overlaps only.
+	reads := makeOverlappingReads(genome, 300, 250)
+	overlaps, err := Find(reads, Config{MinOverlap: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ov := range overlaps {
+		if ov.Length < 100 {
+			t.Errorf("overlap below MinOverlap: %+v", ov)
+		}
+	}
+}

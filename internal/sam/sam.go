@@ -1,0 +1,100 @@
+// Package sam renders mappings in the SAM format (Li et al. 2009), the
+// standard output of read alignment — the CIGAR string produced by
+// GenASM-TB is "the optimal alignment ... defined using a CIGAR string"
+// (Section 2.1), and SAM is where those CIGARs live in practice.
+//
+// Only the subset needed by this repository's mapper is implemented:
+// single-reference headers, the mandatory 11 columns and the NM (edit
+// distance) and AS (alignment score) tags.
+package sam
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/cigar"
+)
+
+// Flag bits (subset).
+const (
+	FlagReverse  = 0x10
+	FlagUnmapped = 0x4
+)
+
+// Record is one SAM alignment line.
+type Record struct {
+	// QName is the read name.
+	QName string
+	// Flag is the bitwise flag field.
+	Flag int
+	// RName is the reference name ("*" when unmapped).
+	RName string
+	// Pos is the 1-based mapping position (0 when unmapped).
+	Pos int
+	// MapQ is the mapping quality.
+	MapQ int
+	// Cigar of the alignment (classic M/I/D rendering is used).
+	Cigar cigar.Cigar
+	// Seq is the encoded read sequence (decoded to letters on output).
+	Seq []byte
+	// EditDistance fills the NM tag.
+	EditDistance int
+	// Score fills the AS tag.
+	Score int
+}
+
+// Writer emits a SAM stream.
+type Writer struct {
+	bw     *bufio.Writer
+	wroteH bool
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriter(w)}
+}
+
+// WriteHeader emits the @HD and @SQ lines for a single reference.
+func (w *Writer) WriteHeader(refName string, refLen int) error {
+	if w.wroteH {
+		return fmt.Errorf("sam: header already written")
+	}
+	w.wroteH = true
+	_, err := fmt.Fprintf(w.bw, "@HD\tVN:1.6\tSO:unknown\n@SQ\tSN:%s\tLN:%d\n@PG\tID:genasm\tPN:genasm\n", sanitize(refName), refLen)
+	return err
+}
+
+// WriteRecord emits one alignment line.
+func (w *Writer) WriteRecord(r Record) error {
+	rname := sanitize(r.RName)
+	pos := r.Pos
+	cg := "*"
+	if r.Flag&FlagUnmapped != 0 {
+		rname, pos = "*", 0
+	} else {
+		cg = r.Cigar.Format(false)
+	}
+	seq := alphabet.DNA.Decode(r.Seq)
+	_, err := fmt.Fprintf(w.bw, "%s\t%d\t%s\t%d\t%d\t%s\t*\t0\t0\t%s\t*\tNM:i:%d\tAS:i:%d\n",
+		sanitize(r.QName), r.Flag, rname, pos, r.MapQ, cg, seq, r.EditDistance, r.Score)
+	return err
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// sanitize keeps query names single-field.
+func sanitize(s string) string {
+	if s == "" {
+		return "*"
+	}
+	out := []byte(s)
+	for i, c := range out {
+		if c == '\t' || c == '\n' || c == '\r' || c == ' ' {
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,90 @@
+package sam
+
+import (
+	"strings"
+	"testing"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/cigar"
+)
+
+func TestHeaderAndRecord(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	if err := w.WriteHeader("chr1", 1000); err != nil {
+		t.Fatal(err)
+	}
+	cg, _ := cigar.Parse("8=1X1=")
+	err := w.WriteRecord(Record{
+		QName:        "read 1",
+		RName:        "chr1",
+		Pos:          42,
+		MapQ:         60,
+		Cigar:        cg,
+		Seq:          alphabet.DNA.MustEncode([]byte("ACGTACGTAC")),
+		EditDistance: 1,
+		Score:        14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "@HD") || !strings.Contains(lines[1], "SN:chr1\tLN:1000") {
+		t.Fatalf("bad header:\n%s", out)
+	}
+	rec := strings.Split(lines[3], "\t")
+	if len(rec) != 13 {
+		t.Fatalf("record fields = %d: %q", len(rec), lines[3])
+	}
+	if rec[0] != "read_1" {
+		t.Errorf("qname = %q (spaces must be sanitized)", rec[0])
+	}
+	if rec[3] != "42" || rec[5] != "10M" || rec[9] != "ACGTACGTAC" {
+		t.Errorf("record wrong: %q", lines[3])
+	}
+	if rec[11] != "NM:i:1" || rec[12] != "AS:i:14" {
+		t.Errorf("tags wrong: %q", lines[3])
+	}
+}
+
+func TestUnmappedRecord(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	err := w.WriteRecord(Record{
+		QName: "orphan",
+		Flag:  FlagUnmapped,
+		Seq:   alphabet.DNA.MustEncode([]byte("ACGT")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	fields := strings.Split(strings.TrimSpace(sb.String()), "\t")
+	if fields[1] != "4" || fields[2] != "*" || fields[3] != "0" || fields[5] != "*" {
+		t.Fatalf("unmapped record wrong: %q", sb.String())
+	}
+}
+
+func TestDoubleHeaderRejected(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	if err := w.WriteHeader("x", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader("x", 1); err == nil {
+		t.Fatal("second header should error")
+	}
+}
+
+func TestEmptyQName(t *testing.T) {
+	if got := sanitize(""); got != "*" {
+		t.Errorf("sanitize empty = %q", got)
+	}
+}

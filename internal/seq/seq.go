@@ -1,0 +1,173 @@
+// Package seq provides DNA sequence utilities: deterministic synthetic
+// genome generation (the stand-in for GRCh38 in this reproduction, see
+// DESIGN.md), reverse complementation, and simple FASTA I/O.
+//
+// Sequences are handled in the repository's encoded form: dense alphabet
+// codes (A=0, C=1, G=2, T=3 for DNA), matching the paper's 2-bit encoding
+// (Section 9).
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"strings"
+
+	"genasm/internal/alphabet"
+)
+
+// Random returns n uniformly random DNA codes from the given seeded source.
+func Random(rng *rand.Rand, n int) []byte {
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = byte(rng.IntN(4))
+	}
+	return s
+}
+
+// GenomeConfig controls synthetic genome generation.
+type GenomeConfig struct {
+	// Length of the genome in bases.
+	Length int
+	// RepeatFraction is the fraction of the genome covered by copied
+	// segments (approximating the repeat structure of real genomes that
+	// makes short-read mapping ambiguous, Section 1).
+	RepeatFraction float64
+	// RepeatLength is the length of each copied segment.
+	RepeatLength int
+	// RepeatDivergence is the per-base mutation probability applied to
+	// each repeat copy (diverged repeats, as in real genomes).
+	RepeatDivergence float64
+}
+
+// DefaultGenomeConfig mirrors coarse human-genome statistics at laptop
+// scale: ~10% repeats of ~300 bp diverged by ~5%.
+func DefaultGenomeConfig(length int) GenomeConfig {
+	return GenomeConfig{
+		Length:           length,
+		RepeatFraction:   0.10,
+		RepeatLength:     300,
+		RepeatDivergence: 0.05,
+	}
+}
+
+// Genome generates a synthetic genome: a random backbone with diverged
+// repeat copies pasted over it. Generation is fully determined by rng.
+func Genome(rng *rand.Rand, cfg GenomeConfig) []byte {
+	g := Random(rng, cfg.Length)
+	if cfg.RepeatFraction <= 0 || cfg.RepeatLength <= 0 || cfg.RepeatLength >= cfg.Length {
+		return g
+	}
+	copies := int(float64(cfg.Length) * cfg.RepeatFraction / float64(cfg.RepeatLength))
+	for c := 0; c < copies; c++ {
+		src := rng.IntN(cfg.Length - cfg.RepeatLength)
+		dst := rng.IntN(cfg.Length - cfg.RepeatLength)
+		copy(g[dst:dst+cfg.RepeatLength], g[src:src+cfg.RepeatLength])
+		for i := dst; i < dst+cfg.RepeatLength; i++ {
+			if rng.Float64() < cfg.RepeatDivergence {
+				g[i] = (g[i] + byte(1+rng.IntN(3))) % 4
+			}
+		}
+	}
+	return g
+}
+
+// ReverseComplement returns the reverse complement of an encoded DNA
+// sequence (A<->T, C<->G; with the 2-bit encoding, complement is 3-code).
+func ReverseComplement(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, c := range s {
+		out[len(s)-1-i] = 3 - c
+	}
+	return out
+}
+
+// GCContent returns the fraction of G/C bases.
+func GCContent(s []byte) float64 {
+	if len(s) == 0 {
+		return 0
+	}
+	gc := 0
+	for _, c := range s {
+		if c == 1 || c == 2 {
+			gc++
+		}
+	}
+	return float64(gc) / float64(len(s))
+}
+
+// Record is a named FASTA sequence (letters, not codes).
+type Record struct {
+	Name string
+	Seq  []byte
+}
+
+// WriteFASTA writes records in FASTA format with 70-column wrapping.
+func WriteFASTA(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range records {
+		if _, err := fmt.Fprintf(bw, ">%s\n", r.Name); err != nil {
+			return err
+		}
+		for off := 0; off < len(r.Seq); off += 70 {
+			end := min(off+70, len(r.Seq))
+			if _, err := bw.Write(r.Seq[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTA parses FASTA records. Sequence lines are concatenated verbatim
+// (whitespace trimmed); validation against an alphabet is the caller's
+// concern.
+func ReadFASTA(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var records []Record
+	var cur *Record
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, ">") {
+			records = append(records, Record{Name: strings.TrimSpace(text[1:])})
+			cur = &records[len(records)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("fasta: sequence data before header at line %d", line)
+		}
+		cur.Seq = append(cur.Seq, []byte(text)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return records, nil
+}
+
+// EncodeRecord converts a FASTA record's letters to DNA codes, mapping any
+// ambiguous base (e.g. N) to a deterministic pseudo-random base so that
+// downstream 2-bit pipelines keep working (the paper filters unmapped
+// contigs instead; for synthetic data this path is rarely exercised).
+func EncodeRecord(rec Record) []byte {
+	out := make([]byte, len(rec.Seq))
+	h := uint32(2166136261)
+	for i, c := range rec.Seq {
+		if code := alphabet.DNA.Code(c); code >= 0 {
+			out[i] = byte(code)
+			continue
+		}
+		h = (h ^ uint32(c)) * 16777619
+		out[i] = byte(h>>13) % 4
+	}
+	return out
+}

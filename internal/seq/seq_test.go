@@ -1,0 +1,148 @@
+package seq
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"genasm/internal/alphabet"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(rand.New(rand.NewPCG(1, 2)), 100)
+	b := Random(rand.New(rand.NewPCG(1, 2)), 100)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed must give same sequence")
+	}
+	c := Random(rand.New(rand.NewPCG(3, 4)), 100)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+	for _, code := range a {
+		if code > 3 {
+			t.Fatalf("invalid code %d", code)
+		}
+	}
+}
+
+func TestGenomeRepeats(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	cfg := GenomeConfig{Length: 20000, RepeatFraction: 0.3, RepeatLength: 500, RepeatDivergence: 0}
+	g := Genome(rng, cfg)
+	if len(g) != 20000 {
+		t.Fatalf("length %d", len(g))
+	}
+	// With exact (undiverged) repeats, at least one 100-mer must occur
+	// twice. Count duplicate 100-mers via a map.
+	seen := map[string]bool{}
+	dup := false
+	for i := 0; i+100 <= len(g); i++ {
+		k := string(g[i : i+100])
+		if seen[k] {
+			dup = true
+			break
+		}
+		seen[k] = true
+	}
+	if !dup {
+		t.Error("expected duplicated 100-mers in repeat-rich genome")
+	}
+	// No-repeat config returns plain random genome of right size.
+	g2 := Genome(rand.New(rand.NewPCG(5, 6)), GenomeConfig{Length: 1000})
+	if len(g2) != 1000 {
+		t.Fatalf("no-repeat length %d", len(g2))
+	}
+}
+
+func TestDefaultGenomeConfig(t *testing.T) {
+	cfg := DefaultGenomeConfig(5000)
+	if cfg.Length != 5000 || cfg.RepeatFraction <= 0 || cfg.RepeatLength <= 0 {
+		t.Fatalf("bad default config %+v", cfg)
+	}
+	g := Genome(rand.New(rand.NewPCG(1, 1)), cfg)
+	if len(g) != 5000 {
+		t.Fatal("wrong length")
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	s := alphabet.DNA.MustEncode([]byte("ACGTTGCA"))
+	rc := ReverseComplement(s)
+	want := alphabet.DNA.MustEncode([]byte("TGCAACGT"))
+	if !bytes.Equal(rc, want) {
+		t.Fatalf("rc = %v, want %v", rc, want)
+	}
+	// Involution.
+	if !bytes.Equal(ReverseComplement(rc), s) {
+		t.Fatal("double reverse complement must be identity")
+	}
+}
+
+func TestGCContent(t *testing.T) {
+	if gc := GCContent(alphabet.DNA.MustEncode([]byte("GGCC"))); gc != 1 {
+		t.Errorf("GC = %v, want 1", gc)
+	}
+	if gc := GCContent(alphabet.DNA.MustEncode([]byte("AATT"))); gc != 0 {
+		t.Errorf("GC = %v, want 0", gc)
+	}
+	if gc := GCContent(nil); gc != 0 {
+		t.Errorf("GC(nil) = %v", gc)
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	records := []Record{
+		{Name: "chr1 synthetic", Seq: []byte(strings.Repeat("ACGT", 50))},
+		{Name: "chr2", Seq: []byte("GATTACA")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFASTA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d", len(got))
+	}
+	for i := range records {
+		if got[i].Name != records[i].Name || !bytes.Equal(got[i].Seq, records[i].Seq) {
+			t.Errorf("record %d mismatch: %+v", i, got[i])
+		}
+	}
+}
+
+func TestReadFASTAErrors(t *testing.T) {
+	if _, err := ReadFASTA(strings.NewReader("ACGT\n")); err == nil {
+		t.Fatal("sequence before header should fail")
+	}
+	recs, err := ReadFASTA(strings.NewReader(">empty\n\n>x\nAC\nGT\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || len(recs[0].Seq) != 0 || string(recs[1].Seq) != "ACGT" {
+		t.Fatalf("got %+v", recs)
+	}
+}
+
+func TestEncodeRecord(t *testing.T) {
+	rec := Record{Name: "x", Seq: []byte("ACGTN")}
+	codes := EncodeRecord(rec)
+	if len(codes) != 5 {
+		t.Fatalf("len = %d", len(codes))
+	}
+	want := alphabet.DNA.MustEncode([]byte("ACGT"))
+	if !bytes.Equal(codes[:4], want) {
+		t.Fatalf("ACGT encoded as %v", codes[:4])
+	}
+	if codes[4] > 3 {
+		t.Fatalf("N mapped to invalid code %d", codes[4])
+	}
+	// Deterministic mapping of ambiguous bases.
+	again := EncodeRecord(rec)
+	if !bytes.Equal(codes, again) {
+		t.Fatal("EncodeRecord must be deterministic")
+	}
+}

@@ -1,0 +1,200 @@
+package simulate
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"genasm/internal/seq"
+)
+
+func testGenome(n int) []byte {
+	return seq.Random(rand.New(rand.NewPCG(99, 0)), n)
+}
+
+func TestProfilesValid(t *testing.T) {
+	all := append(append([]Profile{}, LongReadProfiles...), ShortReadProfiles...)
+	for _, p := range all {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{Name: "neg-len", ReadLen: 0, SubFrac: 1},
+		{Name: "bad-rate", ReadLen: 10, ErrorRate: 1.5, SubFrac: 1},
+		{Name: "bad-mix", ReadLen: 10, ErrorRate: 0.1, SubFrac: 0.5, InsFrac: 0.1, DelFrac: 0.1},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s should fail validation", p.Name)
+		}
+	}
+}
+
+func TestReadsBasicProperties(t *testing.T) {
+	g := testGenome(50000)
+	rng := rand.New(rand.NewPCG(1, 1))
+	reads, err := Reads(rng, g, 50, Illumina100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 50 {
+		t.Fatalf("reads = %d", len(reads))
+	}
+	for _, r := range reads {
+		if len(r.Seq) != 100 {
+			t.Fatalf("read %d length %d", r.ID, len(r.Seq))
+		}
+		if r.Pos < 0 || r.Pos+r.GenomeSpan > len(g) {
+			t.Fatalf("read %d span out of genome: pos %d span %d", r.ID, r.Pos, r.GenomeSpan)
+		}
+		if r.RevComp {
+			t.Fatalf("read %d revcomp without flag", r.ID)
+		}
+		for _, c := range r.Seq {
+			if c > 3 {
+				t.Fatalf("invalid code %d", c)
+			}
+		}
+	}
+}
+
+func TestReadsDeterministic(t *testing.T) {
+	g := testGenome(50000)
+	a, err := Reads(rand.New(rand.NewPCG(2, 2)), g, 10, Illumina150, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reads(rand.New(rand.NewPCG(2, 2)), g, 10, Illumina150, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Pos != b[i].Pos || a[i].Edits != b[i].Edits || a[i].RevComp != b[i].RevComp {
+			t.Fatalf("read %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestErrorRateMatchesProfile(t *testing.T) {
+	g := testGenome(200000)
+	for _, p := range []Profile{PacBio10, ONT15, Illumina100} {
+		rng := rand.New(rand.NewPCG(3, 3))
+		n := 20
+		if p.ReadLen > 1000 {
+			n = 5
+		}
+		reads, err := Reads(rng, g, n, p, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalEdits, totalBases := 0, 0
+		for _, r := range reads {
+			totalEdits += r.Edits
+			totalBases += len(r.Seq)
+		}
+		got := float64(totalEdits) / float64(totalBases)
+		if math.Abs(got-p.ErrorRate) > 0.03 {
+			t.Errorf("%s: measured error rate %.3f, want ~%.2f", p.Name, got, p.ErrorRate)
+		}
+	}
+}
+
+func TestRevCompReadsFlagged(t *testing.T) {
+	g := testGenome(50000)
+	rng := rand.New(rand.NewPCG(4, 4))
+	reads, err := Reads(rng, g, 100, Illumina100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := 0
+	for _, r := range reads {
+		if r.RevComp {
+			rc++
+		}
+	}
+	if rc < 25 || rc > 75 {
+		t.Errorf("revcomp fraction %d/100 not near half", rc)
+	}
+}
+
+// TestReadAlignsToOrigin verifies the ground truth: decoding the read's
+// origin region and comparing edit distance stays within the injected edits
+// (the read must really come from where Pos says).
+func TestReadAlignsToOrigin(t *testing.T) {
+	g := testGenome(100000)
+	rng := rand.New(rand.NewPCG(5, 5))
+	reads, err := Reads(rng, g, 10, Illumina250, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		region := g[r.Pos : r.Pos+r.GenomeSpan]
+		d := editDistance(r.Seq, region)
+		if d > r.Edits {
+			t.Fatalf("read %d: distance to origin %d exceeds injected edits %d", r.ID, d, r.Edits)
+		}
+	}
+}
+
+func editDistance(a, b []byte) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j-1]+cost, min(prev[j]+1, cur[j-1]+1))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func TestReadsGenomeTooShort(t *testing.T) {
+	g := testGenome(50)
+	if _, err := Reads(rand.New(rand.NewPCG(1, 1)), g, 1, Illumina100, false); err == nil {
+		t.Fatal("expected error for short genome")
+	}
+}
+
+func TestCandidateRegion(t *testing.T) {
+	g := testGenome(1000)
+	r := CandidateRegion(g, 100, 200, 0.10)
+	if len(r) < 200 || len(r) > 260 {
+		t.Fatalf("region length %d", len(r))
+	}
+	// Clamped at genome end.
+	r2 := CandidateRegion(g, 950, 200, 0.10)
+	if len(r2) != 50 {
+		t.Fatalf("clamped region length %d", len(r2))
+	}
+}
+
+func TestLongReadSpan(t *testing.T) {
+	g := testGenome(100000)
+	rng := rand.New(rand.NewPCG(6, 6))
+	reads, err := Reads(rng, g, 3, PacBio15, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reads {
+		if len(r.Seq) != 10000 {
+			t.Fatalf("long read length %d", len(r.Seq))
+		}
+		// PacBio is insertion-heavy: genome span should be below read
+		// length on average (insertions emit bases without consuming).
+		if r.GenomeSpan > len(r.Seq)+1500 {
+			t.Fatalf("span %d implausible for insertion-heavy profile", r.GenomeSpan)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package stats provides the small reporting toolkit the experiment
+// harness uses: aligned ASCII tables, ratio/throughput formatting and
+// simple aggregations, so every table and figure of the paper can be
+// printed as comparable rows.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// Row appends a row; values are formatted with %v.
+func (t *Table) Row(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = FormatFloat(x)
+		case time.Duration:
+			row[i] = x.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = pad(cell, widths[i])
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// FormatFloat renders a float compactly: large values with thousands
+// grouping, small ones with sensible precision.
+func FormatFloat(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av == 0:
+		return "0"
+	case av >= 1e15:
+		return fmt.Sprintf("%.3g", v)
+	case av >= 1000:
+		return GroupThousands(fmt.Sprintf("%.0f", v))
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.2e", v)
+	}
+}
+
+// GroupThousands inserts commas into an integer-formatted string.
+func GroupThousands(s string) string {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	if neg {
+		return "-" + string(out)
+	}
+	return string(out)
+}
+
+// Ratio formats a/b as "N.Nx" (or "inf" when b is 0).
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	r := a / b
+	if r >= 100 {
+		return fmt.Sprintf("%.0fx", r)
+	}
+	return fmt.Sprintf("%.1fx", r)
+}
+
+// Percent formats a fraction as a percentage with adaptive precision.
+func Percent(f float64) string {
+	p := f * 100
+	switch {
+	case p == 0:
+		return "0%"
+	case p < 0.01:
+		return fmt.Sprintf("%.4f%%", p)
+	case p < 1:
+		return fmt.Sprintf("%.2f%%", p)
+	default:
+		return fmt.Sprintf("%.1f%%", p)
+	}
+}
+
+// Summary holds basic distribution statistics.
+type Summary struct {
+	N              int
+	Mean, Min, Max float64
+	P50, P95       float64
+}
+
+// Summarize computes distribution statistics of the values.
+func Summarize(values []float64) Summary {
+	if len(values) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return Summary{
+		N:    len(sorted),
+		Mean: sum / float64(len(sorted)),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		P50:  pct(0.50),
+		P95:  pct(0.95),
+	}
+}
+
+// Throughput returns items/second for a measured duration.
+func Throughput(items int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(items) / d.Seconds()
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.Row("alpha", 1234567.0)
+	tb.Row("b", 0.5)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "1,234,567") {
+		t.Errorf("missing grouped number in %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1234567, "1,234,567"},
+		{42.42, "42.4"},
+		{0.5, "0.500"},
+		{0.00001, "1.00e-05"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGroupThousands(t *testing.T) {
+	cases := map[string]string{
+		"1":        "1",
+		"123":      "123",
+		"1234":     "1,234",
+		"1234567":  "1,234,567",
+		"-9876543": "-9,876,543",
+	}
+	for in, want := range cases {
+		if got := GroupThousands(in); got != want {
+			t.Errorf("GroupThousands(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(10, 2); got != "5.0x" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1000, 2); got != "500x" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "inf" {
+		t.Errorf("Ratio = %q", got)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0%",
+		0.04:    "4.0%",
+		0.0002:  "0.02%",
+		0.00002: "0.0020%",
+	}
+	for in, want := range cases {
+		if got := Percent(in); got != want {
+			t.Errorf("Percent(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("got %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(100, time.Second); got != 100 {
+		t.Errorf("Throughput = %v", got)
+	}
+	if got := Throughput(100, 0); got != 0 {
+		t.Errorf("Throughput(0s) = %v", got)
+	}
+}

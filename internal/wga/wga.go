@@ -1,0 +1,202 @@
+// Package wga implements the whole genome alignment use case (Section 11):
+// aligning two entire genomes to estimate their similarity. Unique shared
+// k-mers anchor a collinear chain, and the gaps between consecutive anchors
+// are aligned end-to-end with GenASM — exactly the role the paper proposes
+// for GenASM ("since GenASM can operate on arbitrary-length sequences as a
+// result of our divide-and-conquer approach, whole genome alignment can be
+// accelerated using the GenASM framework").
+package wga
+
+import (
+	"fmt"
+	"sort"
+
+	"genasm/internal/cigar"
+	"genasm/internal/core"
+)
+
+// Config parameterizes whole genome alignment.
+type Config struct {
+	// AnchorK is the anchor k-mer length; anchors must be unique in both
+	// genomes (default 21).
+	AnchorK int
+}
+
+func (c Config) withDefaults() Config {
+	if c.AnchorK == 0 {
+		c.AnchorK = 21
+	}
+	return c
+}
+
+// Result is a whole genome alignment.
+type Result struct {
+	// Cigar transforms genome B into genome A end-to-end.
+	Cigar cigar.Cigar
+	// Distance is the total edit count.
+	Distance int
+	// Identity is matches / alignment columns.
+	Identity float64
+	// Anchors is the number of chained anchor k-mers.
+	Anchors int
+}
+
+// Align aligns genome B (query) against genome A (text).
+func Align(a, b []byte, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	k := cfg.AnchorK
+	if k < 4 || k > 31 {
+		return Result{}, fmt.Errorf("wga: anchor k %d out of [4,31]", k)
+	}
+
+	anchors, err := chainAnchors(a, b, k)
+	if err != nil {
+		return Result{}, err
+	}
+
+	ws, err := core.New(core.Config{})
+	if err != nil {
+		return Result{}, err
+	}
+
+	var builder cigar.Builder
+	curA, curB := 0, 0
+	for _, an := range anchors {
+		if err := alignGap(ws, a[curA:an.a], b[curB:an.b], &builder); err != nil {
+			return Result{}, err
+		}
+		builder.Append(cigar.OpMatch, k)
+		curA = an.a + k
+		curB = an.b + k
+	}
+	if err := alignGap(ws, a[curA:], b[curB:], &builder); err != nil {
+		return Result{}, err
+	}
+
+	cg := builder.Cigar()
+	match, _, _, _ := cg.Counts()
+	identity := 0.0
+	if n := cg.Len(); n > 0 {
+		identity = float64(match) / float64(n)
+	}
+	return Result{
+		Cigar:    cg,
+		Distance: cg.EditDistance(),
+		Identity: identity,
+		Anchors:  len(anchors),
+	}, nil
+}
+
+type anchor struct{ a, b int }
+
+// chainAnchors finds unique shared k-mers and keeps the longest collinear
+// chain (longest increasing subsequence in B order among A-sorted anchors).
+func chainAnchors(a, b []byte, k int) ([]anchor, error) {
+	uniqueA, err := uniquePositions(a, k)
+	if err != nil {
+		return nil, fmt.Errorf("wga: genome A: %w", err)
+	}
+	uniqueB, err := uniquePositions(b, k)
+	if err != nil {
+		return nil, fmt.Errorf("wga: genome B: %w", err)
+	}
+	var anchors []anchor
+	for key, pa := range uniqueA {
+		if pb, ok := uniqueB[key]; ok {
+			anchors = append(anchors, anchor{a: pa, b: pb})
+		}
+	}
+	sort.Slice(anchors, func(i, j int) bool { return anchors[i].a < anchors[j].a })
+
+	// LIS on B positions (strictly increasing), patience-style.
+	if len(anchors) == 0 {
+		return nil, nil
+	}
+	tails := []int{} // tails[l] = index of smallest-B anchor ending a chain of length l+1
+	prev := make([]int, len(anchors))
+	for i := range anchors {
+		lo, hi := 0, len(tails)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if anchors[tails[mid]].b < anchors[i].b {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			prev[i] = tails[lo-1]
+		} else {
+			prev[i] = -1
+		}
+		if lo == len(tails) {
+			tails = append(tails, i)
+		} else {
+			tails[lo] = i
+		}
+	}
+	chain := make([]anchor, 0, len(tails))
+	for i := tails[len(tails)-1]; i >= 0; i = prev[i] {
+		chain = append(chain, anchors[i])
+	}
+	for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+		chain[l], chain[r] = chain[r], chain[l]
+	}
+	// Drop overlapping anchors (closer than k on either genome).
+	out := chain[:0]
+	lastA, lastB := -k, -k
+	for _, an := range chain {
+		if an.a >= lastA+k && an.b >= lastB+k {
+			out = append(out, an)
+			lastA, lastB = an.a, an.b
+		}
+	}
+	return out, nil
+}
+
+// uniquePositions maps each k-mer occurring exactly once to its position.
+func uniquePositions(s []byte, k int) (map[uint64]int, error) {
+	pos := make(map[uint64]int)
+	dup := make(map[uint64]bool)
+	for i := 0; i+k <= len(s); i++ {
+		var v uint64
+		for _, c := range s[i : i+k] {
+			if c > 3 {
+				return nil, fmt.Errorf("invalid code %d at %d", c, i)
+			}
+			v = v<<2 | uint64(c)
+		}
+		if dup[v] {
+			continue
+		}
+		if _, seen := pos[v]; seen {
+			delete(pos, v)
+			dup[v] = true
+			continue
+		}
+		pos[v] = i
+	}
+	return pos, nil
+}
+
+// alignGap aligns one inter-anchor gap end-to-end and appends its ops.
+func alignGap(ws *core.Workspace, a, b []byte, builder *cigar.Builder) error {
+	switch {
+	case len(a) == 0 && len(b) == 0:
+		return nil
+	case len(b) == 0:
+		builder.Append(cigar.OpDel, len(a))
+		return nil
+	case len(a) == 0:
+		builder.Append(cigar.OpIns, len(b))
+		return nil
+	}
+	aln, err := ws.AlignGlobal(a, b)
+	if err != nil {
+		return err
+	}
+	for _, r := range aln.Cigar {
+		builder.Append(r.Op, r.Len)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package wga
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"genasm/internal/cigar"
+	"genasm/internal/seq"
+)
+
+func mutateGenome(rng *rand.Rand, g []byte, subs, indels int) []byte {
+	out := append([]byte(nil), g...)
+	for i := 0; i < subs; i++ {
+		p := rng.IntN(len(out))
+		out[p] = (out[p] + byte(1+rng.IntN(3))) % 4
+	}
+	for i := 0; i < indels; i++ {
+		p := rng.IntN(len(out))
+		if rng.IntN(2) == 0 {
+			out = append(out[:p], append([]byte{byte(rng.IntN(4))}, out[p:]...)...)
+		} else if len(out) > 1 {
+			out = append(out[:p], out[p+1:]...)
+		}
+	}
+	return out
+}
+
+func TestIdenticalGenomes(t *testing.T) {
+	g := seq.Random(rand.New(rand.NewPCG(1, 1)), 20000)
+	res, err := Align(g, g, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distance != 0 {
+		t.Fatalf("distance %d, want 0", res.Distance)
+	}
+	if res.Identity != 1 {
+		t.Fatalf("identity %v, want 1", res.Identity)
+	}
+	if res.Anchors == 0 {
+		t.Fatal("no anchors on identical genomes")
+	}
+}
+
+func TestDivergedGenomes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	a := seq.Random(rng, 30000)
+	b := mutateGenome(rng, a, 300, 60) // ~1.2% divergence
+	res, err := Align(a, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cigar.Validate(res.Cigar, b, a, true); err != nil {
+		t.Fatalf("WGA CIGAR invalid: %v", err)
+	}
+	if res.Distance < 250 || res.Distance > 500 {
+		t.Fatalf("distance %d for ~360 planted edits", res.Distance)
+	}
+	if res.Identity < 0.97 {
+		t.Fatalf("identity %.3f, want > 0.97", res.Identity)
+	}
+}
+
+func TestStructuralInsertion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	a := seq.Random(rng, 10000)
+	// b = a with a 500 bp novel segment inserted in the middle.
+	b := append(append(append([]byte(nil), a[:5000]...), seq.Random(rng, 500)...), a[5000:]...)
+	res, err := Align(a, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cigar.Validate(res.Cigar, b, a, true); err != nil {
+		t.Fatal(err)
+	}
+	_, _, ins, _ := res.Cigar.Counts()
+	if ins < 400 {
+		t.Fatalf("insertions %d, want ~500 for the novel segment", ins)
+	}
+}
+
+func TestUnrelatedGenomesStillAlign(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	a := seq.Random(rng, 3000)
+	b := seq.Random(rng, 3200)
+	res, err := Align(a, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cigar.Validate(res.Cigar, b, a, true); err != nil {
+		t.Fatal(err)
+	}
+	if res.Identity > 0.8 {
+		t.Fatalf("identity %.2f suspiciously high for unrelated genomes", res.Identity)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	g := seq.Random(rand.New(rand.NewPCG(5, 5)), 100)
+	if _, err := Align(g, g, Config{AnchorK: 2}); err == nil {
+		t.Fatal("tiny k should fail")
+	}
+	if _, err := Align(g, g, Config{AnchorK: 40}); err == nil {
+		t.Fatal("oversized k should fail")
+	}
+	if _, err := Align([]byte{9}, g, Config{AnchorK: 8}); err == nil {
+		t.Log("invalid code accepted because sequence shorter than k; acceptable")
+	}
+}
+
+func TestAnchorChainCollinear(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	a := seq.Random(rng, 5000)
+	// b: two swapped halves of a — anchors exist but only one half can
+	// chain collinearly.
+	b := append(append([]byte(nil), a[2500:]...), a[:2500]...)
+	res, err := Align(a, b, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cigar.Validate(res.Cigar, b, a, true); err != nil {
+		t.Fatal(err)
+	}
+	// One half chains collinearly (2500 exact matches); the other half is
+	// effectively random-vs-random, where the greedy traceback favours
+	// indel pairs over substitutions, inflating the column count. The
+	// identity lands well below the diverged-genome case but far above
+	// zero.
+	if res.Identity < 0.25 || res.Identity > 0.8 {
+		t.Fatalf("identity %.2f, expected in [0.25, 0.8] for swapped halves", res.Identity)
+	}
+}

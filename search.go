@@ -1,0 +1,63 @@
+package genasm
+
+import (
+	"fmt"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/bitap"
+	"genasm/internal/filter"
+)
+
+// Match is an approximate occurrence of a pattern in a text.
+type Match struct {
+	// Pos is the text position where the occurrence starts.
+	Pos int
+	// Distance is the occurrence's edit distance.
+	Distance int
+}
+
+// Search finds all positions where pattern occurs in text with at most
+// maxEdits edits, using the multi-word GenASM-DC scan (pattern length is
+// unrestricted). With alpha == Bytes this is the paper's generic text
+// search (Section 11).
+func Search(alpha Alphabet, text, pattern []byte, maxEdits int) ([]Match, error) {
+	a := alpha.impl()
+	encText, err := a.Encode(text)
+	if err != nil {
+		return nil, fmt.Errorf("genasm: text: %w", err)
+	}
+	encPattern, err := a.Encode(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("genasm: pattern: %w", err)
+	}
+	mw, err := bitap.NewMultiWord(a, encPattern, maxEdits)
+	if err != nil {
+		return nil, err
+	}
+	raw := mw.Search(encText)
+	// The scan reports in decreasing position order; present ascending.
+	out := make([]Match, len(raw))
+	for i, m := range raw {
+		out[len(raw)-1-i] = Match{Pos: m.Loc, Distance: m.Dist}
+	}
+	return out, nil
+}
+
+// Filter is the pre-alignment filtering use case (Section 10.3): it
+// reports whether read may be within maxEdits edits of some position in
+// region, computing the exact semi-global distance with GenASM-DC. A false
+// return safely eliminates the pair from further alignment (the filter
+// never false-rejects); a true return may rarely be a false accept (the
+// paper measures 0.02% and explains the leading-deletion cause in
+// footnote 4).
+func Filter(region, read []byte, maxEdits int) (bool, error) {
+	encRegion, err := alphabet.DNA.Encode(region)
+	if err != nil {
+		return false, fmt.Errorf("genasm: region: %w", err)
+	}
+	encRead, err := alphabet.DNA.Encode(read)
+	if err != nil {
+		return false, fmt.Errorf("genasm: read: %w", err)
+	}
+	return filter.GenASMDC{}.Accept(encRegion, encRead, maxEdits)
+}
