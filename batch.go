@@ -38,31 +38,14 @@ func AlignBatch(cfg Config, jobs []BatchJob, workers int) ([]BatchResult, error)
 		}
 		coreJobs[i] = core.BatchJob{Text: text, Pattern: query, Global: j.Global}
 	}
-	coreCfg := core.Config{
-		Alphabet:             a,
-		WindowSize:           cfg.WindowSize,
-		Overlap:              cfg.Overlap,
-		FindFirstWindowStart: cfg.SearchStart,
-	}
-	if cfg.GapsBeforeSubstitutions {
-		coreCfg.Order = core.OrderGapFirst
-	}
-	raw := core.AlignBatch(coreCfg, coreJobs, workers)
+	raw := core.AlignBatch(cfg.coreConfig(), coreJobs, workers)
 	out := make([]BatchResult, len(raw))
 	for i, r := range raw {
 		if r.Err != nil {
 			out[i].Err = r.Err
 			continue
 		}
-		out[i].Alignment = Alignment{
-			CIGAR:        r.Alignment.Cigar.String(),
-			ClassicCIGAR: r.Alignment.Cigar.Format(false),
-			Distance:     r.Alignment.Distance,
-			TextStart:    r.Alignment.TextStart,
-			TextEnd:      r.Alignment.TextEnd,
-			Matches:      r.Alignment.Cigar.Matches(),
-			runs:         r.Alignment.Cigar,
-		}
+		out[i].Alignment = alignmentFromCore(r.Alignment)
 	}
 	return out, nil
 }

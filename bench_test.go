@@ -10,8 +10,11 @@ package genasm
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"genasm/internal/alphabet"
 	"genasm/internal/cigar"
 	"genasm/internal/core"
 	"genasm/internal/dp"
@@ -314,6 +317,70 @@ func BenchmarkPublicAPI(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPoolThroughput is the serving-path baseline: concurrent
+// alignment throughput through the shared Pool at 1/2/4/8 workers against
+// the sequential one-Aligner loop. This is the software rendition of the
+// paper's vault-count scaling (Section 10.5: throughput scales with the
+// number of GenASM units); speedups need as many cores as workers.
+func BenchmarkPoolThroughput(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2027, 1))
+	const nPairs = 64
+	texts := make([][]byte, nPairs)
+	queries := make([][]byte, nPairs)
+	for i := range texts {
+		enc := seq.Random(rng, 1000)
+		texts[i] = alphabetDecode(enc)
+		queries[i] = alphabetDecode(mutateBench(rng, enc, 0.05))
+	}
+
+	b.Run("Sequential", func(b *testing.B) {
+		al, err := NewAligner(Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := al.AlignGlobal(texts[i%nPairs], queries[i%nPairs]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Pool/workers=%d", workers), func(b *testing.B) {
+			p, err := NewPool(PoolConfig{MaxWorkspaces: workers, Shards: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1) - 1)
+						if i >= b.N {
+							return
+						}
+						if _, err := p.AlignGlobal(texts[i%nPairs], queries[i%nPairs]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// alphabetDecode maps dense DNA codes back to letters for the public API.
+func alphabetDecode(codes []byte) []byte {
+	return alphabet.DNA.Decode(codes)
 }
 
 func mutateBench(rng *rand.Rand, s []byte, errRate float64) []byte {

@@ -1,0 +1,170 @@
+// Command genasm-serve runs the GenASM alignment service: an HTTP JSON
+// API over a sharded pool of reusable GenASM workspaces.
+//
+//	genasm-serve -addr :8080 -workspaces 16 -queue 64
+//	genasm-serve -addr :8080 -ref ref.fasta   # preload /v1/map reference
+//
+// Endpoints:
+//
+//	POST /v1/align   {"text":"ACGT...","query":"ACG...","global":false}
+//	POST /v1/batch   {"jobs":[{...},{...}]}
+//	POST /v1/map     {"ref_name":"chr1","reference":"ACGT...","reads":[{"name":"r1","seq":"ACGT..."}]}
+//	GET  /v1/healthz
+//	GET  /v1/stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"genasm"
+	"genasm/internal/seq"
+	"genasm/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("genasm-serve: %v", err)
+	}
+}
+
+// options is the parsed flag set.
+type options struct {
+	addr        string
+	workspaces  int
+	shards      int
+	queue       int
+	maxBody     int64
+	maxBatch    int
+	maxSeq      int
+	window      int
+	overlap     int
+	alphabet    string
+	searchStart bool
+	gapsFirst   bool
+	refPath     string
+	refName     string
+	seedK       int
+	errorRate   float64
+}
+
+func parseFlags(args []string) (options, error) {
+	var o options
+	fs := flag.NewFlagSet("genasm-serve", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.IntVar(&o.workspaces, "workspaces", 0, "max pooled workspaces (0 = 2x GOMAXPROCS)")
+	fs.IntVar(&o.shards, "shards", 0, "pool shards (0 = auto)")
+	fs.IntVar(&o.queue, "queue", 0, "admission queue depth (0 = 4x workspaces)")
+	fs.Int64Var(&o.maxBody, "max-body", 0, "max request body bytes (0 = 8 MiB)")
+	fs.IntVar(&o.maxBatch, "max-batch", 0, "max jobs per batch request (0 = 1024)")
+	fs.IntVar(&o.maxSeq, "max-seq", 0, "max sequence length (0 = 1 MiB)")
+	fs.IntVar(&o.window, "window", 0, "alignment window size W (0 = 64)")
+	fs.IntVar(&o.overlap, "overlap", 0, "window overlap O (0 = 24)")
+	fs.StringVar(&o.alphabet, "alphabet", "DNA", "alphabet: DNA, RNA, protein or bytes")
+	fs.BoolVar(&o.searchStart, "search-start", false, "let alignments start at the best position in the first window")
+	fs.BoolVar(&o.gapsFirst, "gaps-first", false, "prefer gaps over substitutions during traceback")
+	fs.StringVar(&o.refPath, "ref", "", "optional FASTA reference to preload for /v1/map")
+	fs.StringVar(&o.refName, "ref-name", "", "reference name override for /v1/map SAM output")
+	fs.IntVar(&o.seedK, "seed-k", 0, "mapper seed length (0 = 15)")
+	fs.Float64Var(&o.errorRate, "error-rate", 0, "mapper expected error rate (0 = 0.10)")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	return o, nil
+}
+
+// buildServer wires the flags into a ready Server.
+func buildServer(o options) (*server.Server, error) {
+	alpha, err := genasm.ParseAlphabet(o.alphabet)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := genasm.NewPool(genasm.PoolConfig{
+		Config: genasm.Config{
+			Alphabet:                alpha,
+			WindowSize:              o.window,
+			Overlap:                 o.overlap,
+			SearchStart:             o.searchStart,
+			GapsBeforeSubstitutions: o.gapsFirst,
+		},
+		Shards:        o.shards,
+		MaxWorkspaces: o.workspaces,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := server.Config{
+		Pool:         pool,
+		QueueDepth:   o.queue,
+		MaxBodyBytes: o.maxBody,
+		MaxBatchJobs: o.maxBatch,
+		MaxSeqLen:    o.maxSeq,
+		MapSeedK:     o.seedK,
+		MapErrorRate: o.errorRate,
+	}
+	if o.refPath != "" {
+		f, err := os.Open(o.refPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		recs, err := seq.ReadFASTA(f)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) == 0 {
+			return nil, fmt.Errorf("%s: no FASTA records", o.refPath)
+		}
+		cfg.RefName = recs[0].Name
+		if o.refName != "" {
+			cfg.RefName = o.refName
+		}
+		cfg.Ref = recs[0].Seq
+	}
+	return server.New(cfg)
+}
+
+func run(args []string) error {
+	o, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	s, err := buildServer(o)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("genasm-serve: listening on %s", l.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case got := <-sig:
+		log.Printf("genasm-serve: %v, shutting down", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-errc; err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/seq"
+	"genasm/internal/simulate"
+)
+
+// startFromFlags builds the server exactly as main does and serves it on a
+// loopback listener, returning the base URL.
+func startFromFlags(t *testing.T, args []string) string {
+	t.Helper()
+	o, err := parseFlags(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	t.Cleanup(func() { s.Shutdown(context.Background()) })
+	return "http://" + l.Addr().String()
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(out)
+}
+
+// TestEndToEnd wires flags into a served binary configuration and
+// round-trips align, batch, map, healthz and stats requests.
+func TestEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(20000))
+	reads, err := simulate.Reads(rng, genome, 3, simulate.Illumina150, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPath := filepath.Join(t.TempDir(), "ref.fasta")
+	fasta := ">chrT test reference\n" + string(alphabet.DNA.Decode(genome)) + "\n"
+	if err := os.WriteFile(refPath, []byte(fasta), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	base := startFromFlags(t, []string{
+		"-workspaces", "4", "-queue", "8", "-search-start=false", "-ref", refPath,
+	})
+
+	// healthz
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// align
+	code, body := post(t, base+"/v1/align", `{"text":"TTACGGATCGTT","query":"TTACGGTTCGTT"}`)
+	if code != http.StatusOK {
+		t.Fatalf("align: %d %s", code, body)
+	}
+	var aln struct {
+		Distance int    `json:"distance"`
+		CIGAR    string `json:"cigar"`
+	}
+	if err := json.Unmarshal([]byte(body), &aln); err != nil {
+		t.Fatal(err)
+	}
+	if aln.Distance != 1 || aln.CIGAR == "" {
+		t.Errorf("align response %s", body)
+	}
+
+	// batch
+	code, body = post(t, base+"/v1/batch",
+		`{"jobs":[{"text":"ACGTACGT","query":"ACGTACGT","global":true},{"text":"ACGTACGT","query":"ACTTACGT","global":true}]}`)
+	if code != http.StatusOK {
+		t.Fatalf("batch: %d %s", code, body)
+	}
+	var batch struct {
+		Results []struct {
+			Alignment *struct {
+				Distance int `json:"distance"`
+			} `json:"alignment"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(body), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Results) != 2 ||
+		batch.Results[0].Alignment.Distance != 0 || batch.Results[1].Alignment.Distance != 1 {
+		t.Errorf("batch response %s", body)
+	}
+
+	// map against the preloaded FASTA reference
+	mapReq := `{"reads":[`
+	for i, r := range reads {
+		if i > 0 {
+			mapReq += ","
+		}
+		mapReq += fmt.Sprintf(`{"name":"r%d","seq":"%s"}`, i, alphabet.DNA.Decode(r.Seq))
+	}
+	mapReq += `]}`
+	code, body = post(t, base+"/v1/map", mapReq)
+	if code != http.StatusOK {
+		t.Fatalf("map: %d %s", code, body)
+	}
+	if !strings.Contains(body, "SN:chrT") {
+		t.Errorf("map response lacks reference header:\n%s", body)
+	}
+	if n := strings.Count(body, "\nr"); n != len(reads) {
+		t.Errorf("map response has %d records, want %d:\n%s", n, len(reads), body)
+	}
+
+	// stats
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st struct {
+		Server struct {
+			Requests uint64 `json:"requests"`
+		} `json:"server"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.Requests < 3 {
+		t.Errorf("stats requests=%d, want >=3", st.Server.Requests)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if _, err := parseFlags([]string{"-alphabet", "dna"}); err != nil {
+		t.Errorf("lowercase alphabet should parse: %v", err)
+	}
+	o, err := parseFlags([]string{"-alphabet", "klingon"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildServer(o); err == nil {
+		t.Error("expected error for unknown alphabet")
+	}
+	o, err = parseFlags([]string{"-window", "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildServer(o); err == nil {
+		t.Error("expected error for invalid window size")
+	}
+}

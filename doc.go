@@ -20,6 +20,15 @@
 // paper) is available through Search, and Accelerator models the
 // performance, area and power of the hardware design.
 //
+// For concurrent serving, Pool is a concurrency-safe Aligner backed by a
+// sharded pool of reusable workspaces — the software analogue of the
+// accelerator's one-GenASM-unit-per-vault parallelism — so any number of
+// goroutines can share one Pool instead of holding an Aligner each. The
+// genasm-serve command (cmd/genasm-serve) exposes the Pool as a
+// long-running HTTP JSON service with align, batch and read-mapping
+// endpoints, bounded admission queueing (429 on overload) and graceful
+// shutdown; see internal/server for the API.
+//
 // Sequences are passed as ASCII letters (e.g. "ACGT" for the default DNA
 // alphabet) and are encoded internally. The underlying algorithm packages
 // live in internal/ and operate on dense codes.

@@ -2,6 +2,7 @@ package genasm
 
 import (
 	"fmt"
+	"strings"
 
 	"genasm/internal/alphabet"
 	"genasm/internal/cigar"
@@ -36,6 +37,17 @@ func (a Alphabet) impl() *alphabet.Alphabet {
 // String implements fmt.Stringer.
 func (a Alphabet) String() string { return a.impl().Name() }
 
+// ParseAlphabet maps a name ("dna", "rna", "protein", "bytes") to its
+// Alphabet; it is the inverse of String for flag and API parsing.
+func ParseAlphabet(name string) (Alphabet, error) {
+	for _, a := range []Alphabet{DNA, RNA, Protein, Bytes} {
+		if strings.EqualFold(name, a.String()) {
+			return a, nil
+		}
+	}
+	return DNA, fmt.Errorf("genasm: unknown alphabet %q", name)
+}
+
 // Config parameterizes an Aligner. The zero value is the paper's setup:
 // DNA alphabet, window size 64, overlap 24, affine-gap-aware traceback.
 type Config struct {
@@ -56,6 +68,20 @@ type Config struct {
 	GapsBeforeSubstitutions bool
 }
 
+// coreConfig lowers the public Config to the internal core configuration.
+func (cfg Config) coreConfig() core.Config {
+	c := core.Config{
+		Alphabet:             cfg.Alphabet.impl(),
+		WindowSize:           cfg.WindowSize,
+		Overlap:              cfg.Overlap,
+		FindFirstWindowStart: cfg.SearchStart,
+	}
+	if cfg.GapsBeforeSubstitutions {
+		c.Order = core.OrderGapFirst
+	}
+	return c
+}
+
 // Alignment is the result of aligning a query against a text.
 type Alignment struct {
 	// CIGAR is the extended CIGAR string ('='/'X'/'I'/'D').
@@ -70,6 +96,19 @@ type Alignment struct {
 	Matches int
 
 	runs cigar.Cigar
+}
+
+// alignmentFromCore lifts a core alignment into the public result type.
+func alignmentFromCore(aln core.Alignment) Alignment {
+	return Alignment{
+		CIGAR:        aln.Cigar.String(),
+		ClassicCIGAR: aln.Cigar.Format(false),
+		Distance:     aln.Distance,
+		TextStart:    aln.TextStart,
+		TextEnd:      aln.TextEnd,
+		Matches:      aln.Cigar.Matches(),
+		runs:         aln.Cigar,
+	}
 }
 
 // Score evaluates the alignment under an affine-gap scoring scheme.
@@ -107,15 +146,7 @@ type Aligner struct {
 
 // NewAligner builds an Aligner.
 func NewAligner(cfg Config) (*Aligner, error) {
-	coreCfg := core.Config{
-		Alphabet:             cfg.Alphabet.impl(),
-		WindowSize:           cfg.WindowSize,
-		Overlap:              cfg.Overlap,
-		FindFirstWindowStart: cfg.SearchStart,
-	}
-	if cfg.GapsBeforeSubstitutions {
-		coreCfg.Order = core.OrderGapFirst
-	}
+	coreCfg := cfg.coreConfig()
 	ws, err := core.New(coreCfg)
 	if err != nil {
 		return nil, err
@@ -166,23 +197,17 @@ func (al *Aligner) run(text, query []byte, global bool) (Alignment, error) {
 	if err != nil {
 		return Alignment{}, err
 	}
-	return Alignment{
-		CIGAR:        aln.Cigar.String(),
-		ClassicCIGAR: aln.Cigar.Format(false),
-		Distance:     aln.Distance,
-		TextStart:    aln.TextStart,
-		TextEnd:      aln.TextEnd,
-		Matches:      aln.Cigar.Matches(),
-		runs:         aln.Cigar,
-	}, nil
+	return alignmentFromCore(aln), nil
 }
 
 // EditDistance is a convenience wrapper: DNA alphabet, default
-// configuration.
+// configuration. It draws scratch memory from the package-level default
+// Pool, so it is safe for concurrent use and does not allocate a fresh
+// workspace per call.
 func EditDistance(a, b []byte) (int, error) {
-	al, err := NewAligner(Config{})
+	p, err := DefaultPool()
 	if err != nil {
 		return 0, err
 	}
-	return al.EditDistance(a, b)
+	return p.EditDistance(a, b)
 }

@@ -1,0 +1,202 @@
+// Package pool provides a concurrency-safe, sharded pool of reusable
+// GenASM workspaces — the software analogue of the accelerator's layout of
+// one independent GenASM unit per memory vault (Section 7), where the
+// number of units bounds concurrency and each unit's SRAMs are reused
+// across alignments rather than reallocated.
+//
+// A Pool holds up to Config.MaxWorkspaces live core.Workspaces, grown
+// lazily as demand appears. Free workspaces are kept on per-shard free
+// lists so that concurrent Get/Put traffic does not serialize on a single
+// lock; a Get that finds its shard empty steals from the others before
+// creating a new workspace. When every workspace is in flight, Get blocks
+// until one is returned (callers that need to give up early use
+// GetContext).
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"genasm/internal/core"
+)
+
+// Config parameterizes a Pool.
+type Config struct {
+	// Core is the workspace configuration shared by every pooled
+	// workspace. The zero value is the paper's default setup.
+	Core core.Config
+	// Shards is the number of independent free lists. More shards reduce
+	// lock contention under concurrent Get/Put traffic. Defaults to
+	// GOMAXPROCS, capped at 16; never exceeds MaxWorkspaces.
+	Shards int
+	// MaxWorkspaces caps the number of live workspaces — the software
+	// analogue of the accelerator's vault count. Get blocks once the cap
+	// is reached and every workspace is in flight. Defaults to
+	// 2×GOMAXPROCS.
+	MaxWorkspaces int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxWorkspaces <= 0 {
+		c.MaxWorkspaces = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.Shards <= 0 {
+		c.Shards = min(runtime.GOMAXPROCS(0), 16)
+	}
+	c.Shards = min(c.Shards, c.MaxWorkspaces)
+	return c
+}
+
+// Stats is a point-in-time snapshot of pool activity. The JSON names
+// match the server's /v1/stats snake_case convention.
+type Stats struct {
+	// Hits counts Gets served from a free list.
+	Hits uint64 `json:"hits"`
+	// Misses counts Gets that had to create a workspace.
+	Misses uint64 `json:"misses"`
+	// InFlight is the number of workspaces currently checked out.
+	InFlight int `json:"in_flight"`
+	// Idle is the number of workspaces currently on free lists.
+	Idle int `json:"idle"`
+	// Capacity is the configured MaxWorkspaces.
+	Capacity int `json:"capacity"`
+}
+
+// shard is one free list. The padding keeps adjacent shards on separate
+// cache lines so their locks do not false-share.
+type shard struct {
+	mu   sync.Mutex
+	free []*core.Workspace
+	_    [32]byte
+}
+
+// Pool is a sharded pool of workspaces. The zero value is not usable;
+// construct with New.
+type Pool struct {
+	cfg         Config
+	shards      []shard
+	maxPerShard int
+	// tokens holds one token per workspace the pool may still hand out;
+	// acquiring a token on Get and releasing it on Put is what bounds the
+	// live-workspace count and blocks Get at the cap.
+	tokens chan struct{}
+	next   atomic.Uint32
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	inUse  atomic.Int64
+}
+
+// New builds a Pool. The core configuration is validated eagerly (by
+// building the first workspace) so that a bad configuration fails here,
+// not on some later Get.
+func New(cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	ws, err := core.New(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		cfg:         cfg,
+		shards:      make([]shard, cfg.Shards),
+		maxPerShard: (cfg.MaxWorkspaces + cfg.Shards - 1) / cfg.Shards,
+		tokens:      make(chan struct{}, cfg.MaxWorkspaces),
+	}
+	for range cfg.MaxWorkspaces {
+		p.tokens <- struct{}{}
+	}
+	p.shards[0].free = append(p.shards[0].free, ws)
+	return p, nil
+}
+
+// Config returns the (defaulted) pool configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// Get checks out a workspace, blocking while all MaxWorkspaces are in
+// flight. The caller must Put it back.
+func (p *Pool) Get() *core.Workspace {
+	ws, _ := p.GetContext(context.Background())
+	return ws
+}
+
+// GetContext is Get with cancellation: it returns ctx.Err() if the context
+// ends before a workspace frees up.
+func (p *Pool) GetContext(ctx context.Context) (*core.Workspace, error) {
+	select {
+	case <-p.tokens:
+	default:
+		select {
+		case <-p.tokens:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	p.inUse.Add(1)
+	start := int(p.next.Add(1)-1) % len(p.shards)
+	for i := range p.shards {
+		s := &p.shards[(start+i)%len(p.shards)]
+		s.mu.Lock()
+		if n := len(s.free); n > 0 {
+			ws := s.free[n-1]
+			s.free[n-1] = nil
+			s.free = s.free[:n-1]
+			s.mu.Unlock()
+			p.hits.Add(1)
+			return ws, nil
+		}
+		s.mu.Unlock()
+	}
+	// Lazy growth: holding a token guarantees the live count is below the
+	// cap, and New validated the configuration, so this cannot fail.
+	p.misses.Add(1)
+	return core.MustNew(p.cfg.Core), nil
+}
+
+// Put returns a workspace to the pool. Passing a workspace that did not
+// come from Get corrupts the pool's accounting; don't.
+func (p *Pool) Put(ws *core.Workspace) {
+	if ws == nil {
+		return
+	}
+	s := &p.shards[int(p.next.Add(1)-1)%len(p.shards)]
+	s.mu.Lock()
+	// Per-shard retention is bounded so a skewed Put pattern cannot park
+	// every workspace on one shard's list; an over-full shard drops the
+	// workspace to the GC and a later Get recreates it.
+	if len(s.free) < p.maxPerShard {
+		s.free = append(s.free, ws)
+	}
+	s.mu.Unlock()
+	p.inUse.Add(-1)
+	p.tokens <- struct{}{}
+}
+
+// Do runs f with a checked-out workspace, handling Get/Put. Errors from
+// ctx cancellation (while waiting for a workspace) or from f are returned.
+func (p *Pool) Do(ctx context.Context, f func(*core.Workspace) error) error {
+	ws, err := p.GetContext(ctx)
+	if err != nil {
+		return err
+	}
+	defer p.Put(ws)
+	return f(ws)
+}
+
+// Stats snapshots the pool counters. Idle walks the shard locks, so this
+// is for observability, not hot paths.
+func (p *Pool) Stats() Stats {
+	st := Stats{
+		Hits:     p.hits.Load(),
+		Misses:   p.misses.Load(),
+		InFlight: int(p.inUse.Load()),
+		Capacity: p.cfg.MaxWorkspaces,
+	}
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		st.Idle += len(s.free)
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,219 @@
+package pool
+
+import (
+	"context"
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/core"
+	"genasm/internal/seq"
+)
+
+// testPairs builds n (text, pattern) pairs with planted errors.
+func testPairs(n int) (texts, patterns [][]byte) {
+	rng := rand.New(rand.NewPCG(42, uint64(n)))
+	for i := 0; i < n; i++ {
+		t := seq.Random(rng, 200+rng.IntN(400))
+		p := append([]byte(nil), t[:len(t)-rng.IntN(40)]...)
+		for e := 0; e < 1+rng.IntN(12); e++ {
+			pos := rng.IntN(len(p))
+			p[pos] = byte((int(p[pos]) + 1 + rng.IntN(3)) % 4)
+		}
+		texts = append(texts, t)
+		patterns = append(patterns, p)
+	}
+	return texts, patterns
+}
+
+func TestBadConfigFailsAtNew(t *testing.T) {
+	_, err := New(Config{Core: core.Config{WindowSize: 1}})
+	if err == nil {
+		t.Fatal("expected error for invalid core config")
+	}
+}
+
+func TestGetPutReuse(t *testing.T) {
+	p, err := New(Config{MaxWorkspaces: 2, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := p.Get()
+	if ws == nil {
+		t.Fatal("nil workspace")
+	}
+	p.Put(ws)
+	ws2 := p.Get()
+	if ws2 != ws {
+		t.Error("expected the freed workspace to be reused")
+	}
+	p.Put(ws2)
+	st := p.Stats()
+	// New seeds one workspace, so both Gets hit the free list.
+	if st.Hits != 2 || st.Misses != 0 {
+		t.Errorf("hits=%d misses=%d, want 2/0", st.Hits, st.Misses)
+	}
+	if st.InFlight != 0 || st.Idle != 1 {
+		t.Errorf("in-flight=%d idle=%d, want 0/1", st.InFlight, st.Idle)
+	}
+}
+
+func TestLazyGrowthStopsAtCap(t *testing.T) {
+	p, err := New(Config{MaxWorkspaces: 3, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*core.Workspace
+	for i := 0; i < 3; i++ {
+		out = append(out, p.Get())
+	}
+	st := p.Stats()
+	if st.InFlight != 3 {
+		t.Errorf("in-flight=%d, want 3", st.InFlight)
+	}
+	if st.Misses != 2 { // one workspace was seeded at New
+		t.Errorf("misses=%d, want 2", st.Misses)
+	}
+
+	// The cap is reached: a fourth Get must block until a Put.
+	got := make(chan *core.Workspace)
+	go func() { got <- p.Get() }()
+	select {
+	case <-got:
+		t.Fatal("Get returned beyond MaxWorkspaces")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Put(out[0])
+	select {
+	case ws := <-got:
+		p.Put(ws)
+	case <-time.After(time.Second):
+		t.Fatal("Get did not unblock after Put")
+	}
+	p.Put(out[1])
+	p.Put(out[2])
+}
+
+func TestGetContextCancel(t *testing.T) {
+	p, err := New(Config{MaxWorkspaces: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := p.Get()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := p.GetContext(ctx); err != context.DeadlineExceeded {
+		t.Errorf("err=%v, want DeadlineExceeded", err)
+	}
+	p.Put(ws)
+	if st := p.Stats(); st.InFlight != 0 {
+		t.Errorf("in-flight=%d after canceled Get, want 0", st.InFlight)
+	}
+}
+
+// TestConcurrentMatchesSerial pins that a small pool hammered by many
+// goroutines produces exactly the single-threaded Workspace's output.
+func TestConcurrentMatchesSerial(t *testing.T) {
+	const nJobs = 200
+	texts, patterns := testPairs(nJobs)
+
+	serial := core.MustNew(core.Config{})
+	want := make([]core.Alignment, nJobs)
+	for i := range texts {
+		aln, err := serial.AlignGlobal(texts[i], patterns[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = aln
+	}
+
+	p, err := New(Config{MaxWorkspaces: 3, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < nJobs; i += workers {
+				err := p.Do(context.Background(), func(ws *core.Workspace) error {
+					aln, err := ws.AlignGlobal(texts[i], patterns[i])
+					if err != nil {
+						return err
+					}
+					if aln.Distance != want[i].Distance || aln.Cigar.String() != want[i].Cigar.String() {
+						t.Errorf("job %d: got (%d, %s), want (%d, %s)",
+							i, aln.Distance, aln.Cigar, want[i].Distance, want[i].Cigar)
+					}
+					return nil
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.InFlight != 0 {
+		t.Errorf("in-flight=%d after all Puts, want 0", st.InFlight)
+	}
+	if st.Hits+st.Misses != nJobs {
+		t.Errorf("hits+misses=%d, want %d", st.Hits+st.Misses, nJobs)
+	}
+}
+
+// TestStress hammers a tiny pool from many goroutines; run with -race.
+func TestStress(t *testing.T) {
+	p, err := New(Config{MaxWorkspaces: 2, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := alphabet.DNA.MustEncode([]byte("TTACGGATCGTTGCAATCGGATCGATTACAGGCTTAACGGATCCTAGGACCAG"))
+	pattern := alphabet.DNA.MustEncode([]byte("TTACGGATCGTTGCTATCGGATCGATTACAGGCTTAACGGATCCTAGGACAG"))
+	wantAln, err := core.MustNew(core.Config{}).AlignGlobal(text, pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 32
+	iters := 100
+	if testing.Short() {
+		iters = 20
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ws := p.Get()
+				aln, err := ws.AlignGlobal(text, pattern)
+				if err != nil {
+					t.Error(err)
+				} else if aln.Distance != wantAln.Distance {
+					t.Errorf("distance=%d, want %d", aln.Distance, wantAln.Distance)
+				}
+				p.Put(ws)
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.InFlight != 0 {
+		t.Errorf("in-flight=%d, want 0", st.InFlight)
+	}
+	if st.Idle > 2 {
+		t.Errorf("idle=%d exceeds MaxWorkspaces=2", st.Idle)
+	}
+}

@@ -1,0 +1,615 @@
+// Package server exposes the GenASM alignment engine as a long-running
+// HTTP JSON service — the serving layer that turns the library into the
+// ROADMAP's production system. All alignment work is drained through a
+// shared genasm.Pool (the software analogue of the accelerator's fixed
+// count of per-vault GenASM units, Section 7), so concurrency is bounded
+// by the pool capacity and excess load queues in a bounded admission queue
+// rather than piling up goroutines; when the queue is full, requests are
+// rejected with 429 so clients can back off.
+//
+// Endpoints:
+//
+//	POST /v1/align   — one alignment: {"text","query","global"}
+//	POST /v1/batch   — many alignments, results in request order
+//	POST /v1/map     — read mapping; responds with SAM records
+//	GET  /v1/healthz — liveness
+//	GET  /v1/stats   — pool + server counters
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"genasm"
+	"genasm/internal/alphabet"
+	"genasm/internal/cigar"
+	"genasm/internal/core"
+	"genasm/internal/mapper"
+	"genasm/internal/pool"
+	"genasm/internal/sam"
+)
+
+// pooledAligner is a concurrency-safe mapper.Aligner: the Mapper itself is
+// read-only after indexing, so drawing the scratch workspace from a pool
+// per AlignRegion call is all it takes to serve concurrent /v1/map
+// requests off one shared Mapper.
+type pooledAligner struct {
+	p *pool.Pool
+}
+
+func (a pooledAligner) Name() string { return "GenASM" }
+
+func (a pooledAligner) AlignRegion(region, read []byte) (cigar.Cigar, int, error) {
+	ws := a.p.Get()
+	defer a.p.Put(ws)
+	aln, err := ws.Align(region, read)
+	if err != nil {
+		return nil, 0, err
+	}
+	return aln.Cigar, aln.TextStart, nil
+}
+
+// Config parameterizes a Server. The zero values of the limits pick
+// sensible production defaults; Pool is required.
+type Config struct {
+	// Pool is the shared alignment engine. Required.
+	Pool *genasm.Pool
+	// QueueDepth bounds the number of requests admitted to alignment
+	// work at once (in flight + queued waiting for a workspace). Further
+	// requests receive 429. Defaults to 4× the pool capacity.
+	QueueDepth int
+	// MaxBodyBytes caps a request body. Defaults to 8 MiB.
+	MaxBodyBytes int64
+	// MaxBatchJobs caps the jobs in one /v1/batch request. Defaults to
+	// 1024.
+	MaxBatchJobs int
+	// MaxSeqLen caps each text/query sequence length. Defaults to 1 MiB.
+	MaxSeqLen int
+	// MaxMapReads caps the reads in one /v1/map request. Defaults to
+	// 1024.
+	MaxMapReads int
+	// MaxRefLen caps a request-supplied /v1/map reference (each such
+	// request indexes the reference from scratch). Defaults to 16 MiB,
+	// though MaxBodyBytes usually bounds it tighter.
+	MaxRefLen int
+	// MapSeedK and MapErrorRate parameterize the /v1/map pipeline
+	// (defaults: the mapper's own 15 / 0.10).
+	MapSeedK     int
+	MapErrorRate float64
+	// RefName and Ref optionally preload a DNA reference (letters) for
+	// /v1/map: the index is built once at startup and requests may omit
+	// "reference".
+	RefName string
+	Ref     []byte
+	// ShutdownTimeout bounds graceful shutdown. Defaults to 10s.
+	ShutdownTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Pool.Capacity()
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = 1024
+	}
+	if c.MaxSeqLen <= 0 {
+		c.MaxSeqLen = 1 << 20
+	}
+	if c.MaxMapReads <= 0 {
+		c.MaxMapReads = 1024
+	}
+	if c.MaxRefLen <= 0 {
+		c.MaxRefLen = 16 << 20
+	}
+	if c.ShutdownTimeout <= 0 {
+		c.ShutdownTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Server is the HTTP alignment service.
+type Server struct {
+	cfg   Config
+	slots chan struct{}
+	hs    *http.Server
+	mux   *http.ServeMux
+	start time.Time
+
+	// preMapper is the startup-indexed mapper for a preloaded reference.
+	preMapper *mapper.Mapper
+	// mapPool supplies scratch workspaces to every mapper's alignment
+	// step so one shared Mapper can serve concurrent /v1/map requests.
+	mapPool *pool.Pool
+
+	requests   atomic.Uint64 // requests admitted to alignment work
+	alignments atomic.Uint64 // individual alignments/mapped reads served
+	rejected   atomic.Uint64 // 429s
+	errored    atomic.Uint64 // 4xx/5xx other than 429
+	inFlight   atomic.Int64  // requests currently holding a queue slot
+}
+
+// New builds a Server (and, when Config.Ref is set, indexes the reference).
+func New(cfg Config) (*Server, error) {
+	if cfg.Pool == nil {
+		return nil, errors.New("server: Config.Pool is required")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.QueueDepth),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	// The mapper's alignment step uses the paper's read-alignment setup
+	// (search in the first window); its pool is sized like the main one.
+	mp, err := pool.New(pool.Config{
+		Core:          core.Config{FindFirstWindowStart: true},
+		MaxWorkspaces: cfg.Pool.Capacity(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.mapPool = mp
+	if len(cfg.Ref) > 0 {
+		enc, err := alphabet.DNA.Encode(cfg.Ref)
+		if err != nil {
+			return nil, fmt.Errorf("server: reference: %w", err)
+		}
+		m, err := s.newMapper(enc)
+		if err != nil {
+			return nil, fmt.Errorf("server: indexing reference: %w", err)
+		}
+		s.preMapper = m
+	}
+	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/map", s.handleMap)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.hs = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+// newMapper indexes an encoded reference with the pool-backed alignment
+// step, so the returned Mapper is safe for concurrent MapRead calls.
+func (s *Server) newMapper(ref []byte) (*mapper.Mapper, error) {
+	return mapper.New(ref, mapper.Config{
+		SeedK:     s.cfg.MapSeedK,
+		ErrorRate: s.cfg.MapErrorRate,
+		Aligner:   pooledAligner{p: s.mapPool},
+	})
+}
+
+// Handler returns the service's HTTP handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown; it returns
+// http.ErrServerClosed after a graceful shutdown, like net/http.
+func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown drains in-flight requests and stops the server, bounded by
+// Config.ShutdownTimeout.
+func (s *Server) Shutdown(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.ShutdownTimeout)
+	defer cancel()
+	return s.hs.Shutdown(ctx)
+}
+
+// admission --------------------------------------------------------------
+
+// acquireSlot admits the request to alignment work or rejects it with 429.
+// The bounded slot channel is the backpressure mechanism: pool capacity
+// bounds concurrent alignments, QueueDepth bounds how many requests may
+// wait for a workspace, and everything beyond that is told to back off.
+func (s *Server) acquireSlot(w http.ResponseWriter) bool {
+	select {
+	case s.slots <- struct{}{}:
+		s.requests.Add(1)
+		s.inFlight.Add(1)
+		return true
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
+		return false
+	}
+}
+
+func (s *Server) releaseSlot() {
+	s.inFlight.Add(-1)
+	<-s.slots
+}
+
+// request/response types -------------------------------------------------
+
+// AlignRequest is the body of POST /v1/align and one job of /v1/batch.
+type AlignRequest struct {
+	// Text is the reference region, Query the read — letters of the
+	// pool's alphabet.
+	Text  string `json:"text"`
+	Query string `json:"query"`
+	// Global selects end-to-end alignment.
+	Global bool `json:"global,omitempty"`
+}
+
+// AlignResponse is one alignment result.
+type AlignResponse struct {
+	CIGAR        string `json:"cigar"`
+	ClassicCIGAR string `json:"classic_cigar"`
+	Distance     int    `json:"distance"`
+	TextStart    int    `json:"text_start"`
+	TextEnd      int    `json:"text_end"`
+	Matches      int    `json:"matches"`
+}
+
+func alignResponse(aln genasm.Alignment) AlignResponse {
+	return AlignResponse{
+		CIGAR:        aln.CIGAR,
+		ClassicCIGAR: aln.ClassicCIGAR,
+		Distance:     aln.Distance,
+		TextStart:    aln.TextStart,
+		TextEnd:      aln.TextEnd,
+		Matches:      aln.Matches,
+	}
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Jobs []AlignRequest `json:"jobs"`
+}
+
+// BatchItem pairs one job's result with its error; exactly one of the two
+// fields is set.
+type BatchItem struct {
+	Alignment *AlignResponse `json:"alignment,omitempty"`
+	Error     string         `json:"error,omitempty"`
+}
+
+// BatchResponse is the body of a /v1/batch response, in job order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// MapRead is one read of a /v1/map request.
+type MapRead struct {
+	Name string `json:"name"`
+	Seq  string `json:"seq"`
+}
+
+// MapRequest is the body of POST /v1/map. Reference may be omitted when
+// the server preloaded one at startup.
+type MapRequest struct {
+	RefName   string    `json:"ref_name,omitempty"`
+	Reference string    `json:"reference,omitempty"`
+	Reads     []MapRead `json:"reads"`
+}
+
+// handlers ---------------------------------------------------------------
+
+func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
+	var req AlignRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if !s.checkSeq(w, "text", req.Text) || !s.checkSeq(w, "query", req.Query) {
+		return
+	}
+	if !s.acquireSlot(w) {
+		return
+	}
+	defer s.releaseSlot()
+	aln, err := s.align(r.Context(), req)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.alignments.Add(1)
+	writeJSON(w, http.StatusOK, alignResponse(aln))
+}
+
+func (s *Server) align(ctx context.Context, req AlignRequest) (genasm.Alignment, error) {
+	if req.Global {
+		return s.cfg.Pool.AlignGlobalContext(ctx, []byte(req.Text), []byte(req.Query))
+	}
+	return s.cfg.Pool.AlignContext(ctx, []byte(req.Text), []byte(req.Query))
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch: no jobs")
+		return
+	}
+	if len(req.Jobs) > s.cfg.MaxBatchJobs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch: %d jobs exceeds limit %d", len(req.Jobs), s.cfg.MaxBatchJobs))
+		return
+	}
+	for i, j := range req.Jobs {
+		if !s.checkSeq(w, fmt.Sprintf("job %d text", i), j.Text) ||
+			!s.checkSeq(w, fmt.Sprintf("job %d query", i), j.Query) {
+			return
+		}
+	}
+	if !s.acquireSlot(w) {
+		return
+	}
+	defer s.releaseSlot()
+
+	// Drain the batch through the pool with one worker per workspace the
+	// pool can hand out; results land at their job's index so the
+	// response preserves request order.
+	results := make([]BatchItem, len(req.Jobs))
+	workers := min(len(req.Jobs), s.cfg.Pool.Capacity())
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(req.Jobs) || r.Context().Err() != nil {
+					return
+				}
+				aln, err := s.align(r.Context(), req.Jobs[i])
+				if err != nil {
+					results[i] = BatchItem{Error: err.Error()}
+					continue
+				}
+				a := alignResponse(aln)
+				results[i] = BatchItem{Alignment: &a}
+				s.alignments.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Context().Err() != nil {
+		s.errored.Add(1)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
+	var req MapRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if len(req.Reads) == 0 {
+		writeError(w, http.StatusBadRequest, "map: no reads")
+		return
+	}
+	if len(req.Reads) > s.cfg.MaxMapReads {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("map: %d reads exceeds limit %d", len(req.Reads), s.cfg.MaxMapReads))
+		return
+	}
+	if len(req.Reference) > s.cfg.MaxRefLen {
+		s.errored.Add(1)
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("map: reference length %d exceeds limit %d", len(req.Reference), s.cfg.MaxRefLen))
+		return
+	}
+	for i, rd := range req.Reads {
+		if !s.checkSeq(w, fmt.Sprintf("map: read %d", i), rd.Seq) {
+			return
+		}
+	}
+	if !s.acquireSlot(w) {
+		return
+	}
+	defer s.releaseSlot()
+
+	m := s.preMapper
+	refName := s.cfg.RefName
+	refLen := len(s.cfg.Ref)
+	if req.Reference != "" {
+		enc, err := alphabet.DNA.Encode([]byte(req.Reference))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "map: reference: "+err.Error())
+			s.errored.Add(1)
+			return
+		}
+		m, err = s.newMapper(enc)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "map: "+err.Error())
+			s.errored.Add(1)
+			return
+		}
+		refName = req.RefName
+		refLen = len(req.Reference)
+	}
+	if m == nil {
+		writeError(w, http.StatusBadRequest, "map: no reference in request and none preloaded")
+		s.errored.Add(1)
+		return
+	}
+	if refName == "" {
+		refName = "ref"
+	}
+
+	var buf bytes.Buffer
+	sw := sam.NewWriter(&buf)
+	if err := sw.WriteHeader(refName, refLen); err != nil {
+		s.failInternal(w, err)
+		return
+	}
+	for i, rd := range req.Reads {
+		enc, err := alphabet.DNA.Encode([]byte(rd.Seq))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("map: read %d: %v", i, err))
+			s.errored.Add(1)
+			return
+		}
+		mp, err := m.MapRead(enc)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("map: read %d: %v", i, err))
+			s.errored.Add(1)
+			return
+		}
+		name := rd.Name
+		if name == "" {
+			name = fmt.Sprintf("read%d", i)
+		}
+		rec := sam.Record{QName: name, Seq: enc}
+		if !mp.Mapped {
+			rec.Flag = sam.FlagUnmapped
+		} else {
+			rec.RName = refName
+			rec.Pos = mp.Pos + 1
+			rec.MapQ = 60
+			rec.Cigar = mp.Cigar
+			rec.EditDistance = mp.Distance
+			rec.Score = cigar.Minimap2.Score(mp.Cigar)
+			if mp.RevComp {
+				rec.Flag |= sam.FlagReverse
+			}
+		}
+		if err := sw.WriteRecord(rec); err != nil {
+			s.failInternal(w, err)
+			return
+		}
+		s.alignments.Add(1)
+	}
+	if err := sw.Flush(); err != nil {
+		s.failInternal(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/x-sam; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	})
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	Pool   genasm.PoolStats `json:"pool"`
+	Server ServerStats      `json:"server"`
+}
+
+// ServerStats are the server-side counters.
+type ServerStats struct {
+	Requests         uint64 `json:"requests"`
+	Alignments       uint64 `json:"alignments"`
+	Rejected         uint64 `json:"rejected"`
+	Errored          uint64 `json:"errored"`
+	InFlightRequests int64  `json:"in_flight_requests"`
+	QueueDepth       int    `json:"queue_depth"`
+}
+
+// Stats snapshots the server and pool counters.
+func (s *Server) Stats() StatsResponse {
+	return StatsResponse{
+		Pool: s.cfg.Pool.Stats(),
+		Server: ServerStats{
+			Requests:         s.requests.Load(),
+			Alignments:       s.alignments.Load(),
+			Rejected:         s.rejected.Load(),
+			Errored:          s.errored.Load(),
+			InFlightRequests: s.inFlight.Load(),
+			QueueDepth:       s.cfg.QueueDepth,
+		},
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// helpers ----------------------------------------------------------------
+
+// decode reads the size-limited JSON body into v, answering 4xx on
+// malformed or oversized input.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		s.errored.Add(1)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (s *Server) checkSeq(w http.ResponseWriter, field, seq string) bool {
+	if seq == "" {
+		s.errored.Add(1)
+		writeError(w, http.StatusBadRequest, field+": empty sequence")
+		return false
+	}
+	if len(seq) > s.cfg.MaxSeqLen {
+		s.errored.Add(1)
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("%s: length %d exceeds limit %d", field, len(seq), s.cfg.MaxSeqLen))
+		return false
+	}
+	return true
+}
+
+// fail reports an alignment error: every error on that path derives from
+// the client's input (encode failures, empty patterns, window budget), so
+// it answers 400 — except client disconnects, which get nothing.
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	s.errored.Add(1)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// The client went away; nothing useful to write.
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// failInternal reports a server-side fault as a 500.
+func (s *Server) failInternal(w http.ResponseWriter, err error) {
+	s.errored.Add(1)
+	writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

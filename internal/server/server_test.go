@@ -1,0 +1,429 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"genasm"
+	"genasm/internal/alphabet"
+	"genasm/internal/seq"
+	"genasm/internal/simulate"
+)
+
+// startServer runs a Server on a loopback listener and returns its base
+// URL; the server is shut down gracefully when the test ends.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	t.Cleanup(func() {
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != http.ErrServerClosed {
+			t.Errorf("serve returned %v, want http.ErrServerClosed", err)
+		}
+	})
+	return s, "http://" + l.Addr().String()
+}
+
+func newTestPool(t *testing.T, cfg genasm.PoolConfig) *genasm.Pool {
+	t.Helper()
+	p, err := genasm.NewPool(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// mutateDNA plants roughly errRate errors (sub/ins/del) in letter space.
+func mutateDNA(rng *rand.Rand, s []byte, errRate float64) []byte {
+	letters := []byte("ACGT")
+	out := append([]byte(nil), s...)
+	for e := 0; e < int(float64(len(s))*errRate); e++ {
+		switch rng.IntN(3) {
+		case 0:
+			p := rng.IntN(len(out))
+			out[p] = letters[rng.IntN(4)]
+		case 1:
+			p := rng.IntN(len(out) + 1)
+			out = append(out[:p], append([]byte{letters[rng.IntN(4)]}, out[p:]...)...)
+		default:
+			if len(out) > 1 {
+				p := rng.IntN(len(out))
+				out = append(out[:p], out[p+1:]...)
+			}
+		}
+	}
+	return out
+}
+
+func TestAlignMatchesLibrary(t *testing.T) {
+	pool := newTestPool(t, genasm.PoolConfig{})
+	_, base := startServer(t, Config{Pool: pool})
+
+	rng := rand.New(rand.NewPCG(7, 7))
+	text := alphabet.DNA.Decode(seq.Random(rng, 400))
+	query := mutateDNA(rng, text[:360], 0.05)
+
+	al, err := genasm.NewAligner(genasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := al.Align(text, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, base+"/v1/align", AlignRequest{Text: string(text), Query: string(query)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got AlignResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.CIGAR != want.CIGAR || got.Distance != want.Distance {
+		t.Errorf("served (%s, %d) != library (%s, %d)", got.CIGAR, got.Distance, want.CIGAR, want.Distance)
+	}
+	if got.ClassicCIGAR != want.ClassicCIGAR || got.Matches != want.Matches ||
+		got.TextStart != want.TextStart || got.TextEnd != want.TextEnd {
+		t.Errorf("served %+v != library %+v", got, want)
+	}
+}
+
+func TestAlignRejectsBadInput(t *testing.T) {
+	pool := newTestPool(t, genasm.PoolConfig{})
+	_, base := startServer(t, Config{Pool: pool, MaxSeqLen: 100})
+
+	for _, tc := range []struct {
+		name string
+		req  AlignRequest
+		code int
+	}{
+		{"empty query", AlignRequest{Text: "ACGT"}, http.StatusBadRequest},
+		{"bad letters", AlignRequest{Text: "ACGT", Query: "AXGT"}, http.StatusBadRequest},
+		{"oversized", AlignRequest{Text: strings.Repeat("A", 101), Query: "ACGT"}, http.StatusBadRequest},
+	} {
+		resp, body := postJSON(t, base+"/v1/align", tc.req)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.code, body)
+		}
+	}
+}
+
+// TestBatchOrdered round-trips a 100-job batch and pins that results come
+// back in request order with the single-threaded library's values.
+func TestBatchOrdered(t *testing.T) {
+	pool := newTestPool(t, genasm.PoolConfig{MaxWorkspaces: 4})
+	_, base := startServer(t, Config{Pool: pool})
+
+	rng := rand.New(rand.NewPCG(11, 3))
+	al, err := genasm.NewAligner(genasm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	req := BatchRequest{}
+	want := make([]genasm.Alignment, n)
+	for i := 0; i < n; i++ {
+		text := alphabet.DNA.Decode(seq.Random(rng, 150+i))
+		query := mutateDNA(rng, text, 0.04)
+		req.Jobs = append(req.Jobs, AlignRequest{Text: string(text), Query: string(query), Global: true})
+		want[i], err = al.AlignGlobal(text, query)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, body := postJSON(t, base+"/v1/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got BatchResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != n {
+		t.Fatalf("%d results, want %d", len(got.Results), n)
+	}
+	for i, item := range got.Results {
+		if item.Error != "" {
+			t.Fatalf("job %d: %s", i, item.Error)
+		}
+		if item.Alignment.CIGAR != want[i].CIGAR || item.Alignment.Distance != want[i].Distance {
+			t.Errorf("job %d: served (%s, %d) != library (%s, %d)",
+				i, item.Alignment.CIGAR, item.Alignment.Distance, want[i].CIGAR, want[i].Distance)
+		}
+	}
+}
+
+// TestMapReturnsSAM posts a reference plus simulated reads and validates
+// the SAM response: header lines, one record per read, mapped within
+// tolerance of the simulated position.
+func TestMapReturnsSAM(t *testing.T) {
+	pool := newTestPool(t, genasm.PoolConfig{})
+	_, base := startServer(t, Config{Pool: pool})
+
+	rng := rand.New(rand.NewPCG(2020, 5))
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(20000))
+	reads, err := simulate.Reads(rng, genome, 8, simulate.Illumina150, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := MapRequest{RefName: "chr_t", Reference: string(alphabet.DNA.Decode(genome))}
+	for i, r := range reads {
+		req.Reads = append(req.Reads, MapRead{
+			Name: fmt.Sprintf("sim%d", i),
+			Seq:  string(alphabet.DNA.Decode(r.Seq)),
+		})
+	}
+
+	resp, body := postJSON(t, base+"/v1/map", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/x-sam") {
+		t.Errorf("content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	var headers, records []string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "@") {
+			headers = append(headers, ln)
+		} else {
+			records = append(records, ln)
+		}
+	}
+	if len(headers) < 2 || !strings.HasPrefix(headers[0], "@HD") || !strings.Contains(headers[1], "SN:chr_t") {
+		t.Fatalf("bad SAM header: %q", headers)
+	}
+	if len(records) != len(reads) {
+		t.Fatalf("%d records, want %d", len(records), len(reads))
+	}
+	mapped := 0
+	for i, rec := range records {
+		f := strings.Split(rec, "\t")
+		if len(f) < 11 {
+			t.Fatalf("record %d has %d fields: %q", i, len(f), rec)
+		}
+		if f[0] != fmt.Sprintf("sim%d", i) {
+			t.Errorf("record %d: name %q out of order", i, f[0])
+		}
+		flag, err := strconv.Atoi(f[1])
+		if err != nil {
+			t.Fatalf("record %d: flag %q", i, f[1])
+		}
+		if flag&0x4 != 0 {
+			continue
+		}
+		mapped++
+		pos, err := strconv.Atoi(f[3])
+		if err != nil || pos < 1 {
+			t.Errorf("record %d: pos %q", i, f[3])
+		}
+		if d := pos - 1 - reads[i].Pos; d < -30 || d > 30 {
+			t.Errorf("record %d: mapped at %d, simulated at %d", i, pos-1, reads[i].Pos)
+		}
+		if f[5] == "*" {
+			t.Errorf("record %d: mapped but no CIGAR", i)
+		}
+	}
+	if mapped < len(reads)-1 {
+		t.Errorf("only %d/%d reads mapped", mapped, len(reads))
+	}
+}
+
+// TestQueueOverflow429 fills the admission queue with a long-running batch
+// and pins that the next request is rejected with 429, then that the
+// server recovers once the queue drains.
+func TestQueueOverflow429(t *testing.T) {
+	pool := newTestPool(t, genasm.PoolConfig{MaxWorkspaces: 1, Shards: 1})
+	srv, base := startServer(t, Config{Pool: pool, QueueDepth: 1})
+
+	rng := rand.New(rand.NewPCG(3, 9))
+	text := alphabet.DNA.Decode(seq.Random(rng, 4000))
+	query := mutateDNA(rng, text, 0.10)
+	big := BatchRequest{}
+	for i := 0; i < 300; i++ {
+		big.Jobs = append(big.Jobs, AlignRequest{Text: string(text), Query: string(query), Global: true})
+	}
+
+	bigDone := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, base+"/v1/batch", big)
+		bigDone <- resp.StatusCode
+	}()
+
+	// Wait until the batch holds the only queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Server.InFlightRequests == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch request never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := postJSON(t, base+"/v1/align", AlignRequest{Text: "ACGTACGT", Query: "ACGT"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+
+	if code := <-bigDone; code != http.StatusOK {
+		t.Fatalf("big batch finished with %d", code)
+	}
+	resp, body = postJSON(t, base+"/v1/align", AlignRequest{Text: "ACGTACGT", Query: "ACGT"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("after drain: status %d (%s)", resp.StatusCode, body)
+	}
+	if st := srv.Stats(); st.Server.Rejected == 0 {
+		t.Error("stats did not count the rejection")
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	pool := newTestPool(t, genasm.PoolConfig{})
+	_, base := startServer(t, Config{Pool: pool})
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil || hz.Status != "ok" {
+		t.Fatalf("healthz body: %v %q", err, hz.Status)
+	}
+
+	postJSON(t, base+"/v1/align", AlignRequest{Text: "ACGTACGT", Query: "ACGT"})
+	resp2, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Server.Requests == 0 || st.Server.Alignments == 0 {
+		t.Errorf("stats did not count work: %+v", st.Server)
+	}
+	if st.Pool.Capacity == 0 {
+		t.Errorf("pool stats empty: %+v", st.Pool)
+	}
+}
+
+// TestPreloadedReference maps against a reference indexed at startup.
+func TestPreloadedReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(77, 1))
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(20000))
+	reads, err := simulate.Reads(rng, genome, 3, simulate.Illumina150, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pool := newTestPool(t, genasm.PoolConfig{})
+	_, base := startServer(t, Config{
+		Pool:    pool,
+		RefName: "preloaded",
+		Ref:     alphabet.DNA.Decode(genome),
+	})
+
+	req := MapRequest{}
+	for i, r := range reads {
+		req.Reads = append(req.Reads, MapRead{Name: fmt.Sprintf("p%d", i), Seq: string(alphabet.DNA.Decode(r.Seq))})
+	}
+	resp, body := postJSON(t, base+"/v1/map", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "SN:preloaded") {
+		t.Errorf("response header lacks preloaded reference name:\n%s", body)
+	}
+
+	// The preloaded Mapper is shared across requests: hammer it
+	// concurrently (run with -race) and pin that every response matches
+	// the serial one.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, got := postJSON(t, base+"/v1/map", req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("concurrent map: status %d: %s", resp.StatusCode, got)
+				return
+			}
+			if !bytes.Equal(got, body) {
+				t.Errorf("concurrent map response diverged:\n%s\nvs\n%s", got, body)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMapLimits(t *testing.T) {
+	pool := newTestPool(t, genasm.PoolConfig{})
+	_, base := startServer(t, Config{Pool: pool, MaxRefLen: 100, MaxSeqLen: 50})
+
+	resp, body := postJSON(t, base+"/v1/map", MapRequest{
+		Reference: strings.Repeat("A", 101),
+		Reads:     []MapRead{{Name: "r", Seq: "ACGTACGTACGTACGTACGT"}},
+	})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "reference length") {
+		t.Errorf("oversized reference: status %d, body %s", resp.StatusCode, body)
+	}
+
+	resp, body = postJSON(t, base+"/v1/map", MapRequest{
+		Reference: strings.Repeat("ACGT", 25),
+		Reads:     []MapRead{{Name: "r", Seq: strings.Repeat("A", 51)}},
+	})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "exceeds limit") {
+		t.Errorf("oversized read: status %d, body %s", resp.StatusCode, body)
+	}
+}

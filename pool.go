@@ -1,0 +1,139 @@
+package genasm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/core"
+	"genasm/internal/pool"
+)
+
+// PoolConfig parameterizes a Pool: the alignment Config plus sizing of the
+// workspace pool behind it.
+type PoolConfig struct {
+	// Config is the alignment configuration every pooled workspace uses.
+	Config
+	// Shards is the number of independent free lists inside the pool;
+	// zero picks a default scaled to GOMAXPROCS.
+	Shards int
+	// MaxWorkspaces caps the number of live workspaces (the software
+	// analogue of the accelerator's vault count). Alignments block once
+	// the cap is reached and every workspace is busy. Zero defaults to
+	// 2×GOMAXPROCS.
+	MaxWorkspaces int
+}
+
+// Pool is a concurrency-safe Aligner: any number of goroutines may call
+// Align/AlignGlobal/EditDistance on one Pool, which checks reusable
+// workspaces out of a sharded pool instead of requiring one Aligner per
+// goroutine. It mirrors the accelerator's parallelism model — many
+// independent GenASM units, each owning its scratch SRAMs (Section 7) —
+// and is the alignment engine behind the genasm-serve HTTP server.
+type Pool struct {
+	cfg PoolConfig
+	a   *alphabet.Alphabet
+	p   *pool.Pool
+}
+
+// PoolStats snapshots pool activity: free-list hits, misses (workspace
+// creations), workspaces currently in flight and idle, and the capacity.
+type PoolStats = pool.Stats
+
+// NewPool builds a Pool. The zero PoolConfig is the paper's default
+// alignment setup with sizing scaled to GOMAXPROCS.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	coreCfg := cfg.Config.coreConfig()
+	p, err := pool.New(pool.Config{
+		Core:          coreCfg,
+		Shards:        cfg.Shards,
+		MaxWorkspaces: cfg.MaxWorkspaces,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{cfg: cfg, a: coreCfg.Alphabet, p: p}, nil
+}
+
+// Align aligns query against text semi-globally (see Aligner.Align),
+// safely callable from any goroutine.
+func (p *Pool) Align(text, query []byte) (Alignment, error) {
+	return p.AlignContext(context.Background(), text, query)
+}
+
+// AlignContext is Align with cancellation: if every workspace is busy and
+// ctx ends before one frees up, the context error is returned.
+func (p *Pool) AlignContext(ctx context.Context, text, query []byte) (Alignment, error) {
+	return p.run(ctx, text, query, false)
+}
+
+// AlignGlobal aligns query against text end to end (see
+// Aligner.AlignGlobal), safely callable from any goroutine.
+func (p *Pool) AlignGlobal(text, query []byte) (Alignment, error) {
+	return p.AlignGlobalContext(context.Background(), text, query)
+}
+
+// AlignGlobalContext is AlignGlobal with cancellation.
+func (p *Pool) AlignGlobalContext(ctx context.Context, text, query []byte) (Alignment, error) {
+	return p.run(ctx, text, query, true)
+}
+
+// EditDistance returns the edit distance between two sequences, safely
+// callable from any goroutine.
+func (p *Pool) EditDistance(a, b []byte) (int, error) {
+	aln, err := p.AlignGlobal(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return aln.Distance, nil
+}
+
+// Stats snapshots the underlying workspace pool counters.
+func (p *Pool) Stats() PoolStats { return p.p.Stats() }
+
+// Capacity is the maximum number of concurrently running alignments.
+func (p *Pool) Capacity() int { return p.p.Config().MaxWorkspaces }
+
+func (p *Pool) run(ctx context.Context, text, query []byte, global bool) (Alignment, error) {
+	encText, err := p.a.Encode(text)
+	if err != nil {
+		return Alignment{}, fmt.Errorf("genasm: text: %w", err)
+	}
+	encQuery, err := p.a.Encode(query)
+	if err != nil {
+		return Alignment{}, fmt.Errorf("genasm: query: %w", err)
+	}
+	var out Alignment
+	err = p.p.Do(ctx, func(ws *core.Workspace) error {
+		var aln core.Alignment
+		var alignErr error
+		if global {
+			aln, alignErr = ws.AlignGlobal(encText, encQuery)
+		} else {
+			aln, alignErr = ws.Align(encText, encQuery)
+		}
+		if alignErr != nil {
+			return alignErr
+		}
+		out = alignmentFromCore(aln)
+		return nil
+	})
+	return out, err
+}
+
+// defaultPool backs the package-level convenience functions.
+var defaultPool struct {
+	once sync.Once
+	p    *Pool
+	err  error
+}
+
+// DefaultPool returns the lazily-built package-level Pool (default DNA
+// configuration) shared by the package-level convenience functions.
+func DefaultPool() (*Pool, error) {
+	defaultPool.once.Do(func() {
+		defaultPool.p, defaultPool.err = NewPool(PoolConfig{})
+	})
+	return defaultPool.p, defaultPool.err
+}

@@ -1,0 +1,138 @@
+package genasm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// poolTestPairs builds deterministic letter-space pairs with known edits.
+func poolTestPairs() (texts, queries []string) {
+	base := strings.Repeat("ACGTTGCAATCGGATCGATTACAGGCTTAACG", 8)
+	for i := 0; i < 50; i++ {
+		text := base[:len(base)-i]
+		q := []byte(text)
+		for e := 0; e <= i%7; e++ {
+			pos := (e*31 + i*17) % len(q)
+			q[pos] = "ACGT"[(strings.IndexByte("ACGT", q[pos])+1)%4]
+		}
+		texts = append(texts, text)
+		queries = append(queries, string(q))
+	}
+	return texts, queries
+}
+
+// TestPoolMatchesAligner pins that the concurrency-safe Pool produces
+// exactly the single-threaded Aligner's output, concurrently.
+func TestPoolMatchesAligner(t *testing.T) {
+	texts, queries := poolTestPairs()
+	al, err := NewAligner(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Alignment, len(texts))
+	for i := range texts {
+		if want[i], err = al.AlignGlobal([]byte(texts[i]), []byte(queries[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p, err := NewPool(PoolConfig{MaxWorkspaces: 3, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(texts); i += workers {
+				got, err := p.AlignGlobal([]byte(texts[i]), []byte(queries[i]))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got.CIGAR != want[i].CIGAR || got.Distance != want[i].Distance ||
+					got.Matches != want[i].Matches {
+					t.Errorf("pair %d: pool (%s, %d) != aligner (%s, %d)",
+						i, got.CIGAR, got.Distance, want[i].CIGAR, want[i].Distance)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := p.Stats(); st.InFlight != 0 {
+		t.Errorf("in-flight=%d after all alignments, want 0", st.InFlight)
+	}
+}
+
+func TestPoolSemiGlobal(t *testing.T) {
+	p, err := NewPool(PoolConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	al, err := NewAligner(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := []byte("TTACGGATCGTTGCAATCGGATCGATTACAGG")
+	query := []byte("TTACGGATCGTTGCAATCGG")
+	want, err := al.Align(text, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Align(text, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CIGAR != want.CIGAR || got.TextEnd != want.TextEnd {
+		t.Errorf("pool %+v != aligner %+v", got, want)
+	}
+}
+
+func TestPoolRejectsBadInput(t *testing.T) {
+	p, err := NewPool(PoolConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Align([]byte("ACXT"), []byte("ACGT")); err == nil {
+		t.Error("expected encode error for bad text")
+	}
+	if _, err := p.Align([]byte("ACGT"), nil); err == nil {
+		t.Error("expected error for empty query")
+	}
+	if _, err := NewPool(PoolConfig{Config: Config{WindowSize: 1}}); err == nil {
+		t.Error("expected error for invalid window size")
+	}
+}
+
+// TestEditDistanceConcurrent exercises the package-level convenience,
+// which now shares the default pool, from many goroutines.
+func TestEditDistanceConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				d, err := EditDistance([]byte("GGCTATAATGCGGGG"), []byte("GGCTATATGCGGG"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if d != 2 {
+					t.Errorf("distance=%d, want 2", d)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	p, err := DefaultPool()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.InFlight != 0 {
+		t.Errorf("default pool in-flight=%d, want 0", st.InFlight)
+	}
+}
