@@ -1,51 +1,92 @@
 package genasm
 
 import (
-	"fmt"
-
-	"genasm/internal/core"
+	"context"
+	"sync"
+	"sync/atomic"
 )
 
 // BatchJob is one alignment task for AlignBatch: Query against Text, both
-// as letters of the aligner's alphabet.
+// as letters of the engine's alphabet.
 type BatchJob struct {
 	Text, Query []byte
 	// Global selects end-to-end alignment.
 	Global bool
 }
 
-// BatchResult pairs one job's Alignment with its error.
+// BatchResult pairs one job's Alignment with its error. Per-job failures —
+// including letters outside the engine's alphabet, reported as an
+// *AlphabetError — land here, so one bad job never poisons the rest of a
+// batch.
 type BatchResult struct {
 	Alignment Alignment
 	Err       error
 }
 
-// AlignBatch aligns many pairs in parallel with one workspace per worker —
-// the software mirror of the accelerator's one-GenASM-per-vault
-// parallelism, whose throughput scales linearly with the number of units
-// (Section 10.5). workers <= 0 uses all CPUs. Results are in job order.
+// AlignBatch aligns many pairs concurrently, streaming jobs through the
+// engine's workspace pool — the software mirror of the accelerator's
+// one-GenASM-per-vault parallelism, whose throughput scales linearly with
+// the number of units (Section 10.5). Concurrency is bounded by the
+// engine's capacity and shared fairly with other traffic on the engine.
+//
+// Results are in job order, with per-job errors in BatchResult.Err. The
+// returned error is non-nil only when ctx ends before the batch drains;
+// jobs not yet run then carry ctx's error in their BatchResult.
+func (e *Engine) AlignBatch(ctx context.Context, jobs []BatchJob) ([]BatchResult, error) {
+	results := make([]BatchResult, len(jobs))
+	if len(jobs) == 0 {
+		return results, ctx.Err()
+	}
+	workers := min(len(jobs), e.Capacity())
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = e.alignJob(ctx, jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// alignJob runs one batch job through the shared alignment dispatch,
+// folding every failure into the result.
+func (e *Engine) alignJob(ctx context.Context, job BatchJob) BatchResult {
+	if err := ctx.Err(); err != nil {
+		return BatchResult{Err: err}
+	}
+	encText, err := e.encode("text", job.Text)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	encQuery, err := e.encode("query", job.Query)
+	if err != nil {
+		return BatchResult{Err: err}
+	}
+	aln, err := e.runEncoded(ctx, encText, encQuery, job.Global)
+	return BatchResult{Alignment: aln, Err: err}
+}
+
+// AlignBatch aligns many pairs in parallel with a transient engine sized to
+// workers (workers <= 0 uses the default sizing). Results are in job order;
+// per-job failures, including encode failures, are reported in
+// BatchResult.Err rather than aborting the batch.
+//
+// Deprecated: use Engine.AlignBatch, which is context-aware and draws from
+// a long-lived engine's workspace pool instead of building workspaces per
+// call.
 func AlignBatch(cfg Config, jobs []BatchJob, workers int) ([]BatchResult, error) {
-	a := cfg.Alphabet.impl()
-	coreJobs := make([]core.BatchJob, len(jobs))
-	for i, j := range jobs {
-		text, err := a.Encode(j.Text)
-		if err != nil {
-			return nil, fmt.Errorf("genasm: job %d text: %w", i, err)
-		}
-		query, err := a.Encode(j.Query)
-		if err != nil {
-			return nil, fmt.Errorf("genasm: job %d query: %w", i, err)
-		}
-		coreJobs[i] = core.BatchJob{Text: text, Pattern: query, Global: j.Global}
+	e, err := newEngine(cfg, 0, workers)
+	if err != nil {
+		return nil, err
 	}
-	raw := core.AlignBatch(cfg.coreConfig(), coreJobs, workers)
-	out := make([]BatchResult, len(raw))
-	for i, r := range raw {
-		if r.Err != nil {
-			out[i].Err = r.Err
-			continue
-		}
-		out[i].Alignment = alignmentFromCore(r.Alignment)
-	}
-	return out, nil
+	return e.AlignBatch(context.Background(), jobs)
 }

@@ -1,6 +1,7 @@
 package genasm
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -28,10 +29,27 @@ func TestAlignBatchPublic(t *testing.T) {
 	}
 }
 
+// TestAlignBatchPublicInvalidLetters pins the per-job error contract: one
+// unencodable job is reported in its own BatchResult.Err (as a typed
+// *AlphabetError) and the rest of the batch still aligns.
 func TestAlignBatchPublicInvalidLetters(t *testing.T) {
-	jobs := []BatchJob{{Text: []byte("ACGT"), Query: []byte("ACNX")}}
-	if _, err := AlignBatch(Config{}, jobs, 1); err == nil {
-		t.Fatal("invalid letters should fail up front")
+	jobs := []BatchJob{
+		{Text: []byte("ACGT"), Query: []byte("ACNX")},
+		{Text: []byte("CGTGA"), Query: []byte("CTGA"), Global: true},
+	}
+	res, err := AlignBatch(Config{}, jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Err == nil {
+		t.Fatal("invalid letters should fail the job")
+	}
+	var ae *AlphabetError
+	if !errors.As(res[0].Err, &ae) {
+		t.Fatalf("job 0 error %v is not an *AlphabetError", res[0].Err)
+	}
+	if res[1].Err != nil || res[1].Alignment.Distance != 1 {
+		t.Errorf("healthy job poisoned by its neighbour: %+v", res[1])
 	}
 }
 

@@ -8,6 +8,7 @@ package genasm
 // Run all with: go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -376,6 +377,62 @@ func BenchmarkPoolThroughput(b *testing.B) {
 			wg.Wait()
 		})
 	}
+}
+
+// BenchmarkCompiledSearch quantifies the CompiledPattern amortization win:
+// one pattern scanning many short records (the adapter-trimming shape of
+// repeated-pattern scanning), per-call Engine.Search vs the compiled form.
+// Per-call Search re-encodes the pattern and regenerates its bitmasks —
+// for the 256-letter Bytes alphabet, a full mask-table rebuild — on every
+// record; Compile does that work once.
+func BenchmarkCompiledSearch(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2028, 0))
+	e, err := NewEngine(WithAlphabet(Bytes))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// 64 records of 160 bytes, each containing one mutated copy of the
+	// 96-byte pattern.
+	pattern := make([]byte, 96)
+	for i := range pattern {
+		pattern[i] = byte(32 + rng.IntN(95))
+	}
+	const nTexts = 64
+	texts := make([][]byte, nTexts)
+	for i := range texts {
+		tx := make([]byte, 160)
+		for j := range tx {
+			tx[j] = byte(32 + rng.IntN(95))
+		}
+		copy(tx[rng.IntN(60):], pattern)
+		tx[80] = '!'
+		texts[i] = tx
+	}
+	const k = 2
+
+	b.Run("PerCall", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Search(ctx, texts[i%nTexts], pattern, k); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Compiled", func(b *testing.B) {
+		cp, err := e.Compile(pattern, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cp.Search(ctx, texts[i%nTexts]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // alphabetDecode maps dense DNA codes back to letters for the public API.

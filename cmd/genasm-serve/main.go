@@ -1,5 +1,6 @@
 // Command genasm-serve runs the GenASM alignment service: an HTTP JSON
-// API over a sharded pool of reusable GenASM workspaces.
+// API over one shared genasm.Engine (a sharded pool of reusable GenASM
+// workspaces).
 //
 //	genasm-serve -addr :8080 -workspaces 16 -queue 64
 //	genasm-serve -addr :8080 -ref ref.fasta   # preload /v1/map reference
@@ -87,22 +88,22 @@ func buildServer(o options) (*server.Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	pool, err := genasm.NewPool(genasm.PoolConfig{
-		Config: genasm.Config{
+	engine, err := genasm.NewEngine(
+		genasm.WithConfig(genasm.Config{
 			Alphabet:                alpha,
 			WindowSize:              o.window,
 			Overlap:                 o.overlap,
 			SearchStart:             o.searchStart,
 			GapsBeforeSubstitutions: o.gapsFirst,
-		},
-		Shards:        o.shards,
-		MaxWorkspaces: o.workspaces,
-	})
+		}),
+		genasm.WithShards(o.shards),
+		genasm.WithMaxWorkspaces(o.workspaces),
+	)
 	if err != nil {
 		return nil, err
 	}
 	cfg := server.Config{
-		Pool:         pool,
+		Engine:       engine,
 		QueueDepth:   o.queue,
 		MaxBodyBytes: o.maxBody,
 		MaxBatchJobs: o.maxBatch,

@@ -6,11 +6,13 @@
 //	genasm search  -text FILE|SEQ -pattern SEQ -k 2 [-bytes]
 //	genasm map     -ref ref.fasta -reads reads.fasta
 //
-// Sequence arguments are either literal sequences or paths to FASTA files
-// (detected by an existing file of that name).
+// Every subcommand runs on the public genasm.Engine API. Sequence
+// arguments are either literal sequences or paths to FASTA files (detected
+// by an existing file of that name).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,9 +20,6 @@ import (
 
 	"genasm"
 	"genasm/internal/alphabet"
-	"genasm/internal/cigar"
-	"genasm/internal/mapper"
-	"genasm/internal/sam"
 	"genasm/internal/seq"
 )
 
@@ -29,18 +28,19 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	ctx := context.Background()
 	var err error
 	switch os.Args[1] {
 	case "align":
-		err = runAlign(os.Args[2:])
+		err = runAlign(ctx, os.Args[2:])
 	case "editdist":
-		err = runEditDist(os.Args[2:])
+		err = runEditDist(ctx, os.Args[2:])
 	case "filter":
-		err = runFilter(os.Args[2:])
+		err = runFilter(ctx, os.Args[2:])
 	case "search":
-		err = runSearch(os.Args[2:])
+		err = runSearch(ctx, os.Args[2:])
 	case "map":
-		err = runMap(os.Args[2:])
+		err = runMap(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -61,7 +61,7 @@ func usage() {
   editdist -a SEQ -b SEQ
   filter   -region SEQ -read SEQ -k N
   search   -text SEQ|FILE -pattern SEQ -k N [-bytes]
-  map      -ref FASTA -reads FASTA [-seed-k N] [-error-rate F]`)
+  map      -ref FASTA -reads FASTA [-seed-k N] [-error-rate F] [-sam]`)
 }
 
 // loadSeq returns the sequence in arg: the first record of a FASTA file if
@@ -85,7 +85,7 @@ func loadSeq(arg string) ([]byte, error) {
 	return []byte(strings.ToUpper(arg)), nil
 }
 
-func runAlign(args []string) error {
+func runAlign(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("align", flag.ExitOnError)
 	text := fs.String("text", "", "reference text (sequence or FASTA file)")
 	query := fs.String("query", "", "query sequence (sequence or FASTA file)")
@@ -102,15 +102,15 @@ func runAlign(args []string) error {
 	if err != nil {
 		return err
 	}
-	al, err := genasm.NewAligner(genasm.Config{SearchStart: *searchStart})
+	e, err := genasm.NewEngine(genasm.WithSearchStart(*searchStart))
 	if err != nil {
 		return err
 	}
 	var aln genasm.Alignment
 	if *global {
-		aln, err = al.AlignGlobal(t, q)
+		aln, err = e.AlignGlobal(ctx, t, q)
 	} else {
-		aln, err = al.Align(t, q)
+		aln, err = e.Align(ctx, t, q)
 	}
 	if err != nil {
 		return err
@@ -124,7 +124,7 @@ func runAlign(args []string) error {
 	return nil
 }
 
-func runEditDist(args []string) error {
+func runEditDist(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("editdist", flag.ExitOnError)
 	a := fs.String("a", "", "first sequence (sequence or FASTA file)")
 	b := fs.String("b", "", "second sequence (sequence or FASTA file)")
@@ -139,7 +139,11 @@ func runEditDist(args []string) error {
 	if err != nil {
 		return err
 	}
-	d, err := genasm.EditDistance(sa, sb)
+	e, err := genasm.DefaultEngine()
+	if err != nil {
+		return err
+	}
+	d, err := e.EditDistance(ctx, sa, sb)
 	if err != nil {
 		return err
 	}
@@ -147,7 +151,7 @@ func runEditDist(args []string) error {
 	return nil
 }
 
-func runFilter(args []string) error {
+func runFilter(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("filter", flag.ExitOnError)
 	region := fs.String("region", "", "candidate reference region")
 	read := fs.String("read", "", "read sequence")
@@ -163,7 +167,11 @@ func runFilter(args []string) error {
 	if err != nil {
 		return err
 	}
-	ok, err := genasm.Filter(r, q, *k)
+	e, err := genasm.DefaultEngine()
+	if err != nil {
+		return err
+	}
+	ok, err := e.Filter(ctx, r, q, *k)
 	if err != nil {
 		return err
 	}
@@ -175,7 +183,7 @@ func runFilter(args []string) error {
 	return nil
 }
 
-func runSearch(args []string) error {
+func runSearch(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("search", flag.ExitOnError)
 	text := fs.String("text", "", "text to search (sequence or FASTA file)")
 	pattern := fs.String("pattern", "", "pattern to find")
@@ -205,7 +213,17 @@ func runSearch(args []string) error {
 	} else {
 		p = []byte(strings.ToUpper(*pattern))
 	}
-	matches, err := genasm.Search(alpha, t, p, *k)
+	e, err := genasm.NewEngine(genasm.WithAlphabet(alpha))
+	if err != nil {
+		return err
+	}
+	// Compile once: the CLI searches one text, but compiled patterns are
+	// the hot path when the same pattern scans many texts.
+	cp, err := e.Compile(p, *k)
+	if err != nil {
+		return err
+	}
+	matches, err := cp.Search(ctx, t)
 	if err != nil {
 		return err
 	}
@@ -216,7 +234,7 @@ func runSearch(args []string) error {
 	return nil
 }
 
-func runMap(args []string) error {
+func runMap(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("map", flag.ExitOnError)
 	refPath := fs.String("ref", "", "reference FASTA")
 	readsPath := fs.String("reads", "", "reads FASTA")
@@ -238,7 +256,9 @@ func runMap(args []string) error {
 	if len(refRecs) == 0 {
 		return fmt.Errorf("%s: no reference records", *refPath)
 	}
-	ref := seq.EncodeRecord(refRecs[0])
+	// EncodeRecord folds ambiguous bases, so decoding its output yields
+	// clean ACGT letters for the public API.
+	ref := alphabet.DNA.Decode(seq.EncodeRecord(refRecs[0]))
 
 	qf, err := os.Open(*readsPath)
 	if err != nil {
@@ -250,58 +270,41 @@ func runMap(args []string) error {
 		return err
 	}
 
-	m, err := mapper.New(ref, mapper.Config{SeedK: *seedK, ErrorRate: *errRate})
+	e, err := genasm.DefaultEngine()
+	if err != nil {
+		return err
+	}
+	m, err := e.NewMapper(ref, genasm.MapperConfig{
+		SeedK:     *seedK,
+		ErrorRate: *errRate,
+		RefName:   refRecs[0].Name,
+	})
 	if err != nil {
 		return err
 	}
 
-	var sw *sam.Writer
-	if *samOut {
-		sw = sam.NewWriter(os.Stdout)
-		if err := sw.WriteHeader(refRecs[0].Name, len(ref)); err != nil {
-			return err
-		}
-		defer sw.Flush()
+	reads := make([]genasm.Read, len(readRecs))
+	for i, rec := range readRecs {
+		reads[i] = genasm.Read{Name: rec.Name, Seq: alphabet.DNA.Decode(seq.EncodeRecord(rec))}
+	}
+	mappings, err := m.MapReads(ctx, reads)
+	if err != nil {
+		return err
 	}
 
-	for _, rec := range readRecs {
-		encoded, err := alphabet.DNA.Encode(rec.Seq)
-		if err != nil {
-			encoded = seq.EncodeRecord(rec)
-		}
-		mp, err := m.MapRead(encoded)
-		if err != nil {
-			return fmt.Errorf("read %s: %w", rec.Name, err)
-		}
-		if sw != nil {
-			r := sam.Record{QName: rec.Name, Seq: encoded}
-			if !mp.Mapped {
-				r.Flag = sam.FlagUnmapped
-			} else {
-				r.RName = refRecs[0].Name
-				r.Pos = mp.Pos + 1
-				r.MapQ = 60
-				r.Cigar = mp.Cigar
-				r.EditDistance = mp.Distance
-				r.Score = cigar.Minimap2.Score(mp.Cigar)
-				if mp.RevComp {
-					r.Flag |= sam.FlagReverse
-				}
-			}
-			if err := sw.WriteRecord(r); err != nil {
-				return err
-			}
-			continue
-		}
+	if *samOut {
+		return m.WriteSAM(os.Stdout, mappings)
+	}
+	for _, mp := range mappings {
 		if !mp.Mapped {
-			fmt.Printf("%s\tunmapped\n", rec.Name)
+			fmt.Printf("%s\tunmapped\n", mp.Name)
 			continue
 		}
 		strand := "+"
 		if mp.RevComp {
 			strand = "-"
 		}
-		fmt.Printf("%s\t%d\t%s\tNM:%d\t%s\n", rec.Name, mp.Pos, strand, mp.Distance, mp.Cigar.Format(false))
+		fmt.Printf("%s\t%d\t%s\tNM:%d\t%s\n", mp.Name, mp.Pos, strand, mp.Distance, mp.ClassicCIGAR)
 	}
 	return nil
 }

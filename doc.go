@@ -6,30 +6,60 @@
 // traceback), together with a model of the paper's systolic-array hardware
 // accelerator.
 //
-// The package exposes the paper's three evaluated use cases:
+// # Engine
 //
-//   - read alignment: Aligner.Align / Aligner.AlignGlobal produce a CIGAR
+// Engine is the single front door to every use case the paper evaluates.
+// It is built once with NewEngine (functional options configure alphabet,
+// windowing and pool sizing), is safe for concurrent use by any number of
+// goroutines, and serves every call context-first: all alignment work
+// draws reusable workspaces from a sharded, capacity-bounded pool — the
+// software analogue of the accelerator's one-GenASM-unit-per-vault layout
+// (Section 7) — and a context that ends while the pool is saturated
+// returns ctx.Err() promptly.
+//
+//   - read alignment: Engine.Align / Engine.AlignGlobal produce a CIGAR
 //     and edit distance for a query against a reference region of any
 //     length;
-//   - pre-alignment filtering: Filter gives a fast accept/reject decision
-//     for a (region, read) pair under an edit distance threshold;
-//   - edit distance calculation: EditDistance works on sequences of
-//     arbitrary length through the divide-and-conquer windows.
+//   - edit distance: Engine.EditDistance works on sequences of arbitrary
+//     length through the divide-and-conquer windows (Section 10.4);
+//   - pre-alignment filtering: Engine.Filter gives a fast accept/reject
+//     decision for a (region, read) pair under an edit distance threshold
+//     (Section 10.3), drawing scratch from an engine-owned pool;
+//   - generic text search: Engine.Search scans any alphabet, including raw
+//     Bytes (Section 11); Engine.Compile returns a CompiledPattern that
+//     amortizes the pattern pre-processing across repeated Search/Filter
+//     calls on one pattern;
+//   - batch alignment: Engine.AlignBatch streams jobs through the engine's
+//     pool with per-job error reporting;
+//   - read mapping: Engine.NewMapper indexes a reference and returns a
+//     concurrency-safe Mapper running the full Figure 1 pipeline (seeding,
+//     optional GenASM-DC filtering, GenASM alignment) with SAM output;
+//     Engine.Map is the one-shot convenience.
 //
-// Generic text search over arbitrary byte alphabets (Section 11 of the
-// paper) is available through Search, and Accelerator models the
-// performance, area and power of the hardware design.
+// Inputs are ASCII letters of the engine's alphabet (e.g. "ACGT" for DNA);
+// letters outside it are reported as *AlphabetError. Accelerator models
+// the performance, area and power of the hardware design.
 //
-// For concurrent serving, Pool is a concurrency-safe Aligner backed by a
-// sharded pool of reusable workspaces — the software analogue of the
-// accelerator's one-GenASM-unit-per-vault parallelism — so any number of
-// goroutines can share one Pool instead of holding an Aligner each. The
-// genasm-serve command (cmd/genasm-serve) exposes the Pool as a
-// long-running HTTP JSON service with align, batch and read-mapping
+// # Migrating from the pre-Engine API
+//
+// Aligner, Pool and the free functions remain as deprecated shims over
+// Engine, so existing callers compile unchanged:
+//
+//	NewAligner(cfg)             ->  NewEngine(WithConfig(cfg))
+//	Aligner.Align(t, q)         ->  Engine.Align(ctx, t, q)
+//	NewPool(PoolConfig{...})    ->  NewEngine(WithConfig(...), WithShards(n), WithMaxWorkspaces(m))
+//	Pool.AlignContext(ctx,t,q)  ->  Engine.Align(ctx, t, q)
+//	EditDistance(a, b)          ->  Engine.EditDistance(ctx, a, b)
+//	AlignBatch(cfg, jobs, n)    ->  Engine.AlignBatch(ctx, jobs)
+//	Search(alpha, t, p, k)      ->  Engine.Search(ctx, t, p, k) or Engine.Compile(p, k)
+//	Filter(region, read, k)     ->  Engine.Filter(ctx, region, read, k)
+//	internal read mapping       ->  Engine.NewMapper / Engine.Map
+//
+// # Serving
+//
+// The genasm-serve command (cmd/genasm-serve) exposes one shared Engine as
+// a long-running HTTP JSON service with align, batch and read-mapping
 // endpoints, bounded admission queueing (429 on overload) and graceful
-// shutdown; see internal/server for the API.
-//
-// Sequences are passed as ASCII letters (e.g. "ACGT" for the default DNA
-// alphabet) and are encoded internally. The underlying algorithm packages
-// live in internal/ and operate on dense codes.
+// shutdown; see internal/server for the API. The underlying algorithm
+// packages live in internal/ and operate on dense codes.
 package genasm

@@ -1,0 +1,190 @@
+package genasm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/bitap"
+	"genasm/internal/core"
+	"genasm/internal/pool"
+)
+
+// AlphabetError reports an input that cannot be encoded in an engine's
+// alphabet — the typed form of every "invalid character" failure the public
+// API can produce, so callers can distinguish bad sequences from other
+// errors with errors.As.
+type AlphabetError struct {
+	// Alphabet is the alphabet the input was checked against.
+	Alphabet Alphabet
+	// Input names the offending argument ("text", "query", "pattern", ...).
+	Input string
+	// Err is the underlying encode error, naming the character and position.
+	Err error
+}
+
+// Error implements error.
+func (e *AlphabetError) Error() string {
+	return fmt.Sprintf("genasm: %s: %v", e.Input, e.Err)
+}
+
+// Unwrap exposes the underlying encode error.
+func (e *AlphabetError) Unwrap() error { return e.Err }
+
+// Engine is the single front door to every GenASM use case: read alignment
+// (Align, AlignGlobal), edit distance (EditDistance), approximate text
+// search (Search, Compile), pre-alignment filtering (Filter), batch
+// alignment (AlignBatch) and read mapping (Map, NewMapper).
+//
+// An Engine is safe for concurrent use by any number of goroutines: all
+// alignment work draws reusable workspaces from a sharded, capacity-bounded
+// pool — the software analogue of the accelerator's fixed count of per-vault
+// GenASM units (Section 7). Every method takes a context and returns
+// ctx.Err() promptly when the context ends while the pool is saturated.
+//
+// Build one with NewEngine and share it; the zero value is not usable.
+type Engine struct {
+	cfg  Config
+	a    *alphabet.Alphabet
+	pool *pool.Pool
+
+	// scratch pools multi-word Bitap searchers for Search and Filter, so
+	// those hot paths reuse mask and row storage across calls instead of
+	// reallocating per invocation.
+	scratch sync.Pool
+}
+
+// newEngine is the shared constructor behind NewEngine and the deprecated
+// Aligner/Pool shims.
+func newEngine(cfg Config, shards, maxWorkspaces int) (*Engine, error) {
+	coreCfg := cfg.coreConfig()
+	p, err := pool.New(pool.Config{
+		Core:          coreCfg,
+		Shards:        shards,
+		MaxWorkspaces: maxWorkspaces,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, a: coreCfg.Alphabet, pool: p}, nil
+}
+
+// Config returns the engine's alignment configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Alphabet returns the engine's alphabet.
+func (e *Engine) Alphabet() Alphabet { return e.cfg.Alphabet }
+
+// Capacity is the maximum number of concurrently running alignments.
+func (e *Engine) Capacity() int { return e.pool.Config().MaxWorkspaces }
+
+// Stats snapshots the underlying workspace pool counters.
+func (e *Engine) Stats() PoolStats { return e.pool.Stats() }
+
+// encode lifts letters into dense codes, wrapping failures in the typed
+// AlphabetError.
+func (e *Engine) encode(input string, s []byte) ([]byte, error) {
+	enc, err := e.a.Encode(s)
+	if err != nil {
+		return nil, &AlphabetError{Alphabet: e.cfg.Alphabet, Input: input, Err: err}
+	}
+	return enc, nil
+}
+
+// Align aligns query against text semi-globally: the query is consumed in
+// full, the text may end early (and may start late with Config.SearchStart).
+// This is the read alignment use case: text is the candidate reference
+// region, query is the read.
+func (e *Engine) Align(ctx context.Context, text, query []byte) (Alignment, error) {
+	return e.run(ctx, text, query, false)
+}
+
+// AlignGlobal aligns query against text end to end; Distance is then the
+// (upper-bound, almost always exact — see package tests) edit distance
+// between the two sequences.
+func (e *Engine) AlignGlobal(ctx context.Context, text, query []byte) (Alignment, error) {
+	return e.run(ctx, text, query, true)
+}
+
+// EditDistance returns the edit distance between two sequences of arbitrary
+// length (the Section 10.4 use case).
+func (e *Engine) EditDistance(ctx context.Context, a, b []byte) (int, error) {
+	aln, err := e.AlignGlobal(ctx, a, b)
+	if err != nil {
+		return 0, err
+	}
+	return aln.Distance, nil
+}
+
+func (e *Engine) run(ctx context.Context, text, query []byte, global bool) (Alignment, error) {
+	encText, err := e.encode("text", text)
+	if err != nil {
+		return Alignment{}, err
+	}
+	encQuery, err := e.encode("query", query)
+	if err != nil {
+		return Alignment{}, err
+	}
+	return e.runEncoded(ctx, encText, encQuery, global)
+}
+
+// runEncoded aligns already-encoded sequences through the workspace pool —
+// the one alignment dispatch shared by Align/AlignGlobal and AlignBatch.
+func (e *Engine) runEncoded(ctx context.Context, encText, encQuery []byte, global bool) (Alignment, error) {
+	var out Alignment
+	err := e.pool.Do(ctx, func(ws *core.Workspace) error {
+		var aln core.Alignment
+		var alignErr error
+		if global {
+			aln, alignErr = ws.AlignGlobal(encText, encQuery)
+		} else {
+			aln, alignErr = ws.Align(encText, encQuery)
+		}
+		if alignErr != nil {
+			return alignErr
+		}
+		out = alignmentFromCore(aln)
+		return nil
+	})
+	return out, err
+}
+
+// searcher checks a reusable multi-word searcher out of the engine's
+// scratch pool, re-targeted at (pattern, k). Return it with putSearcher.
+func (e *Engine) searcher(encPattern []byte, k int) (*bitap.MultiWord, error) {
+	if mw, ok := e.scratch.Get().(*bitap.MultiWord); ok {
+		if err := mw.Reset(encPattern, k); err != nil {
+			return nil, err
+		}
+		return mw, nil
+	}
+	return bitap.NewMultiWord(e.a, encPattern, k)
+}
+
+func (e *Engine) putSearcher(mw *bitap.MultiWord) { e.scratch.Put(mw) }
+
+// defaultEngines backs the package-level convenience functions: one
+// lazily-built default engine per alphabet.
+var defaultEngines [4]struct {
+	once sync.Once
+	e    *Engine
+	err  error
+}
+
+// defaultEngine returns the shared default-configuration engine for an
+// alphabet.
+func defaultEngine(a Alphabet) (*Engine, error) {
+	if a < DNA || a > Bytes {
+		a = DNA
+	}
+	d := &defaultEngines[a]
+	d.once.Do(func() {
+		d.e, d.err = newEngine(Config{Alphabet: a}, 0, 0)
+	})
+	return d.e, d.err
+}
+
+// DefaultEngine returns the lazily-built package-level Engine (default DNA
+// configuration) shared by the package-level convenience functions.
+func DefaultEngine() (*Engine, error) { return defaultEngine(DNA) }

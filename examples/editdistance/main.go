@@ -1,19 +1,20 @@
 // Edit distance at scale: the paper's third use case (Section 10.4).
-// Compares GenASM's windowed DC+TB against Myers' bit-vector algorithm
-// (the core of Edlib) on long sequence pairs across similarity levels —
-// the shape of Figure 14.
+// Compares GenASM's windowed DC+TB (through the public Engine API) against
+// Myers' bit-vector algorithm (the core of Edlib) on long sequence pairs
+// across similarity levels — the shape of Figure 14.
 //
 // Run with: go run ./examples/editdistance
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
 	"time"
 
+	"genasm"
 	"genasm/internal/alphabet"
-	"genasm/internal/core"
 	"genasm/internal/myers"
 	"genasm/internal/seq"
 )
@@ -38,8 +39,9 @@ func mutate(rng *rand.Rand, s []byte, similarity float64) []byte {
 }
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewPCG(7, 7))
-	ws, err := core.New(core.Config{})
+	e, err := genasm.NewEngine()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,8 +60,12 @@ func main() {
 		}
 		myersT := time.Since(t0)
 
+		// The engine takes letters; decoding is outside the timed section
+		// so both sides measure pure distance calculation.
+		al := alphabet.DNA.Decode(a)
+		bl := alphabet.DNA.Decode(b)
 		t0 = time.Now()
-		got, err := ws.EditDistance(a, b)
+		got, err := e.EditDistance(ctx, al, bl)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,10 +1,11 @@
 // Quickstart: align a read against a reference region with GenASM and
-// inspect the traceback, using only the public API.
+// inspect the traceback, using only the public Engine API.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,13 +13,18 @@ import (
 )
 
 func main() {
-	// The paper's running example (Figure 3/6): pattern CTGA against text
-	// CGTGA contains one deletion.
-	al, err := genasm.NewAligner(genasm.Config{})
+	ctx := context.Background()
+
+	// One Engine serves every use case and is safe to share between any
+	// number of goroutines.
+	e, err := genasm.NewEngine()
 	if err != nil {
 		log.Fatal(err)
 	}
-	aln, err := al.AlignGlobal([]byte("CGTGA"), []byte("CTGA"))
+
+	// The paper's running example (Figure 3/6): pattern CTGA against text
+	// CGTGA contains one deletion.
+	aln, err := e.AlignGlobal(ctx, []byte("CGTGA"), []byte("CTGA"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +35,7 @@ func main() {
 	// candidate region.
 	region := []byte("TTACGGATCGTTGCAATCGGATCGATTACAGGCTTAACGGATCCTAGGACCAGTTACGGATCGTTGCAATCGGATCGATTACAGGCTTAACGGATCCTAGGACCAGAAACCCGGG")
 	read := []byte("TTACGGATCGTTGCAATCGGATCGATTACAGGCTTAACGGATCCTAGGACCAGTTACGGATCGTTGCTATCGGATCGATTACAGGCTTAACGGATTCTAGGACCAG")
-	aln, err = al.Align(region, read)
+	aln, err = e.Align(ctx, region, read)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,14 +48,14 @@ func main() {
 		aln.Score(genasm.ScoringBWAMEM), aln.Score(genasm.ScoringMinimap2))
 
 	// Edit distance between arbitrary-length sequences.
-	d, err := genasm.EditDistance([]byte("GATTACAGATTACA"), []byte("GATTACAGTTTACA"))
+	d, err := e.EditDistance(ctx, []byte("GATTACAGATTACA"), []byte("GATTACAGTTTACA"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("edit distance: %d\n", d)
 
 	// Pre-alignment filtering: should this pair go to full alignment?
-	ok, err := genasm.Filter(region, read, 8)
+	ok, err := e.Filter(ctx, region, read, 8)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,28 +1,37 @@
 // Read mapping end to end: simulate a genome and reads, then run the full
 // four-step pipeline of the paper's Figure 1 — indexing, seeding,
 // pre-alignment filtering (GenASM-DC) and read alignment (GenASM DC+TB) —
-// and score the mappings against the simulation ground truth.
+// through the public Engine.NewMapper API and score the mappings against
+// the simulation ground truth.
 //
 // Run with: go run ./examples/readmapping
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
 	"time"
 
-	"genasm/internal/filter"
-	"genasm/internal/mapper"
+	"genasm"
+	"genasm/internal/alphabet"
 	"genasm/internal/seq"
 	"genasm/internal/simulate"
 )
 
 func main() {
+	ctx := context.Background()
 	rng := rand.New(rand.NewPCG(42, 0))
 
 	fmt.Println("generating a 500 kbp synthetic genome with repeats...")
 	genome := seq.Genome(rng, seq.DefaultGenomeConfig(500_000))
+	genomeLetters := alphabet.DNA.Decode(genome)
+
+	e, err := genasm.NewEngine(genasm.WithSearchStart(true))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	datasets := []struct {
 		profile simulate.Profile
@@ -34,46 +43,60 @@ func main() {
 	}
 
 	for _, d := range datasets {
-		reads, err := simulate.Reads(rng, genome, d.n, d.profile, true)
+		simReads, err := simulate.Reads(rng, genome, d.n, d.profile, true)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rs := make([][]byte, len(reads))
-		truePos := make([]int, len(reads))
-		for i, r := range reads {
-			rs[i] = r.Seq
+		reads := make([]genasm.Read, len(simReads))
+		truePos := make([]int, len(simReads))
+		for i, r := range simReads {
+			reads[i] = genasm.Read{
+				Name: fmt.Sprintf("sim%d", i),
+				Seq:  alphabet.DNA.Decode(r.Seq),
+			}
 			truePos[i] = r.Pos
 		}
 
 		// Pre-alignment filtering is a short-read step (Section 8); long
 		// reads go straight from seeding to alignment.
-		var flt filter.Filter
-		if d.profile.ReadLen <= 1000 {
-			flt = filter.GenASMDC{}
-		}
-		m, err := mapper.New(genome, mapper.Config{
+		m, err := e.NewMapper(genomeLetters, genasm.MapperConfig{
 			SeedK:     d.seedK,
 			ErrorRate: d.profile.ErrorRate,
-			Filter:    flt,
+			Prefilter: d.profile.ReadLen <= 1000,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 
 		start := time.Now()
-		_, st, err := m.MapAll(rs, truePos, 64)
+		mappings, err := m.MapReads(ctx, reads)
 		if err != nil {
 			log.Fatal(err)
 		}
 		elapsed := time.Since(start)
 
+		var mapped, correct, candidates, filtered, aligned, totalEdits int
+		for i, mp := range mappings {
+			candidates += mp.Candidates
+			filtered += mp.Filtered
+			aligned += mp.Aligned
+			if !mp.Mapped {
+				continue
+			}
+			mapped++
+			totalEdits += mp.Distance
+			if diff := mp.Pos - truePos[i]; diff >= -64 && diff <= 64 {
+				correct++
+			}
+		}
+
 		fmt.Printf("\n== %s: %d reads ==\n", d.profile.Name, d.n)
-		fmt.Printf("mapped:     %d/%d\n", st.Mapped, st.Reads)
-		fmt.Printf("correct:    %d/%d (within 64 bp of truth)\n", st.Correct, st.Reads)
+		fmt.Printf("mapped:     %d/%d\n", mapped, len(reads))
+		fmt.Printf("correct:    %d/%d (within 64 bp of truth)\n", correct, len(reads))
 		fmt.Printf("candidates: %d tried, %d filtered out, %d aligned\n",
-			st.Candidates, st.Filtered, st.Aligned)
-		fmt.Printf("avg edits:  %.1f per mapped read\n", float64(st.TotalEdits)/float64(max(1, st.Mapped)))
+			candidates, filtered, aligned)
+		fmt.Printf("avg edits:  %.1f per mapped read\n", float64(totalEdits)/float64(max(1, mapped)))
 		fmt.Printf("time:       %s (%.0f reads/s, single thread)\n",
-			elapsed.Round(time.Millisecond), float64(st.Reads)/elapsed.Seconds())
+			elapsed.Round(time.Millisecond), float64(len(reads))/elapsed.Seconds())
 	}
 }

@@ -1,12 +1,15 @@
 // Generic text search: the paper's Section 11 extension — the GenASM
 // pattern-bitmask pre-processing generalizes from {A,C,G,T} to any
 // alphabet, enabling approximate search over plain text and protein
-// sequences with no change to the distance calculation step.
+// sequences with no change to the distance calculation step. Patterns that
+// scan repeatedly are compiled once with Engine.Compile so the bitmask
+// pre-processing is amortized across calls.
 //
 // Run with: go run ./examples/textsearch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,11 +17,17 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Approximate search in English text (Bytes alphabet).
+	bytesEngine, err := genasm.NewEngine(genasm.WithAlphabet(genasm.Bytes))
+	if err != nil {
+		log.Fatal(err)
+	}
 	text := []byte(`It was the best of times, it was the wurst of times, ` +
 		`it was the age of wisdom, it was the age of foolishnes`)
 	fmt.Println("== fuzzy search for \"worst\" with up to 1 edit ==")
-	matches, err := genasm.Search(genasm.Bytes, text, []byte("worst"), 1)
+	matches, err := bytesEngine.Search(ctx, text, []byte("worst"), 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,8 +35,14 @@ func main() {
 		fmt.Printf("  pos %3d  dist %d  %q\n", m.Pos, m.Distance, text[m.Pos:min(len(text), m.Pos+5)])
 	}
 
-	fmt.Println("\n== fuzzy search for \"foolishness\" with up to 1 edit ==")
-	matches, err = genasm.Search(genasm.Bytes, text, []byte("foolishness"), 1)
+	// A compiled pattern amortizes the pattern pre-processing when the
+	// same pattern scans many texts.
+	fmt.Println("\n== compiled fuzzy search for \"foolishness\" with up to 1 edit ==")
+	cp, err := bytesEngine.Compile([]byte("foolishness"), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	matches, err = cp.Search(ctx, text)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,10 +51,14 @@ func main() {
 	}
 
 	// Protein search: the 20-letter amino acid alphabet.
+	proteinEngine, err := genasm.NewEngine(genasm.WithAlphabet(genasm.Protein))
+	if err != nil {
+		log.Fatal(err)
+	}
 	protein := []byte("MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEKAVQVKVKALPDAQFEVVHSLAKWKRQTLGQHDFSAGEGLYTHMKALRPDEDRLSPLHSVYVDQWDWE")
 	query := []byte("KSHFSRQLEERLGLIEV") // exact fragment
 	fmt.Println("\n== protein fragment search, exact ==")
-	matches, err = genasm.Search(genasm.Protein, protein, query, 0)
+	matches, err = proteinEngine.Search(ctx, protein, query, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +69,7 @@ func main() {
 	// The same fragment with two mutations still hits within 2 edits.
 	mutated := []byte("KSHFSRALEERLGLIDV")
 	fmt.Println("\n== protein fragment search, 2 mutations, k=2 ==")
-	matches, err = genasm.Search(genasm.Protein, protein, mutated, 2)
+	matches, err = proteinEngine.Search(ctx, protein, mutated, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,11 +78,11 @@ func main() {
 	}
 
 	// Aligning RNA works the same way.
-	al, err := genasm.NewAligner(genasm.Config{Alphabet: genasm.RNA})
+	rnaEngine, err := genasm.NewEngine(genasm.WithAlphabet(genasm.RNA))
 	if err != nil {
 		log.Fatal(err)
 	}
-	aln, err := al.AlignGlobal([]byte("AUGGCUAGCUAA"), []byte("AUGGCAGCUAA"))
+	aln, err := rnaEngine.AlignGlobal(ctx, []byte("AUGGCUAGCUAA"), []byte("AUGGCAGCUAA"))
 	if err != nil {
 		log.Fatal(err)
 	}

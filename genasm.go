@@ -1,6 +1,7 @@
 package genasm
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -48,7 +49,7 @@ func ParseAlphabet(name string) (Alphabet, error) {
 	return DNA, fmt.Errorf("genasm: unknown alphabet %q", name)
 }
 
-// Config parameterizes an Aligner. The zero value is the paper's setup:
+// Config parameterizes an Engine. The zero value is the paper's setup:
 // DNA alphabet, window size 64, overlap 24, affine-gap-aware traceback.
 type Config struct {
 	// Alphabet of the input sequences.
@@ -134,80 +135,59 @@ var (
 	ScoringMinimap2 = Scoring{Match: 2, Mismatch: -4, GapOpen: -4, GapExtend: -2}
 )
 
-// Aligner aligns queries against texts with the GenASM algorithms. An
-// Aligner owns reusable scratch memory (the software analogue of one
-// accelerator's SRAMs) and is not safe for concurrent use; create one per
-// goroutine.
+// Aligner aligns queries against texts with the GenASM algorithms.
+//
+// Deprecated: Aligner predates Engine, which serves the same calls
+// context-first and safely from any number of goroutines. Use NewEngine;
+// an Aligner is now a single-workspace Engine.
 type Aligner struct {
-	cfg Config
-	ws  *core.Workspace
-	a   *alphabet.Alphabet
+	e *Engine
 }
 
 // NewAligner builds an Aligner.
+//
+// Deprecated: use NewEngine.
 func NewAligner(cfg Config) (*Aligner, error) {
-	coreCfg := cfg.coreConfig()
-	ws, err := core.New(coreCfg)
+	e, err := newEngine(cfg, 1, 1)
 	if err != nil {
 		return nil, err
 	}
-	return &Aligner{cfg: cfg, ws: ws, a: coreCfg.Alphabet}, nil
+	return &Aligner{e: e}, nil
 }
 
-// Align aligns query against text semi-globally: the query is consumed in
-// full, the text may end early (and may start late with
-// Config.SearchStart). This is the read alignment use case: text is the
-// candidate reference region, query is the read.
+// Align aligns query against text semi-globally (see Engine.Align).
+//
+// Deprecated: use Engine.Align.
 func (al *Aligner) Align(text, query []byte) (Alignment, error) {
-	return al.run(text, query, false)
+	return al.e.Align(context.Background(), text, query)
 }
 
-// AlignGlobal aligns query against text end to end; Distance is then the
-// (upper-bound, almost always exact — see package tests) edit distance
-// between the two sequences.
+// AlignGlobal aligns query against text end to end (see
+// Engine.AlignGlobal).
+//
+// Deprecated: use Engine.AlignGlobal.
 func (al *Aligner) AlignGlobal(text, query []byte) (Alignment, error) {
-	return al.run(text, query, true)
+	return al.e.AlignGlobal(context.Background(), text, query)
 }
 
 // EditDistance returns the edit distance between two sequences of
-// arbitrary length (the Section 10.4 use case).
+// arbitrary length (see Engine.EditDistance).
+//
+// Deprecated: use Engine.EditDistance.
 func (al *Aligner) EditDistance(a, b []byte) (int, error) {
-	aln, err := al.AlignGlobal(a, b)
-	if err != nil {
-		return 0, err
-	}
-	return aln.Distance, nil
-}
-
-func (al *Aligner) run(text, query []byte, global bool) (Alignment, error) {
-	encText, err := al.a.Encode(text)
-	if err != nil {
-		return Alignment{}, fmt.Errorf("genasm: text: %w", err)
-	}
-	encQuery, err := al.a.Encode(query)
-	if err != nil {
-		return Alignment{}, fmt.Errorf("genasm: query: %w", err)
-	}
-	var aln core.Alignment
-	if global {
-		aln, err = al.ws.AlignGlobal(encText, encQuery)
-	} else {
-		aln, err = al.ws.Align(encText, encQuery)
-	}
-	if err != nil {
-		return Alignment{}, err
-	}
-	return alignmentFromCore(aln), nil
+	return al.e.EditDistance(context.Background(), a, b)
 }
 
 // EditDistance is a convenience wrapper: DNA alphabet, default
-// configuration. It draws scratch memory from the package-level default
-// Pool, so it is safe for concurrent use and does not allocate a fresh
-// workspace per call.
+// configuration, scratch drawn from the shared default engine, safe for
+// concurrent use.
+//
+// Deprecated: use Engine.EditDistance on a long-lived Engine (DefaultEngine
+// returns the shared default one).
 func EditDistance(a, b []byte) (int, error) {
-	p, err := DefaultPool()
+	e, err := DefaultEngine()
 	if err != nil {
 		return 0, err
 	}
-	return p.EditDistance(a, b)
+	return e.EditDistance(context.Background(), a, b)
 }

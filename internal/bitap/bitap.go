@@ -119,9 +119,13 @@ type MultiWord struct {
 	nw int
 
 	// Scratch reused across Search calls (one row per distance level).
-	r    [][]uint64
-	oldR [][]uint64
-	k    int
+	// The row headers slice into the flat backing arrays so Reset can
+	// re-shape them for a new (pattern, k) without reallocating.
+	r        [][]uint64
+	oldR     [][]uint64
+	flatR    []uint64
+	flatOldR []uint64
+	k        int
 
 	// endPad enables phantom end-padding (see SetEndPadding).
 	endPad bool
@@ -144,11 +148,56 @@ func NewMultiWord(a *alphabet.Alphabet, pattern []byte, k int) (*MultiWord, erro
 		nw: bitvec.Words(len(pattern)),
 		k:  k,
 	}
-	mw.r = newRows(k+1, mw.nw)
-	mw.oldR = newRows(k+1, mw.nw)
-	mw.ones = make([]uint64, mw.nw)
-	bitvec.Fill(mw.ones, ^uint64(0))
+	mw.sizeScratch()
 	return mw, nil
+}
+
+// Clone returns a searcher that shares the receiver's pattern masks (the
+// expensive pre-processing of Algorithm 1, line 4) but owns private scratch
+// rows, so clones of one compiled pattern can search concurrently. Clones
+// must not be Reset: the shared masks would be regenerated under readers.
+func (mw *MultiWord) Clone() *MultiWord {
+	c := &MultiWord{a: mw.a, pm: mw.pm, m: mw.m, nw: mw.nw, k: mw.k, endPad: mw.endPad}
+	c.sizeScratch()
+	return c
+}
+
+// Reset re-targets the searcher at a new encoded pattern and threshold,
+// reusing mask and row storage where capacity allows — the allocation-free
+// path for scratch pools that serve many different patterns. It must not
+// be called on a searcher whose masks are shared with a Clone.
+func (mw *MultiWord) Reset(pattern []byte, k int) error {
+	if len(pattern) == 0 {
+		return errors.New("bitap: empty pattern")
+	}
+	if k < 0 {
+		return fmt.Errorf("bitap: negative edit distance threshold %d", k)
+	}
+	mw.pm.GenerateInto(mw.a, pattern)
+	mw.m = len(pattern)
+	mw.nw = bitvec.Words(len(pattern))
+	mw.k = k
+	mw.sizeScratch()
+	return nil
+}
+
+// sizeScratch (re)shapes the row headers and the end-padding mask for the
+// current (m, nw, k), growing the flat backing arrays only when needed.
+func (mw *MultiWord) sizeScratch() {
+	rows := mw.k + 1
+	need := rows * mw.nw
+	if cap(mw.flatR) < need {
+		mw.flatR = make([]uint64, need)
+		mw.flatOldR = make([]uint64, need)
+	}
+	mw.flatR = mw.flatR[:need]
+	mw.flatOldR = mw.flatOldR[:need]
+	mw.r = sliceRows(mw.r[:0], mw.flatR, rows, mw.nw)
+	mw.oldR = sliceRows(mw.oldR[:0], mw.flatOldR, rows, mw.nw)
+	if len(mw.ones) < mw.nw {
+		mw.ones = make([]uint64, mw.nw)
+		bitvec.Fill(mw.ones, ^uint64(0))
+	}
 }
 
 // SetEndPadding toggles phantom end-padding. The right-to-left Bitap scan
@@ -167,13 +216,12 @@ func NewMultiWord(a *alphabet.Alphabet, pattern []byte, k int) (*MultiWord, erro
 // default.
 func (mw *MultiWord) SetEndPadding(on bool) { mw.endPad = on }
 
-func newRows(n, nw int) [][]uint64 {
-	flat := make([]uint64, n*nw)
-	rows := make([][]uint64, n)
-	for i := range rows {
-		rows[i] = flat[i*nw : (i+1)*nw]
+// sliceRows appends n row headers of width nw into flat onto dst.
+func sliceRows(dst [][]uint64, flat []uint64, n, nw int) [][]uint64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, flat[i*nw:(i+1)*nw])
 	}
-	return rows
+	return dst
 }
 
 // Pattern length in characters.

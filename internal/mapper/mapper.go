@@ -7,6 +7,7 @@
 package mapper
 
 import (
+	"context"
 	"fmt"
 
 	"genasm/internal/cigar"
@@ -25,6 +26,23 @@ type Aligner interface {
 	// AlignRegion aligns read (fully consumed) against region; start is
 	// the offset within region where the alignment begins.
 	AlignRegion(region, read []byte) (cg cigar.Cigar, start int, err error)
+}
+
+// ContextAligner is an Aligner that can honor context cancellation — e.g.
+// one drawing scratch from a bounded workspace pool, where a saturated pool
+// should return ctx.Err() instead of blocking a mapping pipeline forever.
+// MapReadContext prefers this method when the alignment step provides it.
+type ContextAligner interface {
+	Aligner
+	AlignRegionContext(ctx context.Context, region, read []byte) (cg cigar.Cigar, start int, err error)
+}
+
+// alignRegion dispatches to the context-aware alignment step when available.
+func alignRegion(ctx context.Context, a Aligner, region, read []byte) (cigar.Cigar, int, error) {
+	if ca, ok := a.(ContextAligner); ok {
+		return ca.AlignRegionContext(ctx, region, read)
+	}
+	return a.AlignRegion(region, read)
 }
 
 // GenASMAligner is the paper's accelerator algorithm as the alignment step.
@@ -190,6 +208,13 @@ func (m *Mapper) Index() *index.Index { return m.idx }
 // MapRead maps one encoded read, trying both strands, and returns the
 // lowest-edit-distance alignment across all surviving candidates.
 func (m *Mapper) MapRead(read []byte) (Mapping, error) {
+	return m.MapReadContext(context.Background(), read)
+}
+
+// MapReadContext is MapRead with cancellation: it checks ctx between
+// candidates and returns ctx.Err() as soon as the context ends (including
+// when a ContextAligner alignment step reports it).
+func (m *Mapper) MapReadContext(ctx context.Context, read []byte) (Mapping, error) {
 	if len(read) < m.cfg.SeedK {
 		return Mapping{}, fmt.Errorf("mapper: read length %d below seed length %d", len(read), m.cfg.SeedK)
 	}
@@ -229,6 +254,9 @@ strands:
 			r = seq.ReverseComplement(read)
 		}
 		for _, cand := range m.idx.CandidateLocations(r[:seedLen], m.cfg.MaxCandidates) {
+			if err := ctx.Err(); err != nil {
+				return Mapping{}, err
+			}
 			best.Candidates++
 			// Candidate anchors are near-exact (the seeding step reports
 			// the most-voted exact start), so only a small leading slack
@@ -249,10 +277,13 @@ strands:
 				}
 			}
 			best.Aligned++
-			cg, off, err := m.cfg.Aligner.AlignRegion(region, r)
+			cg, off, err := alignRegion(ctx, m.cfg.Aligner, region, r)
 			if err != nil {
-				// A single over-budget candidate is not fatal; try the
-				// next one.
+				// Cancellation must surface; a single over-budget
+				// candidate is not fatal and the next one is tried.
+				if ctx.Err() != nil {
+					return Mapping{}, ctx.Err()
+				}
 				continue
 			}
 			if d := cg.EditDistance(); d <= rejectAbove && d < best.Distance {
@@ -287,13 +318,18 @@ type Stats struct {
 // MapAll maps a simulated read set and scores positional correctness
 // against the ground truth within the given tolerance.
 func (m *Mapper) MapAll(reads [][]byte, truePos []int, tol int) ([]Mapping, Stats, error) {
+	return m.MapAllContext(context.Background(), reads, truePos, tol)
+}
+
+// MapAllContext is MapAll with cancellation.
+func (m *Mapper) MapAllContext(ctx context.Context, reads [][]byte, truePos []int, tol int) ([]Mapping, Stats, error) {
 	if truePos != nil && len(truePos) != len(reads) {
 		return nil, Stats{}, fmt.Errorf("mapper: %d reads but %d true positions", len(reads), len(truePos))
 	}
 	out := make([]Mapping, len(reads))
 	var st Stats
 	for i, r := range reads {
-		mp, err := m.MapRead(r)
+		mp, err := m.MapReadContext(ctx, r)
 		if err != nil {
 			return nil, Stats{}, fmt.Errorf("read %d: %w", i, err)
 		}

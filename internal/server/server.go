@@ -1,11 +1,11 @@
 // Package server exposes the GenASM alignment engine as a long-running
 // HTTP JSON service — the serving layer that turns the library into the
 // ROADMAP's production system. All alignment work is drained through a
-// shared genasm.Pool (the software analogue of the accelerator's fixed
+// shared genasm.Engine (the software analogue of the accelerator's fixed
 // count of per-vault GenASM units, Section 7), so concurrency is bounded
-// by the pool capacity and excess load queues in a bounded admission queue
-// rather than piling up goroutines; when the queue is full, requests are
-// rejected with 429 so clients can back off.
+// by the engine capacity and excess load queues in a bounded admission
+// queue rather than piling up goroutines; when the queue is full, requests
+// are rejected with 429 so clients can back off.
 //
 // Endpoints:
 //
@@ -24,47 +24,20 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"genasm"
-	"genasm/internal/alphabet"
-	"genasm/internal/cigar"
-	"genasm/internal/core"
-	"genasm/internal/mapper"
-	"genasm/internal/pool"
-	"genasm/internal/sam"
 )
 
-// pooledAligner is a concurrency-safe mapper.Aligner: the Mapper itself is
-// read-only after indexing, so drawing the scratch workspace from a pool
-// per AlignRegion call is all it takes to serve concurrent /v1/map
-// requests off one shared Mapper.
-type pooledAligner struct {
-	p *pool.Pool
-}
-
-func (a pooledAligner) Name() string { return "GenASM" }
-
-func (a pooledAligner) AlignRegion(region, read []byte) (cigar.Cigar, int, error) {
-	ws := a.p.Get()
-	defer a.p.Put(ws)
-	aln, err := ws.Align(region, read)
-	if err != nil {
-		return nil, 0, err
-	}
-	return aln.Cigar, aln.TextStart, nil
-}
-
 // Config parameterizes a Server. The zero values of the limits pick
-// sensible production defaults; Pool is required.
+// sensible production defaults; Engine is required.
 type Config struct {
-	// Pool is the shared alignment engine. Required.
-	Pool *genasm.Pool
+	// Engine is the shared alignment engine. Required.
+	Engine *genasm.Engine
 	// QueueDepth bounds the number of requests admitted to alignment
 	// work at once (in flight + queued waiting for a workspace). Further
-	// requests receive 429. Defaults to 4× the pool capacity.
+	// requests receive 429. Defaults to 4× the engine capacity.
 	QueueDepth int
 	// MaxBodyBytes caps a request body. Defaults to 8 MiB.
 	MaxBodyBytes int64
@@ -95,7 +68,7 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
-		c.QueueDepth = 4 * c.Pool.Capacity()
+		c.QueueDepth = 4 * c.Engine.Capacity()
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
@@ -126,11 +99,12 @@ type Server struct {
 	mux   *http.ServeMux
 	start time.Time
 
+	// mapEngine drives the /v1/map pipeline: read mapping is DNA-only and
+	// wants search-capable first windows, independent of how the serving
+	// engine is configured.
+	mapEngine *genasm.Engine
 	// preMapper is the startup-indexed mapper for a preloaded reference.
-	preMapper *mapper.Mapper
-	// mapPool supplies scratch workspaces to every mapper's alignment
-	// step so one shared Mapper can serve concurrent /v1/map requests.
-	mapPool *pool.Pool
+	preMapper *genasm.Mapper
 
 	requests   atomic.Uint64 // requests admitted to alignment work
 	alignments atomic.Uint64 // individual alignments/mapped reads served
@@ -141,8 +115,8 @@ type Server struct {
 
 // New builds a Server (and, when Config.Ref is set, indexes the reference).
 func New(cfg Config) (*Server, error) {
-	if cfg.Pool == nil {
-		return nil, errors.New("server: Config.Pool is required")
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -151,22 +125,18 @@ func New(cfg Config) (*Server, error) {
 		mux:   http.NewServeMux(),
 		start: time.Now(),
 	}
-	// The mapper's alignment step uses the paper's read-alignment setup
-	// (search in the first window); its pool is sized like the main one.
-	mp, err := pool.New(pool.Config{
-		Core:          core.Config{FindFirstWindowStart: true},
-		MaxWorkspaces: cfg.Pool.Capacity(),
-	})
+	// The mapping engine uses the paper's read-alignment setup (search in
+	// the first window) and is sized like the serving engine.
+	me, err := genasm.NewEngine(
+		genasm.WithSearchStart(true),
+		genasm.WithMaxWorkspaces(cfg.Engine.Capacity()),
+	)
 	if err != nil {
 		return nil, err
 	}
-	s.mapPool = mp
+	s.mapEngine = me
 	if len(cfg.Ref) > 0 {
-		enc, err := alphabet.DNA.Encode(cfg.Ref)
-		if err != nil {
-			return nil, fmt.Errorf("server: reference: %w", err)
-		}
-		m, err := s.newMapper(enc)
+		m, err := s.newMapper(cfg.Ref, cfg.RefName)
 		if err != nil {
 			return nil, fmt.Errorf("server: indexing reference: %w", err)
 		}
@@ -184,13 +154,13 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// newMapper indexes an encoded reference with the pool-backed alignment
-// step, so the returned Mapper is safe for concurrent MapRead calls.
-func (s *Server) newMapper(ref []byte) (*mapper.Mapper, error) {
-	return mapper.New(ref, mapper.Config{
+// newMapper indexes a reference (letters) on the mapping engine, so the
+// returned Mapper is safe for concurrent use.
+func (s *Server) newMapper(ref []byte, refName string) (*genasm.Mapper, error) {
+	return s.mapEngine.NewMapper(ref, genasm.MapperConfig{
 		SeedK:     s.cfg.MapSeedK,
 		ErrorRate: s.cfg.MapErrorRate,
-		Aligner:   pooledAligner{p: s.mapPool},
+		RefName:   refName,
 	})
 }
 
@@ -221,7 +191,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // admission --------------------------------------------------------------
 
 // acquireSlot admits the request to alignment work or rejects it with 429.
-// The bounded slot channel is the backpressure mechanism: pool capacity
+// The bounded slot channel is the backpressure mechanism: engine capacity
 // bounds concurrent alignments, QueueDepth bounds how many requests may
 // wait for a workspace, and everything beyond that is told to back off.
 func (s *Server) acquireSlot(w http.ResponseWriter) bool {
@@ -248,7 +218,7 @@ func (s *Server) releaseSlot() {
 // AlignRequest is the body of POST /v1/align and one job of /v1/batch.
 type AlignRequest struct {
 	// Text is the reference region, Query the read — letters of the
-	// pool's alphabet.
+	// engine's alphabet.
 	Text  string `json:"text"`
 	Query string `json:"query"`
 	// Global selects end-to-end alignment.
@@ -332,9 +302,9 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) align(ctx context.Context, req AlignRequest) (genasm.Alignment, error) {
 	if req.Global {
-		return s.cfg.Pool.AlignGlobalContext(ctx, []byte(req.Text), []byte(req.Query))
+		return s.cfg.Engine.AlignGlobal(ctx, []byte(req.Text), []byte(req.Query))
 	}
-	return s.cfg.Pool.AlignContext(ctx, []byte(req.Text), []byte(req.Query))
+	return s.cfg.Engine.Align(ctx, []byte(req.Text), []byte(req.Query))
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -362,39 +332,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseSlot()
 
-	// Drain the batch through the pool with one worker per workspace the
-	// pool can hand out; results land at their job's index so the
-	// response preserves request order.
-	results := make([]BatchItem, len(req.Jobs))
-	workers := min(len(req.Jobs), s.cfg.Pool.Capacity())
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for range workers {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(req.Jobs) || r.Context().Err() != nil {
-					return
-				}
-				aln, err := s.align(r.Context(), req.Jobs[i])
-				if err != nil {
-					results[i] = BatchItem{Error: err.Error()}
-					continue
-				}
-				a := alignResponse(aln)
-				results[i] = BatchItem{Alignment: &a}
-				s.alignments.Add(1)
-			}
-		}()
+	// The engine streams the batch through its workspace pool with per-job
+	// error reporting, preserving request order.
+	jobs := make([]genasm.BatchJob, len(req.Jobs))
+	for i, j := range req.Jobs {
+		jobs[i] = genasm.BatchJob{Text: []byte(j.Text), Query: []byte(j.Query), Global: j.Global}
 	}
-	wg.Wait()
-	if r.Context().Err() != nil {
+	results, err := s.cfg.Engine.AlignBatch(r.Context(), jobs)
+	if err != nil {
+		// The client went away mid-batch; nothing useful to write.
 		s.errored.Add(1)
 		return
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+	items := make([]BatchItem, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			items[i] = BatchItem{Error: res.Err.Error()}
+			continue
+		}
+		a := alignResponse(res.Alignment)
+		items[i] = BatchItem{Alignment: &a}
+		s.alignments.Add(1)
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: items})
 }
 
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
@@ -428,77 +388,38 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	defer s.releaseSlot()
 
 	m := s.preMapper
-	refName := s.cfg.RefName
-	refLen := len(s.cfg.Ref)
 	if req.Reference != "" {
-		enc, err := alphabet.DNA.Encode([]byte(req.Reference))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "map: reference: "+err.Error())
-			s.errored.Add(1)
-			return
-		}
-		m, err = s.newMapper(enc)
+		var err error
+		m, err = s.newMapper([]byte(req.Reference), req.RefName)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "map: "+err.Error())
 			s.errored.Add(1)
 			return
 		}
-		refName = req.RefName
-		refLen = len(req.Reference)
 	}
 	if m == nil {
 		writeError(w, http.StatusBadRequest, "map: no reference in request and none preloaded")
 		s.errored.Add(1)
 		return
 	}
-	if refName == "" {
-		refName = "ref"
-	}
 
-	var buf bytes.Buffer
-	sw := sam.NewWriter(&buf)
-	if err := sw.WriteHeader(refName, refLen); err != nil {
-		s.failInternal(w, err)
-		return
-	}
+	reads := make([]genasm.Read, len(req.Reads))
 	for i, rd := range req.Reads {
-		enc, err := alphabet.DNA.Encode([]byte(rd.Seq))
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("map: read %d: %v", i, err))
-			s.errored.Add(1)
-			return
-		}
-		mp, err := m.MapRead(enc)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("map: read %d: %v", i, err))
-			s.errored.Add(1)
-			return
-		}
 		name := rd.Name
 		if name == "" {
 			name = fmt.Sprintf("read%d", i)
 		}
-		rec := sam.Record{QName: name, Seq: enc}
-		if !mp.Mapped {
-			rec.Flag = sam.FlagUnmapped
-		} else {
-			rec.RName = refName
-			rec.Pos = mp.Pos + 1
-			rec.MapQ = 60
-			rec.Cigar = mp.Cigar
-			rec.EditDistance = mp.Distance
-			rec.Score = cigar.Minimap2.Score(mp.Cigar)
-			if mp.RevComp {
-				rec.Flag |= sam.FlagReverse
-			}
-		}
-		if err := sw.WriteRecord(rec); err != nil {
-			s.failInternal(w, err)
-			return
-		}
-		s.alignments.Add(1)
+		reads[i] = genasm.Read{Name: name, Seq: []byte(rd.Seq)}
 	}
-	if err := sw.Flush(); err != nil {
+	mappings, err := m.MapReads(r.Context(), reads)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.alignments.Add(uint64(len(mappings)))
+
+	var buf bytes.Buffer
+	if err := m.WriteSAM(&buf, mappings); err != nil {
 		s.failInternal(w, err)
 		return
 	}
@@ -530,10 +451,10 @@ type ServerStats struct {
 	QueueDepth       int    `json:"queue_depth"`
 }
 
-// Stats snapshots the server and pool counters.
+// Stats snapshots the server and engine counters.
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
-		Pool: s.cfg.Pool.Stats(),
+		Pool: s.cfg.Engine.Stats(),
 		Server: ServerStats{
 			Requests:         s.requests.Load(),
 			Alignments:       s.alignments.Load(),

@@ -46,13 +46,13 @@ func startServer(t *testing.T, cfg Config) (*Server, string) {
 	return s, "http://" + l.Addr().String()
 }
 
-func newTestPool(t *testing.T, cfg genasm.PoolConfig) *genasm.Pool {
+func newTestEngine(t *testing.T, opts ...genasm.Option) *genasm.Engine {
 	t.Helper()
-	p, err := genasm.NewPool(cfg)
+	e, err := genasm.NewEngine(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return p
+	return e
 }
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
@@ -96,18 +96,15 @@ func mutateDNA(rng *rand.Rand, s []byte, errRate float64) []byte {
 }
 
 func TestAlignMatchesLibrary(t *testing.T) {
-	pool := newTestPool(t, genasm.PoolConfig{})
-	_, base := startServer(t, Config{Pool: pool})
+	eng := newTestEngine(t)
+	_, base := startServer(t, Config{Engine: eng})
 
 	rng := rand.New(rand.NewPCG(7, 7))
 	text := alphabet.DNA.Decode(seq.Random(rng, 400))
 	query := mutateDNA(rng, text[:360], 0.05)
 
-	al, err := genasm.NewAligner(genasm.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := al.Align(text, query)
+	lib := newTestEngine(t)
+	want, err := lib.Align(context.Background(), text, query)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,8 +127,8 @@ func TestAlignMatchesLibrary(t *testing.T) {
 }
 
 func TestAlignRejectsBadInput(t *testing.T) {
-	pool := newTestPool(t, genasm.PoolConfig{})
-	_, base := startServer(t, Config{Pool: pool, MaxSeqLen: 100})
+	eng := newTestEngine(t)
+	_, base := startServer(t, Config{Engine: eng, MaxSeqLen: 100})
 
 	for _, tc := range []struct {
 		name string
@@ -152,22 +149,20 @@ func TestAlignRejectsBadInput(t *testing.T) {
 // TestBatchOrdered round-trips a 100-job batch and pins that results come
 // back in request order with the single-threaded library's values.
 func TestBatchOrdered(t *testing.T) {
-	pool := newTestPool(t, genasm.PoolConfig{MaxWorkspaces: 4})
-	_, base := startServer(t, Config{Pool: pool})
+	eng := newTestEngine(t, genasm.WithMaxWorkspaces(4))
+	_, base := startServer(t, Config{Engine: eng})
 
 	rng := rand.New(rand.NewPCG(11, 3))
-	al, err := genasm.NewAligner(genasm.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
+	lib := newTestEngine(t)
 	const n = 100
 	req := BatchRequest{}
 	want := make([]genasm.Alignment, n)
+	var err error
 	for i := 0; i < n; i++ {
 		text := alphabet.DNA.Decode(seq.Random(rng, 150+i))
 		query := mutateDNA(rng, text, 0.04)
 		req.Jobs = append(req.Jobs, AlignRequest{Text: string(text), Query: string(query), Global: true})
-		want[i], err = al.AlignGlobal(text, query)
+		want[i], err = lib.AlignGlobal(context.Background(), text, query)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,8 +194,8 @@ func TestBatchOrdered(t *testing.T) {
 // the SAM response: header lines, one record per read, mapped within
 // tolerance of the simulated position.
 func TestMapReturnsSAM(t *testing.T) {
-	pool := newTestPool(t, genasm.PoolConfig{})
-	_, base := startServer(t, Config{Pool: pool})
+	eng := newTestEngine(t)
+	_, base := startServer(t, Config{Engine: eng})
 
 	rng := rand.New(rand.NewPCG(2020, 5))
 	genome := seq.Genome(rng, seq.DefaultGenomeConfig(20000))
@@ -275,8 +270,8 @@ func TestMapReturnsSAM(t *testing.T) {
 // and pins that the next request is rejected with 429, then that the
 // server recovers once the queue drains.
 func TestQueueOverflow429(t *testing.T) {
-	pool := newTestPool(t, genasm.PoolConfig{MaxWorkspaces: 1, Shards: 1})
-	srv, base := startServer(t, Config{Pool: pool, QueueDepth: 1})
+	eng := newTestEngine(t, genasm.WithMaxWorkspaces(1), genasm.WithShards(1))
+	srv, base := startServer(t, Config{Engine: eng, QueueDepth: 1})
 
 	rng := rand.New(rand.NewPCG(3, 9))
 	text := alphabet.DNA.Decode(seq.Random(rng, 4000))
@@ -322,8 +317,8 @@ func TestQueueOverflow429(t *testing.T) {
 }
 
 func TestHealthzAndStats(t *testing.T) {
-	pool := newTestPool(t, genasm.PoolConfig{})
-	_, base := startServer(t, Config{Pool: pool})
+	eng := newTestEngine(t)
+	_, base := startServer(t, Config{Engine: eng})
 
 	resp, err := http.Get(base + "/v1/healthz")
 	if err != nil {
@@ -367,9 +362,9 @@ func TestPreloadedReference(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	pool := newTestPool(t, genasm.PoolConfig{})
+	eng := newTestEngine(t)
 	_, base := startServer(t, Config{
-		Pool:    pool,
+		Engine:  eng,
 		RefName: "preloaded",
 		Ref:     alphabet.DNA.Decode(genome),
 	})
@@ -408,8 +403,8 @@ func TestPreloadedReference(t *testing.T) {
 }
 
 func TestMapLimits(t *testing.T) {
-	pool := newTestPool(t, genasm.PoolConfig{})
-	_, base := startServer(t, Config{Pool: pool, MaxRefLen: 100, MaxSeqLen: 50})
+	eng := newTestEngine(t)
+	_, base := startServer(t, Config{Engine: eng, MaxRefLen: 100, MaxSeqLen: 50})
 
 	resp, body := postJSON(t, base+"/v1/map", MapRequest{
 		Reference: strings.Repeat("A", 101),

@@ -1,0 +1,257 @@
+package genasm
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"genasm/internal/cigar"
+	"genasm/internal/core"
+	"genasm/internal/filter"
+	"genasm/internal/mapper"
+	"genasm/internal/pool"
+	"genasm/internal/sam"
+)
+
+// MapperConfig parameterizes a Mapper. The zero value is the pipeline's
+// default setup (seed length 15, up to 8 candidates per strand, 10%
+// expected error rate, no pre-alignment filter).
+type MapperConfig struct {
+	// SeedK is the seed length (default 15).
+	SeedK int
+	// MinimizerW samples the index with minimizers when > 0 (Minimap2's
+	// scheme), shrinking the index roughly 2/(w+1)-fold.
+	MinimizerW int
+	// MaxCandidates bounds the candidate locations tried per strand
+	// (default 8).
+	MaxCandidates int
+	// ErrorRate is the expected sequencing error rate, used for region
+	// slack and the filtering threshold (default 0.10).
+	ErrorRate float64
+	// Prefilter enables GenASM-DC pre-alignment filtering (step 2 of
+	// Figure 1) between seeding and alignment.
+	Prefilter bool
+	// RefName names the reference in SAM output (default "ref").
+	RefName string
+}
+
+// Read is one named read for mapping.
+type Read struct {
+	Name string
+	Seq  []byte
+}
+
+// ReadMapping is the result of mapping one read.
+type ReadMapping struct {
+	// Name of the read (copied from the Read, empty for MapRead).
+	Name string
+	// Mapped reports whether any candidate produced an alignment.
+	Mapped bool
+	// Pos is the reference position the read aligned to.
+	Pos int
+	// RevComp reports whether the reverse-complement strand aligned.
+	RevComp bool
+	// CIGAR is the extended CIGAR string ('='/'X'/'I'/'D') of the best
+	// alignment; ClassicCIGAR merges '=' and 'X' into 'M' runs.
+	CIGAR, ClassicCIGAR string
+	// Distance is the edit distance of the best alignment.
+	Distance int
+	// Candidates, Filtered and Aligned count the candidate locations
+	// considered, rejected by the pre-alignment filter, and aligned.
+	Candidates, Filtered, Aligned int
+
+	runs cigar.Cigar
+	seq  []byte // encoded read, for SAM output
+}
+
+// Mapper maps reads against an indexed reference with the full four-step
+// pipeline of the paper's Figure 1 — seeding, optional GenASM-DC
+// pre-alignment filtering, and GenASM read alignment — and renders SAM.
+//
+// A Mapper is safe for concurrent use: the index is read-only after
+// construction and alignment scratch is drawn from a sharded workspace
+// pool. Build one with Engine.NewMapper.
+type Mapper struct {
+	e       *Engine
+	m       *mapper.Mapper
+	refName string
+	refLen  int
+}
+
+// pooledRegionAligner adapts a workspace pool into the mapping pipeline's
+// alignment step, making one Mapper safe for concurrent MapRead calls.
+type pooledRegionAligner struct {
+	p *pool.Pool
+}
+
+func (a pooledRegionAligner) Name() string { return "GenASM" }
+
+func (a pooledRegionAligner) AlignRegion(region, read []byte) (cigar.Cigar, int, error) {
+	return a.AlignRegionContext(context.Background(), region, read)
+}
+
+func (a pooledRegionAligner) AlignRegionContext(ctx context.Context, region, read []byte) (cigar.Cigar, int, error) {
+	var cg cigar.Cigar
+	var start int
+	err := a.p.Do(ctx, func(ws *core.Workspace) error {
+		aln, err := ws.Align(region, read)
+		if err != nil {
+			return err
+		}
+		cg, start = aln.Cigar, aln.TextStart
+		return nil
+	})
+	return cg, start, err
+}
+
+// NewMapper indexes the reference (letters) and returns a ready Mapper.
+// The engine must use the DNA alphabet (mapping tries both strands).
+//
+// When the engine is configured with SearchStart, the alignment step draws
+// scratch from the engine's own workspace pool and mapping load counts
+// against Engine.Capacity and shows in Engine.Stats. Otherwise the Mapper
+// derives a private search-capable pool of the same capacity — mapping
+// concurrency is then bounded separately from (in addition to) the
+// engine's alignment traffic.
+func (e *Engine) NewMapper(ref []byte, cfg MapperConfig) (*Mapper, error) {
+	if e.cfg.Alphabet != DNA {
+		return nil, fmt.Errorf("genasm: read mapping requires the DNA alphabet, engine uses %s", e.cfg.Alphabet)
+	}
+	encRef, err := e.encode("reference", ref)
+	if err != nil {
+		return nil, err
+	}
+	// Candidate regions carry leading slack for anchor imprecision, so the
+	// alignment step must be allowed to start at the best position within
+	// the first window. Engines already configured that way share their
+	// pool; otherwise the mapper derives a search-capable pool of the same
+	// capacity.
+	alignPool := e.pool
+	if !e.cfg.SearchStart {
+		searchCfg := e.cfg
+		searchCfg.SearchStart = true
+		alignPool, err = pool.New(pool.Config{
+			Core:          searchCfg.coreConfig(),
+			MaxWorkspaces: e.Capacity(),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	var flt filter.Filter
+	if cfg.Prefilter {
+		flt = filter.GenASMDC{}
+	}
+	m, err := mapper.New(encRef, mapper.Config{
+		SeedK:         cfg.SeedK,
+		MinimizerW:    cfg.MinimizerW,
+		MaxCandidates: cfg.MaxCandidates,
+		ErrorRate:     cfg.ErrorRate,
+		Filter:        flt,
+		Aligner:       pooledRegionAligner{p: alignPool},
+	})
+	if err != nil {
+		return nil, err
+	}
+	refName := cfg.RefName
+	if refName == "" {
+		refName = "ref"
+	}
+	return &Mapper{e: e, m: m, refName: refName, refLen: len(ref)}, nil
+}
+
+// Map is the one-shot read-mapping convenience: it indexes ref with the
+// default MapperConfig, maps every read, and returns the mappings in read
+// order. For repeated mapping against one reference, build a Mapper once
+// with NewMapper so the index is reused.
+func (e *Engine) Map(ctx context.Context, ref []byte, reads []Read) ([]ReadMapping, error) {
+	m, err := e.NewMapper(ref, MapperConfig{})
+	if err != nil {
+		return nil, err
+	}
+	return m.MapReads(ctx, reads)
+}
+
+// RefName returns the reference name used in SAM output.
+func (m *Mapper) RefName() string { return m.refName }
+
+// RefLen returns the indexed reference length.
+func (m *Mapper) RefLen() int { return m.refLen }
+
+// MapRead maps one read (letters), trying both strands, and returns the
+// lowest-edit-distance alignment across all surviving candidates.
+func (m *Mapper) MapRead(ctx context.Context, read []byte) (ReadMapping, error) {
+	enc, err := m.e.encode("read", read)
+	if err != nil {
+		return ReadMapping{}, err
+	}
+	mp, err := m.m.MapReadContext(ctx, enc)
+	if err != nil {
+		return ReadMapping{}, err
+	}
+	out := ReadMapping{
+		Mapped:     mp.Mapped,
+		Pos:        mp.Pos,
+		RevComp:    mp.RevComp,
+		Distance:   mp.Distance,
+		Candidates: mp.Candidates,
+		Filtered:   mp.Filtered,
+		Aligned:    mp.Aligned,
+		runs:       mp.Cigar,
+		seq:        enc,
+	}
+	if mp.Mapped {
+		out.CIGAR = mp.Cigar.String()
+		out.ClassicCIGAR = mp.Cigar.Format(false)
+	}
+	return out, nil
+}
+
+// MapReads maps a read set in order. It stops at the first pipeline error
+// (unmappable reads are not errors — they come back with Mapped false).
+func (m *Mapper) MapReads(ctx context.Context, reads []Read) ([]ReadMapping, error) {
+	out := make([]ReadMapping, len(reads))
+	for i, r := range reads {
+		mp, err := m.MapRead(ctx, r.Seq)
+		if err != nil {
+			return nil, fmt.Errorf("genasm: read %d (%s): %w", i, r.Name, err)
+		}
+		mp.Name = r.Name
+		out[i] = mp
+	}
+	return out, nil
+}
+
+// WriteSAM renders mappings as a SAM stream — header plus one record per
+// mapping, with the NM (edit distance) and AS (alignment score, Minimap2
+// scheme) tags. Mappings without a Name are written as "readN" by index.
+func (m *Mapper) WriteSAM(w io.Writer, mappings []ReadMapping) error {
+	sw := sam.NewWriter(w)
+	if err := sw.WriteHeader(m.refName, m.refLen); err != nil {
+		return err
+	}
+	for i, mp := range mappings {
+		name := mp.Name
+		if name == "" {
+			name = fmt.Sprintf("read%d", i)
+		}
+		rec := sam.Record{QName: name, Seq: mp.seq}
+		if !mp.Mapped {
+			rec.Flag = sam.FlagUnmapped
+		} else {
+			rec.RName = m.refName
+			rec.Pos = mp.Pos + 1
+			rec.MapQ = 60
+			rec.Cigar = mp.runs
+			rec.EditDistance = mp.Distance
+			rec.Score = cigar.Minimap2.Score(mp.runs)
+			if mp.RevComp {
+				rec.Flag |= sam.FlagReverse
+			}
+		}
+		if err := sw.WriteRecord(rec); err != nil {
+			return err
+		}
+	}
+	return sw.Flush()
+}

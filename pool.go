@@ -2,16 +2,15 @@ package genasm
 
 import (
 	"context"
-	"fmt"
-	"sync"
 
-	"genasm/internal/alphabet"
-	"genasm/internal/core"
 	"genasm/internal/pool"
 )
 
 // PoolConfig parameterizes a Pool: the alignment Config plus sizing of the
 // workspace pool behind it.
+//
+// Deprecated: use NewEngine with WithConfig, WithShards and
+// WithMaxWorkspaces.
 type PoolConfig struct {
 	// Config is the alignment configuration every pooled workspace uses.
 	Config
@@ -25,16 +24,14 @@ type PoolConfig struct {
 	MaxWorkspaces int
 }
 
-// Pool is a concurrency-safe Aligner: any number of goroutines may call
-// Align/AlignGlobal/EditDistance on one Pool, which checks reusable
-// workspaces out of a sharded pool instead of requiring one Aligner per
-// goroutine. It mirrors the accelerator's parallelism model — many
-// independent GenASM units, each owning its scratch SRAMs (Section 7) —
-// and is the alignment engine behind the genasm-serve HTTP server.
+// Pool is a concurrency-safe aligner backed by a sharded workspace pool.
+//
+// Deprecated: Pool predates Engine and is now a thin shim over it — Engine
+// serves the same calls context-first and adds Search, Filter, AlignBatch,
+// Compile and read mapping behind the same pool. Use NewEngine; existing
+// Pools can migrate gradually via Pool.Engine.
 type Pool struct {
-	cfg PoolConfig
-	a   *alphabet.Alphabet
-	p   *pool.Pool
+	e *Engine
 }
 
 // PoolStats snapshots pool activity: free-list hits, misses (workspace
@@ -43,97 +40,76 @@ type PoolStats = pool.Stats
 
 // NewPool builds a Pool. The zero PoolConfig is the paper's default
 // alignment setup with sizing scaled to GOMAXPROCS.
+//
+// Deprecated: use NewEngine.
 func NewPool(cfg PoolConfig) (*Pool, error) {
-	coreCfg := cfg.Config.coreConfig()
-	p, err := pool.New(pool.Config{
-		Core:          coreCfg,
-		Shards:        cfg.Shards,
-		MaxWorkspaces: cfg.MaxWorkspaces,
-	})
+	e, err := newEngine(cfg.Config, cfg.Shards, cfg.MaxWorkspaces)
 	if err != nil {
 		return nil, err
 	}
-	return &Pool{cfg: cfg, a: coreCfg.Alphabet, p: p}, nil
+	return &Pool{e: e}, nil
 }
 
-// Align aligns query against text semi-globally (see Aligner.Align),
-// safely callable from any goroutine.
+// Engine returns the Engine behind this Pool — the migration path for
+// callers moving to the context-first API.
+func (p *Pool) Engine() *Engine { return p.e }
+
+// Align aligns query against text semi-globally, safely callable from any
+// goroutine.
+//
+// Deprecated: use Engine.Align.
 func (p *Pool) Align(text, query []byte) (Alignment, error) {
-	return p.AlignContext(context.Background(), text, query)
+	return p.e.Align(context.Background(), text, query)
 }
 
 // AlignContext is Align with cancellation: if every workspace is busy and
 // ctx ends before one frees up, the context error is returned.
+//
+// Deprecated: use Engine.Align.
 func (p *Pool) AlignContext(ctx context.Context, text, query []byte) (Alignment, error) {
-	return p.run(ctx, text, query, false)
+	return p.e.Align(ctx, text, query)
 }
 
-// AlignGlobal aligns query against text end to end (see
-// Aligner.AlignGlobal), safely callable from any goroutine.
+// AlignGlobal aligns query against text end to end, safely callable from
+// any goroutine.
+//
+// Deprecated: use Engine.AlignGlobal.
 func (p *Pool) AlignGlobal(text, query []byte) (Alignment, error) {
-	return p.AlignGlobalContext(context.Background(), text, query)
+	return p.e.AlignGlobal(context.Background(), text, query)
 }
 
 // AlignGlobalContext is AlignGlobal with cancellation.
+//
+// Deprecated: use Engine.AlignGlobal.
 func (p *Pool) AlignGlobalContext(ctx context.Context, text, query []byte) (Alignment, error) {
-	return p.run(ctx, text, query, true)
+	return p.e.AlignGlobal(ctx, text, query)
 }
 
 // EditDistance returns the edit distance between two sequences, safely
 // callable from any goroutine.
+//
+// Deprecated: use Engine.EditDistance.
 func (p *Pool) EditDistance(a, b []byte) (int, error) {
-	aln, err := p.AlignGlobal(a, b)
-	if err != nil {
-		return 0, err
-	}
-	return aln.Distance, nil
+	return p.e.EditDistance(context.Background(), a, b)
 }
 
 // Stats snapshots the underlying workspace pool counters.
-func (p *Pool) Stats() PoolStats { return p.p.Stats() }
+//
+// Deprecated: use Engine.Stats.
+func (p *Pool) Stats() PoolStats { return p.e.Stats() }
 
 // Capacity is the maximum number of concurrently running alignments.
-func (p *Pool) Capacity() int { return p.p.Config().MaxWorkspaces }
+//
+// Deprecated: use Engine.Capacity.
+func (p *Pool) Capacity() int { return p.e.Capacity() }
 
-func (p *Pool) run(ctx context.Context, text, query []byte, global bool) (Alignment, error) {
-	encText, err := p.a.Encode(text)
-	if err != nil {
-		return Alignment{}, fmt.Errorf("genasm: text: %w", err)
-	}
-	encQuery, err := p.a.Encode(query)
-	if err != nil {
-		return Alignment{}, fmt.Errorf("genasm: query: %w", err)
-	}
-	var out Alignment
-	err = p.p.Do(ctx, func(ws *core.Workspace) error {
-		var aln core.Alignment
-		var alignErr error
-		if global {
-			aln, alignErr = ws.AlignGlobal(encText, encQuery)
-		} else {
-			aln, alignErr = ws.Align(encText, encQuery)
-		}
-		if alignErr != nil {
-			return alignErr
-		}
-		out = alignmentFromCore(aln)
-		return nil
-	})
-	return out, err
-}
-
-// defaultPool backs the package-level convenience functions.
-var defaultPool struct {
-	once sync.Once
-	p    *Pool
-	err  error
-}
-
-// DefaultPool returns the lazily-built package-level Pool (default DNA
-// configuration) shared by the package-level convenience functions.
+// DefaultPool returns a Pool view of the shared default engine.
+//
+// Deprecated: use DefaultEngine.
 func DefaultPool() (*Pool, error) {
-	defaultPool.once.Do(func() {
-		defaultPool.p, defaultPool.err = NewPool(PoolConfig{})
-	})
-	return defaultPool.p, defaultPool.err
+	e, err := DefaultEngine()
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{e: e}, nil
 }

@@ -1,11 +1,9 @@
 package genasm
 
 import (
-	"fmt"
+	"context"
 
-	"genasm/internal/alphabet"
 	"genasm/internal/bitap"
-	"genasm/internal/filter"
 )
 
 // Match is an approximate occurrence of a pattern in a text.
@@ -16,48 +14,104 @@ type Match struct {
 	Distance int
 }
 
-// Search finds all positions where pattern occurs in text with at most
-// maxEdits edits, using the multi-word GenASM-DC scan (pattern length is
-// unrestricted). With alpha == Bytes this is the paper's generic text
-// search (Section 11).
-func Search(alpha Alphabet, text, pattern []byte, maxEdits int) ([]Match, error) {
-	a := alpha.impl()
-	encText, err := a.Encode(text)
-	if err != nil {
-		return nil, fmt.Errorf("genasm: text: %w", err)
-	}
-	encPattern, err := a.Encode(pattern)
-	if err != nil {
-		return nil, fmt.Errorf("genasm: pattern: %w", err)
-	}
-	mw, err := bitap.NewMultiWord(a, encPattern, maxEdits)
-	if err != nil {
-		return nil, err
-	}
-	raw := mw.Search(encText)
-	// The scan reports in decreasing position order; present ascending.
+// ascendingMatches lifts the scan's decreasing-position matches into the
+// public Match type in ascending text order — the one conversion path
+// shared by Engine.Search and CompiledPattern.Search.
+func ascendingMatches(raw []bitap.Match) []Match {
 	out := make([]Match, len(raw))
 	for i, m := range raw {
 		out[len(raw)-1-i] = Match{Pos: m.Loc, Distance: m.Dist}
 	}
-	return out, nil
+	return out
 }
 
-// Filter is the pre-alignment filtering use case (Section 10.3): it
-// reports whether read may be within maxEdits edits of some position in
-// region, computing the exact semi-global distance with GenASM-DC. A false
-// return safely eliminates the pair from further alignment (the filter
-// never false-rejects); a true return may rarely be a false accept (the
-// paper measures 0.02% and explains the leading-deletion cause in
-// footnote 4).
+// Search finds all positions where pattern occurs in text with at most
+// maxEdits edits, in ascending position order, using the multi-word
+// GenASM-DC scan (pattern length is unrestricted). With the Bytes alphabet
+// this is the paper's generic text search (Section 11).
+//
+// Search regenerates the pattern bitmasks on every call (row scratch is
+// reused from an engine-owned pool); when the same pattern scans many
+// texts, Compile once and use CompiledPattern.Search to amortize the whole
+// pre-processing step.
+func (e *Engine) Search(ctx context.Context, text, pattern []byte, maxEdits int) ([]Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	encText, err := e.encode("text", text)
+	if err != nil {
+		return nil, err
+	}
+	encPattern, err := e.encode("pattern", pattern)
+	if err != nil {
+		return nil, err
+	}
+	mw, err := e.searcher(encPattern, maxEdits)
+	if err != nil {
+		return nil, err
+	}
+	defer e.putSearcher(mw)
+	mw.SetEndPadding(false)
+	return ascendingMatches(mw.Search(encText)), nil
+}
+
+// Filter is the pre-alignment filtering use case (Section 10.3): it reports
+// whether read may be within maxEdits edits of some position in region,
+// computing the exact semi-global distance with GenASM-DC. A false return
+// safely eliminates the pair from further alignment (the filter never
+// false-rejects); a true return may rarely be a false accept (the paper
+// measures 0.02% and explains the leading-deletion cause in footnote 4).
+//
+// The pair is encoded with the engine's alphabet; inputs outside it are
+// reported as an *AlphabetError. Scratch memory is drawn from an
+// engine-owned pool, so the hot filtering path does not reallocate per pair.
+func (e *Engine) Filter(ctx context.Context, region, read []byte, maxEdits int) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	encRegion, err := e.encode("region", region)
+	if err != nil {
+		return false, err
+	}
+	encRead, err := e.encode("read", read)
+	if err != nil {
+		return false, err
+	}
+	mw, err := e.searcher(encRead, maxEdits)
+	if err != nil {
+		return false, err
+	}
+	defer e.putSearcher(mw)
+	// End-padding makes the reported distance the exact semi-global
+	// distance even when the alignment presses against the region end
+	// (Section 10.3: "GenASM calculates the actual distance").
+	mw.SetEndPadding(true)
+	return mw.Distance(encRegion) <= maxEdits, nil
+}
+
+// Search finds all positions where pattern occurs in text with at most
+// maxEdits edits using the shared default engine for alpha.
+//
+// Deprecated: use Engine.Search, which is context-aware and respects the
+// engine's configuration; or Compile the pattern once when it scans many
+// texts.
+func Search(alpha Alphabet, text, pattern []byte, maxEdits int) ([]Match, error) {
+	e, err := defaultEngine(alpha)
+	if err != nil {
+		return nil, err
+	}
+	return e.Search(context.Background(), text, pattern, maxEdits)
+}
+
+// Filter reports whether read may be within maxEdits edits of some position
+// in region, using the shared default DNA engine.
+//
+// Deprecated: use Engine.Filter, which is context-aware, respects the
+// engine's alphabet instead of hardcoding DNA, and reuses pooled scratch.
 func Filter(region, read []byte, maxEdits int) (bool, error) {
-	encRegion, err := alphabet.DNA.Encode(region)
+	e, err := defaultEngine(DNA)
 	if err != nil {
-		return false, fmt.Errorf("genasm: region: %w", err)
+		return false, err
 	}
-	encRead, err := alphabet.DNA.Encode(read)
-	if err != nil {
-		return false, fmt.Errorf("genasm: read: %w", err)
-	}
-	return filter.GenASMDC{}.Accept(encRegion, encRead, maxEdits)
+	return e.Filter(context.Background(), region, read, maxEdits)
 }
