@@ -304,6 +304,68 @@ func BenchmarkAblationAdaptive(b *testing.B) {
 	}
 }
 
+// BenchmarkAlign is the kernel-comparison benchmark the CI regression
+// gate tracks: the core Align hot path (DC + TB, no encoding, no pool) on
+// a short and a long read, under the baseline per-edge-store kernel and
+// the Scrooge SENE/DENT kernel.
+func BenchmarkAlign(b *testing.B) {
+	cases := []struct {
+		name             string
+		refLen, readLen  int
+		subs, inss, dels int
+	}{
+		{"short100bp", 120, 100, 3, 1, 1},
+		{"long10kbp", 11500, 10000, 500, 250, 250},
+	}
+	for _, kern := range []core.Kernel{core.KernelBaseline, core.KernelScrooge} {
+		for _, c := range cases {
+			b.Run(fmt.Sprintf("kernel=%s/%s", kern, c.name), func(b *testing.B) {
+				rng := rand.New(rand.NewPCG(77, uint64(c.readLen)))
+				ref := seq.Random(rng, c.refLen)
+				read := append([]byte(nil), ref[:c.readLen]...)
+				read = mutateBench(rng, read, float64(c.subs+c.inss+c.dels)/float64(c.readLen))
+				ws := core.MustNew(core.Config{Kernel: kern})
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := ws.Align(ref, read); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkMapper is the end-to-end mapping benchmark the CI regression
+// gate tracks: the public Mapper (seeding + filtering + GenASM alignment +
+// pool) mapping short reads against an indexed reference.
+func BenchmarkMapper(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2030, 0))
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(200000))
+	reads, err := simulate.Reads(rng, genome, 50, simulate.Illumina250, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := e.NewMapper(alphabetDecode(genome), MapperConfig{SeedK: 15, ErrorRate: 0.05, Prefilter: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := reads[i%len(reads)]
+		if _, err := m.MapRead(ctx, alphabetDecode(r.Seq)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkPublicAPI measures the letter-level public Align path.
 func BenchmarkPublicAPI(b *testing.B) {
 	al, err := NewAligner(Config{})

@@ -1,0 +1,379 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"genasm"
+	"genasm/internal/alphabet"
+	"genasm/internal/core"
+	"genasm/internal/seq"
+	"genasm/internal/simulate"
+)
+
+// BenchResult is one benchmark measurement in a BENCH_<label>.json file.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchFile is the schema of BENCH_<label>.json — the machine-readable
+// benchmark artifact the CI regression gate consumes and the repository
+// tracks over time.
+type BenchFile struct {
+	Label      string        `json:"label"`
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// runJSONBench runs the key-path benchmark suite via testing.Benchmark and
+// writes the results as JSON; it returns the process exit code.
+func runJSONBench(path, label string) int {
+	if label == "" {
+		label = "local"
+	}
+	file := BenchFile{
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, b := range benchSuite() {
+		res := testing.Benchmark(b.fn)
+		r := BenchResult{
+			Name:        b.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		file.Benchmarks = append(file.Benchmarks, r)
+		fmt.Printf("%-40s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	if ratio, ok := kernelSpeedup(file.Benchmarks); ok {
+		fmt.Printf("%-40s %12.2fx (scrooge vs baseline ns/op, short read)\n", "Align kernel speedup", ratio)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genasm-bench: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "genasm-bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wrote %s\n", path)
+	return 0
+}
+
+// kernelSpeedup extracts the baseline/scrooge Align ratio from the suite
+// results.
+func kernelSpeedup(rs []BenchResult) (float64, bool) {
+	var base, scrooge float64
+	for _, r := range rs {
+		switch r.Name {
+		case "Align/kernel=baseline/short100bp":
+			base = r.NsPerOp
+		case "Align/kernel=scrooge/short100bp":
+			scrooge = r.NsPerOp
+		}
+	}
+	if base == 0 || scrooge == 0 {
+		return 0, false
+	}
+	return base / scrooge, true
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benchSuite mirrors the repository's tracked `go test -bench` key paths
+// (BenchmarkAlign, BenchmarkCompiledSearch, BenchmarkPoolThroughput,
+// BenchmarkMapper) as standalone testing.Benchmark functions.
+func benchSuite() []namedBench {
+	var suite []namedBench
+	for _, kern := range []core.Kernel{core.KernelBaseline, core.KernelScrooge} {
+		for _, c := range []struct {
+			name            string
+			refLen, readLen int
+			errRate         float64
+		}{
+			{"short100bp", 120, 100, 0.05},
+			{"long10kbp", 11500, 10000, 0.10},
+		} {
+			kern, c := kern, c
+			suite = append(suite, namedBench{
+				name: fmt.Sprintf("Align/kernel=%s/%s", kern, c.name),
+				fn: func(b *testing.B) {
+					rng := rand.New(rand.NewPCG(77, uint64(c.readLen)))
+					ref := seq.Random(rng, c.refLen)
+					read := mutateCodes(rng, ref[:c.readLen], c.errRate)
+					ws := core.MustNew(core.Config{Kernel: kern})
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := ws.Align(ref, read); err != nil {
+							b.Fatal(err)
+						}
+					}
+				},
+			})
+		}
+	}
+
+	// Names mirror the `go test -bench` leaves (BenchmarkCompiledSearch/
+	// Compiled, BenchmarkPoolThroughput/Pool/workers=4, ...) so -compare
+	// matches JSON artifacts against text output one-to-one.
+	suite = append(suite, namedBench{
+		name: "CompiledSearch/Compiled",
+		fn: func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(2028, 0))
+			e, err := genasm.NewEngine(genasm.WithAlphabet(genasm.Bytes))
+			if err != nil {
+				b.Fatal(err)
+			}
+			pattern := make([]byte, 96)
+			for i := range pattern {
+				pattern[i] = byte(32 + rng.IntN(95))
+			}
+			texts := make([][]byte, 64)
+			for i := range texts {
+				tx := make([]byte, 160)
+				for j := range tx {
+					tx[j] = byte(32 + rng.IntN(95))
+				}
+				copy(tx[rng.IntN(60):], pattern)
+				tx[80] = '!'
+				texts[i] = tx
+			}
+			cp, err := e.Compile(pattern, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cp.Search(ctx, texts[i%len(texts)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+
+	suite = append(suite, namedBench{
+		name: "PoolThroughput/Pool/workers=4",
+		fn: func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(2027, 1))
+			const nPairs = 64
+			texts := make([][]byte, nPairs)
+			queries := make([][]byte, nPairs)
+			for i := range texts {
+				enc := seq.Random(rng, 1000)
+				texts[i] = alphabet.DNA.Decode(enc)
+				queries[i] = alphabet.DNA.Decode(mutateCodes(rng, enc, 0.05))
+			}
+			e, err := genasm.NewEngine(genasm.WithMaxWorkspaces(4), genasm.WithShards(4))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1) - 1)
+						if i >= b.N {
+							return
+						}
+						if _, err := e.AlignGlobal(ctx, texts[i%nPairs], queries[i%nPairs]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		},
+	})
+
+	suite = append(suite, namedBench{
+		name: "Mapper",
+		fn: func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(2030, 0))
+			genome := seq.Genome(rng, seq.DefaultGenomeConfig(200000))
+			reads, err := simulate.Reads(rng, genome, 50, simulate.Illumina250, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := genasm.NewEngine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := e.NewMapper(alphabet.DNA.Decode(genome), genasm.MapperConfig{
+				SeedK: 15, ErrorRate: 0.05, Prefilter: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := reads[i%len(reads)]
+				if _, err := m.MapRead(ctx, alphabet.DNA.Decode(r.Seq)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+
+	return suite
+}
+
+// mutateCodes applies ~errRate edits per character to a copy of s (dense
+// DNA codes).
+func mutateCodes(rng *rand.Rand, s []byte, errRate float64) []byte {
+	out := append([]byte(nil), s...)
+	edits := int(float64(len(s)) * errRate)
+	for e := 0; e < edits; e++ {
+		switch rng.IntN(3) {
+		case 0:
+			p := rng.IntN(len(out))
+			out[p] = (out[p] + byte(1+rng.IntN(3))) % 4
+		case 1:
+			p := rng.IntN(len(out) + 1)
+			out = append(out[:p], append([]byte{byte(rng.IntN(4))}, out[p:]...)...)
+		default:
+			if len(out) > 1 {
+				p := rng.IntN(len(out))
+				out = append(out[:p], out[p+1:]...)
+			}
+		}
+	}
+	return out
+}
+
+// runCompare loads two benchmark result files (BENCH_*.json or `go test
+// -bench` text output), compares ns/op of the benchmarks present in both,
+// and returns a non-zero exit code when any regresses more than
+// maxRegressPct percent.
+func runCompare(spec string, maxRegressPct float64) int {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		fmt.Fprintf(os.Stderr, "genasm-bench: -compare wants base,head (got %q)\n", spec)
+		return 2
+	}
+	base, err := loadBench(parts[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genasm-bench: %v\n", err)
+		return 2
+	}
+	head, err := loadBench(parts[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genasm-bench: %v\n", err)
+		return 2
+	}
+
+	var names []string
+	for name := range head {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Println("no common benchmarks between base and head; nothing to gate")
+		return 0
+	}
+
+	regressions := 0
+	fmt.Printf("%-45s %14s %14s %9s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	for _, name := range names {
+		b, h := base[name], head[name]
+		delta := (h/b - 1) * 100
+		verdict := ""
+		if delta > maxRegressPct {
+			verdict = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-45s %14.0f %14.0f %+8.1f%%%s\n", name, b, h, delta, verdict)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "genasm-bench: %d benchmark(s) regressed more than %.0f%% ns/op\n",
+			regressions, maxRegressPct)
+		return 1
+	}
+	return 0
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+// "BenchmarkAlign/kernel=scrooge/short100bp-8  167480  7272 ns/op  848 B/op  11 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// loadBench reads benchmark results from a BENCH_*.json file or from `go
+// test -bench` text output, averaging repeated measurements per name.
+func loadBench(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sums := make(map[string]float64)
+	counts := make(map[string]int)
+	if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, "{") {
+		var f BenchFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for _, r := range f.Benchmarks {
+			sums["Benchmark"+r.Name] += r.NsPerOp
+			counts["Benchmark"+r.Name]++
+		}
+	} else {
+		for _, line := range strings.Split(string(data), "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				continue
+			}
+			sums[m[1]] += ns
+			counts[m[1]]++
+		}
+	}
+	out := make(map[string]float64, len(sums))
+	for name, sum := range sums {
+		out[name] = sum / float64(counts[name])
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}

@@ -1,13 +1,24 @@
 // Command genasm-bench regenerates every table and figure of the GenASM
-// paper's evaluation (Section 10) at laptop scale. See DESIGN.md for the
-// experiment index and EXPERIMENTS.md for recorded paper-vs-measured
-// results.
+// paper's evaluation (Section 10) at laptop scale, and doubles as the
+// machine-readable benchmark harness behind the CI regression gate. See
+// DESIGN.md for the experiment index, EXPERIMENTS.md for recorded
+// paper-vs-measured results and BENCHMARKS.md for the benchmark workflow.
 //
 // Usage:
 //
 //	genasm-bench [-exp all|table1|fig9|fig10|fig11|fig12|fig13|fig14|
 //	              filter|accuracy|ablation|sillax|asap|gasal2]
 //	             [-tiny] [-seed N]
+//	genasm-bench -json BENCH_dev.json [-label dev]
+//	genasm-bench -compare BENCH_base.json,BENCH_head.json [-max-regress 15]
+//
+// Paper tables carry pass/fail checks against the paper's reported
+// numbers; any failed check makes the run exit non-zero so CI can gate on
+// it. -json runs the key-path benchmark suite (Align per kernel,
+// CompiledSearch, PoolThroughput, Mapper) and writes machine-readable
+// results. -compare diffs two result files (JSON or `go test -bench`
+// text) and exits non-zero on ns/op regressions beyond -max-regress
+// percent.
 package main
 
 import (
@@ -26,8 +37,20 @@ func main() {
 		exp  = flag.String("exp", "all", "experiment id (all, table1, fig9..fig14, filter, accuracy, ablation, sillax, asap, gasal2)")
 		tiny = flag.Bool("tiny", false, "run at unit-test scale (fast smoke run)")
 		seed = flag.Uint64("seed", 0, "override the deterministic workload seed")
+
+		jsonOut    = flag.String("json", "", "run the key-path benchmark suite and write machine-readable results to this file (skips the paper tables)")
+		label      = flag.String("label", "", "label recorded in -json output (e.g. the git SHA; default \"local\")")
+		compare    = flag.String("compare", "", "compare two benchmark result files given as base,head (JSON or `go test -bench` text) and exit non-zero on regression")
+		maxRegress = flag.Float64("max-regress", 15, "with -compare: maximum allowed ns/op regression in percent")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *maxRegress))
+	}
+	if *jsonOut != "" {
+		os.Exit(runJSONBench(*jsonOut, *label))
+	}
 
 	scale := bench.Scale{}
 	if *tiny {
@@ -60,6 +83,7 @@ func main() {
 
 	want := strings.ToLower(*exp)
 	ran := 0
+	var failures []string
 	for _, e := range experiments {
 		if want != "all" && want != e.id {
 			continue
@@ -72,11 +96,19 @@ func main() {
 		}
 		t.Render(os.Stdout)
 		fmt.Printf("(%s in %s)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		failures = append(failures, t.Failures()...)
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "genasm-bench: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "genasm-bench: %d paper-table check(s) failed:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  FAIL %s\n", f)
+		}
+		os.Exit(1)
 	}
 }

@@ -40,6 +40,16 @@
 // letters outside it are reported as *AlphabetError. Accelerator models
 // the performance, area and power of the hardware design.
 //
+// # Kernels
+//
+// WithKernel selects the alignment kernel. KernelScrooge, the default,
+// applies Scrooge's SENE and DENT optimizations (one stored bitvector per
+// traceback entry instead of four per-edge vectors, and no stores for
+// entries the windowed traceback cannot reach): pooled workspaces shrink
+// about 3x and alignment runs about 2x faster. KernelBaseline keeps the
+// paper's original storage layout; both kernels produce identical
+// alignments and are differentially fuzz-tested against each other.
+//
 // # Migrating from the pre-Engine API
 //
 // Aligner, Pool and the free functions remain as deprecated shims over

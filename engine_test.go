@@ -169,6 +169,71 @@ func TestParseAlphabetRoundTrip(t *testing.T) {
 	}
 }
 
+// TestParseKernelRoundTrip pins ParseKernel as the inverse of String,
+// case-insensitively, and that unknown names fail.
+func TestParseKernelRoundTrip(t *testing.T) {
+	for _, k := range []Kernel{KernelScrooge, KernelBaseline} {
+		for _, name := range []string{k.String(), strings.ToUpper(k.String())} {
+			got, err := ParseKernel(name)
+			if err != nil {
+				t.Errorf("ParseKernel(%q): %v", name, err)
+				continue
+			}
+			if got != k {
+				t.Errorf("ParseKernel(%q) = %v, want %v", name, got, k)
+			}
+		}
+	}
+	if _, err := ParseKernel("turbo"); err == nil {
+		t.Error("unknown kernel should not parse")
+	}
+	if _, err := NewEngine(WithKernel(Kernel(7))); err == nil {
+		t.Error("NewEngine should reject unknown kernels")
+	}
+}
+
+// TestEngineKernelsAgree drives both kernels through the whole public
+// Engine surface (Align, AlignGlobal, EditDistance) and requires
+// identical results — the public face of the core differential tests.
+func TestEngineKernelsAgree(t *testing.T) {
+	scrooge := newTestEngine(t, WithKernel(KernelScrooge))
+	baseline := newTestEngine(t, WithKernel(KernelBaseline))
+	if scrooge.Config().Kernel != KernelScrooge || baseline.Config().Kernel != KernelBaseline {
+		t.Fatalf("WithKernel not applied: %v / %v", scrooge.Config().Kernel, baseline.Config().Kernel)
+	}
+	texts, queries := poolTestPairs()
+	ctx := context.Background()
+	for i := range texts {
+		as, err := scrooge.AlignGlobal(ctx, []byte(texts[i]), []byte(queries[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := baseline.AlignGlobal(ctx, []byte(texts[i]), []byte(queries[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if as.CIGAR != ab.CIGAR || as.Distance != ab.Distance {
+			t.Fatalf("pair %d: scrooge %+v vs baseline %+v", i, as, ab)
+		}
+	}
+}
+
+// TestEngineStatsWorkspaceBytes pins that pool stats report the
+// per-workspace footprint and that the default Scrooge kernel's is
+// several times leaner than the baseline layout's.
+func TestEngineStatsWorkspaceBytes(t *testing.T) {
+	scrooge := newTestEngine(t)
+	baseline := newTestEngine(t, WithKernel(KernelBaseline))
+	sb := scrooge.Stats().WorkspaceBytes
+	bb := baseline.Stats().WorkspaceBytes
+	if sb <= 0 || bb <= 0 {
+		t.Fatalf("workspace bytes not reported: scrooge %d, baseline %d", sb, bb)
+	}
+	if float64(bb)/float64(sb) < 2.5 {
+		t.Fatalf("scrooge workspace %dB vs baseline %dB: want >=2.5x reduction", sb, bb)
+	}
+}
+
 // TestEngineSearchAscendingSharedPath pins that both the per-call and the
 // compiled search return identical, ascending matches.
 func TestEngineSearchAscendingSharedPath(t *testing.T) {

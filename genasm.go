@@ -49,6 +49,42 @@ func ParseAlphabet(name string) (Alphabet, error) {
 	return DNA, fmt.Errorf("genasm: unknown alphabet %q", name)
 }
 
+// Kernel selects the alignment kernel's DC/TB storage layout. Both
+// kernels produce identical alignments (they are differentially tested);
+// they differ in speed and scratch memory.
+type Kernel int
+
+const (
+	// KernelScrooge (the default) applies Scrooge's SENE and DENT
+	// optimizations: the DC phase stores one bitvector per (text
+	// position, error level) entry instead of four per-edge vectors, and
+	// skips entries the windowed traceback can never read — ~3x less
+	// traceback memory and about 2x faster alignment.
+	KernelScrooge Kernel = iota
+	// KernelBaseline is the GenASM paper's original TB-SRAM layout,
+	// kept for differential testing and operation-count-faithful
+	// comparisons.
+	KernelBaseline
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string { return k.impl().String() }
+
+// impl lowers the public Kernel by value so that unknown kernels reach
+// core.Config validation instead of being coerced to a valid one.
+func (k Kernel) impl() core.Kernel { return core.Kernel(k) }
+
+// ParseKernel maps a name ("scrooge", "baseline") to its Kernel; it is
+// the inverse of String for flag and API parsing.
+func ParseKernel(name string) (Kernel, error) {
+	for _, k := range []Kernel{KernelScrooge, KernelBaseline} {
+		if strings.EqualFold(name, k.String()) {
+			return k, nil
+		}
+	}
+	return KernelScrooge, fmt.Errorf("genasm: unknown kernel %q", name)
+}
+
 // Config parameterizes an Engine. The zero value is the paper's setup:
 // DNA alphabet, window size 64, overlap 24, affine-gap-aware traceback.
 type Config struct {
@@ -67,6 +103,10 @@ type Config struct {
 	// scoring schemes where gaps are cheaper than substitutions
 	// (Section 6, partial support for complex scoring schemes).
 	GapsBeforeSubstitutions bool
+	// Kernel selects the alignment kernel. The zero value is
+	// KernelScrooge (SENE+DENT); KernelBaseline restores the paper's
+	// original per-edge storage layout.
+	Kernel Kernel
 }
 
 // coreConfig lowers the public Config to the internal core configuration.
@@ -76,6 +116,7 @@ func (cfg Config) coreConfig() core.Config {
 		WindowSize:           cfg.WindowSize,
 		Overlap:              cfg.Overlap,
 		FindFirstWindowStart: cfg.SearchStart,
+		Kernel:               cfg.Kernel.impl(),
 	}
 	if cfg.GapsBeforeSubstitutions {
 		c.Order = core.OrderGapFirst

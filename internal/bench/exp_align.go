@@ -25,7 +25,23 @@ func Table1() *stats.Table {
 	all := cfg.Total()
 	t.Row("Total - 1 vault", fmt.Sprintf("%.3f", one.AreaMM2), fmt.Sprintf("%.3f", one.PowerW))
 	t.Row(fmt.Sprintf("Total - %d vaults", cfg.Vaults), fmt.Sprintf("%.2f", all.AreaMM2), fmt.Sprintf("%.2f", all.PowerW))
+	t.Check("one-vault area matches paper (0.334 mm2)",
+		withinRel(one.AreaMM2, 0.334, 0.05), fmt.Sprintf("got %.3f mm2", one.AreaMM2))
+	t.Check("one-vault power matches paper (0.101 W)",
+		withinRel(one.PowerW, 0.101, 0.05), fmt.Sprintf("got %.3f W", one.PowerW))
+	t.Check("32-vault totals match paper (10.69 mm2 / 3.23 W)",
+		withinRel(all.AreaMM2, 10.69, 0.05) && withinRel(all.PowerW, 3.23, 0.05),
+		fmt.Sprintf("got %.2f mm2 / %.2f W", all.AreaMM2, all.PowerW))
 	return t
+}
+
+// withinRel reports whether got is within tol (relative) of want.
+func withinRel(got, want, tol float64) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= tol*want
 }
 
 // alignThroughput measures reads/second of an alignment function over the
@@ -228,6 +244,11 @@ func Accuracy(s Scale) (*stats.Table, error) {
 		n := float64(len(cases))
 		t.Row(r.p.Name, scoringName(r.scoring),
 			stats.Percent(float64(equal)/n), stats.Percent(float64(within)/n), r.paper)
+		// The paper reports >=96.6% score-equal and >=99.6% within-band
+		// across datasets; at laptop scale the bands are looser but a
+		// traceback regression still craters these ratios.
+		t.Check(fmt.Sprintf("%s within-band ratio >= 90%%", r.p.Name),
+			float64(within)/n >= 0.90, fmt.Sprintf("got %s", stats.Percent(float64(within)/n)))
 	}
 	return t, nil
 }

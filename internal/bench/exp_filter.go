@@ -53,6 +53,15 @@ func FilterAccuracy(s Scale) (*stats.Table, error) {
 			t.Row(fmt.Sprintf("%dbp E=%d", d.length, d.e), f.Name(),
 				stats.Percent(st.FalseAcceptRate()), stats.Percent(st.FalseRejectRate()),
 				tp, note)
+			if f.Name() == "GenASM-DC" {
+				// Section 10.3: the exact-distance filter never
+				// false-rejects and false-accepts only via the
+				// leading-deletion quirk (paper: 0.02%).
+				t.Check(fmt.Sprintf("GenASM-DC never false-rejects @%dbp", d.length),
+					st.FalseRejects == 0, fmt.Sprintf("got %d false rejects", st.FalseRejects))
+				t.Check(fmt.Sprintf("GenASM-DC false-accept rate <= 2%% @%dbp", d.length),
+					st.FalseAcceptRate() <= 0.02, fmt.Sprintf("got %s", stats.Percent(st.FalseAcceptRate())))
+			}
 		}
 	}
 	t.Row("", "GenASM vs Shouji speed", "", "", "",

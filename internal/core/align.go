@@ -53,6 +53,9 @@ func (w *Workspace) EditDistance(a, b []byte) (int, error) {
 }
 
 func (w *Workspace) align(text, pattern []byte, global bool) (Alignment, error) {
+	// Drop the window-text reference when done so a pooled idle workspace
+	// does not pin the caller's (encoded) text until its next alignment.
+	defer func() { w.scanText = nil }()
 	if len(pattern) == 0 {
 		return Alignment{}, fmt.Errorf("core: empty pattern")
 	}
@@ -85,7 +88,10 @@ func (w *Workspace) align(text, pattern []byte, global bool) (Alignment, error) 
 		if terminal {
 			pad = mp
 		}
-		res := w.dcWindow(text[curText:curText+nt], pattern[curPattern:curPattern+mp], search, pad)
+		// Non-final anchored windows run a consumption-capped traceback,
+		// letting the Scrooge kernel skip unreachable stores (DENT).
+		capTB := !final && !search
+		res := w.dcWindow(text[curText:curText+nt], pattern[curPattern:curPattern+mp], search, pad, capTB)
 		if res.dist < 0 {
 			return Alignment{}, fmt.Errorf("%w: window at pattern %d, text %d", ErrWindowBudget, curPattern, curText)
 		}

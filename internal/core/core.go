@@ -34,6 +34,42 @@ const (
 	DefaultOverlap    = 24
 )
 
+// Kernel selects the DC/TB storage layout and inner loop of a workspace.
+//
+// Both kernels compute the same alignments — they are differentially
+// tested to produce identical distances and CIGARs — but differ in what
+// the DC phase stores for the traceback, and therefore in memory footprint
+// and store traffic.
+type Kernel int
+
+const (
+	// KernelScrooge (the default) applies two optimizations from Scrooge
+	// (Lindegger et al.): SENE stores one bitvector per (text position,
+	// error level) entry — the R status vector itself — instead of the
+	// three per-edge vectors, re-deriving the match/substitution/
+	// insertion/deletion edges on demand during traceback; DENT
+	// additionally skips storing the entries a windowed traceback can
+	// never reach. Together they cut the stored TB memory ~3x and remove
+	// three of the four stores per inner-loop step.
+	KernelScrooge Kernel = iota
+	// KernelBaseline is the paper's original TB-SRAM layout: the three
+	// intermediate per-edge bitvectors (match, insertion, deletion) are
+	// stored for every entry and substitution is re-derived as
+	// deletion<<1 (Section 6's storage optimization).
+	KernelBaseline
+)
+
+// String implements fmt.Stringer.
+func (k Kernel) String() string {
+	switch k {
+	case KernelScrooge:
+		return "scrooge"
+	case KernelBaseline:
+		return "baseline"
+	}
+	return fmt.Sprintf("Kernel(%d)", int(k))
+}
+
 // Order fixes the priority of the three error cases during traceback.
 // Algorithm 2's default checks substitution before the gap-open cases,
 // which mimics schemes where substitutions are cheaper than gap openings;
@@ -96,6 +132,10 @@ type Config struct {
 	// (Section 10.3, footnote 4) and suits read alignment where the
 	// candidate region start is approximate.
 	FindFirstWindowStart bool
+	// Kernel selects the DC/TB storage layout. The zero value is
+	// KernelScrooge (SENE+DENT); KernelBaseline restores the paper's
+	// original per-edge stores.
+	Kernel Kernel
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +164,9 @@ func (c Config) validate() error {
 	}
 	if c.MaxWindowErrors < 1 || c.MaxWindowErrors > c.WindowSize {
 		return fmt.Errorf("core: max window errors %d must be in [1, W=%d]", c.MaxWindowErrors, c.WindowSize)
+	}
+	if c.Kernel != KernelScrooge && c.Kernel != KernelBaseline {
+		return fmt.Errorf("core: unknown kernel %d", int(c.Kernel))
 	}
 	return nil
 }
@@ -158,13 +201,30 @@ type Workspace struct {
 
 	pm alphabet.PatternMasks
 
-	// R status rows, (maxK+1) x nw each.
+	// R status rows, (maxK+1) x nw each (KernelBaseline only; the Scrooge
+	// scan rolls through scr instead).
 	r, oldR [][]uint64
 
-	// Stored intermediate bitvectors, the TB-SRAM contents: indexed
-	// [textPos*stride + level]*nw. mStore holds levels 0..k, iStore and
-	// dStore levels 1..k (level 0 slots unused, kept for simple indexing).
+	// Stored intermediate bitvectors, the TB-SRAM contents of
+	// KernelBaseline: indexed [textPos*stride + level]*nw. mStore holds
+	// levels 0..k, iStore and dStore levels 1..k (level 0 slots unused,
+	// kept for simple indexing).
 	mStore, iStore, dStore []uint64
+
+	// rStore is KernelScrooge's single entry store (SENE): the R status
+	// bitvector per (textPos, level), indexed [textPos*stride + level]*nw,
+	// from which the traceback re-derives all four edge bitvectors. One
+	// extra position holds the scan's initial all-ones rows.
+	rStore []uint64
+	// scr is the Scrooge scan's two-iteration rolling scratch for text
+	// positions whose entries DENT decides not to store.
+	scr [2][]uint64
+
+	// scanText/scanNT are the most recent dcScan's window text and real
+	// (un-padded) length; the SENE traceback needs them to re-derive the
+	// match bitvector from the pattern masks.
+	scanText []byte
+	scanNT   int
 
 	// ones is an all-ones pattern-mask row used for phantom end-padding
 	// iterations (sentinel text characters that match nothing).
@@ -183,14 +243,25 @@ func New(cfg Config) (*Workspace, error) {
 	w := &Workspace{cfg: cfg}
 	w.nw = bitvec.Words(cfg.WindowSize)
 	w.stride = cfg.MaxWindowErrors + 1
-	w.r = newRows(w.stride, w.nw)
-	w.oldR = newRows(w.stride, w.nw)
-	// Stores cover up to 2W text positions: W real characters plus up to W
-	// phantom end-padding iterations in the terminal window (see dcScan).
-	storeWords := 2 * cfg.WindowSize * w.stride * w.nw
-	w.mStore = make([]uint64, storeWords)
-	w.iStore = make([]uint64, storeWords)
-	w.dStore = make([]uint64, storeWords)
+	switch cfg.Kernel {
+	case KernelBaseline:
+		w.r = newRows(w.stride, w.nw)
+		w.oldR = newRows(w.stride, w.nw)
+		// Stores cover up to 2W text positions: W real characters plus up
+		// to W phantom end-padding iterations in the terminal window (see
+		// dcScan).
+		storeWords := 2 * cfg.WindowSize * w.stride * w.nw
+		w.mStore = make([]uint64, storeWords)
+		w.iStore = make([]uint64, storeWords)
+		w.dStore = make([]uint64, storeWords)
+	default: // KernelScrooge
+		// One stored bitvector per entry (SENE) over the same 2W text
+		// positions, plus one position for the scan's initial all-ones
+		// rows — a ~3x smaller footprint than the three per-edge stores.
+		w.rStore = make([]uint64, (2*cfg.WindowSize+1)*w.stride*w.nw)
+		w.scr[0] = make([]uint64, w.stride*w.nw)
+		w.scr[1] = make([]uint64, w.stride*w.nw)
+	}
 	w.ones = make([]uint64, w.nw)
 	bitvec.Fill(w.ones, ^uint64(0))
 	w.pm.GenerateInto(cfg.Alphabet, make([]byte, cfg.WindowSize))
@@ -239,30 +310,93 @@ func (w *Workspace) dRow(textPos, level int) []uint64 {
 	return w.dStore[o : o+w.nw]
 }
 
-// matchZero reports whether the stored match bitvector at (textPos, level)
-// has a 0 at bit j.
-func (w *Workspace) matchZero(textPos, level, j int) bool {
-	return bitvec.IsZeroBit(w.mRow(textPos, level), j)
+// rEntry returns KernelScrooge's stored R entry at (textPos, level).
+func (w *Workspace) rEntry(textPos, level int) []uint64 {
+	o := (textPos*w.stride + level) * w.nw
+	return w.rStore[o : o+w.nw]
 }
 
-// insZero reports whether the stored insertion bitvector has a 0 at bit j.
+// pmAt returns the pattern mask of the scanned window text character at
+// textPos — all ones for phantom end-padding positions past the text end,
+// whose sentinel character matches nothing.
+func (w *Workspace) pmAt(textPos int) []uint64 {
+	if textPos >= w.scanNT {
+		return w.ones
+	}
+	return w.pm.Mask(w.scanText[textPos])
+}
+
+// The four traceback queries below report whether an edge bitvector at
+// (textPos, level) has a 0 at bit j — a 0 meaning the edge lies on a valid
+// alignment path. KernelBaseline reads the edges from its per-edge stores;
+// KernelScrooge re-derives each edge from the stored R entries (SENE),
+// using the recurrence the DC scan used to build them: with oldR = the
+// entries of textPos+1,
+//
+//	deletion     = oldR[level-1]
+//	substitution = oldR[level-1] << 1
+//	insertion    = R[level-1] << 1
+//	match        = (oldR[level] << 1) | PM[text[textPos]]
+//
+// Bit 0 of any shifted vector is 0 (the shifted-in zero: the final pattern
+// character can always be substituted/inserted).
+
+// matchZero reports whether the match bitvector at (textPos, level) has a
+// 0 at bit j.
+func (w *Workspace) matchZero(textPos, level, j int) bool {
+	if w.cfg.Kernel == KernelBaseline {
+		return bitvec.IsZeroBit(w.mRow(textPos, level), j)
+	}
+	if !bitvec.IsZeroBit(w.pmAt(textPos), j) {
+		return false
+	}
+	return j == 0 || bitvec.IsZeroBit(w.rEntry(textPos+1, level), j-1)
+}
+
+// insZero reports whether the insertion bitvector has a 0 at bit j.
 // Level must be >= 1.
 func (w *Workspace) insZero(textPos, level, j int) bool {
-	return bitvec.IsZeroBit(w.iRow(textPos, level), j)
+	if w.cfg.Kernel == KernelBaseline {
+		return bitvec.IsZeroBit(w.iRow(textPos, level), j)
+	}
+	return j == 0 || bitvec.IsZeroBit(w.rEntry(textPos, level-1), j-1)
 }
 
-// delZero reports whether the stored deletion bitvector has a 0 at bit j.
+// delZero reports whether the deletion bitvector has a 0 at bit j.
 // Level must be >= 1.
 func (w *Workspace) delZero(textPos, level, j int) bool {
-	return bitvec.IsZeroBit(w.dRow(textPos, level), j)
+	if w.cfg.Kernel == KernelBaseline {
+		return bitvec.IsZeroBit(w.dRow(textPos, level), j)
+	}
+	return bitvec.IsZeroBit(w.rEntry(textPos+1, level-1), j)
 }
 
-// subZero reports whether the derived substitution bitvector (deletion<<1,
-// Section 6's storage optimization) has a 0 at bit j. Bit 0 of a shifted
-// vector is always 0: the final pattern character can always be substituted.
+// subZero reports whether the substitution bitvector (derived as
+// deletion<<1 in both kernels) has a 0 at bit j.
 func (w *Workspace) subZero(textPos, level, j int) bool {
 	if j == 0 {
 		return true
 	}
-	return bitvec.IsZeroBit(w.dRow(textPos, level), j-1)
+	if w.cfg.Kernel == KernelBaseline {
+		return bitvec.IsZeroBit(w.dRow(textPos, level), j-1)
+	}
+	return bitvec.IsZeroBit(w.rEntry(textPos+1, level-1), j-1)
+}
+
+// FootprintBytes reports the workspace's allocated scratch memory — the
+// software analogue of the accelerator's DC-SRAM + TB-SRAM budget. The
+// Scrooge kernel's footprint is ~3x below the baseline's.
+func (w *Workspace) FootprintBytes() int {
+	words := len(w.mStore) + len(w.iStore) + len(w.dStore) +
+		len(w.rStore) + len(w.scr[0]) + len(w.scr[1]) + len(w.ones)
+	for _, row := range w.r {
+		words += len(row)
+	}
+	for _, row := range w.oldR {
+		words += len(row)
+	}
+	for _, m := range w.pm.Masks {
+		words += len(m)
+	}
+	return words * 8
 }

@@ -16,9 +16,9 @@ type dcResult struct {
 }
 
 // dcWindow runs GenASM-DC over one window: it searches subpattern within
-// subtext, filling the workspace's stored match/insertion/deletion
-// bitvectors (the TB-SRAM contents) for every text position and error
-// level.
+// subtext, filling the workspace's stored bitvectors (the TB-SRAM
+// contents) for the text positions and error levels the traceback can
+// read.
 //
 // In anchored mode the result distance is the minimum d whose R[d] has a 0
 // MSB after the final iteration (text position 0), i.e. the best alignment
@@ -32,7 +32,11 @@ type dcResult struct {
 // pattern insertions after the last text character (their bitvector chain
 // would live at unscanned text positions), so terminal windows pass
 // pad = len(subpattern) to make the anchored distance exact.
-func (w *Workspace) dcWindow(subtext, subpattern []byte, search bool, pad int) dcResult {
+//
+// capTB promises that the following traceback is consumption-capped at
+// W-O characters (a non-final, non-search window); the Scrooge kernel
+// uses it to skip storing entries past that reach (DENT).
+func (w *Workspace) dcWindow(subtext, subpattern []byte, search bool, pad int, capTB bool) dcResult {
 	mp := len(subpattern)
 	kMax := w.cfg.MaxWindowErrors
 	if kMax > mp {
@@ -53,7 +57,7 @@ func (w *Workspace) dcWindow(subtext, subpattern []byte, search bool, pad int) d
 		}
 	}
 	for {
-		res := w.dcScan(subtext, mp, k, search, pad)
+		res := w.dcScan(subtext, mp, k, search, pad, capTB)
 		if res.dist >= 0 || k >= kMax {
 			return res
 		}
@@ -65,9 +69,21 @@ func (w *Workspace) dcWindow(subtext, subpattern []byte, search bool, pad int) d
 }
 
 // dcScan is one full right-to-left pass of the DC recurrence with k error
-// levels (Algorithm 1 lines 7-22, storing the intermediate bitvectors of
-// lines 15-18 for the traceback).
-func (w *Workspace) dcScan(subtext []byte, mp, k int, search bool, pad int) dcResult {
+// levels (Algorithm 1 lines 7-22), dispatched to the configured kernel's
+// storage layout. It records the window text for the SENE traceback
+// queries before either scan runs.
+func (w *Workspace) dcScan(subtext []byte, mp, k int, search bool, pad int, capTB bool) dcResult {
+	w.scanText, w.scanNT = subtext, len(subtext)
+	if w.cfg.Kernel == KernelBaseline {
+		return w.dcScanBaseline(subtext, mp, k, search, pad)
+	}
+	return w.dcScanScrooge(subtext, mp, k, search, pad, capTB)
+}
+
+// dcScanBaseline stores the intermediate match/insertion/deletion
+// bitvectors of Algorithm 1 lines 15-18 for every text position — the
+// paper's original TB-SRAM layout.
+func (w *Workspace) dcScanBaseline(subtext []byte, mp, k int, search bool, pad int) dcResult {
 	// The window's bitvectors span only as many words as the sub-pattern
 	// needs; a multi-word workspace (W > 64) still processes short final
 	// windows with single-word rows.
@@ -137,6 +153,131 @@ func (w *Workspace) dcScan(subtext []byte, mp, k int, search bool, pad int) dcRe
 		}
 		for d := 0; d <= k; d++ {
 			if bitvec.IsZeroBit(w.r[d], msb) {
+				return dcResult{dist: d, loc: 0, levels: k}
+			}
+		}
+		return dcResult{dist: -1, levels: k}
+	}
+	return dcResult{dist: bestDist, loc: bestLoc, levels: k}
+}
+
+// dcScanScrooge stores one R entry per (text position, level) — SENE —
+// writing directly into the entry store for positions the traceback can
+// reach and rolling through two scratch rows for the rest (DENT). The
+// inner step issues a single store where the baseline issues four.
+func (w *Workspace) dcScanScrooge(subtext []byte, mp, k int, search bool, pad int, capTB bool) dcResult {
+	// nw is the number of words the sub-pattern needs this scan; rows in
+	// the entry store stay spaced by the workspace word count (snw) so
+	// that rEntry's indexing holds for every window length.
+	nw := bitvec.Words(mp)
+	if nw == 0 {
+		nw = 1
+	}
+	snw := w.nw
+	nt := len(subtext)
+	msb := mp - 1
+	rowW := w.stride * snw
+
+	// top is the virtual position holding the scan's initial all-ones
+	// rows; the first scanned position is top-1.
+	top := nt + pad
+
+	// DENT: a consumption-capped traceback visits text positions at most
+	// W-O-1 and reads entries one past that, so nothing beyond W-O needs
+	// storing. Uncapped windows (search-mode, final) store everything.
+	storeLimit := top
+	if capTB {
+		if lim := w.cfg.WindowSize - w.cfg.Overlap; lim < storeLimit {
+			storeLimit = lim
+		}
+	}
+
+	if top <= storeLimit {
+		bitvec.Fill(w.rStore[top*rowW:top*rowW+(k+1)*snw], ^uint64(0))
+	} else {
+		bitvec.Fill(w.scr[top&1][:(k+1)*snw], ^uint64(0))
+	}
+
+	bestDist, bestLoc := -1, 0
+	for i := top - 1; i >= 0; i-- {
+		curPM := w.ones[:nw]
+		if i < nt {
+			curPM = w.pm.Mask(subtext[i])
+		}
+		curBuf, curOff := w.rStore, i*rowW
+		if i > storeLimit {
+			curBuf, curOff = w.scr[i&1], 0
+		}
+		prevBuf, prevOff := w.rStore, (i+1)*rowW
+		if i+1 > storeLimit {
+			prevBuf, prevOff = w.scr[(i+1)&1], 0
+		}
+
+		if snw == 1 {
+			// Single-word fast path (W <= 64, the default config): the
+			// whole iteration stays in registers, one store per level.
+			cur := curBuf[curOff : curOff+k+1]
+			prev := prevBuf[prevOff : prevOff+k+1]
+			pm0 := curPM[0]
+			rp := prev[0]<<1 | pm0
+			cur[0] = rp
+			for d := 1; d <= k; d++ {
+				old1 := prev[d-1]
+				rd := old1 & (old1 << 1) & (rp << 1) & (prev[d]<<1 | pm0)
+				cur[d] = rd
+				rp = rd
+			}
+			if search && i < nt {
+				for d := 0; d <= k; d++ {
+					if cur[d]>>uint(msb)&1 == 0 {
+						if bestDist < 0 || d < bestDist || (d == bestDist && i < bestLoc) {
+							bestDist, bestLoc = d, i
+						}
+						break
+					}
+				}
+			}
+			continue
+		}
+
+		bitvec.ShiftLeft1Or(curBuf[curOff:curOff+nw], prevBuf[prevOff:prevOff+nw], curPM)
+		for d := 1; d <= k; d++ {
+			rd := curBuf[curOff+d*snw : curOff+d*snw+nw]
+			rd1 := curBuf[curOff+(d-1)*snw : curOff+(d-1)*snw+nw]
+			old1 := prevBuf[prevOff+(d-1)*snw : prevOff+(d-1)*snw+nw]
+			old := prevBuf[prevOff+d*snw : prevOff+d*snw+nw]
+			var carryS, carryI, carryM uint64
+			for wi := 0; wi < nw; wi++ {
+				del := old1[wi]
+				ins := rd1[wi]<<1 | carryI
+				sub := old1[wi]<<1 | carryS
+				match := old[wi]<<1 | carryM | curPM[wi]
+				carryI = rd1[wi] >> 63
+				carryS = old1[wi] >> 63
+				carryM = old[wi] >> 63
+				rd[wi] = del & sub & ins & match
+			}
+		}
+		if search && i < nt {
+			for d := 0; d <= k; d++ {
+				if bitvec.IsZeroBit(curBuf[curOff+d*snw:curOff+d*snw+nw], msb) {
+					if bestDist < 0 || d < bestDist || (d == bestDist && i < bestLoc) {
+						bestDist, bestLoc = d, i
+					}
+					break
+				}
+			}
+		}
+	}
+
+	if !search {
+		// Anchored: inspect the final iteration's levels at text pos 0
+		// (position 0 is always stored).
+		if nt == 0 {
+			return dcResult{dist: -1, levels: k}
+		}
+		for d := 0; d <= k; d++ {
+			if bitvec.IsZeroBit(w.rEntry(0, d), msb) {
 				return dcResult{dist: d, loc: 0, levels: k}
 			}
 		}

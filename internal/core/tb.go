@@ -160,7 +160,7 @@ func (w *Workspace) tbBest(subtext, subpattern []byte, pad, loc, dmin, levels in
 			if d > levels {
 				break
 			}
-			w.dcScan(subtext, mp, levels, false, pad)
+			w.dcScan(subtext, mp, levels, false, pad, false)
 		}
 		for oi, o := range orders {
 			if oi > 0 && o == savedOrder {

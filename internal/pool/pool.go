@@ -62,6 +62,10 @@ type Stats struct {
 	Idle int `json:"idle"`
 	// Capacity is the configured MaxWorkspaces.
 	Capacity int `json:"capacity"`
+	// WorkspaceBytes is one workspace's scratch footprint — the pool's
+	// worst-case memory is Capacity x WorkspaceBytes. The Scrooge kernel
+	// (the default) keeps this ~3x below the baseline layout.
+	WorkspaceBytes int `json:"workspace_bytes"`
 }
 
 // shard is one free list. The padding keeps adjacent shards on separate
@@ -78,6 +82,7 @@ type Pool struct {
 	cfg         Config
 	shards      []shard
 	maxPerShard int
+	wsBytes     int
 	// tokens holds one token per workspace the pool may still hand out;
 	// acquiring a token on Get and releasing it on Put is what bounds the
 	// live-workspace count and blocks Get at the cap.
@@ -101,6 +106,7 @@ func New(cfg Config) (*Pool, error) {
 		cfg:         cfg,
 		shards:      make([]shard, cfg.Shards),
 		maxPerShard: (cfg.MaxWorkspaces + cfg.Shards - 1) / cfg.Shards,
+		wsBytes:     ws.FootprintBytes(),
 		tokens:      make(chan struct{}, cfg.MaxWorkspaces),
 	}
 	for range cfg.MaxWorkspaces {
@@ -187,10 +193,11 @@ func (p *Pool) Do(ctx context.Context, f func(*core.Workspace) error) error {
 // is for observability, not hot paths.
 func (p *Pool) Stats() Stats {
 	st := Stats{
-		Hits:     p.hits.Load(),
-		Misses:   p.misses.Load(),
-		InFlight: int(p.inUse.Load()),
-		Capacity: p.cfg.MaxWorkspaces,
+		Hits:           p.hits.Load(),
+		Misses:         p.misses.Load(),
+		InFlight:       int(p.inUse.Load()),
+		Capacity:       p.cfg.MaxWorkspaces,
+		WorkspaceBytes: p.wsBytes,
 	}
 	for i := range p.shards {
 		s := &p.shards[i]

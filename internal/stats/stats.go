@@ -13,11 +13,20 @@ import (
 	"time"
 )
 
-// Table accumulates rows and renders them with aligned columns.
+// Table accumulates rows and renders them with aligned columns, plus any
+// pass/fail checks recorded against the paper's expectations.
 type Table struct {
 	Title   string
 	headers []string
 	rows    [][]string
+	checks  []check
+}
+
+// check is one recorded paper-table verdict.
+type check struct {
+	name   string
+	ok     bool
+	detail string
 }
 
 // NewTable creates a table with the given column headers.
@@ -39,6 +48,25 @@ func (t *Table) Row(values ...any) {
 		}
 	}
 	t.rows = append(t.rows, row)
+}
+
+// Check records a named pass/fail verdict against the table's paper
+// expectations. Verdicts are rendered after the rows and failing ones are
+// reported by Failures, which the experiment harness turns into a
+// non-zero exit so CI can gate on them.
+func (t *Table) Check(name string, ok bool, detail string) {
+	t.checks = append(t.checks, check{name: name, ok: ok, detail: detail})
+}
+
+// Failures returns one line per failed check.
+func (t *Table) Failures() []string {
+	var out []string
+	for _, c := range t.checks {
+		if !c.ok {
+			out = append(out, fmt.Sprintf("%s: %s (%s)", t.Title, c.name, c.detail))
+		}
+	}
+	return out
 }
 
 // Render writes the table to w.
@@ -76,6 +104,13 @@ func (t *Table) Render(w io.Writer) {
 	writeRow(sep)
 	for _, row := range t.rows {
 		writeRow(row)
+	}
+	for _, c := range t.checks {
+		verdict := "PASS"
+		if !c.ok {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "check %-40s %s  %s\n", c.name, verdict, c.detail)
 	}
 }
 

@@ -48,6 +48,14 @@ func WithGapsBeforeSubstitutions(on bool) Option {
 	return func(s *engineSettings) { s.GapsBeforeSubstitutions = on }
 }
 
+// WithKernel selects the alignment kernel: KernelScrooge (the default,
+// SENE/DENT entry storage — faster and ~3x leaner pooled workspaces) or
+// KernelBaseline (the paper's original per-edge storage layout). Both
+// produce identical alignments.
+func WithKernel(k Kernel) Option {
+	return func(s *engineSettings) { s.Kernel = k }
+}
+
 // WithMaxWorkspaces caps the number of live workspaces — the engine's
 // concurrency bound. Zero (the default) picks 2×GOMAXPROCS.
 func WithMaxWorkspaces(n int) Option {
