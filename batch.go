@@ -2,12 +2,12 @@ package genasm
 
 import (
 	"context"
-	"sync"
-	"sync/atomic"
+	"iter"
+	"slices"
 )
 
-// BatchJob is one alignment task for AlignBatch: Query against Text, both
-// as letters of the engine's alphabet.
+// BatchJob is one alignment task for AlignStream/AlignBatch: Query against
+// Text, both as letters of the engine's alphabet.
 type BatchJob struct {
 	Text, Query []byte
 	// Global selects end-to-end alignment.
@@ -17,48 +17,66 @@ type BatchJob struct {
 // BatchResult pairs one job's Alignment with its error. Per-job failures —
 // including letters outside the engine's alphabet, reported as an
 // *AlphabetError — land here, so one bad job never poisons the rest of a
-// batch.
+// batch or stream.
 type BatchResult struct {
+	// Index is the 0-based position of the job in the input stream or
+	// slice — how Unordered stream consumers reassociate results with
+	// jobs.
+	Index     int
 	Alignment Alignment
 	Err       error
 }
 
-// AlignBatch aligns many pairs concurrently, streaming jobs through the
-// engine's workspace pool — the software mirror of the accelerator's
-// one-GenASM-per-vault parallelism, whose throughput scales linearly with
-// the number of units (Section 10.5). Concurrency is bounded by the
-// engine's capacity and shared fairly with other traffic on the engine.
+// AlignStream aligns a stream of jobs concurrently and yields a stream of
+// results — the bounded-memory core every batch path runs on, and the
+// software mirror of the accelerator streaming reads through its fixed
+// count of per-vault GenASM units (Section 10.5). Jobs are pulled from the
+// iterator on demand and fanned out over at most Engine.Capacity worker
+// goroutines (spawned lazily, so small streams start few goroutines);
+// regardless of stream length, only ~2×Capacity jobs are in flight or
+// buffered at any moment.
+//
+// By default results come back in input order with per-job errors in
+// BatchResult.Err. With the Unordered option, results are yielded as they
+// complete — maximum throughput, with BatchResult.Index identifying each
+// job.
+//
+// When ctx ends, jobs that have not started carry ctx.Err() in their
+// BatchResult and the stream drains promptly. Stopping iteration early
+// stops dispatch; jobs already picked up by workers finish in the
+// background (cancel ctx to cut them short). The returned iterator is
+// single-use.
+func (e *Engine) AlignStream(ctx context.Context, jobs iter.Seq[BatchJob], opts ...StreamOption) iter.Seq[BatchResult] {
+	var s streamSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	return fanOut(e.Capacity(), !s.unordered, jobs, func(idx int, job BatchJob) BatchResult {
+		res := e.alignJob(ctx, job)
+		res.Index = idx
+		return res
+	})
+}
+
+// AlignBatch aligns a slice of jobs concurrently through the engine's
+// workspace pool. It is a thin wrapper over AlignStream — the slice is
+// streamed, results land back at their job's index — so both APIs share
+// one concurrency path and produce identical results.
 //
 // Results are in job order, with per-job errors in BatchResult.Err. The
 // returned error is non-nil only when ctx ends before the batch drains;
 // jobs not yet run then carry ctx's error in their BatchResult.
 func (e *Engine) AlignBatch(ctx context.Context, jobs []BatchJob) ([]BatchResult, error) {
 	results := make([]BatchResult, len(jobs))
-	if len(jobs) == 0 {
-		return results, ctx.Err()
+	for res := range e.AlignStream(ctx, slices.Values(jobs), Unordered()) {
+		results[res.Index] = res
 	}
-	workers := min(len(jobs), e.Capacity())
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for range workers {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= len(jobs) {
-					return
-				}
-				results[i] = e.alignJob(ctx, jobs[i])
-			}
-		}()
-	}
-	wg.Wait()
 	return results, ctx.Err()
 }
 
 // alignJob runs one batch job through the shared alignment dispatch,
-// folding every failure into the result.
+// folding every failure — including a context that ended before the job
+// started — into the result.
 func (e *Engine) alignJob(ctx context.Context, job BatchJob) BatchResult {
 	if err := ctx.Err(); err != nil {
 		return BatchResult{Err: err}
@@ -82,7 +100,7 @@ func (e *Engine) alignJob(ctx context.Context, job BatchJob) BatchResult {
 //
 // Deprecated: use Engine.AlignBatch, which is context-aware and draws from
 // a long-lived engine's workspace pool instead of building workspaces per
-// call.
+// call — or Engine.AlignStream for bounded-memory job streams.
 func AlignBatch(cfg Config, jobs []BatchJob, workers int) ([]BatchResult, error) {
 	e, err := newEngine(cfg, 0, workers)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -364,6 +365,79 @@ func BenchmarkMapper(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchStreamJobs builds the 1k-job workload BenchmarkAlignStream and the
+// CI regression gate track: short-read-sized global alignments.
+func benchStreamJobs(b *testing.B) []BatchJob {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(2031, 0))
+	jobs := make([]BatchJob, 1000)
+	for i := range jobs {
+		enc := seq.Random(rng, 150)
+		jobs[i] = BatchJob{
+			Text:   alphabetDecode(enc),
+			Query:  alphabetDecode(mutateBench(rng, enc, 0.05)),
+			Global: true,
+		}
+	}
+	return jobs
+}
+
+// BenchmarkAlignStream compares the iterator stream core against the
+// slice batch API (itself a wrapper over the stream) on a 1k-job
+// workload: the streaming overhead — channel hops, the ordered-mode
+// reorder buffer — must stay within 10% of AlignBatch, and Unordered is
+// the throughput ceiling. One op is the whole 1k-job workload.
+func BenchmarkAlignStream(b *testing.B) {
+	e, err := NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := benchStreamJobs(b)
+	ctx := context.Background()
+	b.Run("Batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			results, err := e.AlignBatch(ctx, jobs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if results[0].Err != nil {
+				b.Fatal(results[0].Err)
+			}
+		}
+	})
+	b.Run("Stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for res := range e.AlignStream(ctx, slices.Values(jobs)) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				n++
+			}
+			if n != len(jobs) {
+				b.Fatalf("stream emitted %d results", n)
+			}
+		}
+	})
+	b.Run("StreamUnordered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			for res := range e.AlignStream(ctx, slices.Values(jobs), Unordered()) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+				n++
+			}
+			if n != len(jobs) {
+				b.Fatalf("stream emitted %d results", n)
+			}
+		}
+	})
 }
 
 // BenchmarkPublicAPI measures the letter-level public Align path.

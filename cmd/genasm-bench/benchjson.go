@@ -8,6 +8,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -219,6 +220,61 @@ func benchSuite() []namedBench {
 				}()
 			}
 			wg.Wait()
+		},
+	})
+
+	// The streaming core vs its slice wrapper on the 1k-job workload —
+	// tracks the stream overhead (channel hops, ordered reorder buffer)
+	// the acceptance gate keeps within 10% of AlignBatch.
+	streamJobs := func() []genasm.BatchJob {
+		rng := rand.New(rand.NewPCG(2031, 0))
+		jobs := make([]genasm.BatchJob, 1000)
+		for i := range jobs {
+			enc := seq.Random(rng, 150)
+			jobs[i] = genasm.BatchJob{
+				Text:   alphabet.DNA.Decode(enc),
+				Query:  alphabet.DNA.Decode(mutateCodes(rng, enc, 0.05)),
+				Global: true,
+			}
+		}
+		return jobs
+	}
+	suite = append(suite, namedBench{
+		name: "AlignStream/Batch",
+		fn: func(b *testing.B) {
+			e, err := genasm.NewEngine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs := streamJobs()
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.AlignBatch(ctx, jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	suite = append(suite, namedBench{
+		name: "AlignStream/Stream",
+		fn: func(b *testing.B) {
+			e, err := genasm.NewEngine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs := streamJobs()
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for res := range e.AlignStream(ctx, slices.Values(jobs)) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+				}
+			}
 		},
 	})
 

@@ -3,13 +3,16 @@
 // workspaces).
 //
 //	genasm-serve -addr :8080 -workspaces 16 -queue 64
-//	genasm-serve -addr :8080 -ref ref.fasta   # preload /v1/map reference
+//	genasm-serve -addr :8080 -ref ref.fasta   # preload /v1/map + /v1/map/stream reference
 //
 // Endpoints:
 //
-//	POST /v1/align   {"text":"ACGT...","query":"ACG...","global":false}
-//	POST /v1/batch   {"jobs":[{...},{...}]}
-//	POST /v1/map     {"ref_name":"chr1","reference":"ACGT...","reads":[{"name":"r1","seq":"ACGT..."}]}
+//	POST /v1/align      {"text":"ACGT...","query":"ACG...","global":false}
+//	POST /v1/batch      {"jobs":[{...},{...}]}
+//	POST /v1/map        {"ref_name":"chr1","reference":"ACGT...","reads":[{"name":"r1","seq":"ACGT..."}]}
+//	POST /v1/map/stream FASTA/FASTQ/NDJSON reads in the body; NDJSON (or
+//	                    SAM with "Accept: text/x-sam") streamed back,
+//	                    flushed per record (requires -ref)
 //	GET  /v1/healthz
 //	GET  /v1/stats
 package main
@@ -27,8 +30,8 @@ import (
 	"time"
 
 	"genasm"
-	"genasm/internal/seq"
 	"genasm/internal/server"
+	"genasm/seqio"
 )
 
 func main() {
@@ -46,6 +49,7 @@ type options struct {
 	maxBody     int64
 	maxBatch    int
 	maxSeq      int
+	maxStream   int64
 	window      int
 	overlap     int
 	alphabet    string
@@ -67,6 +71,7 @@ func parseFlags(args []string) (options, error) {
 	fs.Int64Var(&o.maxBody, "max-body", 0, "max request body bytes (0 = 8 MiB)")
 	fs.IntVar(&o.maxBatch, "max-batch", 0, "max jobs per batch request (0 = 1024)")
 	fs.IntVar(&o.maxSeq, "max-seq", 0, "max sequence length (0 = 1 MiB)")
+	fs.Int64Var(&o.maxStream, "max-stream", 0, "max /v1/map/stream request body bytes (0 = 1 GiB)")
 	fs.IntVar(&o.window, "window", 0, "alignment window size W (0 = 64)")
 	fs.IntVar(&o.overlap, "overlap", 0, "window overlap O (0 = 24)")
 	fs.StringVar(&o.alphabet, "alphabet", "DNA", "alphabet: DNA, RNA, protein or bytes")
@@ -103,32 +108,34 @@ func buildServer(o options) (*server.Server, error) {
 		return nil, err
 	}
 	cfg := server.Config{
-		Engine:       engine,
-		QueueDepth:   o.queue,
-		MaxBodyBytes: o.maxBody,
-		MaxBatchJobs: o.maxBatch,
-		MaxSeqLen:    o.maxSeq,
-		MapSeedK:     o.seedK,
-		MapErrorRate: o.errorRate,
+		Engine:         engine,
+		QueueDepth:     o.queue,
+		MaxBodyBytes:   o.maxBody,
+		MaxBatchJobs:   o.maxBatch,
+		MaxSeqLen:      o.maxSeq,
+		MaxStreamBytes: o.maxStream,
+		MapSeedK:       o.seedK,
+		MapErrorRate:   o.errorRate,
 	}
 	if o.refPath != "" {
-		f, err := os.Open(o.refPath)
+		f, err := seqio.Open(o.refPath)
 		if err != nil {
 			return nil, err
 		}
 		defer f.Close()
-		recs, err := seq.ReadFASTA(f)
-		if err != nil {
-			return nil, err
+		for rec, err := range f.Records() {
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", o.refPath, err)
+			}
+			cfg.RefName, cfg.Ref = rec.Name, rec.Seq
+			break
 		}
-		if len(recs) == 0 {
-			return nil, fmt.Errorf("%s: no FASTA records", o.refPath)
+		if len(cfg.Ref) == 0 {
+			return nil, fmt.Errorf("%s: no sequence records", o.refPath)
 		}
-		cfg.RefName = recs[0].Name
 		if o.refName != "" {
 			cfg.RefName = o.refName
 		}
-		cfg.Ref = recs[0].Seq
 	}
 	return server.New(cfg)
 }

@@ -4,14 +4,18 @@
 //	genasm editdist -a SEQ1 -b SEQ2
 //	genasm filter  -region SEQ -read SEQ -k 5
 //	genasm search  -text FILE|SEQ -pattern SEQ -k 2 [-bytes]
-//	genasm map     -ref ref.fasta -reads reads.fasta
+//	genasm map     -ref ref.fasta -reads reads.fastq.gz [-sam]
 //
 // Every subcommand runs on the public genasm.Engine API. Sequence
-// arguments are either literal sequences or paths to FASTA files (detected
-// by an existing file of that name).
+// arguments are either literal sequences or paths to FASTA/FASTQ files
+// (detected by an existing file of that name; gzip and format are
+// autodetected). `genasm map` streams reads through Mapper.MapStream —
+// FASTQ in, SAM out, in O(1) read memory — so multi-gigabyte read sets
+// map without being loaded whole.
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -21,6 +25,7 @@ import (
 	"genasm"
 	"genasm/internal/alphabet"
 	"genasm/internal/seq"
+	"genasm/seqio"
 )
 
 func main() {
@@ -61,28 +66,43 @@ func usage() {
   editdist -a SEQ -b SEQ
   filter   -region SEQ -read SEQ -k N
   search   -text SEQ|FILE -pattern SEQ -k N [-bytes]
-  map      -ref FASTA -reads FASTA [-seed-k N] [-error-rate F] [-sam]`)
+  map      -ref FASTA[.gz] -reads FASTA|FASTQ[.gz] [-seed-k N] [-error-rate F] [-sam]`)
 }
 
-// loadSeq returns the sequence in arg: the first record of a FASTA file if
-// arg names one, otherwise arg itself (uppercased).
+// loadSeq returns the sequence in arg: the first record of a FASTA/FASTQ
+// file (gzip autodetected) if arg names one, otherwise arg itself
+// (uppercased).
 func loadSeq(arg string) ([]byte, error) {
 	if fi, err := os.Stat(arg); err == nil && !fi.IsDir() {
-		f, err := os.Open(arg)
+		rec, err := firstRecord(arg)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		recs, err := seq.ReadFASTA(f)
-		if err != nil {
-			return nil, err
-		}
-		if len(recs) == 0 {
-			return nil, fmt.Errorf("%s: no FASTA records", arg)
-		}
-		return recs[0].Seq, nil
+		return rec.Seq, nil
 	}
 	return []byte(strings.ToUpper(arg)), nil
+}
+
+// firstRecord streams just the leading record out of a sequence file.
+func firstRecord(path string) (seqio.Record, error) {
+	f, err := seqio.Open(path)
+	if err != nil {
+		return seqio.Record{}, err
+	}
+	defer f.Close()
+	for rec, err := range f.Records() {
+		if err != nil {
+			return seqio.Record{}, err
+		}
+		return rec, nil
+	}
+	return seqio.Record{}, fmt.Errorf("%s: no sequence records", path)
+}
+
+// foldAmbiguous maps any non-ACGT letters (e.g. N) to deterministic bases
+// so the 2-bit public API accepts real-world records.
+func foldAmbiguous(letters []byte) []byte {
+	return alphabet.DNA.Decode(seq.EncodeRecord(seq.Record{Seq: letters}))
 }
 
 func runAlign(ctx context.Context, args []string) error {
@@ -236,39 +256,22 @@ func runSearch(ctx context.Context, args []string) error {
 
 func runMap(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("map", flag.ExitOnError)
-	refPath := fs.String("ref", "", "reference FASTA")
-	readsPath := fs.String("reads", "", "reads FASTA")
+	refPath := fs.String("ref", "", "reference FASTA (gzip ok)")
+	readsPath := fs.String("reads", "", "reads FASTA or FASTQ (gzip ok; streamed, never loaded whole)")
 	seedK := fs.Int("seed-k", 15, "seed length")
 	errRate := fs.Float64("error-rate", 0.10, "expected sequencing error rate")
 	samOut := fs.Bool("sam", false, "emit SAM instead of the terse TSV")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	rf, err := os.Open(*refPath)
+	// The reference must be whole for indexing; only its first record is
+	// read. EncodeRecord folds ambiguous bases, so decoding its output
+	// yields clean ACGT letters for the public API.
+	refRec, err := firstRecord(*refPath)
 	if err != nil {
 		return err
 	}
-	defer rf.Close()
-	refRecs, err := seq.ReadFASTA(rf)
-	if err != nil {
-		return err
-	}
-	if len(refRecs) == 0 {
-		return fmt.Errorf("%s: no reference records", *refPath)
-	}
-	// EncodeRecord folds ambiguous bases, so decoding its output yields
-	// clean ACGT letters for the public API.
-	ref := alphabet.DNA.Decode(seq.EncodeRecord(refRecs[0]))
-
-	qf, err := os.Open(*readsPath)
-	if err != nil {
-		return err
-	}
-	defer qf.Close()
-	readRecs, err := seq.ReadFASTA(qf)
-	if err != nil {
-		return err
-	}
+	ref := foldAmbiguous(refRec.Seq)
 
 	e, err := genasm.DefaultEngine()
 	if err != nil {
@@ -277,34 +280,58 @@ func runMap(ctx context.Context, args []string) error {
 	m, err := e.NewMapper(ref, genasm.MapperConfig{
 		SeedK:     *seedK,
 		ErrorRate: *errRate,
-		RefName:   refRecs[0].Name,
+		RefName:   refRec.Name,
 	})
 	if err != nil {
 		return err
 	}
 
-	reads := make([]genasm.Read, len(readRecs))
-	for i, rec := range readRecs {
-		reads[i] = genasm.Read{Name: rec.Name, Seq: alphabet.DNA.Decode(seq.EncodeRecord(rec))}
-	}
-	mappings, err := m.MapReads(ctx, reads)
+	// The reads flow record by record from the file through MapStream to
+	// the output — O(1) read memory regardless of file size.
+	qf, err := seqio.Open(*readsPath)
 	if err != nil {
 		return err
 	}
+	defer qf.Close()
+	var readErr error
+	reads := func(yield func(genasm.Read) bool) {
+		for rec, err := range qf.Records() {
+			if err != nil {
+				readErr = err
+				return
+			}
+			if !yield(genasm.Read{Name: rec.Name, Seq: foldAmbiguous(rec.Seq)}) {
+				return
+			}
+		}
+	}
+	results := m.MapStream(ctx, reads)
 
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
 	if *samOut {
-		return m.WriteSAM(os.Stdout, mappings)
-	}
-	for _, mp := range mappings {
-		if !mp.Mapped {
-			fmt.Printf("%s\tunmapped\n", mp.Name)
-			continue
+		if err := m.WriteSAMStream(out, results); err != nil {
+			return err
 		}
-		strand := "+"
-		if mp.RevComp {
-			strand = "-"
+	} else {
+		for res := range results {
+			if res.Err != nil {
+				return fmt.Errorf("read %d (%s): %w", res.Index, res.Mapping.Name, res.Err)
+			}
+			mp := res.Mapping
+			if !mp.Mapped {
+				fmt.Fprintf(out, "%s\tunmapped\n", mp.Name)
+				continue
+			}
+			strand := "+"
+			if mp.RevComp {
+				strand = "-"
+			}
+			fmt.Fprintf(out, "%s\t%d\t%s\tNM:%d\t%s\n", mp.Name, mp.Pos, strand, mp.Distance, mp.ClassicCIGAR)
 		}
-		fmt.Printf("%s\t%d\t%s\tNM:%d\t%s\n", mp.Name, mp.Pos, strand, mp.Distance, mp.ClassicCIGAR)
 	}
-	return nil
+	if readErr != nil {
+		return fmt.Errorf("%s: %w", *readsPath, readErr)
+	}
+	return out.Flush()
 }

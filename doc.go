@@ -36,6 +36,27 @@
 //     optional GenASM-DC filtering, GenASM alignment) with SAM output;
 //     Engine.Map is the one-shot convenience.
 //
+// # Streaming
+//
+// The batch and mapping slice APIs are thin wrappers over an
+// iterator-based stream core — the shape of the accelerator's throughput
+// story (reads streaming through a fixed count of per-vault GenASM units,
+// Section 10.5) and of the primary workload, where a FASTQ stream of
+// reads becomes a SAM stream of records. Engine.AlignStream turns an
+// iter.Seq[BatchJob] into an iter.Seq[BatchResult], and Mapper.MapStream
+// an iter.Seq[Read] into an iter.Seq[MappingResult]: jobs are pulled on
+// demand and fanned out over at most Engine.Capacity lazily-spawned
+// workers, results come back in input order (or as completed, with the
+// Unordered option) and memory stays bounded by the worker count — O(1)
+// in the stream length. Mapper.WriteSAMStream renders a result stream as
+// SAM record by record.
+//
+// The genasm/seqio package is the file-facing half: streaming FASTA and
+// FASTQ readers (gzip and format autodetection, CRLF and lowercase
+// tolerance, line-numbered errors on corrupt records) that yield
+// iter.Seq2[Record, error], so `genasm map -reads reads.fastq.gz` maps a
+// read set of any size in constant read memory.
+//
 // Inputs are ASCII letters of the engine's alphabet (e.g. "ACGT" for DNA);
 // letters outside it are reported as *AlphabetError. Accelerator models
 // the performance, area and power of the hardware design.
@@ -69,7 +90,10 @@
 //
 // The genasm-serve command (cmd/genasm-serve) exposes one shared Engine as
 // a long-running HTTP JSON service with align, batch and read-mapping
-// endpoints, bounded admission queueing (429 on overload) and graceful
-// shutdown; see internal/server for the API. The underlying algorithm
-// packages live in internal/ and operate on dense codes.
+// endpoints — including POST /v1/map/stream, which accepts FASTA, FASTQ
+// or NDJSON reads in the request body and streams NDJSON or SAM back with
+// flush-per-record backpressure — plus bounded admission queueing (429 on
+// overload) and graceful shutdown; see internal/server for the API. The
+// underlying algorithm packages live in internal/ and operate on dense
+// codes.
 package genasm

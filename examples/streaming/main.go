@@ -1,0 +1,118 @@
+// Streaming end to end: write a gzipped FASTQ of simulated reads to a
+// temporary file, then map it to SAM in O(1) read memory — records flow
+// one at a time from seqio.Open through Mapper.MapStream (a bounded
+// worker fan-out over the engine's workspace pool, the software shape of
+// the accelerator streaming reads through per-vault GenASM units) into
+// Mapper.WriteSAMStream. Also shows Engine.AlignStream on an iterator of
+// batch jobs with the Unordered throughput mode.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"compress/gzip"
+	"context"
+	"fmt"
+	"log"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+
+	"genasm"
+	"genasm/internal/alphabet"
+	"genasm/internal/seq"
+	"genasm/internal/simulate"
+	"genasm/seqio"
+)
+
+func main() {
+	ctx := context.Background()
+	rng := rand.New(rand.NewPCG(7, 7))
+
+	// A synthetic reference and a gzipped FASTQ of reads simulated from it.
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(200_000))
+	simReads, err := simulate.Reads(rng, genome, 500, simulate.Illumina150, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fastqPath := filepath.Join(os.TempDir(), "genasm-streaming-example.fastq.gz")
+	f, err := os.Create(fastqPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	fq := seqio.NewFASTQWriter(zw)
+	for i, r := range simReads {
+		rec := seqio.Record{Name: fmt.Sprintf("sim%d", i), Seq: alphabet.DNA.Decode(r.Seq)}
+		if err := fq.WriteRecord(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := fq.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	zw.Close()
+	f.Close()
+	defer os.Remove(fastqPath)
+	fmt.Printf("wrote %d reads to %s\n", len(simReads), fastqPath)
+
+	// FASTQ -> SAM, streaming: the file is never loaded whole. seqio
+	// autodetects the gzip layer and the FASTQ format; MapStream fans the
+	// records out over the engine pool and emits mappings in input order.
+	e, err := genasm.NewEngine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := e.NewMapper(alphabet.DNA.Decode(genome), genasm.MapperConfig{RefName: "chrE"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := seqio.Open(fastqPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer in.Close()
+	reads := func(yield func(genasm.Read) bool) {
+		for rec, err := range in.Records() {
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !yield(genasm.Read{Name: rec.Name, Seq: rec.Seq}) {
+				return
+			}
+		}
+	}
+	var sam strings.Builder
+	if err := m.WriteSAMStream(&sam, m.MapStream(ctx, reads)); err != nil {
+		log.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sam.String(), "\n"), "\n")
+	fmt.Printf("streamed %d SAM lines; first record:\n  %.100s...\n", len(lines), lines[3])
+
+	// AlignStream: the same fan-out for raw alignment jobs. Unordered()
+	// trades input order for throughput; Index ties results to jobs.
+	jobs := make([]genasm.BatchJob, 200)
+	for i := range jobs {
+		enc := seq.Random(rng, 200)
+		query := append([]byte(nil), enc...)
+		for e := 0; e < 5; e++ { // plant a few substitutions
+			p := rng.IntN(len(query))
+			query[p] = (query[p] + byte(1+rng.IntN(3))) % 4
+		}
+		jobs[i] = genasm.BatchJob{
+			Text:   alphabet.DNA.Decode(enc),
+			Query:  alphabet.DNA.Decode(query),
+			Global: true,
+		}
+	}
+	dist := 0
+	for res := range e.AlignStream(ctx, slices.Values(jobs), genasm.Unordered()) {
+		if res.Err != nil {
+			log.Fatal(res.Err)
+		}
+		dist += res.Alignment.Distance
+	}
+	fmt.Printf("aligned %d streamed jobs, total edit distance %d\n", len(jobs), dist)
+}

@@ -8,13 +8,11 @@
 package seq
 
 import (
-	"bufio"
-	"fmt"
 	"io"
 	"math/rand/v2"
-	"strings"
 
 	"genasm/internal/alphabet"
+	"genasm/seqio"
 )
 
 // Random returns n uniformly random DNA codes from the given seeded source.
@@ -105,51 +103,34 @@ type Record struct {
 
 // WriteFASTA writes records in FASTA format with 70-column wrapping.
 func WriteFASTA(w io.Writer, records []Record) error {
-	bw := bufio.NewWriter(w)
+	fw := seqio.NewFASTAWriter(w)
 	for _, r := range records {
-		if _, err := fmt.Fprintf(bw, ">%s\n", r.Name); err != nil {
+		if err := fw.WriteRecord(seqio.Record{Name: r.Name, Seq: r.Seq}); err != nil {
 			return err
 		}
-		for off := 0; off < len(r.Seq); off += 70 {
-			end := min(off+70, len(r.Seq))
-			if _, err := bw.Write(r.Seq[off:end]); err != nil {
-				return err
-			}
-			if err := bw.WriteByte('\n'); err != nil {
-				return err
-			}
-		}
 	}
-	return bw.Flush()
+	return fw.Flush()
 }
 
-// ReadFASTA parses FASTA records. Sequence lines are concatenated verbatim
-// (whitespace trimmed); validation against an alphabet is the caller's
-// concern.
+// ReadFASTA parses FASTA records by delegating to the public seqio
+// streaming parser (gzip autodetection, CRLF tolerance, uppercase
+// normalization, line-numbered errors on corrupt bodies). The full header
+// line is kept as Name, matching this package's historical behaviour.
 func ReadFASTA(r io.Reader) ([]Record, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	var records []Record
-	var cur *Record
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		if strings.HasPrefix(text, ">") {
-			records = append(records, Record{Name: strings.TrimSpace(text[1:])})
-			cur = &records[len(records)-1]
-			continue
-		}
-		if cur == nil {
-			return nil, fmt.Errorf("fasta: sequence data before header at line %d", line)
-		}
-		cur.Seq = append(cur.Seq, []byte(text)...)
-	}
-	if err := sc.Err(); err != nil {
+	fr, err := seqio.NewFASTAReader(r)
+	if err != nil {
 		return nil, err
+	}
+	var records []Record
+	for rec, err := range fr.Records() {
+		if err != nil {
+			return nil, err
+		}
+		name := rec.Name
+		if rec.Desc != "" {
+			name += " " + rec.Desc
+		}
+		records = append(records, Record{Name: name, Seq: rec.Seq})
 	}
 	return records, nil
 }

@@ -9,11 +9,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/align   — one alignment: {"text","query","global"}
-//	POST /v1/batch   — many alignments, results in request order
-//	POST /v1/map     — read mapping; responds with SAM records
-//	GET  /v1/healthz — liveness
-//	GET  /v1/stats   — pool + server counters
+//	POST /v1/align      — one alignment: {"text","query","global"}
+//	POST /v1/batch      — many alignments, results in request order
+//	POST /v1/map        — read mapping; responds with SAM records
+//	POST /v1/map/stream — streaming read mapping: FASTA/FASTQ/NDJSON body
+//	                      in, flushed-per-record NDJSON or SAM out, in
+//	                      bounded memory (requires a preloaded reference)
+//	GET  /v1/healthz    — liveness
+//	GET  /v1/stats      — pool + server counters
 package server
 
 import (
@@ -53,6 +56,12 @@ type Config struct {
 	// request indexes the reference from scratch). Defaults to 16 MiB,
 	// though MaxBodyBytes usually bounds it tighter.
 	MaxRefLen int
+	// MaxStreamBytes caps a /v1/map/stream request body — applied to the
+	// wire bytes and again to the decompressed stream, so gzipped input
+	// cannot expand past it. Streaming requests run in bounded memory
+	// regardless of body size, so this defaults much higher than
+	// MaxBodyBytes: 1 GiB.
+	MaxStreamBytes int64
 	// MapSeedK and MapErrorRate parameterize the /v1/map pipeline
 	// (defaults: the mapper's own 15 / 0.10).
 	MapSeedK     int
@@ -85,6 +94,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRefLen <= 0 {
 		c.MaxRefLen = 16 << 20
 	}
+	if c.MaxStreamBytes <= 0 {
+		c.MaxStreamBytes = 1 << 30
+	}
 	if c.ShutdownTimeout <= 0 {
 		c.ShutdownTimeout = 10 * time.Second
 	}
@@ -111,6 +123,7 @@ type Server struct {
 	rejected   atomic.Uint64 // 429s
 	errored    atomic.Uint64 // 4xx/5xx other than 429
 	inFlight   atomic.Int64  // requests currently holding a queue slot
+	streams    atomic.Uint64 // /v1/map/stream requests admitted
 }
 
 // New builds a Server (and, when Config.Ref is set, indexes the reference).
@@ -145,6 +158,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/map", s.handleMap)
+	s.mux.HandleFunc("POST /v1/map/stream", s.handleMapStream)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.hs = &http.Server{
@@ -441,14 +455,21 @@ type StatsResponse struct {
 	Server ServerStats      `json:"server"`
 }
 
-// ServerStats are the server-side counters.
+// ServerStats are the server-side counters. InFlightRequests and
+// QueueUsed make streaming load observable: a long-lived /v1/map/stream
+// request holds one admission slot for its whole duration, so QueueUsed
+// climbing toward QueueDepth warns of saturation before 429s start.
 type ServerStats struct {
 	Requests         uint64 `json:"requests"`
 	Alignments       uint64 `json:"alignments"`
+	Streams          uint64 `json:"streams"`
 	Rejected         uint64 `json:"rejected"`
 	Errored          uint64 `json:"errored"`
 	InFlightRequests int64  `json:"in_flight_requests"`
-	QueueDepth       int    `json:"queue_depth"`
+	// QueueUsed is the number of admission slots currently held
+	// (in-flight plus queued work); QueueDepth is the configured cap.
+	QueueUsed  int `json:"queue_used"`
+	QueueDepth int `json:"queue_depth"`
 }
 
 // Stats snapshots the server and engine counters.
@@ -458,9 +479,11 @@ func (s *Server) Stats() StatsResponse {
 		Server: ServerStats{
 			Requests:         s.requests.Load(),
 			Alignments:       s.alignments.Load(),
+			Streams:          s.streams.Load(),
 			Rejected:         s.rejected.Load(),
 			Errored:          s.errored.Load(),
 			InFlightRequests: s.inFlight.Load(),
+			QueueUsed:        len(s.slots),
 			QueueDepth:       s.cfg.QueueDepth,
 		},
 	}

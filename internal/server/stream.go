@@ -1,0 +1,291 @@
+package server
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"iter"
+	"net/http"
+	"strings"
+
+	"genasm"
+	"genasm/seqio"
+)
+
+// The /v1/map/stream endpoint is the serving face of the streaming-first
+// pipeline: a FASTQ/FASTA (optionally gzipped) or NDJSON body of reads is
+// pulled from the request incrementally, fanned out through
+// Mapper.MapStream, and the response — NDJSON mapping records or SAM —
+// is flushed record by record. Memory is bounded by the engine capacity,
+// not the request size, and a slow client throttles the whole pipeline
+// back through the unread request body (flush-per-record backpressure).
+
+// StreamMapResult is one NDJSON line of a /v1/map/stream response.
+// Exactly one of the mapping fields or Error is meaningful.
+type StreamMapResult struct {
+	// Index is the 0-based position of the read in the request stream.
+	Index int `json:"index"`
+	// Name of the read ("readN" when the input carried none).
+	Name   string `json:"name"`
+	Mapped bool   `json:"mapped"`
+	// Pos is the 0-based reference position of the best alignment
+	// (meaningful only when Mapped).
+	Pos          int    `json:"pos"`
+	RevComp      bool   `json:"rev_comp,omitempty"`
+	CIGAR        string `json:"cigar,omitempty"`
+	ClassicCIGAR string `json:"classic_cigar,omitempty"`
+	Distance     int    `json:"distance"`
+	// Error reports a per-read failure (bad letters) or, on the final
+	// line, a request-body parse failure that ended the stream early.
+	Error string `json:"error,omitempty"`
+}
+
+// streamReadSource turns a request body into an iter.Seq of reads plus a
+// deferred parse-error slot checked after the stream drains.
+type streamReadSource struct {
+	reads iter.Seq[genasm.Read]
+	// err holds the first input parse/validation error; dispatch stops at
+	// the read before it.
+	err error
+}
+
+// ndjsonReadLine is one line of an NDJSON request body.
+type ndjsonReadLine struct {
+	Name string `json:"name"`
+	Seq  string `json:"seq"`
+}
+
+// newNDJSONSource streams reads out of an NDJSON body, one
+// {"name","seq"} object per line.
+func (s *Server) newNDJSONSource(body io.Reader) *streamReadSource {
+	src := &streamReadSource{}
+	src.reads = func(yield func(genasm.Read) bool) {
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 64<<10), 4*(s.cfg.MaxSeqLen+1024))
+		line := 0
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" {
+				continue
+			}
+			var rd ndjsonReadLine
+			if err := json.Unmarshal([]byte(text), &rd); err != nil {
+				src.err = fmt.Errorf("ndjson line %d: %v", line, err)
+				return
+			}
+			if len(rd.Seq) == 0 || len(rd.Seq) > s.cfg.MaxSeqLen {
+				src.err = fmt.Errorf("ndjson line %d: read %q: sequence length %d outside (0, %d]",
+					line, rd.Name, len(rd.Seq), s.cfg.MaxSeqLen)
+				return
+			}
+			if !yield(genasm.Read{Name: rd.Name, Seq: []byte(rd.Seq)}) {
+				return
+			}
+		}
+		if err := sc.Err(); err != nil {
+			src.err = fmt.Errorf("ndjson line %d: %v", line+1, err)
+		}
+	}
+	return src
+}
+
+// newSeqSource streams reads out of a FASTA/FASTQ body (gzip
+// autodetected) via seqio.
+func (s *Server) newSeqSource(body io.Reader) (*streamReadSource, error) {
+	sr, err := seqio.NewReader(body)
+	if err != nil {
+		return nil, err
+	}
+	src := &streamReadSource{}
+	src.reads = func(yield func(genasm.Read) bool) {
+		for rec, err := range sr.Records() {
+			if err != nil {
+				src.err = err
+				return
+			}
+			if len(rec.Seq) == 0 || len(rec.Seq) > s.cfg.MaxSeqLen {
+				src.err = fmt.Errorf("read %q: sequence length %d outside (0, %d]", rec.Name, len(rec.Seq), s.cfg.MaxSeqLen)
+				return
+			}
+			if !yield(genasm.Read{Name: rec.Name, Seq: rec.Seq}) {
+				return
+			}
+		}
+	}
+	return src, nil
+}
+
+// handleMapStream serves POST /v1/map/stream: reads in (FASTA/FASTQ/
+// NDJSON), mapping records out (NDJSON, or SAM with "Accept: text/x-sam"),
+// one flushed record at a time.
+func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
+	m := s.preMapper
+	if m == nil {
+		s.errored.Add(1)
+		writeError(w, http.StatusBadRequest, "map/stream: no preloaded reference (start the server with -ref)")
+		return
+	}
+
+	// MaxStreamBytes bounds the request compressed AND decompressed: the
+	// wire-level MaxBytesReader alone would let a small gzip bomb expand
+	// into ~1000x that much mapping work, so the gzip layer is unwrapped
+	// here (not left to seqio's sniffing) and capped again after
+	// decompression.
+	body := io.Reader(http.MaxBytesReader(w, r.Body, s.cfg.MaxStreamBytes))
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			s.errored.Add(1)
+			writeError(w, http.StatusBadRequest, "map/stream: gzip body: "+err.Error())
+			return
+		}
+		body = zr
+	} else {
+		br := bufio.NewReader(body)
+		if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+			zr, err := gzip.NewReader(br)
+			if err != nil {
+				s.errored.Add(1)
+				writeError(w, http.StatusBadRequest, "map/stream: gzip body: "+err.Error())
+				return
+			}
+			body = zr
+		} else {
+			body = br
+		}
+	}
+	body = &cappedReader{r: body, left: s.cfg.MaxStreamBytes, limit: s.cfg.MaxStreamBytes}
+
+	var src *streamReadSource
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/x-ndjson") || strings.HasPrefix(ct, "application/json") {
+		src = s.newNDJSONSource(body)
+	} else {
+		var err error
+		if src, err = s.newSeqSource(body); err != nil {
+			s.errored.Add(1)
+			writeError(w, http.StatusBadRequest, "map/stream: "+err.Error())
+			return
+		}
+	}
+
+	if !s.acquireSlot(w) {
+		return
+	}
+	defer s.releaseSlot()
+	s.streams.Add(1)
+
+	results := m.MapStream(r.Context(), src.reads)
+	if strings.Contains(r.Header.Get("Accept"), "text/x-sam") {
+		s.streamSAM(w, m, src, results)
+		return
+	}
+	s.streamNDJSON(w, src, results)
+}
+
+// streamNDJSON writes one JSON mapping record per line, flushing after
+// each so the client sees results as reads are mapped.
+func (s *Server) streamNDJSON(w http.ResponseWriter, src *streamReadSource, results iter.Seq[genasm.MappingResult]) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	for res := range results {
+		line := StreamMapResult{Index: res.Index, Name: res.Mapping.Name}
+		if line.Name == "" {
+			line.Name = fmt.Sprintf("read%d", res.Index)
+		}
+		if res.Err != nil {
+			line.Error = res.Err.Error()
+			s.errored.Add(1)
+		} else {
+			mp := res.Mapping
+			line.Mapped = mp.Mapped
+			line.Pos = mp.Pos
+			line.RevComp = mp.RevComp
+			line.CIGAR = mp.CIGAR
+			line.ClassicCIGAR = mp.ClassicCIGAR
+			line.Distance = mp.Distance
+			s.alignments.Add(1)
+		}
+		if err := enc.Encode(line); err != nil {
+			return // client went away
+		}
+		rc.Flush()
+	}
+	if src.err != nil {
+		// The input broke mid-stream: report it in-band as a final record
+		// (headers are long gone).
+		s.errored.Add(1)
+		enc.Encode(StreamMapResult{Index: -1, Error: "input: " + src.err.Error()})
+		rc.Flush()
+	}
+}
+
+// cappedReader fails — rather than silently truncating, the way
+// io.LimitReader would — once more than limit bytes flow through it.
+type cappedReader struct {
+	r     io.Reader
+	left  int64
+	limit int64
+}
+
+func (c *cappedReader) Read(p []byte) (int, error) {
+	if c.left <= 0 {
+		// Distinguish "exactly at the limit" from "over it" by probing
+		// for one more byte.
+		var one [1]byte
+		n, err := c.r.Read(one[:])
+		if n > 0 {
+			return 0, fmt.Errorf("stream exceeds %d decompressed bytes", c.limit)
+		}
+		if err != nil {
+			return 0, err
+		}
+		return 0, io.ErrNoProgress
+	}
+	if int64(len(p)) > c.left {
+		p = p[:c.left]
+	}
+	n, err := c.r.Read(p)
+	c.left -= int64(n)
+	return n, err
+}
+
+// flushWriter flushes the response after every write, so each SAM record
+// batch reaches the client as it is produced.
+type flushWriter struct {
+	w  io.Writer
+	rc *http.ResponseController
+}
+
+func (fw flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	fw.rc.Flush()
+	return n, err
+}
+
+// streamSAM renders the result stream as SAM. A per-read or input error
+// ends the stream early (SAM has no in-band error channel); the client
+// sees the truncation as a missing EOF-adjacent record count.
+func (s *Server) streamSAM(w http.ResponseWriter, m *genasm.Mapper, src *streamReadSource, results iter.Seq[genasm.MappingResult]) {
+	w.Header().Set("Content-Type", "text/x-sam; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	err := m.WriteSAMStream(flushWriter{w: w, rc: rc}, func(yield func(genasm.MappingResult) bool) {
+		for res := range results {
+			if res.Err == nil {
+				s.alignments.Add(1)
+			}
+			if !yield(res) {
+				return
+			}
+		}
+	})
+	if err != nil || src.err != nil {
+		s.errored.Add(1)
+	}
+}

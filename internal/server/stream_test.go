@@ -1,0 +1,279 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"testing"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/seq"
+	"genasm/internal/simulate"
+	"genasm/seqio"
+)
+
+// streamFixture builds a server with a preloaded reference plus a set of
+// simulated reads with known positions.
+func streamFixture(t *testing.T) (base string, srv *Server, reads []simulate.Read) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(31337, 0))
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(30000))
+	reads, err := simulate.Reads(rng, genome, 10, simulate.Illumina150, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := newTestEngine(t)
+	srv, base = startServer(t, Config{
+		Engine:  eng,
+		RefName: "chrS",
+		Ref:     alphabet.DNA.Decode(genome),
+	})
+	return base, srv, reads
+}
+
+// postStream posts body to /v1/map/stream with the given headers.
+func postStream(t *testing.T, base string, body []byte, contentType string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", base+"/v1/map/stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestMapStreamFASTQGzipToSAM posts a gzipped FASTQ body and checks the
+// SAM response matches the buffered /v1/map endpoint record for record.
+func TestMapStreamFASTQGzipToSAM(t *testing.T) {
+	base, srv, reads := streamFixture(t)
+
+	// Build the gzipped FASTQ body.
+	var fastq bytes.Buffer
+	zw := gzip.NewWriter(&fastq)
+	recs := make([]seqio.Record, len(reads))
+	mapReq := MapRequest{}
+	for i, r := range reads {
+		letters := alphabet.DNA.Decode(r.Seq)
+		recs[i] = seqio.Record{Name: fmt.Sprintf("sim%d", i), Seq: letters}
+		mapReq.Reads = append(mapReq.Reads, MapRead{Name: fmt.Sprintf("sim%d", i), Seq: string(letters)})
+	}
+	if err := seqio.WriteFASTQ(zw, recs); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+
+	resp := postStream(t, base, fastq.Bytes(), "", map[string]string{"Accept": "text/x-sam"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/x-sam") {
+		t.Fatalf("content type %q", ct)
+	}
+	var streamed bytes.Buffer
+	streamed.ReadFrom(resp.Body)
+
+	// The buffered endpoint must agree line for line.
+	respBuf, buffered := postJSON(t, base+"/v1/map", mapReq)
+	if respBuf.StatusCode != http.StatusOK {
+		t.Fatalf("buffered map status %d: %s", respBuf.StatusCode, buffered)
+	}
+	if streamed.String() != string(buffered) {
+		t.Errorf("streamed SAM differs from buffered SAM:\n--- stream ---\n%s\n--- buffered ---\n%s", streamed.String(), buffered)
+	}
+	if st := srv.Stats().Server; st.Streams == 0 {
+		t.Error("stats did not count the stream")
+	}
+}
+
+// TestMapStreamNDJSON posts NDJSON reads and validates the NDJSON
+// response: one record per read, in order, positions near the simulated
+// truth, and per-read errors in-band.
+func TestMapStreamNDJSON(t *testing.T) {
+	base, _, reads := streamFixture(t)
+
+	var body bytes.Buffer
+	for i, r := range reads {
+		line, _ := json.Marshal(ndjsonReadLine{Name: fmt.Sprintf("sim%d", i), Seq: string(alphabet.DNA.Decode(r.Seq))})
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	// One bad read mid-stream: must come back as an in-band error without
+	// ending the stream.
+	bad, _ := json.Marshal(ndjsonReadLine{Name: "bad", Seq: "ACGTXXACGT"})
+	body.Write(bad)
+	body.WriteByte('\n')
+
+	resp := postStream(t, base, body.Bytes(), "application/x-ndjson", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var lines []StreamMapResult
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var res StreamMapResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, res)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(reads)+1 {
+		t.Fatalf("%d NDJSON records, want %d", len(lines), len(reads)+1)
+	}
+	mapped := 0
+	for i, res := range lines {
+		if res.Index != i {
+			t.Errorf("record %d has index %d (ordered stream)", i, res.Index)
+		}
+		if i == len(reads) {
+			if res.Error == "" || res.Name != "bad" {
+				t.Errorf("bad read: %+v, want in-band error", res)
+			}
+			continue
+		}
+		if res.Error != "" {
+			t.Errorf("read %d: unexpected error %q", i, res.Error)
+			continue
+		}
+		if !res.Mapped {
+			continue
+		}
+		mapped++
+		if d := res.Pos - reads[i].Pos; d < -30 || d > 30 {
+			t.Errorf("read %d mapped at %d, simulated at %d", i, res.Pos, reads[i].Pos)
+		}
+	}
+	if mapped < len(reads)-1 {
+		t.Errorf("only %d/%d reads mapped", mapped, len(reads))
+	}
+}
+
+// TestMapStreamInputErrors pins the failure modes: no preloaded
+// reference, malformed body, and an input that breaks mid-stream.
+func TestMapStreamInputErrors(t *testing.T) {
+	eng := newTestEngine(t)
+	_, noRef := startServer(t, Config{Engine: eng})
+	resp := postStream(t, noRef, []byte(">r\nACGT\n"), "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("no-ref status %d, want 400", resp.StatusCode)
+	}
+
+	base, _, _ := streamFixture(t)
+	resp = postStream(t, base, []byte("not a sequence file"), "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body status %d, want 400", resp.StatusCode)
+	}
+
+	// FASTA that turns corrupt after one good record: the good record is
+	// served, then a final in-band input error line.
+	body := []byte(">ok\nACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT\n>broken\nAC>GT\n")
+	resp = postStream(t, base, body, "", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var lines []StreamMapResult
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var res StreamMapResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, res)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d records, want good read + input error: %+v", len(lines), lines)
+	}
+	if lines[0].Name != "ok" || lines[0].Error != "" {
+		t.Errorf("first record = %+v", lines[0])
+	}
+	if lines[1].Index != -1 || !strings.Contains(lines[1].Error, "stray") {
+		t.Errorf("trailer = %+v, want input error mentioning the stray marker", lines[1])
+	}
+}
+
+// TestMapStreamDecompressedCap pins that MaxStreamBytes bounds the
+// decompressed stream: a small gzip body that inflates past the cap must
+// end the stream with an in-band error, not expand into unbounded work.
+func TestMapStreamDecompressedCap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(20000))
+	eng := newTestEngine(t)
+	_, base := startServer(t, Config{
+		Engine:         eng,
+		RefName:        "chrC",
+		Ref:            alphabet.DNA.Decode(genome),
+		MaxStreamBytes: 4096,
+	})
+
+	// ~160 KB of FASTA that gzips far below the 4 KiB cap.
+	var raw bytes.Buffer
+	raw.WriteString(">bomb\n")
+	for range 2000 {
+		raw.WriteString(strings.Repeat("ACGTACGT", 10) + "\n")
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(raw.Bytes())
+	zw.Close()
+	if gz.Len() >= 4096 {
+		t.Fatalf("fixture did not compress below the cap: %d bytes", gz.Len())
+	}
+
+	resp := postStream(t, base, gz.Bytes(), "", nil)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "exceeds 4096 decompressed bytes") {
+		t.Fatalf("response does not report the decompressed cap:\n%s", out)
+	}
+}
+
+// TestStatsQueueObservability pins the new stats fields so streaming load
+// is visible: queue_used reflects held slots and returns to zero.
+func TestStatsQueueObservability(t *testing.T) {
+	eng := newTestEngine(t)
+	srv, base := startServer(t, Config{Engine: eng, QueueDepth: 7})
+	st := srv.Stats().Server
+	if st.QueueDepth != 7 || st.QueueUsed != 0 || st.InFlightRequests != 0 {
+		t.Fatalf("idle stats = %+v", st)
+	}
+	postJSON(t, base+"/v1/align", AlignRequest{Text: "ACGTACGT", Query: "ACGT"})
+	st = srv.Stats().Server
+	if st.QueueUsed != 0 || st.InFlightRequests != 0 {
+		t.Fatalf("post-drain stats = %+v (slots must be released)", st)
+	}
+	if st.Requests == 0 {
+		t.Fatal("request not counted")
+	}
+}

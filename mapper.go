@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"iter"
+	"slices"
 
 	"genasm/internal/cigar"
 	"genasm/internal/core"
@@ -207,19 +209,88 @@ func (m *Mapper) MapRead(ctx context.Context, read []byte) (ReadMapping, error) 
 	return out, nil
 }
 
-// MapReads maps a read set in order. It stops at the first pipeline error
-// (unmappable reads are not errors — they come back with Mapped false).
-func (m *Mapper) MapReads(ctx context.Context, reads []Read) ([]ReadMapping, error) {
-	out := make([]ReadMapping, len(reads))
-	for i, r := range reads {
+// MappingResult pairs one streamed read's ReadMapping with its error.
+// Per-read failures (bad letters, context cancellation) land here, so one
+// bad read never poisons the rest of a stream.
+type MappingResult struct {
+	// Index is the 0-based position of the read in the input stream —
+	// how Unordered stream consumers reassociate results with reads.
+	Index   int
+	Mapping ReadMapping
+	Err     error
+}
+
+// MapStream maps a stream of reads concurrently and yields a stream of
+// results — the bounded-memory core behind MapReads and the shape of the
+// primary workload end to end: FASTQ reads in, mappings (SAM via
+// WriteSAMStream) out, in O(1) read memory. Reads are pulled from the
+// iterator on demand and fanned out over at most Engine.Capacity worker
+// goroutines; regardless of stream length, only ~2×Capacity reads are in
+// flight or buffered at any moment.
+//
+// By default results come back in input order with per-read errors in
+// MappingResult.Err. With the Unordered option, results are yielded as
+// they complete, identified by MappingResult.Index.
+//
+// When ctx ends, reads that have not started carry ctx.Err() in their
+// MappingResult and the stream drains promptly. Stopping iteration early
+// stops dispatch; reads already picked up by workers finish in the
+// background. The returned iterator is single-use.
+func (m *Mapper) MapStream(ctx context.Context, reads iter.Seq[Read], opts ...StreamOption) iter.Seq[MappingResult] {
+	var s streamSettings
+	for _, o := range opts {
+		o(&s)
+	}
+	return fanOut(m.e.Capacity(), !s.unordered, reads, func(idx int, r Read) MappingResult {
+		if err := ctx.Err(); err != nil {
+			return MappingResult{Index: idx, Err: err}
+		}
 		mp, err := m.MapRead(ctx, r.Seq)
 		if err != nil {
-			return nil, fmt.Errorf("genasm: read %d (%s): %w", i, r.Name, err)
+			return MappingResult{Index: idx, Mapping: ReadMapping{Name: r.Name}, Err: err}
 		}
 		mp.Name = r.Name
-		out[i] = mp
+		return MappingResult{Index: idx, Mapping: mp}
+	})
+}
+
+// MapReads maps a read set, returning mappings in read order. It is a thin
+// wrapper over MapStream, so it shares the stream core's concurrency (the
+// read set is fanned out over the engine's workspace pool). It stops at
+// the first pipeline error in read order (unmappable reads are not errors
+// — they come back with Mapped false).
+func (m *Mapper) MapReads(ctx context.Context, reads []Read) ([]ReadMapping, error) {
+	out := make([]ReadMapping, len(reads))
+	for res := range m.MapStream(ctx, slices.Values(reads)) {
+		if res.Err != nil {
+			return nil, fmt.Errorf("genasm: read %d (%s): %w", res.Index, reads[res.Index].Name, res.Err)
+		}
+		out[res.Index] = res.Mapping
 	}
 	return out, nil
+}
+
+// samRecord renders one mapping as a SAM record; idx names nameless reads.
+func (m *Mapper) samRecord(idx int, mp ReadMapping) sam.Record {
+	name := mp.Name
+	if name == "" {
+		name = fmt.Sprintf("read%d", idx)
+	}
+	rec := sam.Record{QName: name, Seq: mp.seq}
+	if !mp.Mapped {
+		rec.Flag = sam.FlagUnmapped
+	} else {
+		rec.RName = m.refName
+		rec.Pos = mp.Pos + 1
+		rec.MapQ = 60
+		rec.Cigar = mp.runs
+		rec.EditDistance = mp.Distance
+		rec.Score = cigar.Minimap2.Score(mp.runs)
+		if mp.RevComp {
+			rec.Flag |= sam.FlagReverse
+		}
+	}
+	return rec
 }
 
 // WriteSAM renders mappings as a SAM stream — header plus one record per
@@ -231,25 +302,36 @@ func (m *Mapper) WriteSAM(w io.Writer, mappings []ReadMapping) error {
 		return err
 	}
 	for i, mp := range mappings {
-		name := mp.Name
-		if name == "" {
-			name = fmt.Sprintf("read%d", i)
+		if err := sw.WriteRecord(m.samRecord(i, mp)); err != nil {
+			return err
 		}
-		rec := sam.Record{QName: name, Seq: mp.seq}
-		if !mp.Mapped {
-			rec.Flag = sam.FlagUnmapped
-		} else {
-			rec.RName = m.refName
-			rec.Pos = mp.Pos + 1
-			rec.MapQ = 60
-			rec.Cigar = mp.runs
-			rec.EditDistance = mp.Distance
-			rec.Score = cigar.Minimap2.Score(mp.runs)
-			if mp.RevComp {
-				rec.Flag |= sam.FlagReverse
-			}
+	}
+	return sw.Flush()
+}
+
+// WriteSAMStream renders a result stream (usually MapStream's output) as
+// SAM: header first, then one record per result, flushed as written so
+// downstream consumers see records as they are produced — combined with
+// MapStream and a streaming reads source this maps FASTQ to SAM in O(1)
+// read memory. Wrap w in a bufio.Writer when per-record write syscalls
+// matter more than latency.
+//
+// The first MappingResult.Err aborts the stream and is returned (SAM has
+// no in-band error channel). Mappings without a Name are written as
+// "readN" by stream index.
+func (m *Mapper) WriteSAMStream(w io.Writer, results iter.Seq[MappingResult]) error {
+	sw := sam.NewWriter(w)
+	if err := sw.WriteHeader(m.refName, m.refLen); err != nil {
+		return err
+	}
+	for res := range results {
+		if res.Err != nil {
+			return fmt.Errorf("genasm: read %d (%s): %w", res.Index, res.Mapping.Name, res.Err)
 		}
-		if err := sw.WriteRecord(rec); err != nil {
+		if err := sw.WriteRecord(m.samRecord(res.Index, res.Mapping)); err != nil {
+			return err
+		}
+		if err := sw.Flush(); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,125 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"iter"
+)
+
+// FASTAReader streams '>'-header records from one input. Build with
+// NewFASTAReader; gzip input is decompressed transparently.
+type FASTAReader struct {
+	ls *lineScanner
+}
+
+// NewFASTAReader wraps r (gzip autodetected) for streaming FASTA reads.
+// Unlike NewReader it does not sniff the format: the stream must be FASTA.
+func NewFASTAReader(r io.Reader) (*FASTAReader, error) {
+	plain, err := unGzip(r)
+	if err != nil {
+		return nil, err
+	}
+	return &FASTAReader{ls: newLineScanner(plain)}, nil
+}
+
+// Records streams the records in file order, holding only the record
+// under construction in memory. Iteration stops after yielding the first
+// error (with a zero Record); the iterator is single-use.
+//
+// Tolerated: CRLF line endings, lowercase bases (uppercased), multi-line
+// sequences, blank lines between and after records. Rejected with
+// line-numbered errors: sequence data before the first header, a stray
+// '>' or '@' inside a sequence line, and non-sequence characters.
+func (r *FASTAReader) Records() iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		var cur Record
+		have := false
+		flush := func() bool {
+			if !have {
+				return true
+			}
+			have = false
+			upperInPlace(cur.Seq)
+			rec := cur
+			cur = Record{}
+			return yield(rec, nil)
+		}
+		for {
+			line, ok := r.ls.next()
+			if !ok {
+				break
+			}
+			if isBlank(line) {
+				continue
+			}
+			if line[0] == '>' {
+				if !flush() {
+					return
+				}
+				cur.Name, cur.Desc = parseHeader(line[1:])
+				have = true
+				continue
+			}
+			if !have {
+				yield(Record{}, fmt.Errorf("seqio: line %d: sequence data before first FASTA header", r.ls.line))
+				return
+			}
+			if err := checkSeqLine(line, r.ls.line); err != nil {
+				yield(Record{}, err)
+				return
+			}
+			cur.Seq = append(cur.Seq, line...)
+		}
+		if err := r.ls.err(); err != nil {
+			yield(Record{}, fmt.Errorf("seqio: line %d: %w", r.ls.line+1, err))
+			return
+		}
+		flush()
+	}
+}
+
+// fastaWrap is the sequence line width used by the writers.
+const fastaWrap = 70
+
+// FASTAWriter streams records out in FASTA format with 70-column
+// wrapping. Call Flush when done.
+type FASTAWriter struct {
+	bw *bufio.Writer
+}
+
+// NewFASTAWriter wraps w.
+func NewFASTAWriter(w io.Writer) *FASTAWriter {
+	return &FASTAWriter{bw: bufio.NewWriter(w)}
+}
+
+// WriteRecord emits one record (Qual, if any, is ignored).
+func (w *FASTAWriter) WriteRecord(rec Record) error {
+	if _, err := fmt.Fprintf(w.bw, ">%s\n", rec.header()); err != nil {
+		return err
+	}
+	for off := 0; off < len(rec.Seq); off += fastaWrap {
+		end := min(off+fastaWrap, len(rec.Seq))
+		if _, err := w.bw.Write(rec.Seq[off:end]); err != nil {
+			return err
+		}
+		if err := w.bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (w *FASTAWriter) Flush() error { return w.bw.Flush() }
+
+// WriteFASTA writes records in FASTA format with 70-column wrapping.
+func WriteFASTA(w io.Writer, records []Record) error {
+	fw := NewFASTAWriter(w)
+	for _, rec := range records {
+		if err := fw.WriteRecord(rec); err != nil {
+			return err
+		}
+	}
+	return fw.Flush()
+}

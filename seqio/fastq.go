@@ -1,0 +1,175 @@
+package seqio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"iter"
+)
+
+// FASTQReader streams '@'-header records (sequence + per-base qualities)
+// from one input. Build with NewFASTQReader; gzip input is decompressed
+// transparently.
+type FASTQReader struct {
+	ls *lineScanner
+}
+
+// NewFASTQReader wraps r (gzip autodetected) for streaming FASTQ reads.
+// Unlike NewReader it does not sniff the format: the stream must be FASTQ.
+func NewFASTQReader(r io.Reader) (*FASTQReader, error) {
+	plain, err := unGzip(r)
+	if err != nil {
+		return nil, err
+	}
+	return &FASTQReader{ls: newLineScanner(plain)}, nil
+}
+
+// Records streams the records in file order, one four-part record at a
+// time. Iteration stops after yielding the first error (with a zero
+// Record); the iterator is single-use.
+//
+// Tolerated: CRLF line endings, lowercase bases (uppercased), multi-line
+// sequence and quality sections (quality is read by length, so quality
+// lines starting with '@' are unambiguous), and blank lines between
+// records. Rejected with line-numbered errors: a missing '+' separator, a
+// quality string whose length disagrees with the sequence, truncated
+// records, and non-sequence characters in the sequence lines.
+func (r *FASTQReader) Records() iter.Seq2[Record, error] {
+	return func(yield func(Record, error) bool) {
+		fail := func(format string, args ...any) {
+			yield(Record{}, fmt.Errorf("seqio: "+format, args...))
+		}
+		for {
+			// Header line (blank lines between records are tolerated).
+			var header []byte
+			for {
+				line, ok := r.ls.next()
+				if !ok {
+					if err := r.ls.err(); err != nil {
+						fail("line %d: %w", r.ls.line+1, err)
+					}
+					return
+				}
+				if isBlank(line) {
+					continue
+				}
+				header = line
+				break
+			}
+			if header[0] != '@' {
+				fail("line %d: want FASTQ '@' header, got %q", r.ls.line, previewLine(header))
+				return
+			}
+			headerLine := r.ls.line
+			var rec Record
+			rec.Name, rec.Desc = parseHeader(header[1:])
+
+			// Sequence lines until the '+' separator.
+			for {
+				line, ok := r.ls.next()
+				if !ok {
+					fail("line %d: record %q truncated before '+' separator", headerLine, rec.Name)
+					return
+				}
+				if isBlank(line) {
+					continue
+				}
+				if line[0] == '+' {
+					break
+				}
+				if err := checkSeqLine(line, r.ls.line); err != nil {
+					yield(Record{}, err)
+					return
+				}
+				rec.Seq = append(rec.Seq, line...)
+			}
+
+			// Quality lines, read by length: qualities may span lines and
+			// may start with '@' or '+' without ambiguity.
+			for len(rec.Qual) < len(rec.Seq) {
+				line, ok := r.ls.next()
+				if !ok {
+					fail("line %d: record %q truncated: quality has %d of %d bases", headerLine, rec.Name, len(rec.Qual), len(rec.Seq))
+					return
+				}
+				if isBlank(line) {
+					continue
+				}
+				for _, c := range line {
+					if c < '!' || c > '~' {
+						fail("line %d: invalid quality character %q", r.ls.line, c)
+						return
+					}
+				}
+				rec.Qual = append(rec.Qual, line...)
+			}
+			if len(rec.Qual) > len(rec.Seq) {
+				fail("line %d: record %q: quality length %d exceeds sequence length %d", r.ls.line, rec.Name, len(rec.Qual), len(rec.Seq))
+				return
+			}
+			upperInPlace(rec.Seq)
+			if !yield(rec, nil) {
+				return
+			}
+		}
+	}
+}
+
+// previewLine truncates a line for error messages.
+func previewLine(line []byte) string {
+	const n = 20
+	if len(line) <= n {
+		return string(line)
+	}
+	return string(line[:n]) + "..."
+}
+
+// FASTQWriter streams records out in four-line FASTQ format. Call Flush
+// when done.
+type FASTQWriter struct {
+	bw *bufio.Writer
+}
+
+// NewFASTQWriter wraps w.
+func NewFASTQWriter(w io.Writer) *FASTQWriter {
+	return &FASTQWriter{bw: bufio.NewWriter(w)}
+}
+
+// WriteRecord emits one record. A nil Qual is written as 'I' (Phred 40)
+// for every base so the output is always well-formed FASTQ.
+func (w *FASTQWriter) WriteRecord(rec Record) error {
+	if _, err := fmt.Fprintf(w.bw, "@%s\n", rec.header()); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(rec.Seq); err != nil {
+		return err
+	}
+	if _, err := w.bw.WriteString("\n+\n"); err != nil {
+		return err
+	}
+	qual := rec.Qual
+	if qual == nil {
+		qual = make([]byte, len(rec.Seq))
+		for i := range qual {
+			qual[i] = 'I'
+		}
+	}
+	if _, err := w.bw.Write(qual); err != nil {
+		return err
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// Flush flushes buffered output.
+func (w *FASTQWriter) Flush() error { return w.bw.Flush() }
+
+// WriteFASTQ writes records in four-line FASTQ format.
+func WriteFASTQ(w io.Writer, records []Record) error {
+	fw := NewFASTQWriter(w)
+	for _, rec := range records {
+		if err := fw.WriteRecord(rec); err != nil {
+			return err
+		}
+	}
+	return fw.Flush()
+}

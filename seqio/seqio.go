@@ -1,0 +1,285 @@
+// Package seqio provides streaming FASTA and FASTQ I/O for the genasm
+// pipeline: bounded-memory readers that yield one record at a time as Go
+// iterators, with gzip and format autodetection, and matching writers.
+//
+// The readers are the file-facing half of the streaming-first API: a
+// gzipped multi-gigabyte FASTQ flows through FASTQReader.Records one
+// record at a time, so pipelines built on it (Engine.AlignStream,
+// Mapper.MapStream, `genasm map`) run in O(1) read memory — the software
+// shape of the accelerator's read streaming through per-vault units
+// (GenASM paper, Section 10.5).
+//
+// Parsing is deliberately tolerant where real files vary and strict where
+// silence would corrupt data downstream: CRLF line endings, lowercase
+// bases (normalized to uppercase), multi-line records and blank lines are
+// accepted; a stray '>' or '@' inside a sequence body — the signature of a
+// truncated or concatenated file — is reported as a line-numbered error
+// instead of being silently glued into the sequence.
+package seqio
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"iter"
+	"os"
+	"strings"
+)
+
+// Record is one named sequence. Seq holds uppercase ASCII letters; Qual is
+// the Phred quality string for FASTQ records (same length as Seq) and nil
+// for FASTA records.
+type Record struct {
+	// Name is the sequence identifier: the first whitespace-delimited word
+	// of the header line.
+	Name string
+	// Desc is the remainder of the header line, if any.
+	Desc string
+	// Seq is the sequence, uppercased.
+	Seq []byte
+	// Qual is the FASTQ quality string (nil for FASTA).
+	Qual []byte
+}
+
+// Format identifies a sequence file format.
+type Format int
+
+const (
+	// FASTA is the '>'-header format.
+	FASTA Format = iota
+	// FASTQ is the '@'-header format with per-base qualities.
+	FASTQ
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	if f == FASTQ {
+		return "FASTQ"
+	}
+	return "FASTA"
+}
+
+// maxLineBytes bounds one input line (and with it one single-line
+// sequence); longer lines fail with bufio.ErrTooLong instead of growing
+// memory without bound.
+const maxLineBytes = 1 << 26 // 64 MiB
+
+// lineScanner reads logical lines with CRLF tolerance and 1-based line
+// accounting shared by both parsers.
+type lineScanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+func newLineScanner(r io.Reader) *lineScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	return &lineScanner{sc: sc}
+}
+
+// next returns the next line with the trailing CR (if any) removed. ok is
+// false at EOF or on a read error (check err()).
+func (ls *lineScanner) next() (text []byte, ok bool) {
+	if !ls.sc.Scan() {
+		return nil, false
+	}
+	ls.line++
+	b := ls.sc.Bytes()
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b, true
+}
+
+func (ls *lineScanner) err() error { return ls.sc.Err() }
+
+// unGzip wraps r in a gzip reader when the stream starts with the gzip
+// magic bytes, passing plain streams through untouched.
+func unGzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil {
+		// Too short to be gzipped (including EOF): hand the bytes through
+		// and let the parser report what it finds.
+		return br, nil
+	}
+	if magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("seqio: gzip: %w", err)
+		}
+		return zr, nil
+	}
+	return br, nil
+}
+
+// sniffFormat consumes leading whitespace and identifies the format from
+// the first significant byte. At EOF it reports ok=false (an empty file is
+// zero records, not an error).
+func sniffFormat(br *bufio.Reader) (Format, bool, error) {
+	for {
+		c, err := br.ReadByte()
+		if err == io.EOF {
+			return FASTA, false, nil
+		}
+		if err != nil {
+			return FASTA, false, err
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			continue
+		case '>':
+			br.UnreadByte()
+			return FASTA, true, nil
+		case '@':
+			br.UnreadByte()
+			return FASTQ, true, nil
+		default:
+			return FASTA, false, fmt.Errorf("seqio: unrecognized format: first significant byte %q (want '>' FASTA or '@' FASTQ)", c)
+		}
+	}
+}
+
+// Reader is a format-autodetecting streaming reader: it sniffs gzip
+// compression and the FASTA/FASTQ format from the leading bytes and then
+// streams records. Build one with NewReader or Open.
+type Reader struct {
+	format Format
+	empty  bool
+	fa     *FASTAReader
+	fq     *FASTQReader
+}
+
+// NewReader wraps r, transparently decompressing gzip input and detecting
+// FASTA vs FASTQ from the first significant byte. An empty stream yields
+// zero records; a stream that starts with anything other than '>' or '@'
+// is an error.
+func NewReader(r io.Reader) (*Reader, error) {
+	plain, err := unGzip(r)
+	if err != nil {
+		return nil, err
+	}
+	br, ok := plain.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(plain)
+	}
+	format, have, err := sniffFormat(br)
+	if err != nil {
+		return nil, err
+	}
+	out := &Reader{format: format, empty: !have}
+	if format == FASTQ {
+		out.fq = &FASTQReader{ls: newLineScanner(br)}
+	} else {
+		out.fa = &FASTAReader{ls: newLineScanner(br)}
+	}
+	return out, nil
+}
+
+// Format reports the detected format (FASTA for an empty stream).
+func (r *Reader) Format() Format { return r.format }
+
+// Records streams the records. Iteration stops after yielding the first
+// error (with a zero Record); the iterator is single-use.
+func (r *Reader) Records() iter.Seq2[Record, error] {
+	if r.empty {
+		return func(func(Record, error) bool) {}
+	}
+	if r.format == FASTQ {
+		return r.fq.Records()
+	}
+	return r.fa.Records()
+}
+
+// File is an opened sequence file: a Reader plus the Close of the
+// underlying file.
+type File struct {
+	*Reader
+	f *os.File
+}
+
+// Open opens path for streaming reads with gzip and format autodetection.
+// The caller must Close it.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &File{Reader: r, f: f}, nil
+}
+
+// Close closes the underlying file.
+func (f *File) Close() error { return f.f.Close() }
+
+// ReadAll slurps every record from r (gzip and format autodetected). It is
+// the convenience for small inputs; large inputs should range over
+// Records instead.
+func ReadAll(r io.Reader) ([]Record, error) {
+	sr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for rec, err := range sr.Records() {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// parseHeader splits a header line (already stripped of its marker byte)
+// into Name and Desc.
+func parseHeader(line []byte) (name, desc string) {
+	h := strings.TrimSpace(string(line))
+	name, desc, _ = strings.Cut(h, " ")
+	return name, strings.TrimSpace(desc)
+}
+
+// upperInPlace uppercases ASCII letters.
+func upperInPlace(s []byte) {
+	for i, c := range s {
+		if 'a' <= c && c <= 'z' {
+			s[i] = c - ('a' - 'A')
+		}
+	}
+}
+
+// checkSeqLine validates one sequence body line: letters (any case) plus
+// the gap/stop characters '-', '.' and '*'. A '>' or '@' is called out
+// specifically — mid-body header markers are the signature of a truncated
+// upstream record — and anything else (interior whitespace, digits,
+// control bytes) is rejected as an invalid character.
+func checkSeqLine(line []byte, lineNo int) error {
+	for _, c := range line {
+		switch {
+		case 'A' <= c && c <= 'Z', 'a' <= c && c <= 'z', c == '-', c == '.', c == '*':
+		case c == '>' || c == '@':
+			return fmt.Errorf("seqio: line %d: stray %q in sequence body (truncated or concatenated record?)", lineNo, c)
+		default:
+			return fmt.Errorf("seqio: line %d: invalid character %q in sequence", lineNo, c)
+		}
+	}
+	return nil
+}
+
+// header returns the full header line ("name desc") of a record.
+func (r Record) header() string {
+	if r.Desc == "" {
+		return r.Name
+	}
+	return r.Name + " " + r.Desc
+}
+
+// isBlank reports whether a line is empty or all-whitespace.
+func isBlank(line []byte) bool {
+	return len(bytes.TrimSpace(line)) == 0
+}

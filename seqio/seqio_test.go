@@ -1,0 +1,334 @@
+package seqio
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// collect drains a Records iterator into a slice, failing the test on a
+// parse error.
+func collect(t *testing.T, r *Reader) []Record {
+	t.Helper()
+	var out []Record
+	for rec, err := range r.Records() {
+		if err != nil {
+			t.Fatalf("unexpected parse error: %v", err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func TestFASTABasic(t *testing.T) {
+	in := ">chr1 synthetic test\nACGTACGT\nACGT\n>chr2\nTTTT\n"
+	r, err := NewReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Format() != FASTA {
+		t.Fatalf("format = %v, want FASTA", r.Format())
+	}
+	recs := collect(t, r)
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].Name != "chr1" || recs[0].Desc != "synthetic test" {
+		t.Errorf("header = %q/%q", recs[0].Name, recs[0].Desc)
+	}
+	if string(recs[0].Seq) != "ACGTACGTACGT" {
+		t.Errorf("seq = %q (multi-line concatenation)", recs[0].Seq)
+	}
+	if recs[1].Name != "chr2" || string(recs[1].Seq) != "TTTT" {
+		t.Errorf("record 2 = %+v", recs[1])
+	}
+}
+
+func TestFASTATolerance(t *testing.T) {
+	// CRLF endings, lowercase bases, blank lines between records and a
+	// trailing blank line.
+	in := "\r\n>r1\r\nacgt\r\nACgt\r\n\r\n>r2\r\ntttt\r\n\r\n\r\n"
+	r, err := NewReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, r)
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if string(recs[0].Seq) != "ACGTACGT" {
+		t.Errorf("seq = %q, want uppercased ACGTACGT", recs[0].Seq)
+	}
+	if string(recs[1].Seq) != "TTTT" {
+		t.Errorf("seq = %q", recs[1].Seq)
+	}
+}
+
+func TestFASTAEmptyRecordAndFile(t *testing.T) {
+	r, err := NewReader(strings.NewReader(">empty\n\n>x\nAC\nGT\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, r)
+	if len(recs) != 2 || len(recs[0].Seq) != 0 || string(recs[1].Seq) != "ACGT" {
+		t.Fatalf("got %+v", recs)
+	}
+
+	// Empty and whitespace-only inputs are zero records, not errors.
+	for _, in := range []string{"", "\n\n  \n"} {
+		r, err := NewReader(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("NewReader(%q): %v", in, err)
+		}
+		if recs := collect(t, r); len(recs) != 0 {
+			t.Fatalf("records(%q) = %d, want 0", in, len(recs))
+		}
+	}
+}
+
+// expectParseError asserts that parsing yields an error containing every
+// wanted substring (typically a line number).
+func expectParseError(t *testing.T, in string, wants ...string) {
+	t.Helper()
+	r, err := NewReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	for _, err := range r.Records() {
+		if err != nil {
+			got = err
+			break
+		}
+	}
+	if got == nil {
+		t.Fatalf("parse of %q: want error, got none", in)
+	}
+	for _, w := range wants {
+		if !strings.Contains(got.Error(), w) {
+			t.Errorf("error %q does not mention %q", got, w)
+		}
+	}
+}
+
+func TestFASTAStrayHeaderMarkers(t *testing.T) {
+	// A '>' mid-sequence-line is a truncated/concatenated record, not
+	// sequence data; same for '@'. Both carry the offending line number.
+	expectParseError(t, ">r1\nACGT>r2\nACGT\n", "line 2", "stray", "'>'")
+	expectParseError(t, ">r1\nACGT\nAC@GT\n", "line 3", "stray", "'@'")
+	// Sequence data before any header (via the dedicated FASTA reader:
+	// the autodetecting front door rejects this input at sniff time).
+	fr, err := NewFASTAReader(strings.NewReader("ACGT\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	for _, err := range fr.Records() {
+		got = err
+		break
+	}
+	if got == nil || !strings.Contains(got.Error(), "line 1") || !strings.Contains(got.Error(), "before first FASTA header") {
+		t.Errorf("data-before-header error = %v", got)
+	}
+	// Interior whitespace and digits are invalid characters.
+	expectParseError(t, ">r1\nAC GT\n", "line 2", "invalid character")
+	expectParseError(t, ">r1\nACGT7\n", "line 2", "invalid character")
+}
+
+func TestFASTQBasic(t *testing.T) {
+	in := "@r1 desc here\nACGT\n+\nIIII\n@r2\nacgttt\n+r2\nIIIIII\n"
+	r, err := NewReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Format() != FASTQ {
+		t.Fatalf("format = %v, want FASTQ", r.Format())
+	}
+	recs := collect(t, r)
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].Name != "r1" || recs[0].Desc != "desc here" {
+		t.Errorf("header = %q/%q", recs[0].Name, recs[0].Desc)
+	}
+	if string(recs[0].Seq) != "ACGT" || string(recs[0].Qual) != "IIII" {
+		t.Errorf("record 1 = %+v", recs[0])
+	}
+	if string(recs[1].Seq) != "ACGTTT" {
+		t.Errorf("seq = %q, want uppercased", recs[1].Seq)
+	}
+}
+
+func TestFASTQMultiLineAndQualityAt(t *testing.T) {
+	// Multi-line sequence and quality; the quality line legitimately
+	// starts with '@' (Phred 31) and must not be mistaken for a header.
+	in := "@r1\nACGT\nACGT\n+\n@III\nIII@\n@r2\nTT\n+\nII\n"
+	r, err := NewFASTQReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for rec, err := range r.Records() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, rec)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if string(recs[0].Seq) != "ACGTACGT" || string(recs[0].Qual) != "@IIIIII@" {
+		t.Errorf("record 1 = %+v", recs[0])
+	}
+}
+
+func TestFASTQErrors(t *testing.T) {
+	// Truncated before separator, truncated quality, overlong quality,
+	// stray '>' in sequence.
+	expectParseError(t, "@r1\nACGT\n", "truncated", "'+'")
+	expectParseError(t, "@r1\nACGT\n+\nII\n", "truncated", "quality")
+	expectParseError(t, "@r1\nACGT\n+\nIIIIII\n", "quality length 6", "sequence length 4")
+	expectParseError(t, "@r1\nAC>T\n+\nIIII\n", "line 2", "stray")
+	expectParseError(t, "@r1\nACGT\n+\nII\x07I\n", "invalid quality")
+}
+
+func TestSniffUnrecognized(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("xACGT\n")); err == nil {
+		t.Fatal("want format error for non-FASTA/FASTQ input")
+	}
+}
+
+func TestGzipAutodetect(t *testing.T) {
+	var plain bytes.Buffer
+	if err := WriteFASTQ(&plain, []Record{
+		{Name: "r1", Seq: []byte("ACGTACGT"), Qual: []byte("IIIIIIII")},
+		{Name: "r2", Desc: "second", Seq: []byte("TTTT"), Qual: []byte("!!!!")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(plain.Bytes())
+	zw.Close()
+
+	for name, data := range map[string][]byte{"plain": plain.Bytes(), "gzip": gz.Bytes()} {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if r.Format() != FASTQ {
+			t.Fatalf("%s: format = %v", name, r.Format())
+		}
+		recs := collect(t, r)
+		if len(recs) != 2 || string(recs[0].Seq) != "ACGTACGT" || string(recs[1].Qual) != "!!!!" {
+			t.Fatalf("%s: got %+v", name, recs)
+		}
+	}
+}
+
+func TestOpenFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "reads.fasta.gz")
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write([]byte(">r1\nACGT\n"))
+	zw.Close()
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs := collect(t, f.Reader)
+	if len(recs) != 1 || recs[0].Name != "r1" || string(recs[0].Seq) != "ACGT" {
+		t.Fatalf("got %+v", recs)
+	}
+	if _, err := Open(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(">a\nAC\n>b\nGT\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Name != "a" || recs[1].Name != "b" {
+		t.Fatalf("got %+v", recs)
+	}
+	if _, err := ReadAll(strings.NewReader(">a\nAC>GT\n")); err == nil {
+		t.Fatal("want stray-marker error")
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	want := []Record{
+		{Name: "chr1", Desc: "synthetic", Seq: []byte(strings.Repeat("ACGT", 50))},
+		{Name: "chr2", Seq: []byte("GATTACA")},
+	}
+	var buf bytes.Buffer
+	if err := WriteFASTA(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("records = %d", len(got))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || got[i].Desc != want[i].Desc || !bytes.Equal(got[i].Seq, want[i].Seq) {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFASTQWriterNilQual(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFASTQ(&buf, []Record{{Name: "r", Seq: []byte("ACGT")}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Qual) != "IIII" {
+		t.Fatalf("got %+v", recs)
+	}
+}
+
+func TestStreamingIsIncremental(t *testing.T) {
+	// The reader must not slurp: after pulling the first record from a
+	// two-record stream, stopping iteration must leave the source
+	// partially consumed (bounded by the scanner's buffer), proving
+	// records are parsed on demand.
+	var b strings.Builder
+	b.WriteString(">r0\nACGT\n>r1\n")
+	long := strings.Repeat("ACGTACGTAC", 20)
+	for range 1000 {
+		b.WriteString(long + "\n")
+	}
+	src := strings.NewReader(b.String())
+	r, err := NewReader(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rec, err := range r.Records() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Name != "r0" {
+			t.Fatalf("first record = %q", rec.Name)
+		}
+		break
+	}
+	if src.Len() == 0 {
+		t.Fatal("source fully consumed after first record: reader slurps")
+	}
+}
