@@ -1,6 +1,8 @@
 // Package seq provides DNA sequence utilities: deterministic synthetic
 // genome generation (the stand-in for GRCh38 in this reproduction, see
-// DESIGN.md), reverse complementation, and simple FASTA I/O.
+// DESIGN.md), reverse complementation, and FASTA I/O that delegates to
+// the public seqio package (see ReadFASTA for the parse semantics, which
+// are stricter than this package's historical verbatim parser).
 //
 // Sequences are handled in the repository's encoded form: dense alphabet
 // codes (A=0, C=1, G=2, T=3 for DNA), matching the paper's 2-bit encoding
@@ -113,9 +115,14 @@ func WriteFASTA(w io.Writer, records []Record) error {
 }
 
 // ReadFASTA parses FASTA records by delegating to the public seqio
-// streaming parser (gzip autodetection, CRLF tolerance, uppercase
-// normalization, line-numbered errors on corrupt bodies). The full header
-// line is kept as Name, matching this package's historical behaviour.
+// streaming parser. Unlike the historical parser, which kept sequence
+// lines verbatim (whitespace trimmed), the parse normalizes and
+// validates: gzip input is decompressed transparently, CRLF line endings
+// are tolerated, bases are uppercased, and a sequence line containing
+// anything but letters or the gap/stop characters '-', '.' and '*'
+// (digits, interior whitespace, stray '>'/'@' markers) is rejected with
+// a line-numbered error. The full header line is kept as Name, matching
+// this package's historical behaviour.
 func ReadFASTA(r io.Reader) ([]Record, error) {
 	fr, err := seqio.NewFASTAReader(r)
 	if err != nil {

@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -44,6 +45,13 @@ type StreamMapResult struct {
 
 // streamReadSource turns a request body into an iter.Seq of reads plus a
 // deferred parse-error slot checked after the stream drains.
+//
+// reads runs on MapStream's dispatcher goroutine, so err is written
+// there; the handler may read it only after the result stream has been
+// consumed to completion (which happens-after the dispatcher finishes).
+// The stream helpers below drain rather than abandon the results on
+// early exit for exactly this reason — abandoning would also leave the
+// dispatcher reading r.Body after the handler returns.
 type streamReadSource struct {
 	reads iter.Seq[genasm.Read]
 	// err holds the first input parse/validation error; dispatch stops at
@@ -58,14 +66,19 @@ type ndjsonReadLine struct {
 }
 
 // newNDJSONSource streams reads out of an NDJSON body, one
-// {"name","seq"} object per line.
-func (s *Server) newNDJSONSource(body io.Reader) *streamReadSource {
+// {"name","seq"} object per line. Cancelling ctx stops the source, so a
+// drain after early exit ends promptly instead of parsing the rest of
+// the body.
+func (s *Server) newNDJSONSource(ctx context.Context, body io.Reader) *streamReadSource {
 	src := &streamReadSource{}
 	src.reads = func(yield func(genasm.Read) bool) {
 		sc := bufio.NewScanner(body)
 		sc.Buffer(make([]byte, 64<<10), 4*(s.cfg.MaxSeqLen+1024))
 		line := 0
 		for sc.Scan() {
+			if ctx.Err() != nil {
+				return
+			}
 			line++
 			text := strings.TrimSpace(sc.Text())
 			if text == "" {
@@ -93,8 +106,9 @@ func (s *Server) newNDJSONSource(body io.Reader) *streamReadSource {
 }
 
 // newSeqSource streams reads out of a FASTA/FASTQ body (gzip
-// autodetected) via seqio.
-func (s *Server) newSeqSource(body io.Reader) (*streamReadSource, error) {
+// autodetected) via seqio. Cancelling ctx stops the source, so a drain
+// after early exit ends promptly instead of parsing the rest of the body.
+func (s *Server) newSeqSource(ctx context.Context, body io.Reader) (*streamReadSource, error) {
 	sr, err := seqio.NewReader(body)
 	if err != nil {
 		return nil, err
@@ -102,6 +116,9 @@ func (s *Server) newSeqSource(body io.Reader) (*streamReadSource, error) {
 	src := &streamReadSource{}
 	src.reads = func(yield func(genasm.Read) bool) {
 		for rec, err := range sr.Records() {
+			if ctx.Err() != nil {
+				return
+			}
 			if err != nil {
 				src.err = err
 				return
@@ -135,6 +152,7 @@ func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 	// here (not left to seqio's sniffing) and capped again after
 	// decompression.
 	body := io.Reader(http.MaxBytesReader(w, r.Body, s.cfg.MaxStreamBytes))
+	decompressed := false
 	if r.Header.Get("Content-Encoding") == "gzip" {
 		zr, err := gzip.NewReader(body)
 		if err != nil {
@@ -143,9 +161,10 @@ func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		body = zr
+		decompressed = true
 	} else {
 		br := bufio.NewReader(body)
-		if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		if gzipMagic(br) {
 			zr, err := gzip.NewReader(br)
 			if err != nil {
 				s.errored.Add(1)
@@ -153,19 +172,39 @@ func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			body = zr
+			decompressed = true
 		} else {
 			body = br
 		}
 	}
 	body = &cappedReader{r: body, left: s.cfg.MaxStreamBytes, limit: s.cfg.MaxStreamBytes}
+	if decompressed {
+		// A second gzip layer would be sniffed by seqio and decompressed
+		// BENEATH the cap just applied, reopening the bomb the cap closes;
+		// reject nested gzip outright.
+		br := bufio.NewReader(body)
+		if gzipMagic(br) {
+			s.errored.Add(1)
+			writeError(w, http.StatusBadRequest, "map/stream: nested gzip body not supported")
+			return
+		}
+		body = br
+	}
+
+	// A handler-scoped cancel lets the response side abort the pipeline
+	// (dead client, aborted SAM stream) and then cheaply drain it: the
+	// sources above stop on ctx, so the drain joins the dispatcher without
+	// parsing the rest of the body.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
 
 	var src *streamReadSource
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/x-ndjson") || strings.HasPrefix(ct, "application/json") {
-		src = s.newNDJSONSource(body)
+		src = s.newNDJSONSource(ctx, body)
 	} else {
 		var err error
-		if src, err = s.newSeqSource(body); err != nil {
+		if src, err = s.newSeqSource(ctx, body); err != nil {
 			s.errored.Add(1)
 			writeError(w, http.StatusBadRequest, "map/stream: "+err.Error())
 			return
@@ -178,22 +217,38 @@ func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 	defer s.releaseSlot()
 	s.streams.Add(1)
 
-	results := m.MapStream(r.Context(), src.reads)
-	if strings.Contains(r.Header.Get("Accept"), "text/x-sam") {
-		s.streamSAM(w, m, src, results)
+	// MapStream's dispatcher goroutine keeps reading the request body while
+	// results are flushed below. Without full duplex, Go's HTTP/1 server
+	// drains the unread body into io.Discard and closes it at the first
+	// flush, losing every read not yet buffered — exactly the large
+	// streaming uploads this endpoint exists for. HTTP/2+ interleaves
+	// natively, so an unsupported error only matters on HTTP/1.
+	rc := http.NewResponseController(w)
+	if err := rc.EnableFullDuplex(); err != nil && r.ProtoMajor < 2 {
+		s.errored.Add(1)
+		writeError(w, http.StatusInternalServerError, "map/stream: full-duplex streaming unsupported: "+err.Error())
 		return
 	}
-	s.streamNDJSON(w, src, results)
+
+	results := m.MapStream(ctx, src.reads)
+	if strings.Contains(r.Header.Get("Accept"), "text/x-sam") {
+		s.streamSAM(w, rc, cancel, m, src, results)
+		return
+	}
+	s.streamNDJSON(w, rc, cancel, src, results)
 }
 
 // streamNDJSON writes one JSON mapping record per line, flushing after
 // each so the client sees results as reads are mapped.
-func (s *Server) streamNDJSON(w http.ResponseWriter, src *streamReadSource, results iter.Seq[genasm.MappingResult]) {
+func (s *Server) streamNDJSON(w http.ResponseWriter, rc *http.ResponseController, cancel context.CancelFunc, src *streamReadSource, results iter.Seq[genasm.MappingResult]) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
-	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
+	stopped := false
 	for res := range results {
+		if stopped {
+			continue
+		}
 		line := StreamMapResult{Index: res.Index, Name: res.Mapping.Name}
 		if line.Name == "" {
 			line.Name = fmt.Sprintf("read%d", res.Index)
@@ -212,9 +267,17 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, src *streamReadSource, resu
 			s.alignments.Add(1)
 		}
 		if err := enc.Encode(line); err != nil {
-			return // client went away
+			// Client went away: cancel the pipeline and keep draining so
+			// the handler does not return while the dispatcher is still
+			// reading the request body (and writing src.err).
+			stopped = true
+			cancel()
+			continue
 		}
 		rc.Flush()
+	}
+	if stopped {
+		return
 	}
 	if src.err != nil {
 		// The input broke mid-stream: report it in-band as a final record
@@ -223,6 +286,13 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, src *streamReadSource, resu
 		enc.Encode(StreamMapResult{Index: -1, Error: "input: " + src.err.Error()})
 		rc.Flush()
 	}
+}
+
+// gzipMagic reports whether the next bytes of br are the gzip magic
+// number, without consuming them.
+func gzipMagic(br *bufio.Reader) bool {
+	magic, err := br.Peek(2)
+	return err == nil && magic[0] == 0x1f && magic[1] == 0x8b
 }
 
 // cappedReader fails — rather than silently truncating, the way
@@ -268,24 +338,43 @@ func (fw flushWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// streamSAM renders the result stream as SAM. A per-read or input error
-// ends the stream early (SAM has no in-band error channel); the client
-// sees the truncation as a missing EOF-adjacent record count.
-func (s *Server) streamSAM(w http.ResponseWriter, m *genasm.Mapper, src *streamReadSource, results iter.Seq[genasm.MappingResult]) {
+// streamSAM renders the result stream as SAM. An input that breaks
+// mid-stream or a per-read mapping error ends the records early; since
+// SAM has no record-level error channel, a trailing "@CO" comment line
+// reports the failure so clients can tell a truncated stream from a
+// complete one (a bare 200 with fewer records would look complete).
+func (s *Server) streamSAM(w http.ResponseWriter, rc *http.ResponseController, cancel context.CancelFunc, m *genasm.Mapper, src *streamReadSource, results iter.Seq[genasm.MappingResult]) {
 	w.Header().Set("Content-Type", "text/x-sam; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	rc := http.NewResponseController(w)
-	err := m.WriteSAMStream(flushWriter{w: w, rc: rc}, func(yield func(genasm.MappingResult) bool) {
+	fw := flushWriter{w: w, rc: rc}
+	err := m.WriteSAMStream(fw, func(yield func(genasm.MappingResult) bool) {
+		stopped := false
 		for res := range results {
+			if stopped {
+				continue
+			}
 			if res.Err == nil {
 				s.alignments.Add(1)
 			}
 			if !yield(res) {
-				return
+				// WriteSAMStream aborted (per-read error or dead client):
+				// cancel the pipeline and keep draining so src.err is
+				// settled — and the request body no longer being read —
+				// before the trailer below looks at it.
+				stopped = true
+				cancel()
 			}
 		}
 	})
 	if err != nil || src.err != nil {
 		s.errored.Add(1)
+		// Prefer the input error as the root cause; err alone is a per-read
+		// mapping error or a write failure (in which case this trailer is a
+		// best-effort no-op on a dead connection).
+		cause := src.err
+		if cause == nil {
+			cause = err
+		}
+		fmt.Fprintf(fw, "@CO\tgenasm-serve: error: %s (stream truncated)\n", cause)
 	}
 }

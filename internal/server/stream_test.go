@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 
 	"genasm/internal/alphabet"
 	"genasm/internal/seq"
@@ -256,6 +257,168 @@ func TestMapStreamDecompressedCap(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "exceeds 4096 decompressed bytes") {
 		t.Fatalf("response does not report the decompressed cap:\n%s", out)
+	}
+}
+
+// TestMapStreamFullDuplex pins HTTP/1 full-duplex streaming: the server
+// must keep reading the request body after it has flushed responses. The
+// body is fed through a pipe one read at a time, each written only after
+// the previous read's result has arrived — without EnableFullDuplex the
+// HTTP/1 server closes the body at the first flush and the later reads
+// are lost.
+func TestMapStreamFullDuplex(t *testing.T) {
+	base, _, reads := streamFixture(t)
+
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", base+"/v1/map/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+
+	line := func(i int) []byte {
+		b, _ := json.Marshal(ndjsonReadLine{Name: fmt.Sprintf("sim%d", i), Seq: string(alphabet.DNA.Decode(reads[i].Seq))})
+		return append(b, '\n')
+	}
+
+	// Watchdog: a regression here hangs (the pipe write blocks forever once
+	// the server stops reading), so force failure instead of a test timeout.
+	watchdog := time.AfterFunc(30*time.Second, func() {
+		pw.CloseWithError(fmt.Errorf("watchdog: server stopped reading the request body"))
+	})
+	defer watchdog.Stop()
+
+	// First read goes in before Do: the response (and its headers) only
+	// starts once the first result is produced.
+	go pw.Write(line(0))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	for i := range 3 {
+		if !sc.Scan() {
+			t.Fatalf("stream ended before result %d (body reads after first flush were dropped): %v", i, sc.Err())
+		}
+		var res StreamMapResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("result %d: bad NDJSON %q: %v", i, sc.Text(), err)
+		}
+		if res.Index != i || res.Name != fmt.Sprintf("sim%d", i) || res.Error != "" {
+			t.Fatalf("result %d = %+v", i, res)
+		}
+		// Only after result i arrives does read i+1 enter the request body.
+		if i < 2 {
+			if _, err := pw.Write(line(i + 1)); err != nil {
+				t.Fatalf("writing read %d: %v", i+1, err)
+			}
+		}
+	}
+	pw.Close()
+	if sc.Scan() {
+		t.Fatalf("unexpected trailing record %q", sc.Text())
+	}
+}
+
+// TestMapStreamNestedGzipRejected pins the gzip-bomb defense against a
+// double-compressed body: the handler unwraps and caps one layer, and a
+// second layer (which seqio would sniff and inflate beneath the cap) must
+// be rejected, not decompressed.
+func TestMapStreamNestedGzipRejected(t *testing.T) {
+	base, _, _ := streamFixture(t)
+
+	var inner bytes.Buffer
+	zw := gzip.NewWriter(&inner)
+	zw.Write([]byte(">r\nACGTACGT\n"))
+	zw.Close()
+	var outer bytes.Buffer
+	zw = gzip.NewWriter(&outer)
+	zw.Write(inner.Bytes())
+	zw.Close()
+
+	for _, hdr := range []map[string]string{
+		{"Content-Encoding": "gzip"}, // declared outer layer
+		nil,                          // sniffed outer layer
+	} {
+		resp := postStream(t, base, outer.Bytes(), "", hdr)
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("hdr %v: status %d, want 400", hdr, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "nested gzip") {
+			t.Errorf("hdr %v: error %q does not mention nested gzip", hdr, body)
+		}
+	}
+}
+
+// TestMapStreamSAMErrorTrailer pins that a SAM response truncated by a
+// mid-stream failure — corrupt input or a per-read mapping error —
+// carries a detectable @CO trailer instead of looking like a complete,
+// shorter stream.
+func TestMapStreamSAMErrorTrailer(t *testing.T) {
+	base, _, _ := streamFixture(t)
+
+	for _, tc := range []struct {
+		name, body, want string
+	}{
+		{"corrupt input", ">ok\nACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT\n>broken\nAC>GT\n", "stray"},
+		{"per-read error", ">ok\nACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT\n>bad\nACGTXXACGT\n", "bad"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postStream(t, base, []byte(tc.body), "", map[string]string{"Accept": "text/x-sam"})
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d", resp.StatusCode)
+			}
+			out, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lines := strings.Split(strings.TrimRight(string(out), "\n"), "\n")
+			last := lines[len(lines)-1]
+			if !strings.HasPrefix(last, "@CO\t") || !strings.Contains(last, tc.want) {
+				t.Fatalf("last SAM line %q, want @CO trailer mentioning %q:\n%s", last, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestMapStreamSAMEarlyAbortJoins pins that an early SAM abort (per-read
+// error at the head of a long stream) joins the pipeline before the
+// handler reads src.err or returns: under -race this catches the handler
+// racing the dispatcher goroutine still parsing the request body.
+func TestMapStreamSAMEarlyAbortJoins(t *testing.T) {
+	base, _, reads := streamFixture(t)
+
+	// First read fails mapping (bad letters) and aborts the SAM render; a
+	// corrupt record directly behind it makes the dispatcher write src.err
+	// around the moment the handler's trailer reads it — without the
+	// drain-and-join these two unsynchronized accesses are a data race.
+	// (reads is unused here: the body needs no mappable records.)
+	_ = reads
+	body := []byte(">bad\nACGTXXACGT\n>broken\nAC>GT\n")
+	resp := postStream(t, base, body, "", map[string]string{"Accept": "text/x-sam"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(out), "\n"), "\n")
+	last := lines[len(lines)-1]
+	// The trailer carries the per-read error, or the input corruption when
+	// the dispatcher reached it before the cancel — both are valid
+	// truncation reports.
+	if !strings.HasPrefix(last, "@CO\t") || !(strings.Contains(last, "bad") || strings.Contains(last, "stray")) {
+		t.Fatalf("last SAM line %q, want @CO trailer for the aborted stream:\n%s", last, out)
 	}
 }
 
