@@ -298,11 +298,15 @@ func benchSuite() []namedBench {
 				b.Fatal(err)
 			}
 			ctx := context.Background()
+			// Decode outside the timed loop, mirroring BenchmarkMapper.
+			letters := make([][]byte, len(reads))
+			for i, r := range reads {
+				letters[i] = alphabet.DNA.Decode(r.Seq)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				r := reads[i%len(reads)]
-				if _, err := m.MapRead(ctx, alphabet.DNA.Decode(r.Seq)); err != nil {
+				if _, err := m.MapRead(ctx, letters[i%len(letters)]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -335,11 +339,32 @@ func mutateCodes(rng *rand.Rand, s []byte, errRate float64) []byte {
 	return out
 }
 
+// benchMetrics aggregates the measurements of one benchmark name.
+type benchMetrics struct {
+	ns     float64
+	bytes  float64
+	allocs float64
+	// hasMem reports whether bytes/allocs were present (-benchmem text
+	// output and JSON artifacts have them; plain -bench text does not).
+	hasMem bool
+	count  int
+}
+
+// Memory regressions below these absolute deltas are ignored: tiny
+// per-op budgets (a handful of allocations) would otherwise trip the
+// percentage gate on scheduler-level jitter.
+const (
+	memSlackBytes  = 64
+	memSlackAllocs = 2
+)
+
 // runCompare loads two benchmark result files (BENCH_*.json or `go test
-// -bench` text output), compares ns/op of the benchmarks present in both,
-// and returns a non-zero exit code when any regresses more than
-// maxRegressPct percent.
-func runCompare(spec string, maxRegressPct float64) int {
+// -bench` text output) and compares the benchmarks present in both:
+// ns/op against maxRegressPct, and — when both files carry memory columns
+// — B/op and allocs/op against maxRegressMemPct, so an accidentally
+// reintroduced hot-path allocation fails CI even when the cycle cost
+// hides in noise. It returns a non-zero exit code on any regression.
+func runCompare(spec string, maxRegressPct, maxRegressMemPct float64) int {
 	parts := strings.Split(spec, ",")
 	if len(parts) != 2 {
 		fmt.Fprintf(os.Stderr, "genasm-bench: -compare wants base,head (got %q)\n", spec)
@@ -368,21 +393,40 @@ func runCompare(spec string, maxRegressPct float64) int {
 		return 0
 	}
 
-	regressions := 0
-	fmt.Printf("%-45s %14s %14s %9s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	nsRegressions, memRegressions := 0, 0
+	fmt.Printf("%-45s %14s %14s %9s %s\n", "benchmark", "base ns/op", "head ns/op", "delta", "mem")
 	for _, name := range names {
 		b, h := base[name], head[name]
-		delta := (h/b - 1) * 100
+		delta := (h.ns/b.ns - 1) * 100
 		verdict := ""
 		if delta > maxRegressPct {
 			verdict = "  REGRESSION"
-			regressions++
+			nsRegressions++
 		}
-		fmt.Printf("%-45s %14.0f %14.0f %+8.1f%%%s\n", name, b, h, delta, verdict)
+		mem := ""
+		if b.hasMem && h.hasMem {
+			mem = fmt.Sprintf("%.0f->%.0fB %.0f->%.0f allocs", b.bytes, h.bytes, b.allocs, h.allocs)
+			overPct := func(bv, hv float64) bool {
+				return bv > 0 && (hv/bv-1)*100 > maxRegressMemPct
+			}
+			grewBytes := h.bytes > b.bytes+memSlackBytes && (overPct(b.bytes, h.bytes) || b.bytes == 0)
+			grewAllocs := h.allocs > b.allocs+memSlackAllocs && (overPct(b.allocs, h.allocs) || b.allocs == 0)
+			if grewBytes || grewAllocs {
+				verdict += "  MEM-REGRESSION"
+				memRegressions++
+			}
+		}
+		fmt.Printf("%-45s %14.0f %14.0f %+8.1f%%%s  %s\n", name, b.ns, h.ns, delta, verdict, mem)
 	}
-	if regressions > 0 {
+	if nsRegressions > 0 {
 		fmt.Fprintf(os.Stderr, "genasm-bench: %d benchmark(s) regressed more than %.0f%% ns/op\n",
-			regressions, maxRegressPct)
+			nsRegressions, maxRegressPct)
+	}
+	if memRegressions > 0 {
+		fmt.Fprintf(os.Stderr, "genasm-bench: %d benchmark(s) regressed more than %.0f%% B/op or allocs/op\n",
+			memRegressions, maxRegressMemPct)
+	}
+	if nsRegressions+memRegressions > 0 {
 		return 1
 	}
 	return 0
@@ -390,25 +434,34 @@ func runCompare(spec string, maxRegressPct float64) int {
 
 // benchLine matches one `go test -bench` result line, e.g.
 // "BenchmarkAlign/kernel=scrooge/short100bp-8  167480  7272 ns/op  848 B/op  11 allocs/op".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// The memory columns are optional (-benchmem).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
 // loadBench reads benchmark results from a BENCH_*.json file or from `go
 // test -bench` text output, averaging repeated measurements per name.
-func loadBench(path string) (map[string]float64, error) {
+// Memory metrics are kept only when every measurement of a name has them.
+func loadBench(path string) (map[string]benchMetrics, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	sums := make(map[string]float64)
-	counts := make(map[string]int)
+	sums := make(map[string]benchMetrics)
+	add := func(name string, ns, bytes, allocs float64, hasMem bool) {
+		m := sums[name]
+		m.ns += ns
+		m.bytes += bytes
+		m.allocs += allocs
+		m.hasMem = hasMem && (m.count == 0 || m.hasMem)
+		m.count++
+		sums[name] = m
+	}
 	if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, "{") {
 		var f BenchFile
 		if err := json.Unmarshal(data, &f); err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
 		for _, r := range f.Benchmarks {
-			sums["Benchmark"+r.Name] += r.NsPerOp
-			counts["Benchmark"+r.Name]++
+			add("Benchmark"+r.Name, r.NsPerOp, float64(r.BytesPerOp), float64(r.AllocsPerOp), true)
 		}
 	} else {
 		for _, line := range strings.Split(string(data), "\n") {
@@ -420,13 +473,22 @@ func loadBench(path string) (map[string]float64, error) {
 			if err != nil {
 				continue
 			}
-			sums[m[1]] += ns
-			counts[m[1]]++
+			var bytes, allocs float64
+			hasMem := m[3] != ""
+			if hasMem {
+				bytes, _ = strconv.ParseFloat(m[3], 64)
+				allocs, _ = strconv.ParseFloat(m[4], 64)
+			}
+			add(m[1], ns, bytes, allocs, hasMem)
 		}
 	}
-	out := make(map[string]float64, len(sums))
-	for name, sum := range sums {
-		out[name] = sum / float64(counts[name])
+	out := make(map[string]benchMetrics, len(sums))
+	for name, m := range sums {
+		n := float64(m.count)
+		m.ns /= n
+		m.bytes /= n
+		m.allocs /= n
+		out[name] = m
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("%s: no benchmark results found", path)

@@ -11,6 +11,7 @@
 //	             [-tiny] [-seed N]
 //	genasm-bench -json BENCH_dev.json [-label dev]
 //	genasm-bench -compare BENCH_base.json,BENCH_head.json [-max-regress 15]
+//	             [-max-regress-mem 10]
 //
 // Paper tables carry pass/fail checks against the paper's reported
 // numbers; any failed check makes the run exit non-zero so CI can gate on
@@ -18,7 +19,9 @@
 // CompiledSearch, PoolThroughput, Mapper) and writes machine-readable
 // results. -compare diffs two result files (JSON or `go test -bench`
 // text) and exits non-zero on ns/op regressions beyond -max-regress
-// percent.
+// percent; when both files carry memory columns (-benchmem or JSON), it
+// also gates B/op and allocs/op at -max-regress-mem percent so hot-path
+// allocation wins cannot silently rot.
 package main
 
 import (
@@ -38,15 +41,16 @@ func main() {
 		tiny = flag.Bool("tiny", false, "run at unit-test scale (fast smoke run)")
 		seed = flag.Uint64("seed", 0, "override the deterministic workload seed")
 
-		jsonOut    = flag.String("json", "", "run the key-path benchmark suite and write machine-readable results to this file (skips the paper tables)")
-		label      = flag.String("label", "", "label recorded in -json output (e.g. the git SHA; default \"local\")")
-		compare    = flag.String("compare", "", "compare two benchmark result files given as base,head (JSON or `go test -bench` text) and exit non-zero on regression")
-		maxRegress = flag.Float64("max-regress", 15, "with -compare: maximum allowed ns/op regression in percent")
+		jsonOut       = flag.String("json", "", "run the key-path benchmark suite and write machine-readable results to this file (skips the paper tables)")
+		label         = flag.String("label", "", "label recorded in -json output (e.g. the git SHA; default \"local\")")
+		compare       = flag.String("compare", "", "compare two benchmark result files given as base,head (JSON or `go test -bench` text) and exit non-zero on regression")
+		maxRegress    = flag.Float64("max-regress", 15, "with -compare: maximum allowed ns/op regression in percent")
+		maxRegressMem = flag.Float64("max-regress-mem", 10, "with -compare: maximum allowed B/op and allocs/op regression in percent (small absolute deltas are ignored; needs -benchmem data on both sides)")
 	)
 	flag.Parse()
 
 	if *compare != "" {
-		os.Exit(runCompare(*compare, *maxRegress))
+		os.Exit(runCompare(*compare, *maxRegress, *maxRegressMem))
 	}
 	if *jsonOut != "" {
 		os.Exit(runJSONBench(*jsonOut, *label))

@@ -71,6 +71,23 @@
 // paper's original storage layout; both kernels produce identical
 // alignments and are differentially fuzz-tested against each other.
 //
+// # Result retention and CIGAR arenas
+//
+// The public API returns caller-owned values: Alignment.CIGAR strings,
+// ReadMapping results and the runs behind Alignment.Score are copied out
+// of the engine's pooled scratch before a workspace returns to the pool,
+// so they may be stored, sent across goroutines and retained freely.
+//
+// The internal core (and anything driving a core.Workspace directly, such
+// as custom mapper.Aligner implementations) is allocation-free instead:
+// a workspace accumulates each alignment's CIGAR in a reusable arena and
+// core.Alignment.Cigar is a view of it, valid only until the next
+// Align/AlignGlobal/EditDistance call on the same workspace — the software
+// analogue of reading the accelerator's output SRAM before the next
+// launch. Callers that retain such a result must copy it first
+// (core.Alignment.Clone, or cigar.Cigar.Clone / CloneInto for the runs
+// alone); callers that only inspect it before the next call pay nothing.
+//
 // # Migrating from the pre-Engine API
 //
 // Aligner, Pool and the free functions remain as deprecated shims over

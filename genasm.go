@@ -141,6 +141,8 @@ type Alignment struct {
 }
 
 // alignmentFromCore lifts a core alignment into the public result type.
+// The core Cigar views a pooled workspace's arena, so the retained runs
+// are cloned: public Alignments are always caller-owned.
 func alignmentFromCore(aln core.Alignment) Alignment {
 	return Alignment{
 		CIGAR:        aln.Cigar.String(),
@@ -149,7 +151,7 @@ func alignmentFromCore(aln core.Alignment) Alignment {
 		TextStart:    aln.TextStart,
 		TextEnd:      aln.TextEnd,
 		Matches:      aln.Cigar.Matches(),
-		runs:         aln.Cigar,
+		runs:         aln.Cigar.Clone(),
 	}
 }
 

@@ -122,6 +122,9 @@ type PatternMasks struct {
 	M int
 	// Words is the number of 64-bit words per mask.
 	Words int
+	// active is the word count the current pattern needs (<= Words);
+	// Mask slices to it without recomputing ceil(M/64) per call.
+	active int
 }
 
 // GeneratePatternMasks pre-processes an *encoded* pattern (dense codes, as
@@ -135,7 +138,7 @@ func GeneratePatternMasks(a *Alphabet, pattern []byte) *PatternMasks {
 	if nw == 0 {
 		nw = 1 // keep masks indexable for empty patterns
 	}
-	pm := &PatternMasks{M: m, Words: nw, Masks: make([][]uint64, a.Size())}
+	pm := &PatternMasks{M: m, Words: nw, active: nw, Masks: make([][]uint64, a.Size())}
 	flat := make([]uint64, a.Size()*nw)
 	for code := range pm.Masks {
 		mask := flat[code*nw : (code+1)*nw]
@@ -164,6 +167,7 @@ func (pm *PatternMasks) GenerateInto(a *Alphabet, pattern []byte) {
 		return
 	}
 	pm.M = m
+	pm.active = nw
 	for code := range pm.Masks {
 		bitvec.Fill(pm.Masks[code][:nw], ^uint64(0))
 	}
@@ -175,9 +179,12 @@ func (pm *PatternMasks) GenerateInto(a *Alphabet, pattern []byte) {
 
 // Mask returns the bitmask for letter code c, sliced to the active words.
 func (pm *PatternMasks) Mask(c byte) []uint64 {
-	nw := bitvec.Words(pm.M)
-	if nw == 0 {
-		nw = 1
-	}
-	return pm.Masks[c][:nw]
+	return pm.Masks[c][:pm.active]
+}
+
+// MaskWord returns word 0 of letter code c's bitmask — the whole mask for
+// single-word patterns, read without slice-header construction (the
+// traceback's per-step fast path).
+func (pm *PatternMasks) MaskWord(c byte) uint64 {
+	return pm.Masks[c][0]
 }

@@ -65,8 +65,31 @@ type Run struct {
 // Cigar is an alignment as run-length-encoded operations.
 type Cigar []Run
 
+// Clone returns a copy of the CIGAR with its own backing storage. Callers
+// that retain a CIGAR produced by an arena-backed Builder (see Builder)
+// beyond the builder's next Reset must Clone it first.
+func (c Cigar) Clone() Cigar {
+	if c == nil {
+		return nil
+	}
+	return append(make(Cigar, 0, len(c)), c...)
+}
+
+// CloneInto copies c into dst's storage (growing it only when needed) and
+// returns the result — the allocation-free Clone for callers that keep a
+// reusable destination buffer across calls. dst must not alias c.
+func (c Cigar) CloneInto(dst Cigar) Cigar {
+	return append(dst[:0], c...)
+}
+
 // Builder accumulates operations one at a time, merging adjacent equal ops.
 // The zero value is ready to use.
+//
+// A Builder is an arena: Reset retains the accumulated run storage, so a
+// builder reused across alignments reaches a steady state where appending
+// costs zero heap allocations. The flip side is that Cigar returns a view
+// of that arena — the result is only valid until the next Reset/Append on
+// the same builder, and callers that retain it must Clone it.
 type Builder struct {
 	runs Cigar
 }
@@ -86,9 +109,20 @@ func (b *Builder) Append(op Op, n int) {
 // Add adds a single operation.
 func (b *Builder) Add(op Op) { b.Append(op, 1) }
 
-// Cigar returns the accumulated alignment. The builder may continue to be
-// used afterwards only if the result is no longer needed.
+// Cigar returns the accumulated alignment as a view of the builder's
+// arena: it stays valid only until the builder's next Reset (or further
+// appends, which may grow a merged final run or add new ones). Clone the
+// result to retain it. The builder may continue to be used afterwards only
+// if the result is no longer needed.
 func (b *Builder) Cigar() Cigar { return b.runs }
+
+// AppendCigar appends every run of c, merging the boundary run when equal
+// — the arena-friendly form of Concat for builders.
+func (b *Builder) AppendCigar(c Cigar) {
+	for _, r := range c {
+		b.Append(r.Op, r.Len)
+	}
+}
 
 // Reset clears the builder for reuse, retaining storage.
 func (b *Builder) Reset() { b.runs = b.runs[:0] }

@@ -17,6 +17,10 @@ import (
 // may end early (TextEnd marks the consumed extent). With
 // Config.FindFirstWindowStart the alignment may also skip leading text
 // (TextStart). Use AlignGlobal for end-to-end edit distance.
+//
+// The result's Cigar views the workspace's reusable arena and is
+// invalidated by the next call on this workspace; Clone the alignment to
+// retain it (see Alignment.Cigar).
 func (w *Workspace) Align(text, pattern []byte) (Alignment, error) {
 	return w.align(text, pattern, false)
 }
@@ -128,7 +132,9 @@ func (w *Workspace) align(text, pattern []byte, global bool) (Alignment, error) 
 		curText = len(text)
 	}
 
-	cg := append(cigar.Cigar(nil), b.Cigar()...)
+	// The returned Cigar views the workspace's builder arena (zero-copy,
+	// zero-alloc); see Alignment.Cigar for the retention contract.
+	cg := b.Cigar()
 	return Alignment{
 		Cigar:     cg,
 		Distance:  cg.EditDistance(),

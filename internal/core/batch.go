@@ -71,7 +71,9 @@ func AlignBatch(cfg Config, jobs []BatchJob, workers int) []BatchResult {
 				} else {
 					aln, err = ws.Align(job.Text, job.Pattern)
 				}
-				results[i] = BatchResult{Alignment: aln, Err: err}
+				// The result outlives this worker's next alignment, so it
+				// must leave the workspace's CIGAR arena.
+				results[i] = BatchResult{Alignment: aln.Clone(), Err: err}
 			}
 		}()
 	}

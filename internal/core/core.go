@@ -106,8 +106,10 @@ type Config struct {
 	MaxWindowErrors int
 	// Adaptive enables the software optimization of computing only as
 	// many error levels as the window needs (retrying with doubled k on
-	// failure). The hardware always computes all 64 levels; disable for
-	// hardware-faithful operation counts. Defaults to true.
+	// failure; the Scrooge kernel carries the already-computed levels into
+	// the retry instead of recomputing them). The hardware always computes
+	// all 64 levels; disable for hardware-faithful operation counts.
+	// Defaults to true.
 	Adaptive bool
 	// NoAdaptive disables Adaptive when set (kept separate so the zero
 	// Config enables the optimization).
@@ -115,6 +117,15 @@ type Config struct {
 	// Order is the preferred traceback priority of the error cases (it is
 	// tried first and wins ties during per-window order selection).
 	Order Order
+	// NoEarlyTermination disables the Scrooge kernel's early termination
+	// of anchored window scans: by default, a scan running at the window's
+	// full error budget aborts as soon as a running lower bound on the
+	// window distance proves the budget cannot be met (the GenASM-GPU
+	// optimization), turning the ErrWindowBudget path from a full scan
+	// into a partial one. Early termination never changes results — it is
+	// differentially tested against full scans — so this switch exists for
+	// those tests and for operation-count-faithful runs.
+	NoEarlyTermination bool
 	// NoOrderSelection disables the per-window selection among the three
 	// error orders, restoring the single fixed order of Algorithm 2 as
 	// printed. Selection is on by default because a fixed greedy order
@@ -178,6 +189,15 @@ var ErrWindowBudget = errors.New("core: window exceeded error budget (raise MaxW
 // Alignment is the result of a GenASM alignment.
 type Alignment struct {
 	// Cigar is the traceback output (Section 6), query-vs-text.
+	//
+	// Alignments produced by a Workspace view the workspace's CIGAR arena:
+	// Cigar stays valid only until the next Align/AlignGlobal/EditDistance
+	// call on the same workspace — the software analogue of reading a
+	// result out of the accelerator's output SRAM before the next launch
+	// overwrites it. Callers that retain the alignment past that point
+	// (store it, send it to another goroutine, return the workspace to a
+	// pool) must call Clone first. Distance, TextStart, TextEnd and
+	// Windows are plain values and always safe to retain.
 	Cigar cigar.Cigar
 	// Distance is the number of edit operations in Cigar.
 	Distance int
@@ -188,6 +208,14 @@ type Alignment struct {
 	TextEnd int
 	// Windows is the number of DC/TB windows processed.
 	Windows int
+}
+
+// Clone returns the alignment with Cigar copied out of the producing
+// workspace's arena into caller-owned storage, safe to retain across
+// further calls on that workspace.
+func (a Alignment) Clone() Alignment {
+	a.Cigar = a.Cigar.Clone()
+	return a
 }
 
 // Workspace holds all scratch memory for one aligner; it is the software
@@ -220,17 +248,39 @@ type Workspace struct {
 	// positions whose entries DENT decides not to store.
 	scr [2][]uint64
 
+	// carry holds, for every text position of the current window (one row
+	// per position, 2W+1 rows), the top error level of the most recent
+	// Scrooge scan. It is what lets the adaptive k-doubling loop continue a
+	// failed scan — computing only the new levels lo..k from the carried
+	// level lo-1 — instead of recomputing every level from scratch.
+	carry []uint64
+	// carryTmp buffers the two most recent carry rows of a multi-word
+	// continuation scan, so the scan can overwrite carry in place while
+	// still reading the previous scan's values one position behind.
+	carryTmp [2][]uint64
+
 	// scanText/scanNT are the most recent dcScan's window text and real
 	// (un-padded) length; the SENE traceback needs them to re-derive the
 	// match bitvector from the pattern masks.
 	scanText []byte
 	scanNT   int
+	// scanPM caches the pattern-mask word per scanned text position
+	// (all-ones for phantom padding), filled by the single-word Scrooge
+	// scan so the traceback's match queries are one array read.
+	scanPM []uint64
 
 	// ones is an all-ones pattern-mask row used for phantom end-padding
 	// iterations (sentinel text characters that match nothing).
 	ones []uint64
 
+	// builder accumulates the full alignment's CIGAR; the Alignment
+	// returned by Align views its arena (see Alignment.Cigar).
 	builder cigar.Builder
+	// tbScratch and tbBestOps are the per-window traceback-candidate
+	// scratch of tbSelect/tbBest (never both active), reused across
+	// windows and alignments so candidate evaluation is allocation-free.
+	tbScratch cigar.Builder
+	tbBestOps cigar.Cigar
 }
 
 // New creates a Workspace from the configuration. A zero Config gives the
@@ -261,6 +311,12 @@ func New(cfg Config) (*Workspace, error) {
 		w.rStore = make([]uint64, (2*cfg.WindowSize+1)*w.stride*w.nw)
 		w.scr[0] = make([]uint64, w.stride*w.nw)
 		w.scr[1] = make([]uint64, w.stride*w.nw)
+		w.carry = make([]uint64, (2*cfg.WindowSize+1)*w.nw)
+		w.carryTmp[0] = make([]uint64, w.nw)
+		w.carryTmp[1] = make([]uint64, w.nw)
+		if w.nw == 1 {
+			w.scanPM = make([]uint64, 2*cfg.WindowSize)
+		}
 	}
 	w.ones = make([]uint64, w.nw)
 	bitvec.Fill(w.ones, ^uint64(0))
@@ -341,11 +397,33 @@ func (w *Workspace) pmAt(textPos int) []uint64 {
 // Bit 0 of any shifted vector is 0 (the shifted-in zero: the final pattern
 // character can always be substituted/inserted).
 
+// rWord is the single-word form of rEntry: the one status word of the
+// stored entry at (textPos, level). Valid only when w.nw == 1 (W <= 64),
+// where it keeps the traceback's per-step queries free of slice-header
+// construction.
+func (w *Workspace) rWord(textPos, level int) uint64 {
+	return w.rStore[textPos*w.stride+level]
+}
+
+// pmWord is the single-word form of pmAt.
+func (w *Workspace) pmWord(textPos int) uint64 {
+	if textPos >= w.scanNT {
+		return ^uint64(0)
+	}
+	return w.pm.MaskWord(w.scanText[textPos])
+}
+
 // matchZero reports whether the match bitvector at (textPos, level) has a
 // 0 at bit j.
 func (w *Workspace) matchZero(textPos, level, j int) bool {
 	if w.cfg.Kernel == KernelBaseline {
 		return bitvec.IsZeroBit(w.mRow(textPos, level), j)
+	}
+	if w.nw == 1 {
+		if w.pmWord(textPos)>>uint(j)&1 != 0 {
+			return false
+		}
+		return j == 0 || w.rWord(textPos+1, level)>>uint(j-1)&1 == 0
 	}
 	if !bitvec.IsZeroBit(w.pmAt(textPos), j) {
 		return false
@@ -359,6 +437,9 @@ func (w *Workspace) insZero(textPos, level, j int) bool {
 	if w.cfg.Kernel == KernelBaseline {
 		return bitvec.IsZeroBit(w.iRow(textPos, level), j)
 	}
+	if w.nw == 1 {
+		return j == 0 || w.rWord(textPos, level-1)>>uint(j-1)&1 == 0
+	}
 	return j == 0 || bitvec.IsZeroBit(w.rEntry(textPos, level-1), j-1)
 }
 
@@ -367,6 +448,9 @@ func (w *Workspace) insZero(textPos, level, j int) bool {
 func (w *Workspace) delZero(textPos, level, j int) bool {
 	if w.cfg.Kernel == KernelBaseline {
 		return bitvec.IsZeroBit(w.dRow(textPos, level), j)
+	}
+	if w.nw == 1 {
+		return w.rWord(textPos+1, level-1)>>uint(j)&1 == 0
 	}
 	return bitvec.IsZeroBit(w.rEntry(textPos+1, level-1), j)
 }
@@ -380,6 +464,9 @@ func (w *Workspace) subZero(textPos, level, j int) bool {
 	if w.cfg.Kernel == KernelBaseline {
 		return bitvec.IsZeroBit(w.dRow(textPos, level), j-1)
 	}
+	if w.nw == 1 {
+		return w.rWord(textPos+1, level-1)>>uint(j-1)&1 == 0
+	}
 	return bitvec.IsZeroBit(w.rEntry(textPos+1, level-1), j-1)
 }
 
@@ -388,7 +475,9 @@ func (w *Workspace) subZero(textPos, level, j int) bool {
 // Scrooge kernel's footprint is ~3x below the baseline's.
 func (w *Workspace) FootprintBytes() int {
 	words := len(w.mStore) + len(w.iStore) + len(w.dStore) +
-		len(w.rStore) + len(w.scr[0]) + len(w.scr[1]) + len(w.ones)
+		len(w.rStore) + len(w.scr[0]) + len(w.scr[1]) + len(w.ones) +
+		len(w.carry) + len(w.carryTmp[0]) + len(w.carryTmp[1]) +
+		len(w.scanPM)
 	for _, row := range w.r {
 		words += len(row)
 	}

@@ -1,6 +1,10 @@
 package core
 
-import "genasm/internal/bitvec"
+import (
+	"math/bits"
+
+	"genasm/internal/bitvec"
+)
 
 // dcResult is the outcome of running GenASM-DC over one window.
 type dcResult struct {
@@ -36,6 +40,16 @@ type dcResult struct {
 // capTB promises that the following traceback is consumption-capped at
 // W-O characters (a non-final, non-search window); the Scrooge kernel
 // uses it to skip storing entries past that reach (DENT).
+//
+// The adaptive loop applies two Scrooge/GenASM-GPU-style optimizations:
+// when a scan at k levels fails, the Scrooge kernel continues it —
+// computing only the new levels k+1..2k from the carried level-k row per
+// text position — instead of recomputing every level from scratch, so the
+// total level work of a window is ~kNeed instead of ~2·kNeed; and a scan
+// running at the window's full error budget terminates early once a
+// running lower bound proves the budget cannot be met (see the early
+// termination block in dcScanScrooge), making ErrWindowBudget windows
+// cheap to reject.
 func (w *Workspace) dcWindow(subtext, subpattern []byte, search bool, pad int, capTB bool) dcResult {
 	mp := len(subpattern)
 	kMax := w.cfg.MaxWindowErrors
@@ -56,10 +70,22 @@ func (w *Workspace) dcWindow(subtext, subpattern []byte, search bool, pad int, c
 			k = kMax
 		}
 	}
+	lo := 0
 	for {
-		res := w.dcScan(subtext, mp, k, search, pad, capTB)
+		// Early termination is sound only when the scan computes every
+		// level of the window budget (a partial chain could otherwise
+		// climb through levels the scan does not track) and only for
+		// anchored scans (search mode wants the minimum over every
+		// position, which the bound does not serve).
+		et := !search && !w.cfg.NoEarlyTermination && k == kMax
+		res := w.dcScan(subtext, mp, lo, k, search, pad, capTB, et)
 		if res.dist >= 0 || k >= kMax {
 			return res
+		}
+		if w.cfg.Kernel == KernelScrooge {
+			// Level-carry: the failed scan saved its top level for every
+			// text position, so the retry computes only the new levels.
+			lo = k + 1
 		}
 		k *= 2
 		if k > kMax {
@@ -68,21 +94,26 @@ func (w *Workspace) dcWindow(subtext, subpattern []byte, search bool, pad int, c
 	}
 }
 
-// dcScan is one full right-to-left pass of the DC recurrence with k error
-// levels (Algorithm 1 lines 7-22), dispatched to the configured kernel's
-// storage layout. It records the window text for the SENE traceback
-// queries before either scan runs.
-func (w *Workspace) dcScan(subtext []byte, mp, k int, search bool, pad int, capTB bool) dcResult {
+// dcScan is one right-to-left pass of the DC recurrence computing error
+// levels lo..k (Algorithm 1 lines 7-22), dispatched to the configured
+// kernel's storage layout. lo > 0 (Scrooge only) continues an earlier scan
+// of the same window from its carried level lo-1; et enables early
+// termination of hopeless anchored scans (Scrooge, single-word). It
+// records the window text for the SENE traceback queries before either
+// scan runs.
+func (w *Workspace) dcScan(subtext []byte, mp, lo, k int, search bool, pad int, capTB, et bool) dcResult {
 	w.scanText, w.scanNT = subtext, len(subtext)
 	if w.cfg.Kernel == KernelBaseline {
 		return w.dcScanBaseline(subtext, mp, k, search, pad)
 	}
-	return w.dcScanScrooge(subtext, mp, k, search, pad, capTB)
+	return w.dcScanScrooge(subtext, mp, lo, k, search, pad, capTB, et)
 }
 
 // dcScanBaseline stores the intermediate match/insertion/deletion
 // bitvectors of Algorithm 1 lines 15-18 for every text position — the
-// paper's original TB-SRAM layout.
+// paper's original TB-SRAM layout. It always recomputes every level from
+// scratch (no level-carry), keeping the reference kernel as close to the
+// paper's Algorithm 1 as possible.
 func (w *Workspace) dcScanBaseline(subtext []byte, mp, k int, search bool, pad int) dcResult {
 	// The window's bitvectors span only as many words as the sub-pattern
 	// needs; a multi-word workspace (W > 64) still processes short final
@@ -165,7 +196,31 @@ func (w *Workspace) dcScanBaseline(subtext []byte, mp, k int, search bool, pad i
 // writing directly into the entry store for positions the traceback can
 // reach and rolling through two scratch rows for the rest (DENT). The
 // inner step issues a single store where the baseline issues four.
-func (w *Workspace) dcScanScrooge(subtext []byte, mp, k int, search bool, pad int, capTB bool) dcResult {
+//
+// With lo > 0 the scan continues an earlier scan of the same window: only
+// levels lo..k are computed, seeded from the carried level lo-1 the
+// earlier scan saved per text position (w.carry). The recurrence for a
+// level depends only on that level and the one below it, so a continued
+// scan produces bit-identical entries to a full rescan at ~half the work.
+// Every scan saves its own top level into w.carry (one extra store per
+// position) so it, too, can be continued.
+//
+// With et (anchored scans at the full window budget k), the scan aborts
+// as soon as no remaining text position can produce a match within k
+// errors. The bound: a 0 at bit j of R[d] can, in the best case, climb
+// one bit per remaining text position (a match consumes text and extends
+// the chain) plus one bit per unspent error level (an insertion extends
+// the chain in place, costing a level), so its best final bit is
+// j + (k-d) + i. Chains not yet born — a 0 entering at bit 0 of some
+// level at a future position p < i — are bounded by k + p <= k + i - 1.
+// If neither bound reaches the MSB, bit mp-1 of no R[d<=k] can be 0 at
+// position 0 and the window is hopeless: the scan stops and dcWindow
+// reports ErrWindowBudget without computing the remaining positions.
+// Because every level of the budget is computed, every live chain is
+// visible in the current rows (plus, for continued scans, the carried
+// level bounding the levels below lo), which is what makes the bound
+// sound; it is differentially tested to never change results.
+func (w *Workspace) dcScanScrooge(subtext []byte, mp, lo, k int, search bool, pad int, capTB, et bool) dcResult {
 	// nw is the number of words the sub-pattern needs this scan; rows in
 	// the entry store stay spaced by the workspace word count (snw) so
 	// that rEntry's indexing holds for every window length.
@@ -192,43 +247,93 @@ func (w *Workspace) dcScanScrooge(subtext []byte, mp, k int, search bool, pad in
 		}
 	}
 
+	// Continued scans leave levels 0..lo-1 (already stored by the earlier
+	// scans) untouched and initialize only their own levels at the top.
 	if top <= storeLimit {
-		bitvec.Fill(w.rStore[top*rowW:top*rowW+(k+1)*snw], ^uint64(0))
+		bitvec.Fill(w.rStore[top*rowW+lo*snw:top*rowW+(k+1)*snw], ^uint64(0))
 	} else {
-		bitvec.Fill(w.scr[top&1][:(k+1)*snw], ^uint64(0))
+		bitvec.Fill(w.scr[top&1][lo*snw:(k+1)*snw], ^uint64(0))
 	}
 
+	// hzMask keeps early termination's highest-zero scans within the
+	// pattern's bits (bits >= mp are recurrence artifacts).
+	hzMask := ^uint64(0)
+	if mp < 64 {
+		hzMask = 1<<uint(mp) - 1
+	}
+
+	// carryPrev / carryPrevRow roll the previous scan's carried level one
+	// position behind this scan's overwrite of w.carry; at the virtual
+	// top every level is all ones.
+	carryPrev := ^uint64(0)
+	bitvec.Fill(w.carryTmp[top&1][:nw], ^uint64(0))
+
 	bestDist, bestLoc := -1, 0
+	// The previous position's buffer selection carries across iterations
+	// (position i's rows are position i-1's previous rows).
+	prevBuf, prevOff := w.rStore, top*rowW
+	if top > storeLimit {
+		prevBuf, prevOff = w.scr[top&1], 0
+	}
 	for i := top - 1; i >= 0; i-- {
-		curPM := w.ones[:nw]
-		if i < nt {
-			curPM = w.pm.Mask(subtext[i])
-		}
 		curBuf, curOff := w.rStore, i*rowW
 		if i > storeLimit {
 			curBuf, curOff = w.scr[i&1], 0
 		}
-		prevBuf, prevOff := w.rStore, (i+1)*rowW
-		if i+1 > storeLimit {
-			prevBuf, prevOff = w.scr[(i+1)&1], 0
-		}
 
 		if snw == 1 {
 			// Single-word fast path (W <= 64, the default config): the
-			// whole iteration stays in registers, one store per level.
+			// whole iteration stays in registers, one entry store per
+			// level plus the carry store.
 			cur := curBuf[curOff : curOff+k+1]
 			prev := prevBuf[prevOff : prevOff+k+1]
-			pm0 := curPM[0]
-			rp := prev[0]<<1 | pm0
-			cur[0] = rp
-			for d := 1; d <= k; d++ {
-				old1 := prev[d-1]
-				rd := old1 & (old1 << 1) & (rp << 1) & (prev[d]<<1 | pm0)
+			pm0 := ^uint64(0)
+			if i < nt {
+				pm0 = w.pm.MaskWord(subtext[i])
+			}
+			if lo == 0 {
+				// One-read match queries for tbWindowFast; continued
+				// scans would rewrite identical values.
+				w.scanPM[i] = pm0
+			}
+			carryCur := w.carry[i]
+			// rp is R[d-1] at this position, old1 is R[d-1] at the
+			// previous position; a continued scan seeds both from the
+			// carried level lo-1.
+			var rp, old1 uint64
+			start := lo
+			if lo == 0 {
+				rp = prev[0]<<1 | pm0
+				cur[0] = rp
+				old1 = prev[0]
+				start = 1
+			} else {
+				rp = carryCur
+				old1 = carryPrev
+			}
+			// Two levels per step: the serial rp chain stays, but the
+			// loop overhead halves.
+			d := start
+			for ; d < k; d += 2 {
+				o := prev[d]
+				rd := old1 & (old1 << 1) & (rp << 1) & (o<<1 | pm0)
+				cur[d] = rd
+				o2 := prev[d+1]
+				rd2 := o & (o << 1) & (rd << 1) & (o2<<1 | pm0)
+				cur[d+1] = rd2
+				rp = rd2
+				old1 = o2
+			}
+			if d == k {
+				o := prev[d]
+				rd := old1 & (old1 << 1) & (rp << 1) & (o<<1 | pm0)
 				cur[d] = rd
 				rp = rd
 			}
+			w.carry[i] = rp // rp is cur[k], the level a continuation seeds from
+			carryPrev = carryCur
 			if search && i < nt {
-				for d := 0; d <= k; d++ {
+				for d := lo; d <= k; d++ {
 					if cur[d]>>uint(msb)&1 == 0 {
 						if bestDist < 0 || d < bestDist || (d == bestDist && i < bestLoc) {
 							bestDist, bestLoc = d, i
@@ -237,14 +342,62 @@ func (w *Workspace) dcScanScrooge(subtext []byte, mp, k int, search bool, pad in
 					}
 				}
 			}
+			if et && k+i-1 < msb {
+				// pot is the best final bit any live chain can still
+				// reach (see the doc comment); -1 when nothing is alive.
+				pot := -1
+				for d := lo; d <= k; d++ {
+					if z := ^cur[d] & hzMask; z != 0 {
+						if c := 63 - bits.LeadingZeros64(z) + k - d; c > pot {
+							pot = c
+						}
+					}
+				}
+				if lo > 0 {
+					// Levels below lo are not recomputed; their zeros are
+					// a subset of the carried level's (R rows grow with
+					// d), bounded as if they sat at level 0.
+					if z := ^carryCur & hzMask; z != 0 {
+						if c := 63 - bits.LeadingZeros64(z) + k; c > pot {
+							pot = c
+						}
+					}
+				}
+				if pot+i < msb {
+					return dcResult{dist: -1, levels: k}
+				}
+			}
+			prevBuf, prevOff = curBuf, curOff
 			continue
 		}
 
-		bitvec.ShiftLeft1Or(curBuf[curOff:curOff+nw], prevBuf[prevOff:prevOff+nw], curPM)
-		for d := 1; d <= k; d++ {
+		curPM := w.ones[:nw]
+		if i < nt {
+			curPM = w.pm.Mask(subtext[i])
+		}
+
+		// Multi-word path. ccOld/cpOld are the previous scan's carried
+		// rows at this and the previous position (the in-place overwrite
+		// of w.carry runs one position ahead of the reads).
+		ccOld := w.carryTmp[i&1][:nw]
+		if lo > 0 {
+			copy(ccOld, w.carry[i*snw:i*snw+nw])
+		}
+		cpOld := w.carryTmp[(i+1)&1][:nw]
+
+		start := lo
+		if lo == 0 {
+			bitvec.ShiftLeft1Or(curBuf[curOff:curOff+nw], prevBuf[prevOff:prevOff+nw], curPM)
+			start = 1
+		}
+		for d := start; d <= k; d++ {
 			rd := curBuf[curOff+d*snw : curOff+d*snw+nw]
-			rd1 := curBuf[curOff+(d-1)*snw : curOff+(d-1)*snw+nw]
-			old1 := prevBuf[prevOff+(d-1)*snw : prevOff+(d-1)*snw+nw]
+			rd1 := ccOld
+			old1 := cpOld
+			if d > lo || lo == 0 {
+				rd1 = curBuf[curOff+(d-1)*snw : curOff+(d-1)*snw+nw]
+				old1 = prevBuf[prevOff+(d-1)*snw : prevOff+(d-1)*snw+nw]
+			}
 			old := prevBuf[prevOff+d*snw : prevOff+d*snw+nw]
 			var carryS, carryI, carryM uint64
 			for wi := 0; wi < nw; wi++ {
@@ -258,8 +411,9 @@ func (w *Workspace) dcScanScrooge(subtext []byte, mp, k int, search bool, pad in
 				rd[wi] = del & sub & ins & match
 			}
 		}
+		copy(w.carry[i*snw:i*snw+nw], curBuf[curOff+k*snw:curOff+k*snw+nw])
 		if search && i < nt {
-			for d := 0; d <= k; d++ {
+			for d := lo; d <= k; d++ {
 				if bitvec.IsZeroBit(curBuf[curOff+d*snw:curOff+d*snw+nw], msb) {
 					if bestDist < 0 || d < bestDist || (d == bestDist && i < bestLoc) {
 						bestDist, bestLoc = d, i
@@ -268,15 +422,17 @@ func (w *Workspace) dcScanScrooge(subtext []byte, mp, k int, search bool, pad in
 				}
 			}
 		}
+		prevBuf, prevOff = curBuf, curOff
 	}
 
 	if !search {
 		// Anchored: inspect the final iteration's levels at text pos 0
-		// (position 0 is always stored).
+		// (position 0 is always stored). Levels below lo were checked by
+		// the scan that computed them.
 		if nt == 0 {
 			return dcResult{dist: -1, levels: k}
 		}
-		for d := 0; d <= k; d++ {
+		for d := lo; d <= k; d++ {
 			if bitvec.IsZeroBit(w.rEntry(0, d), msb) {
 				return dcResult{dist: d, loc: 0, levels: k}
 			}

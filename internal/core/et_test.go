@@ -1,0 +1,155 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"genasm/internal/alphabet"
+)
+
+// diffET aligns the pair with early termination on and off and fails on
+// any divergence: ET may only change how fast a hopeless window is
+// rejected, never what is reported — distance, CIGAR, text span, or the
+// ErrWindowBudget error itself.
+func diffET(t *testing.T, et, noET *Workspace, text, pattern []byte, global bool, label string) {
+	t.Helper()
+	align := func(w *Workspace) (Alignment, error) {
+		if global {
+			return w.AlignGlobal(text, pattern)
+		}
+		return w.Align(text, pattern)
+	}
+	ae, errE := align(et)
+	an, errN := align(noET)
+	if (errE == nil) != (errN == nil) {
+		t.Fatalf("%s: error divergence: ET %v vs no-ET %v", label, errE, errN)
+	}
+	if errE != nil {
+		if errors.Is(errE, ErrWindowBudget) != errors.Is(errN, ErrWindowBudget) {
+			t.Fatalf("%s: error kind divergence: ET %v vs no-ET %v", label, errE, errN)
+		}
+		return
+	}
+	if ae.Cigar.String() != an.Cigar.String() {
+		t.Fatalf("%s: CIGAR divergence:\n  ET     %s\n  no-ET  %s", label, ae.Cigar, an.Cigar)
+	}
+	if ae.Distance != an.Distance || ae.TextStart != an.TextStart || ae.TextEnd != an.TextEnd {
+		t.Fatalf("%s: result divergence: ET %+v vs no-ET %+v", label, ae, an)
+	}
+}
+
+// etPair builds one workspace pair differing only in NoEarlyTermination.
+func etPair(t testing.TB, cfg Config) (et, noET *Workspace) {
+	t.Helper()
+	cfg.NoEarlyTermination = false
+	et = mustWS(t, cfg)
+	cfg.NoEarlyTermination = true
+	noET = mustWS(t, cfg)
+	return et, noET
+}
+
+// TestEarlyTerminationDifferentialSweep drives ET-on vs ET-off across the
+// space where ET can fire: budget-capped windows (MaxWindowErrors below
+// the window size), several alphabets and window geometries, adaptive on
+// and off, anchored and search-mode first windows. Unrelated pairs make
+// ErrWindowBudget frequent — the path ET accelerates.
+func TestEarlyTerminationDifferentialSweep(t *testing.T) {
+	type cfgCase struct {
+		name string
+		cfg  Config
+	}
+	var cases []cfgCase
+	for _, a := range []*alphabet.Alphabet{alphabet.DNA, alphabet.Protein} {
+		for _, win := range []struct{ w, o int }{{64, 24}, {32, 8}, {16, 4}} {
+			for _, k := range []int{2, 4, 8} {
+				if k > win.w {
+					continue
+				}
+				cases = append(cases, cfgCase{
+					name: fmt.Sprintf("%s/W%d-O%d-k%d", a.Name(), win.w, win.o, k),
+					cfg:  Config{Alphabet: a, WindowSize: win.w, Overlap: win.o, MaxWindowErrors: k},
+				})
+			}
+		}
+	}
+	cases = append(cases,
+		cfgCase{"dna/full-budget", Config{}},
+		cfgCase{"dna/k8-noadaptive", Config{MaxWindowErrors: 8, NoAdaptive: true}},
+		cfgCase{"dna/k6-search", Config{MaxWindowErrors: 6, FindFirstWindowStart: true}},
+		cfgCase{"dna/k4-gapfirst", Config{MaxWindowErrors: 4, Order: OrderGapFirst}},
+		cfgCase{"dna/k4-fixedorder", Config{MaxWindowErrors: 4, NoOrderSelection: true}},
+		cfgCase{"dna/k4-multiword", Config{WindowSize: 128, Overlap: 48, MaxWindowErrors: 24}},
+	)
+
+	for ci, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			et, noET := etPair(t, c.cfg)
+			size := 4
+			if c.cfg.Alphabet != nil {
+				size = c.cfg.Alphabet.Size()
+			}
+			rng := rand.New(rand.NewPCG(7, uint64(ci)))
+			budget := et.Config().MaxWindowErrors
+			for trial := 0; trial < 40; trial++ {
+				n := 1 + rng.IntN(260)
+				text := make([]byte, n)
+				for i := range text {
+					text[i] = byte(rng.IntN(size))
+				}
+				var pattern []byte
+				switch trial % 3 {
+				case 0: // unrelated: drives ErrWindowBudget, where ET fires
+					pattern = make([]byte, 1+rng.IntN(260))
+					for i := range pattern {
+						pattern[i] = byte(rng.IntN(size))
+					}
+				case 1: // near the budget boundary
+					pattern = mutateAlpha(rng, text, budget+rng.IntN(budget+2), size)
+				default: // clearly within budget
+					pattern = mutateAlpha(rng, text, rng.IntN(budget+1), size)
+				}
+				if len(pattern) == 0 {
+					continue
+				}
+				label := fmt.Sprintf("%s trial %d", c.name, trial)
+				diffET(t, et, noET, text, pattern, trial%2 == 0, label)
+			}
+		})
+	}
+}
+
+// TestEarlyTerminationQuick fuzzes arbitrary byte pairs through a
+// budget-capped DNA configuration in both modes.
+func TestEarlyTerminationQuick(t *testing.T) {
+	for _, global := range []bool{true, false} {
+		et, noET := etPair(t, Config{MaxWindowErrors: 5})
+		prop := func(rawText, rawPattern []byte) bool {
+			text := quickSeqs(rawText, 300)
+			pattern := quickSeqs(rawPattern, 300)
+			if len(pattern) == 0 {
+				return true
+			}
+			diffET(t, et, noET, text, pattern, global, fmt.Sprintf("global=%v", global))
+			return !t.Failed()
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestEarlyTerminationRejectsFast pins that a hopeless budget-capped
+// alignment still reports ErrWindowBudget with ET on (the fast path must
+// not turn failures into something else).
+func TestEarlyTerminationRejectsFast(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	text := randSeq(rng, 256)
+	pattern := randSeq(rng, 256) // unrelated: windows need far more than 3 errors
+	ws := mustWS(t, Config{MaxWindowErrors: 3})
+	if _, err := ws.Align(text, pattern); !errors.Is(err, ErrWindowBudget) {
+		t.Fatalf("err = %v, want ErrWindowBudget", err)
+	}
+}

@@ -91,6 +91,9 @@ func TestKernelEquivalenceConfigSweep(t *testing.T) {
 		cfgCase{"dna/k8", Config{MaxWindowErrors: 8}},
 		cfgCase{"dna/k16-W32", Config{WindowSize: 32, Overlap: 8, MaxWindowErrors: 16}},
 		cfgCase{"dna/noadaptive", Config{NoAdaptive: true}},
+		cfgCase{"dna/noet", Config{NoEarlyTermination: true}},
+		cfgCase{"dna/k4-budget", Config{MaxWindowErrors: 4}},
+		cfgCase{"dna/k4-budget-noet", Config{MaxWindowErrors: 4, NoEarlyTermination: true}},
 		cfgCase{"dna/gapfirst", Config{Order: OrderGapFirst}},
 		cfgCase{"dna/delfirst", Config{Order: OrderDelFirst}},
 		cfgCase{"dna/fixedorder", Config{NoOrderSelection: true}},

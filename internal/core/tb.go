@@ -7,6 +7,11 @@ type tbResult struct {
 	patternConsumed int
 	textConsumed    int
 	errorsUsed      int
+	// orderSensitive reports whether any error decision of the walk had
+	// more than one viable edge: when false, every step was forced, so
+	// the walk is identical under all three error orders and tbSelect/
+	// tbBest skip the redundant order walks.
+	orderSensitive bool
 }
 
 // tbWindow is GenASM-TB over one window (Algorithm 2 lines 6-30). It walks
@@ -31,6 +36,9 @@ type tbResult struct {
 // — and a phantom deletion consumes nothing for one error (a wasted move
 // that minimal paths avoid). Phantom moves never count as consumed text.
 func (w *Workspace) tbWindow(mp, nt, pad, startLoc, dist int, final bool, b *cigar.Builder) tbResult {
+	if w.cfg.Kernel == KernelScrooge && w.nw == 1 {
+		return w.tbWindowFast(mp, nt, pad, startLoc, dist, final, b)
+	}
 	patternI := mp - 1
 	textI := startLoc
 	curError := dist
@@ -63,6 +71,19 @@ func (w *Workspace) tbWindow(mp, nt, pad, startLoc, dist int, final bool, b *cig
 		}
 		if status == cigar.OpNone && curError > 0 {
 			status = w.pickError(textI, curError, patternI)
+			if status != cigar.OpNone && !res.orderSensitive {
+				n := 0
+				if w.delZero(textI, curError, patternI) {
+					n++
+				}
+				if w.subZero(textI, curError, patternI) {
+					n++
+				}
+				if w.insZero(textI, curError, patternI) {
+					n++
+				}
+				res.orderSensitive = n > 1
+			}
 		}
 		if status == cigar.OpNone {
 			// Unreachable when dist came from dcWindow: R[d] being 0 at
@@ -117,6 +138,165 @@ func (w *Workspace) tbWindow(mp, nt, pad, startLoc, dist int, final bool, b *cig
 	return res
 }
 
+// tbWindowFast is tbWindow specialized for the Scrooge kernel's
+// single-word layout (W <= 64, the default configuration): every edge
+// query is an inline shift of a directly-indexed rStore word and the
+// match bitmask is one read of the scanPM cache, eliminating the
+// per-step function calls and slice-header construction of the generic
+// walker. Behaviour is identical by construction — each branch mirrors
+// the corresponding matchZero/insZero/delZero/subZero derivation — and
+// pinned by the kernel differential tests.
+func (w *Workspace) tbWindowFast(mp, nt, pad, startLoc, dist int, final bool, b *cigar.Builder) tbResult {
+	patternI := mp - 1
+	textI := startLoc
+	curError := dist
+	limit := w.cfg.WindowSize - w.cfg.Overlap
+	prev := cigar.OpNone
+	affine := !w.cfg.NoAffineExtend
+	order := w.cfg.Order
+	stride := w.stride
+	store := w.rStore
+	pm := w.scanPM
+	end := nt + pad
+
+	// Ops are run-length merged locally and flushed per run, so the
+	// builder is called once per run instead of once per step.
+	runOp := cigar.OpNone
+	runLen := 0
+
+	var res tbResult
+	for patternI >= 0 && textI < end {
+		if !final && (res.patternConsumed >= limit || res.textConsumed >= limit) {
+			break
+		}
+		j := uint(patternI)
+		base := textI * stride
+		next := base + stride
+
+		status := cigar.OpNone
+		if affine && curError > 0 {
+			if prev == cigar.OpIns {
+				if j == 0 || store[base+curError-1]>>(j-1)&1 == 0 {
+					status = cigar.OpIns
+				}
+			} else if prev == cigar.OpDel {
+				if store[next+curError-1]>>j&1 == 0 {
+					status = cigar.OpDel
+				}
+			}
+		}
+		if status == cigar.OpNone && pm[textI]>>j&1 == 0 &&
+			(j == 0 || store[next+curError]>>(j-1)&1 == 0) {
+			status = cigar.OpMatch
+		}
+		if status == cigar.OpNone && curError > 0 {
+			e := curError - 1
+			delV := store[next+e]>>j&1 == 0
+			subV := j == 0 || store[next+e]>>(j-1)&1 == 0
+			insV := j == 0 || store[base+e]>>(j-1)&1 == 0
+			switch order {
+			case OrderGapFirst:
+				if insV {
+					status = cigar.OpIns
+				} else if delV {
+					status = cigar.OpDel
+				} else if subV {
+					status = cigar.OpSubst
+				}
+			case OrderDelFirst:
+				if delV {
+					status = cigar.OpDel
+				} else if subV {
+					status = cigar.OpSubst
+				} else if insV {
+					status = cigar.OpIns
+				}
+			default: // OrderSubFirst, Algorithm 2 as printed
+				if subV {
+					status = cigar.OpSubst
+				} else if insV {
+					status = cigar.OpIns
+				} else if delV {
+					status = cigar.OpDel
+				}
+			}
+			if !res.orderSensitive {
+				n := 0
+				if delV {
+					n++
+				}
+				if subV {
+					n++
+				}
+				if insV {
+					n++
+				}
+				res.orderSensitive = n > 1
+			}
+		}
+		if status == cigar.OpNone {
+			break // unreachable when dist came from dcWindow
+		}
+
+		if textI >= nt {
+			// Phantom region: see tbWindow. A phantom deletion emits no
+			// op, so it neither starts nor breaks a run — exactly the
+			// merge behaviour of emitting through the builder directly.
+			switch status {
+			case cigar.OpSubst:
+				textI++
+				fallthrough
+			case cigar.OpIns:
+				if runOp == cigar.OpIns {
+					runLen++
+				} else {
+					if runLen > 0 {
+						b.Append(runOp, runLen)
+					}
+					runOp, runLen = cigar.OpIns, 1
+				}
+				prev = cigar.OpIns
+				curError--
+				res.errorsUsed++
+				patternI--
+				res.patternConsumed++
+			case cigar.OpDel:
+				prev = cigar.OpDel
+				curError--
+				res.errorsUsed++
+				textI++
+			}
+			continue
+		}
+
+		if status == runOp {
+			runLen++
+		} else {
+			if runLen > 0 {
+				b.Append(runOp, runLen)
+			}
+			runOp, runLen = status, 1
+		}
+		prev = status
+		if status != cigar.OpMatch {
+			curError--
+			res.errorsUsed++
+		}
+		if status.ConsumesText() {
+			textI++
+			res.textConsumed++
+		}
+		if status.ConsumesQuery() {
+			patternI--
+			res.patternConsumed++
+		}
+	}
+	if runLen > 0 {
+		b.Append(runOp, runLen)
+	}
+	return res
+}
+
 // tbBest runs the terminal window's traceback. Because Bitap is inherently
 // semi-global (the text end is free), a greedy single traceback of the last
 // window can leave trailing text that the global cleanup must charge as
@@ -141,9 +321,9 @@ func (w *Workspace) tbBest(subtext, subpattern []byte, pad, loc, dmin, levels in
 	defer func() { w.cfg.Order = savedOrder }()
 	orders := [...]Order{savedOrder, OrderDelFirst, OrderGapFirst, OrderSubFirst}
 
+	scratch := &w.tbScratch
+	bestOps := w.tbBestOps[:0]
 	var (
-		scratch  cigar.Builder
-		bestOps  cigar.Cigar
 		bestRes  tbResult
 		bestCost = int(^uint(0) >> 1)
 	)
@@ -154,13 +334,21 @@ func (w *Workspace) tbBest(subtext, subpattern []byte, pad, loc, dmin, levels in
 	maxD := dmin
 	for d := dmin; d <= maxD; d++ {
 		if d > levels {
-			// Deeper candidate levels than DC computed: re-run the scan
-			// with enough levels (stores are rewritten in full).
+			// Deeper candidate levels than DC computed: extend the scan
+			// with the missing levels (the Scrooge kernel carries the
+			// levels already stored; the baseline rewrites its stores in
+			// full). Early termination stays off: these levels feed
+			// speculative traceback candidates, so the stores must be
+			// written end to end even when no candidate can succeed.
+			lo := 0
+			if w.cfg.Kernel == KernelScrooge {
+				lo = levels + 1
+			}
 			levels = min(kCap, maxD)
 			if d > levels {
 				break
 			}
-			w.dcScan(subtext, mp, levels, false, pad, false)
+			w.dcScan(subtext, mp, lo, levels, false, pad, false, false)
 		}
 		for oi, o := range orders {
 			if oi > 0 && o == savedOrder {
@@ -168,11 +356,16 @@ func (w *Workspace) tbBest(subtext, subpattern []byte, pad, loc, dmin, levels in
 			}
 			w.cfg.Order = o
 			scratch.Reset()
-			r := w.tbWindow(mp, nt, pad, loc, d, true, &scratch)
+			r := w.tbWindow(mp, nt, pad, loc, d, true, scratch)
 			if c := costOf(r); c < bestCost {
 				bestCost = c
 				bestRes = r
-				bestOps = append(bestOps[:0], scratch.Cigar()...)
+				bestOps = scratch.Cigar().CloneInto(bestOps)
+			}
+			if oi == 0 && !r.orderSensitive {
+				// Every step of the first walk was forced, so the other
+				// orders would replay it exactly at this level.
+				break
 			}
 		}
 		// No alignment cheaper than bestCost can use more errors than
@@ -180,9 +373,8 @@ func (w *Workspace) tbBest(subtext, subpattern []byte, pad, loc, dmin, levels in
 		// soon as the cap falls below the next level).
 		maxD = min(kCap, bestCost)
 	}
-	for _, r := range bestOps {
-		b.Append(r.Op, r.Len)
-	}
+	b.AppendCigar(bestOps)
+	w.tbBestOps = bestOps
 	return bestRes
 }
 
@@ -202,9 +394,9 @@ func (w *Workspace) tbSelect(mp, nt, pad, loc, dist int, final bool, b *cigar.Bu
 	defer func() { w.cfg.Order = savedOrder }()
 	orders := [...]Order{savedOrder, OrderDelFirst, OrderGapFirst, OrderSubFirst}
 
+	scratch := &w.tbScratch
+	bestOps := w.tbBestOps[:0]
 	var (
-		scratch  cigar.Builder
-		bestOps  cigar.Cigar
 		bestRes  tbResult
 		haveBest bool
 	)
@@ -223,16 +415,20 @@ func (w *Workspace) tbSelect(mp, nt, pad, loc, dist int, final bool, b *cigar.Bu
 		}
 		w.cfg.Order = o
 		scratch.Reset()
-		r := w.tbWindow(mp, nt, pad, loc, dist, final, &scratch)
+		r := w.tbWindow(mp, nt, pad, loc, dist, final, scratch)
 		if !haveBest || cost(r) < cost(bestRes) {
 			haveBest = true
 			bestRes = r
-			bestOps = append(bestOps[:0], scratch.Cigar()...)
+			bestOps = scratch.Cigar().CloneInto(bestOps)
+		}
+		if oi == 0 && !r.orderSensitive {
+			// Every step was forced: the other orders would replay this
+			// exact walk, so selection is already decided.
+			break
 		}
 	}
-	for _, r := range bestOps {
-		b.Append(r.Op, r.Len)
-	}
+	b.AppendCigar(bestOps)
+	w.tbBestOps = bestOps
 	return bestRes
 }
 
@@ -240,29 +436,36 @@ func (w *Workspace) tbSelect(mp, nt, pad, loc, dist int, final bool, b *cigar.Bu
 // the configured priority order (Section 6, partial support for complex
 // scoring schemes).
 func (w *Workspace) pickError(textI, curError, patternI int) cigar.Op {
-	check := func(op cigar.Op) bool {
-		switch op {
-		case cigar.OpSubst:
-			return w.subZero(textI, curError, patternI)
-		case cigar.OpIns:
-			return w.insZero(textI, curError, patternI)
-		case cigar.OpDel:
-			return w.delZero(textI, curError, patternI)
-		}
-		return false
-	}
-	var order [3]cigar.Op
 	switch w.cfg.Order {
 	case OrderGapFirst:
-		order = [3]cigar.Op{cigar.OpIns, cigar.OpDel, cigar.OpSubst}
+		if w.insZero(textI, curError, patternI) {
+			return cigar.OpIns
+		}
+		if w.delZero(textI, curError, patternI) {
+			return cigar.OpDel
+		}
+		if w.subZero(textI, curError, patternI) {
+			return cigar.OpSubst
+		}
 	case OrderDelFirst:
-		order = [3]cigar.Op{cigar.OpDel, cigar.OpSubst, cigar.OpIns}
+		if w.delZero(textI, curError, patternI) {
+			return cigar.OpDel
+		}
+		if w.subZero(textI, curError, patternI) {
+			return cigar.OpSubst
+		}
+		if w.insZero(textI, curError, patternI) {
+			return cigar.OpIns
+		}
 	default: // OrderSubFirst, Algorithm 2 as printed
-		order = [3]cigar.Op{cigar.OpSubst, cigar.OpIns, cigar.OpDel}
-	}
-	for _, op := range order {
-		if check(op) {
-			return op
+		if w.subZero(textI, curError, patternI) {
+			return cigar.OpSubst
+		}
+		if w.insZero(textI, curError, patternI) {
+			return cigar.OpIns
+		}
+		if w.delZero(textI, curError, patternI) {
+			return cigar.OpDel
 		}
 	}
 	return cigar.OpNone

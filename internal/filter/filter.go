@@ -20,6 +20,7 @@
 package filter
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand/v2"
 
@@ -32,6 +33,28 @@ import (
 type Filter interface {
 	Name() string
 	Accept(ref, read []byte, maxEdits int) (bool, error)
+}
+
+// Scratch carries a filter's reusable per-goroutine state across
+// AcceptScratch calls, so pipelines filtering millions of pairs do not
+// rebuild searcher masks and rows per candidate. The zero value is ready;
+// a Scratch must not be shared between concurrent calls.
+type Scratch struct {
+	mw *bitap.MultiWord
+	// lastRead/lastK remember the searcher's current target so repeated
+	// candidates of one read (the mapper filters many regions against
+	// the same read) skip mask regeneration. lastRead is an owned copy:
+	// callers may rewrite their read buffer in place between calls.
+	lastRead []byte
+	lastK    int
+}
+
+// ScratchFilter is a Filter that can reuse caller-held Scratch — the
+// allocation-free fast path the mapping pipeline prefers when available.
+// AcceptScratch must return exactly what Accept returns.
+type ScratchFilter interface {
+	Filter
+	AcceptScratch(s *Scratch, ref, read []byte, maxEdits int) (bool, error)
 }
 
 // GenASMDC filters with the real Bitap distance (Section 8: "since we only
@@ -48,12 +71,36 @@ func (GenASMDC) Name() string { return "GenASM-DC" }
 // region boundary are not overcounted), matching the hardware's behaviour
 // on candidate regions with slack.
 func (GenASMDC) Accept(ref, read []byte, maxEdits int) (bool, error) {
-	mw, err := bitap.NewMultiWord(alphabet.DNA, read, maxEdits)
-	if err != nil {
-		return false, err
+	return GenASMDC{}.AcceptScratch(&Scratch{}, ref, read, maxEdits)
+}
+
+// AcceptScratch implements ScratchFilter: the multi-word searcher (mask
+// tables, status rows) lives on the scratch and is re-targeted per pair
+// instead of rebuilt — and not even re-targeted when the (read, maxEdits)
+// pair is unchanged since the previous call, the common case of one read
+// filtered against many candidate regions — so steady-state filtering is
+// allocation-free and regenerates masks once per read.
+func (GenASMDC) AcceptScratch(s *Scratch, ref, read []byte, maxEdits int) (bool, error) {
+	switch {
+	case s.mw == nil:
+		mw, err := bitap.NewMultiWord(alphabet.DNA, read, maxEdits)
+		if err != nil {
+			return false, err
+		}
+		s.mw = mw
+		s.lastRead = append(s.lastRead[:0], read...)
+		s.lastK = maxEdits
+	case maxEdits == s.lastK && bytes.Equal(read, s.lastRead):
+		// Same target: masks, rows and the memo are already correct.
+	default:
+		if err := s.mw.Reset(read, maxEdits); err != nil {
+			return false, err
+		}
+		s.lastRead = append(s.lastRead[:0], read...)
+		s.lastK = maxEdits
 	}
-	mw.SetEndPadding(true)
-	return mw.Distance(ref) <= maxEdits, nil
+	s.mw.SetEndPadding(true)
+	return s.mw.Distance(ref) <= maxEdits, nil
 }
 
 // Shouji approximates the edit distance by stitching together the longest

@@ -6,8 +6,9 @@
 package index
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Index is a k-mer hash index over one reference sequence.
@@ -46,29 +47,45 @@ func build(ref []byte, k, w int) (*Index, error) {
 	if len(ref) < k {
 		return nil, fmt.Errorf("index: reference length %d < k=%d", len(ref), k)
 	}
-	for i, c := range ref {
-		if c > 3 {
-			return nil, fmt.Errorf("index: invalid code %d at %d", c, i)
-		}
-	}
-	idx := &Index{k: k, ref: ref, loc: make(map[uint64][]int32), sampled: w > 0, windowW: w}
-
+	idx := &Index{k: k, ref: ref, sampled: w > 0, windowW: w}
 	n := len(ref) - k + 1
+	mask := kmerMask(k)
+
 	if w == 0 {
-		for i := 0; i < n; i++ {
-			key := pack(ref[i : i+k])
-			idx.loc[key] = append(idx.loc[key], int32(i))
-			idx.numSeeds++
+		// One rolling pass validates the codes and packs every k-mer with
+		// a 2-bit shift-in — O(n) total instead of O(n·k) per-position
+		// repacking — into a location table pre-sized for the seed count.
+		idx.loc = make(map[uint64][]int32, mapHint(n, k))
+		var key uint64
+		for i, c := range ref {
+			if c > 3 {
+				return nil, fmt.Errorf("index: invalid code %d at %d", c, i)
+			}
+			key = key<<2 | uint64(c)
+			if i >= k-1 {
+				kk := key & mask
+				idx.loc[kk] = append(idx.loc[kk], int32(i-k+1))
+				idx.numSeeds++
+			}
 		}
 		return idx, nil
 	}
 
-	// Minimizer sampling: keep argmin of hash over each window of w
-	// k-mer start positions.
+	// Minimizer sampling: the same rolling validate+pack pass produces the
+	// per-position hashes; the table is pre-sized for the expected
+	// 2/(w+1) sampling density.
 	hashes := make([]uint64, n)
-	for i := 0; i < n; i++ {
-		hashes[i] = mix(pack(ref[i : i+k]))
+	var key uint64
+	for i, c := range ref {
+		if c > 3 {
+			return nil, fmt.Errorf("index: invalid code %d at %d", c, i)
+		}
+		key = key<<2 | uint64(c)
+		if i >= k-1 {
+			hashes[i-k+1] = mix(key & mask)
+		}
 	}
+	idx.loc = make(map[uint64][]int32, mapHint(2*n/(w+1)+1, k))
 	lastKept := -1
 	for s := 0; s+w <= n; s++ {
 		best := s
@@ -78,13 +95,30 @@ func build(ref []byte, k, w int) (*Index, error) {
 			}
 		}
 		if best != lastKept {
-			key := pack(ref[best : best+k])
-			idx.loc[key] = append(idx.loc[key], int32(best))
+			kk := pack(ref[best : best+k])
+			idx.loc[kk] = append(idx.loc[kk], int32(best))
 			idx.numSeeds++
 			lastKept = best
 		}
 	}
 	return idx, nil
+}
+
+// kmerMask is the low-bits mask of a packed k-mer (2 bits per base).
+func kmerMask(k int) uint64 {
+	return uint64(1)<<(2*k) - 1
+}
+
+// mapHint caps a location-table size hint at the number of distinct
+// k-mers (4^k): for small k on a large reference, pre-sizing to the seed
+// count would permanently reserve bucket space that can never be used.
+func mapHint(seeds, k int) int {
+	if 2*k < 63 {
+		if distinct := 1 << (2 * k); distinct < seeds {
+			return distinct
+		}
+	}
+	return seeds
 }
 
 // pack encodes a k-mer of 2-bit codes into a uint64.
@@ -135,6 +169,24 @@ type Candidate struct {
 	Votes int
 }
 
+// binAgg aggregates the votes of one drift-tolerance bin.
+type binAgg struct {
+	votes     int
+	bestStart int
+	bestVotes int
+}
+
+// SeedScratch holds the per-read state of CandidateLocationsInto — vote
+// maps and the candidate list — so a mapping pipeline that seeds millions
+// of reads reuses one scratch per worker instead of reallocating per read.
+// The zero value is ready to use; a SeedScratch must not be shared between
+// concurrent calls.
+type SeedScratch struct {
+	exact map[int]int
+	bins  map[int]binAgg
+	cands []Candidate
+}
+
 // CandidateLocations runs the seeding step (Figure 1, step 1): every k-mer
 // of the read is looked up and each hit votes for the implied read start
 // position (hit position minus read offset). Votes are aggregated in bins
@@ -142,46 +194,67 @@ type Candidate struct {
 // so downstream aligners get a precise anchor. Candidates are returned
 // most-voted first, capped at maxCandidates (0 = no cap).
 func (idx *Index) CandidateLocations(read []byte, maxCandidates int) []Candidate {
+	var s SeedScratch
+	return idx.CandidateLocationsInto(&s, read, maxCandidates)
+}
+
+// CandidateLocationsInto is CandidateLocations with caller-owned scratch:
+// the returned slice views s.cands and stays valid until the scratch's
+// next use. Read k-mers are packed with a rolling 2-bit update (O(n)
+// instead of O(n·k)); k-mers containing codes outside the DNA alphabet
+// cast no votes.
+func (idx *Index) CandidateLocationsInto(s *SeedScratch, read []byte, maxCandidates int) []Candidate {
 	const bin = 16 // indel drift tolerance
-	exact := make(map[int]int)
-	for off := 0; off+idx.k <= len(read); off++ {
-		for _, pos := range idx.loc[pack(read[off:off+idx.k])] {
-			exact[int(pos)-off]++
+	if s.exact == nil {
+		s.exact = make(map[int]int, 128)
+		s.bins = make(map[int]binAgg, 16)
+	}
+	clear(s.exact)
+	clear(s.bins)
+
+	mask := kmerMask(idx.k)
+	var key uint64
+	valid := 0 // consecutive in-alphabet codes ending at the current base
+	for i, c := range read {
+		if c > 3 {
+			valid = 0
+			continue
+		}
+		valid++
+		key = key<<2 | uint64(c)
+		if valid < idx.k {
+			continue
+		}
+		off := i - idx.k + 1
+		for _, pos := range idx.loc[key&mask] {
+			s.exact[int(pos)-off]++
 		}
 	}
-	type binAgg struct {
-		votes     int
-		bestStart int
-		bestVotes int
-	}
-	bins := make(map[int]*binAgg)
-	for start, v := range exact {
-		b := bins[start/bin]
-		if b == nil {
-			b = &binAgg{bestStart: start, bestVotes: v}
-			bins[start/bin] = b
+
+	for start, v := range s.exact {
+		b, ok := s.bins[start/bin]
+		if !ok {
+			b = binAgg{bestStart: start, bestVotes: v}
 		}
 		b.votes += v
 		if v > b.bestVotes || (v == b.bestVotes && start < b.bestStart) {
 			b.bestVotes, b.bestStart = v, start
 		}
+		s.bins[start/bin] = b
 	}
-	cands := make([]Candidate, 0, len(bins))
-	for _, b := range bins {
-		pos := b.bestStart
-		if pos < 0 {
-			pos = 0
-		}
-		cands = append(cands, Candidate{Pos: pos, Votes: b.votes})
+	s.cands = s.cands[:0]
+	for _, b := range s.bins {
+		pos := max(b.bestStart, 0)
+		s.cands = append(s.cands, Candidate{Pos: pos, Votes: b.votes})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Votes != cands[j].Votes {
-			return cands[i].Votes > cands[j].Votes
+	slices.SortFunc(s.cands, func(a, b Candidate) int {
+		if c := cmp.Compare(b.Votes, a.Votes); c != 0 {
+			return c
 		}
-		return cands[i].Pos < cands[j].Pos
+		return cmp.Compare(a.Pos, b.Pos)
 	})
-	if maxCandidates > 0 && len(cands) > maxCandidates {
-		cands = cands[:maxCandidates]
+	if maxCandidates > 0 && len(s.cands) > maxCandidates {
+		return s.cands[:maxCandidates]
 	}
-	return cands
+	return s.cands
 }

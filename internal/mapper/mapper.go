@@ -9,6 +9,7 @@ package mapper
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"genasm/internal/cigar"
 	"genasm/internal/core"
@@ -37,12 +38,37 @@ type ContextAligner interface {
 	AlignRegionContext(ctx context.Context, region, read []byte) (cg cigar.Cigar, start int, err error)
 }
 
+// IntoAligner is an Aligner that can append the alignment's CIGAR into a
+// caller-provided buffer (reusing its capacity; pass buf[:0] semantics are
+// the caller's choice via CloneInto) instead of allocating a fresh one per
+// call. The returned CIGAR is owned by the caller. The pipeline's per-read
+// loop prefers this method, making the per-candidate alignment step
+// allocation-free in steady state.
+type IntoAligner interface {
+	Aligner
+	AlignRegionInto(ctx context.Context, region, read []byte, buf cigar.Cigar) (cigar.Cigar, int, error)
+}
+
 // alignRegion dispatches to the context-aware alignment step when available.
 func alignRegion(ctx context.Context, a Aligner, region, read []byte) (cigar.Cigar, int, error) {
 	if ca, ok := a.(ContextAligner); ok {
 		return ca.AlignRegionContext(ctx, region, read)
 	}
 	return a.AlignRegion(region, read)
+}
+
+// alignRegionInto dispatches to the buffer-reusing alignment step when
+// available, falling back to copying a plain AlignRegion result into buf
+// so the caller always owns what it gets back.
+func alignRegionInto(ctx context.Context, a Aligner, region, read []byte, buf cigar.Cigar) (cigar.Cigar, int, error) {
+	if ia, ok := a.(IntoAligner); ok {
+		return ia.AlignRegionInto(ctx, region, read, buf)
+	}
+	cg, start, err := alignRegion(ctx, a, region, read)
+	if err != nil {
+		return buf, start, err
+	}
+	return cg.CloneInto(buf), start, nil
 }
 
 // GenASMAligner is the paper's accelerator algorithm as the alignment step.
@@ -63,13 +89,24 @@ func NewGenASMAligner() (*GenASMAligner, error) {
 // Name implements Aligner.
 func (a *GenASMAligner) Name() string { return "GenASM" }
 
-// AlignRegion implements Aligner.
+// AlignRegion implements Aligner. The returned CIGAR is cloned out of the
+// workspace's arena, so it is safe to retain across calls.
 func (a *GenASMAligner) AlignRegion(region, read []byte) (cigar.Cigar, int, error) {
 	aln, err := a.ws.Align(region, read)
 	if err != nil {
 		return nil, 0, err
 	}
-	return aln.Cigar, aln.TextStart, nil
+	return aln.Cigar.Clone(), aln.TextStart, nil
+}
+
+// AlignRegionInto implements IntoAligner: the workspace-arena CIGAR is
+// copied into buf's storage, avoiding the per-call clone.
+func (a *GenASMAligner) AlignRegionInto(_ context.Context, region, read []byte, buf cigar.Cigar) (cigar.Cigar, int, error) {
+	aln, err := a.ws.Align(region, read)
+	if err != nil {
+		return buf, 0, err
+	}
+	return aln.Cigar.CloneInto(buf), aln.TextStart, nil
 }
 
 // DPAligner is the software-baseline alignment step: banded affine-gap
@@ -177,11 +214,28 @@ type Mapping struct {
 	Aligned int
 }
 
-// Mapper maps reads against an indexed reference.
+// mapScratch is the per-read scratch of the mapping pipeline: the
+// reverse-complement buffer, the seeding vote maps and candidate list, the
+// pre-alignment filter's searcher, and a CIGAR double-buffer (the current
+// candidate's alignment and the best one kept so far). One scratch serves
+// one in-flight MapRead; the Mapper pools them so steady-state mapping
+// performs no per-read scratch allocations.
+type mapScratch struct {
+	rc   []byte
+	seed index.SeedScratch
+	flt  filter.Scratch
+	cur  cigar.Cigar
+	best cigar.Cigar
+}
+
+// Mapper maps reads against an indexed reference. It is safe for
+// concurrent use when its Aligner and Filter are (per-read scratch is
+// pooled internally).
 type Mapper struct {
-	cfg Config
-	idx *index.Index
-	ref []byte
+	cfg     Config
+	idx     *index.Index
+	ref     []byte
+	scratch sync.Pool // of *mapScratch
 }
 
 // New indexes the encoded reference and returns a ready Mapper.
@@ -218,6 +272,11 @@ func (m *Mapper) MapReadContext(ctx context.Context, read []byte) (Mapping, erro
 	if len(read) < m.cfg.SeedK {
 		return Mapping{}, fmt.Errorf("mapper: read length %d below seed length %d", len(read), m.cfg.SeedK)
 	}
+	s, _ := m.scratch.Get().(*mapScratch)
+	if s == nil {
+		s = &mapScratch{}
+	}
+	defer m.scratch.Put(s)
 	best := Mapping{Distance: int(^uint(0) >> 1)}
 
 	maxEdits := int(float64(len(read))*m.cfg.ErrorRate) + 4
@@ -251,9 +310,10 @@ strands:
 		}
 		r := read
 		if rc {
-			r = seq.ReverseComplement(read)
+			s.rc = seq.AppendReverseComplement(s.rc[:0], read)
+			r = s.rc
 		}
-		for _, cand := range m.idx.CandidateLocations(r[:seedLen], m.cfg.MaxCandidates) {
+		for _, cand := range m.idx.CandidateLocationsInto(&s.seed, r[:seedLen], m.cfg.MaxCandidates) {
 			if err := ctx.Err(); err != nil {
 				return Mapping{}, err
 			}
@@ -267,7 +327,7 @@ strands:
 			region := m.ref[start:end]
 
 			if m.cfg.Filter != nil {
-				ok, err := m.cfg.Filter.Accept(region, r, maxEdits)
+				ok, err := acceptFilter(&s.flt, m.cfg.Filter, region, r, maxEdits)
 				if err != nil {
 					return Mapping{}, err
 				}
@@ -277,7 +337,8 @@ strands:
 				}
 			}
 			best.Aligned++
-			cg, off, err := alignRegion(ctx, m.cfg.Aligner, region, r)
+			cg, off, err := alignRegionInto(ctx, m.cfg.Aligner, region, r, s.cur)
+			s.cur = cg // keep the (possibly grown) buffer either way
 			if err != nil {
 				// Cancellation must surface; a single over-budget
 				// candidate is not fatal and the next one is tried.
@@ -290,18 +351,33 @@ strands:
 				best.Mapped = true
 				best.Pos = start + off
 				best.RevComp = rc
-				best.Cigar = cg
 				best.Distance = d
+				// Keep this CIGAR by swapping the double-buffer: the next
+				// candidate aligns into the previous best's storage.
+				s.cur, s.best = s.best, cg
 			}
 			if good() {
 				break strands
 			}
 		}
 	}
-	if !best.Mapped {
+	if best.Mapped {
+		// The kept CIGAR lives in pooled scratch; the caller-facing copy
+		// is the one per-read allocation of the pipeline.
+		best.Cigar = s.best.Clone()
+	} else {
 		best.Distance = 0
 	}
 	return best, nil
+}
+
+// acceptFilter dispatches to the scratch-reusing filter path when the
+// filter supports it.
+func acceptFilter(s *filter.Scratch, f filter.Filter, region, read []byte, maxEdits int) (bool, error) {
+	if sf, ok := f.(filter.ScratchFilter); ok {
+		return sf.AcceptScratch(s, region, read, maxEdits)
+	}
+	return f.Accept(region, read, maxEdits)
 }
 
 // Stats aggregates mapping outcomes over a read set.

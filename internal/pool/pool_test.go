@@ -126,7 +126,7 @@ func TestConcurrentMatchesSerial(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want[i] = aln
+		want[i] = aln.Clone() // retained across serial's further alignments
 	}
 
 	p, err := New(Config{MaxWorkspaces: 3, Shards: 2})

@@ -76,11 +76,17 @@ func Genome(rng *rand.Rand, cfg GenomeConfig) []byte {
 // ReverseComplement returns the reverse complement of an encoded DNA
 // sequence (A<->T, C<->G; with the 2-bit encoding, complement is 3-code).
 func ReverseComplement(s []byte) []byte {
-	out := make([]byte, len(s))
-	for i, c := range s {
-		out[len(s)-1-i] = 3 - c
+	return AppendReverseComplement(make([]byte, 0, len(s)), s)
+}
+
+// AppendReverseComplement appends the reverse complement of s to dst and
+// returns it — the allocation-free form for callers that keep a reusable
+// buffer (pass dst[:0]). dst must not alias s.
+func AppendReverseComplement(dst, s []byte) []byte {
+	for i := len(s) - 1; i >= 0; i-- {
+		dst = append(dst, 3-s[i])
 	}
-	return out
+	return dst
 }
 
 // GCContent returns the fraction of G/C bases.

@@ -100,10 +100,29 @@ func (a pooledRegionAligner) AlignRegionContext(ctx context.Context, region, rea
 		if err != nil {
 			return err
 		}
-		cg, start = aln.Cigar, aln.TextStart
+		// Clone before the workspace (and its CIGAR arena) returns to
+		// the pool.
+		cg, start = aln.Cigar.Clone(), aln.TextStart
 		return nil
 	})
 	return cg, start, err
+}
+
+// AlignRegionInto implements mapper.IntoAligner: the arena CIGAR is copied
+// into the pipeline's reusable buffer while the workspace is still checked
+// out, so the per-candidate alignment step allocates nothing.
+func (a pooledRegionAligner) AlignRegionInto(ctx context.Context, region, read []byte, buf cigar.Cigar) (cigar.Cigar, int, error) {
+	var start int
+	err := a.p.Do(ctx, func(ws *core.Workspace) error {
+		aln, err := ws.Align(region, read)
+		if err != nil {
+			return err
+		}
+		buf = aln.Cigar.CloneInto(buf)
+		start = aln.TextStart
+		return nil
+	})
+	return buf, start, err
 }
 
 // NewMapper indexes the reference (letters) and returns a ready Mapper.
