@@ -15,6 +15,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"genasm/internal/alphabet"
 	"genasm/internal/cigar"
@@ -24,10 +25,51 @@ import (
 	"genasm/internal/gact"
 	"genasm/internal/hw"
 	"genasm/internal/mapper"
+	"genasm/internal/metrics"
 	"genasm/internal/myers"
 	"genasm/internal/seq"
 	"genasm/internal/simulate"
 )
+
+// metricsMapTrace builds a MapTrace backed by live metric instruments —
+// the same shape the HTTP server attaches — so traced benchmarks and the
+// alloc-budget test measure the production observability cost, not a
+// no-op stub.
+func metricsMapTrace() *MapTrace {
+	r := metrics.New()
+	seeds := r.Counter("seeds_total", "seed hits")
+	cands := r.Counter("candidates_total", "candidates")
+	filtered := r.Counter("filtered_total", "filter rejections")
+	accepted := r.Counter("accepted_total", "filter passes")
+	reads := r.Counter("reads_total", "reads")
+	mapped := r.Counter("mapped_total", "mapped reads")
+	stage := r.HistogramVec("stage_seconds", "stage time", nil, "stage")
+	seedH, filterH, alignH := stage.With("seed"), stage.With("filter"), stage.With("align")
+	readH := r.Histogram("read_seconds", "read time", nil)
+	return &MapTrace{
+		SeedingDone: func(s, c int, d time.Duration) {
+			seeds.Add(uint64(s))
+			cands.Add(uint64(c))
+			seedH.Observe(d.Seconds())
+		},
+		FilterDone: func(ok bool, d time.Duration) {
+			if ok {
+				accepted.Inc()
+			} else {
+				filtered.Inc()
+			}
+			filterH.Observe(d.Seconds())
+		},
+		AlignDone: func(ok bool, d time.Duration) { alignH.Observe(d.Seconds()) },
+		ReadDone: func(c, f, a int, ok bool, d time.Duration) {
+			reads.Inc()
+			if ok {
+				mapped.Inc()
+			}
+			readH.Observe(d.Seconds())
+		},
+	}
+}
 
 // newBenchMapper builds the GenASM-based mapping pipeline used by the
 // Figure 11 benchmark (indexing happens here, outside the timed loop).
@@ -370,6 +412,51 @@ func BenchmarkMapper(b *testing.B) {
 		if _, err := m.MapRead(ctx, letters[i%len(letters)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMapperTraced measures the observability overhead on the
+// BenchmarkMapper workload: the same pipeline untraced and with the
+// metrics-backed MapTrace the HTTP server attaches. The acceptance gate
+// keeps Traced within ~2% of Untraced.
+func BenchmarkMapperTraced(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		trace *MapTrace
+	}{
+		{"Untraced", nil},
+		{"Traced", metricsMapTrace()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(2030, 0))
+			genome := seq.Genome(rng, seq.DefaultGenomeConfig(200000))
+			reads, err := simulate.Reads(rng, genome, 50, simulate.Illumina250, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := NewEngine()
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := e.NewMapper(alphabetDecode(genome), MapperConfig{
+				SeedK: 15, ErrorRate: 0.05, Prefilter: true, Trace: tc.trace,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			letters := make([][]byte, len(reads))
+			for i, r := range reads {
+				letters[i] = alphabetDecode(r.Seq)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.MapRead(ctx, letters[i%len(letters)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

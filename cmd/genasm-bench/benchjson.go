@@ -15,10 +15,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"genasm"
 	"genasm/internal/alphabet"
 	"genasm/internal/core"
+	"genasm/internal/metrics"
 	"genasm/internal/seq"
 	"genasm/internal/simulate"
 )
@@ -278,9 +280,8 @@ func benchSuite() []namedBench {
 		},
 	})
 
-	suite = append(suite, namedBench{
-		name: "Mapper",
-		fn: func(b *testing.B) {
+	mapperBench := func(trace *genasm.MapTrace) func(b *testing.B) {
+		return func(b *testing.B) {
 			rng := rand.New(rand.NewPCG(2030, 0))
 			genome := seq.Genome(rng, seq.DefaultGenomeConfig(200000))
 			reads, err := simulate.Reads(rng, genome, 50, simulate.Illumina250, false)
@@ -292,7 +293,7 @@ func benchSuite() []namedBench {
 				b.Fatal(err)
 			}
 			m, err := e.NewMapper(alphabet.DNA.Decode(genome), genasm.MapperConfig{
-				SeedK: 15, ErrorRate: 0.05, Prefilter: true,
+				SeedK: 15, ErrorRate: 0.05, Prefilter: true, Trace: trace,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -310,10 +311,55 @@ func benchSuite() []namedBench {
 					b.Fatal(err)
 				}
 			}
-		},
-	})
+		}
+	}
+	suite = append(suite, namedBench{name: "Mapper", fn: mapperBench(nil)})
+	// The traced pair tracks the observability tax: Traced attaches the
+	// same metrics-backed MapTrace the HTTP server uses, so the artifact
+	// records the overhead of keeping stage tracing on in production.
+	suite = append(suite, namedBench{name: "MapperTraced/Untraced", fn: mapperBench(nil)})
+	suite = append(suite, namedBench{name: "MapperTraced/Traced", fn: mapperBench(metricsMapTrace())})
 
 	return suite
+}
+
+// metricsMapTrace mirrors the server's metrics-backed MapTrace: every hook
+// feeds live counters and histograms, so the Traced benchmark measures the
+// production observability cost rather than a no-op stub.
+func metricsMapTrace() *genasm.MapTrace {
+	r := metrics.New()
+	seeds := r.Counter("seeds_total", "seed hits")
+	cands := r.Counter("candidates_total", "candidates")
+	filtered := r.Counter("filtered_total", "filter rejections")
+	accepted := r.Counter("accepted_total", "filter passes")
+	reads := r.Counter("reads_total", "reads")
+	mapped := r.Counter("mapped_total", "mapped reads")
+	stage := r.HistogramVec("stage_seconds", "stage time", nil, "stage")
+	seedH, filterH, alignH := stage.With("seed"), stage.With("filter"), stage.With("align")
+	readH := r.Histogram("read_seconds", "read time", nil)
+	return &genasm.MapTrace{
+		SeedingDone: func(s, c int, d time.Duration) {
+			seeds.Add(uint64(s))
+			cands.Add(uint64(c))
+			seedH.Observe(d.Seconds())
+		},
+		FilterDone: func(ok bool, d time.Duration) {
+			if ok {
+				accepted.Inc()
+			} else {
+				filtered.Inc()
+			}
+			filterH.Observe(d.Seconds())
+		},
+		AlignDone: func(ok bool, d time.Duration) { alignH.Observe(d.Seconds()) },
+		ReadDone: func(c, f, a int, ok bool, d time.Duration) {
+			reads.Inc()
+			if ok {
+				mapped.Inc()
+			}
+			readH.Observe(d.Seconds())
+		},
+	}
 }
 
 // mutateCodes applies ~errRate edits per character to a copy of s (dense

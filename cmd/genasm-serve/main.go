@@ -4,6 +4,7 @@
 //
 //	genasm-serve -addr :8080 -workspaces 16 -queue 64
 //	genasm-serve -addr :8080 -ref ref.fasta   # preload /v1/map + /v1/map/stream reference
+//	genasm-serve -addr :8080 -ops-addr 127.0.0.1:8081 -log json
 //
 // Endpoints:
 //
@@ -13,8 +14,15 @@
 //	POST /v1/map/stream FASTA/FASTQ/NDJSON reads in the body; NDJSON (or
 //	                    SAM with "Accept: text/x-sam") streamed back,
 //	                    flushed per record (requires -ref)
-//	GET  /v1/healthz
-//	GET  /v1/stats
+//	GET  /v1/healthz    503 "degraded" when saturated or shutting down
+//	GET  /v1/stats      JSON counters (same registry as /metrics)
+//	GET  /metrics       Prometheus text exposition
+//
+// With -ops-addr a second listener serves the private operations surface:
+// GET /metrics plus net/http/pprof under /debug/pprof/ — keep it off the
+// public network. Structured logs (request failures, stream truncations,
+// lifecycle) go to stderr; -log picks text, json or off, -log-level the
+// threshold (debug also logs every request).
 package main
 
 import (
@@ -22,10 +30,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +53,7 @@ func main() {
 // options is the parsed flag set.
 type options struct {
 	addr        string
+	opsAddr     string
 	workspaces  int
 	shards      int
 	queue       int
@@ -59,12 +70,17 @@ type options struct {
 	refName     string
 	seedK       int
 	errorRate   float64
+	logFormat   string
+	logLevel    string
 }
 
 func parseFlags(args []string) (options, error) {
 	var o options
 	fs := flag.NewFlagSet("genasm-serve", flag.ContinueOnError)
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&o.opsAddr, "ops-addr", "", "private operations listener (/metrics + /debug/pprof); empty disables")
+	fs.StringVar(&o.logFormat, "log", "text", "structured log format: text, json or off")
+	fs.StringVar(&o.logLevel, "log-level", "info", "log threshold: debug, info, warn or error (debug logs every request)")
 	fs.IntVar(&o.workspaces, "workspaces", 0, "max pooled workspaces (0 = 2x GOMAXPROCS)")
 	fs.IntVar(&o.shards, "shards", 0, "pool shards (0 = auto)")
 	fs.IntVar(&o.queue, "queue", 0, "admission queue depth (0 = 4x workspaces)")
@@ -87,9 +103,41 @@ func parseFlags(args []string) (options, error) {
 	return o, nil
 }
 
+// buildLogger wires -log/-log-level into a slog.Logger on stderr; "off"
+// (or an unknown format) returns nil so the server discards logs.
+func buildLogger(o options) (*slog.Logger, error) {
+	var level slog.Level
+	switch strings.ToLower(o.logLevel) {
+	case "debug":
+		level = slog.LevelDebug
+	case "", "info":
+		level = slog.LevelInfo
+	case "warn":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", o.logLevel)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(o.logFormat) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	case "off":
+		return nil, nil
+	}
+	return nil, fmt.Errorf("unknown -log format %q (want text, json or off)", o.logFormat)
+}
+
 // buildServer wires the flags into a ready Server.
 func buildServer(o options) (*server.Server, error) {
 	alpha, err := genasm.ParseAlphabet(o.alphabet)
+	if err != nil {
+		return nil, err
+	}
+	logger, err := buildLogger(o)
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +164,7 @@ func buildServer(o options) (*server.Server, error) {
 		MaxStreamBytes: o.maxStream,
 		MapSeedK:       o.seedK,
 		MapErrorRate:   o.errorRate,
+		Logger:         logger,
 	}
 	if o.refPath != "" {
 		f, err := seqio.Open(o.refPath)
@@ -158,11 +207,42 @@ func run(args []string) error {
 	errc := make(chan error, 1)
 	go func() { errc <- s.Serve(l) }()
 
+	// The operations surface (metrics + pprof) gets its own listener so it
+	// can bind a private interface and stay invisible to API clients.
+	var ops *http.Server
+	opsErrc := make(chan error, 1)
+	if o.opsAddr != "" {
+		ol, err := net.Listen("tcp", o.opsAddr)
+		if err != nil {
+			return fmt.Errorf("ops listener: %w", err)
+		}
+		log.Printf("genasm-serve: ops (metrics, pprof) on %s", ol.Addr())
+		ops = &http.Server{Handler: s.OpsHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() { opsErrc <- ops.Serve(ol) }()
+	}
+	stopOps := func() error {
+		if ops == nil {
+			return nil
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := ops.Shutdown(ctx); err != nil {
+			return err
+		}
+		if err := <-opsErrc; err != http.ErrServerClosed {
+			return err
+		}
+		return nil
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		stopOps()
 		return err
+	case err := <-opsErrc:
+		return fmt.Errorf("ops listener: %w", err)
 	case got := <-sig:
 		log.Printf("genasm-serve: %v, shutting down", got)
 		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
@@ -173,6 +253,6 @@ func run(args []string) error {
 		if err := <-errc; err != http.ErrServerClosed {
 			return err
 		}
-		return nil
+		return stopOps()
 	}
 }

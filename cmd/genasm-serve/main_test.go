@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"genasm/internal/alphabet"
+	"genasm/internal/metrics"
 	"genasm/internal/seq"
 	"genasm/internal/simulate"
 )
@@ -156,6 +157,104 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if st.Server.Requests < 3 {
 		t.Errorf("stats requests=%d, want >=3", st.Server.Requests)
+	}
+}
+
+// TestOpsSurface serves the private operations handler the way -ops-addr
+// does and checks /metrics (lint-clean exposition) and pprof respond.
+func TestOpsSurface(t *testing.T) {
+	o, err := parseFlags([]string{"-workspaces", "2", "-log", "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := buildServer(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	api, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := &http.Server{Handler: s.OpsHandler()}
+	go ops.Serve(l)
+	go s.Serve(api)
+	t.Cleanup(func() {
+		ops.Close()
+		s.Shutdown(context.Background())
+	})
+	opsBase := "http://" + l.Addr().String()
+	apiBase := "http://" + api.Addr().String()
+
+	// Drive one alignment through the API so the scrape has data.
+	if code, body := post(t, apiBase+"/v1/align", `{"text":"ACGTACGT","query":"ACGT"}`); code != http.StatusOK {
+		t.Fatalf("align: %d %s", code, body)
+	}
+
+	resp, err := http.Get(opsBase + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ops /metrics: %d", resp.StatusCode)
+	}
+	if err := metrics.Lint(bytes.NewReader(exposition)); err != nil {
+		t.Fatalf("ops /metrics fails lint: %v", err)
+	}
+	for _, want := range []string{"genasm_http_requests_total", "genasm_align_seconds", "genasm_pool_capacity"} {
+		if !strings.Contains(string(exposition), want) {
+			t.Errorf("ops /metrics lacks %s", want)
+		}
+	}
+
+	resp, err = http.Get(opsBase + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: %d", resp.StatusCode)
+	}
+
+	// The API listener serves /metrics too (same registry).
+	resp, err = http.Get(apiBase + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("api /metrics: %d", resp.StatusCode)
+	}
+}
+
+func TestLogFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-log", "text"}, {"-log", "json"}, {"-log", "off"},
+		{"-log-level", "debug"}, {"-log-level", "warn"},
+	} {
+		o, err := parseFlags(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := buildLogger(o); err != nil {
+			t.Errorf("%v: %v", args, err)
+		}
+	}
+	for _, args := range [][]string{{"-log", "xml"}, {"-log-level", "loud"}} {
+		o, err := parseFlags(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := buildLogger(o); err == nil {
+			t.Errorf("%v: expected error", args)
+		}
 	}
 }
 

@@ -88,6 +88,22 @@
 // (core.Alignment.Clone, or cigar.Cigar.Clone / CloneInto for the runs
 // alone); callers that only inspect it before the next call pay nothing.
 //
+// # Observability and trace hooks
+//
+// The pipeline exposes net/http/httptrace-style hook structs so callers
+// can watch every stage without wrapping the API. MapTrace (attached via
+// MapperConfig.Trace) fires after seeding, after each pre-alignment
+// filter decision, after each candidate alignment and once per finished
+// read — the software rendition of the paper's per-stage breakdown
+// (Figure 1). AlignTrace (attached with WithAlignTrace or
+// Engine.SetAlignTrace) fires when an alignment obtains a pooled
+// workspace (with the wait, the saturation signal of the per-vault GenASM
+// units) and when it finishes (with sizes, duration and error). Hooks run
+// synchronously on the hot path and the traced path performs no
+// additional allocations, so metrics-backed traces can stay attached in
+// production; the HTTP server does exactly that, feeding the Prometheus
+// registry in internal/metrics that GET /metrics exposes.
+//
 // # Migrating from the pre-Engine API
 //
 // Aligner, Pool and the free functions remain as deprecated shims over
@@ -110,7 +126,8 @@
 // endpoints — including POST /v1/map/stream, which accepts FASTA, FASTQ
 // or NDJSON reads in the request body and streams NDJSON or SAM back with
 // flush-per-record backpressure — plus bounded admission queueing (429 on
-// overload) and graceful shutdown; see internal/server for the API. The
-// underlying algorithm packages live in internal/ and operate on dense
-// codes.
+// overload), graceful shutdown, Prometheus metrics on GET /metrics,
+// structured request logging and an optional private ops listener with
+// pprof; see internal/server for the API. The underlying algorithm
+// packages live in internal/ and operate on dense codes.
 package genasm

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"genasm/internal/alphabet"
 	"genasm/internal/bitap"
@@ -53,6 +55,11 @@ type Engine struct {
 	// those hot paths reuse mask and row storage across calls instead of
 	// reallocating per invocation.
 	scratch sync.Pool
+
+	// trace holds the optional AlignTrace hooks. Config must stay
+	// comparable (it is used as a map key by callers and tests), so the
+	// hooks live here behind an atomic pointer instead of in Config.
+	trace atomic.Pointer[AlignTrace]
 }
 
 // newEngine is the shared constructor behind NewEngine and the deprecated
@@ -130,10 +137,25 @@ func (e *Engine) run(ctx context.Context, text, query []byte, global bool) (Alig
 }
 
 // runEncoded aligns already-encoded sequences through the workspace pool —
-// the one alignment dispatch shared by Align/AlignGlobal and AlignBatch.
+// the one alignment dispatch shared by Align/AlignGlobal and AlignBatch,
+// and therefore the one place AlignTrace hooks fire.
 func (e *Engine) runEncoded(ctx context.Context, encText, encQuery []byte, global bool) (Alignment, error) {
+	tr := e.trace.Load()
+	var start time.Time
+	if tr != nil && (tr.WorkspaceAcquired != nil || tr.Done != nil) {
+		start = time.Now()
+	}
 	var out Alignment
 	err := e.pool.Do(ctx, func(ws *core.Workspace) error {
+		if tr != nil {
+			if tr.WorkspaceAcquired != nil {
+				tr.WorkspaceAcquired(time.Since(start))
+			}
+			if tr.Done != nil {
+				// Restart the clock so Done sees pure alignment time.
+				start = time.Now()
+			}
+		}
 		var aln core.Alignment
 		var alignErr error
 		if global {
@@ -147,6 +169,9 @@ func (e *Engine) runEncoded(ctx context.Context, encText, encQuery []byte, globa
 		out = alignmentFromCore(aln)
 		return nil
 	})
+	if tr != nil && tr.Done != nil {
+		tr.Done(len(encText), len(encQuery), time.Since(start), err)
+	}
 	return out, err
 }
 

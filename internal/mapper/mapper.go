@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"genasm/internal/cigar"
 	"genasm/internal/core"
@@ -170,6 +171,9 @@ type Config struct {
 	Filter filter.Filter
 	// Aligner is the alignment step (step 3); defaults to GenASM.
 	Aligner Aligner
+	// Trace optionally observes every pipeline stage (seeding, filtering,
+	// alignment) of every read. Hooks must be concurrency-safe; see Trace.
+	Trace *Trace
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -272,6 +276,8 @@ func (m *Mapper) MapReadContext(ctx context.Context, read []byte) (Mapping, erro
 	if len(read) < m.cfg.SeedK {
 		return Mapping{}, fmt.Errorf("mapper: read length %d below seed length %d", len(read), m.cfg.SeedK)
 	}
+	tr := m.cfg.Trace
+	readStart := tr.now(tr != nil && tr.ReadDone != nil)
 	s, _ := m.scratch.Get().(*mapScratch)
 	if s == nil {
 		s = &mapScratch{}
@@ -313,7 +319,16 @@ strands:
 			s.rc = seq.AppendReverseComplement(s.rc[:0], read)
 			r = s.rc
 		}
-		for _, cand := range m.idx.CandidateLocationsInto(&s.seed, r[:seedLen], m.cfg.MaxCandidates) {
+		seedStart := tr.now(tr != nil && tr.SeedingDone != nil)
+		cands := m.idx.CandidateLocationsInto(&s.seed, r[:seedLen], m.cfg.MaxCandidates)
+		if tr != nil && tr.SeedingDone != nil {
+			seeds := 0
+			for _, c := range cands {
+				seeds += c.Votes
+			}
+			tr.SeedingDone(seeds, len(cands), time.Since(seedStart))
+		}
+		for _, cand := range cands {
 			if err := ctx.Err(); err != nil {
 				return Mapping{}, err
 			}
@@ -327,7 +342,11 @@ strands:
 			region := m.ref[start:end]
 
 			if m.cfg.Filter != nil {
+				filterStart := tr.now(tr != nil && tr.FilterDone != nil)
 				ok, err := acceptFilter(&s.flt, m.cfg.Filter, region, r, maxEdits)
+				if tr != nil && tr.FilterDone != nil {
+					tr.FilterDone(ok && err == nil, time.Since(filterStart))
+				}
 				if err != nil {
 					return Mapping{}, err
 				}
@@ -337,7 +356,11 @@ strands:
 				}
 			}
 			best.Aligned++
+			alignStart := tr.now(tr != nil && tr.AlignDone != nil)
 			cg, off, err := alignRegionInto(ctx, m.cfg.Aligner, region, r, s.cur)
+			if tr != nil && tr.AlignDone != nil {
+				tr.AlignDone(err == nil, time.Since(alignStart))
+			}
 			s.cur = cg // keep the (possibly grown) buffer either way
 			if err != nil {
 				// Cancellation must surface; a single over-budget
@@ -367,6 +390,9 @@ strands:
 		best.Cigar = s.best.Clone()
 	} else {
 		best.Distance = 0
+	}
+	if tr != nil && tr.ReadDone != nil {
+		tr.ReadDone(&best, time.Since(readStart))
 	}
 	return best, nil
 }

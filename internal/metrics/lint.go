@@ -1,0 +1,304 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition sample line.
+type Sample struct {
+	// Name is the sample name as written (histogram samples keep their
+	// _bucket/_sum/_count suffix).
+	Name string
+	// Labels are the sample's label pairs, including histogram "le".
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Parse reads Prometheus text exposition and returns every sample line.
+// It fails on any line it cannot parse — a malformed sample, a HELP/TYPE
+// comment with the wrong shape, an unescaped label value.
+func Parse(r io.Reader) ([]Sample, error) {
+	var out []Sample
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := checkComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Lint validates an exposition stream the way promlint would: every
+// sample parses, every sample's family has a TYPE declaration, TYPE lines
+// are unique, and histogram families carry a +Inf bucket whose count
+// equals _count. It returns the first violation found.
+func Lint(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	samples, err := Parse(strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no samples in exposition")
+	}
+
+	types := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 4 && fields[0] == "#" && fields[1] == "TYPE" {
+			if _, dup := types[fields[2]]; dup {
+				return fmt.Errorf("duplicate TYPE for %s", fields[2])
+			}
+			types[fields[2]] = fields[3]
+		}
+	}
+
+	// histogram family -> serialized non-le labels -> [+Inf count, _count]
+	type histState struct {
+		inf, count float64
+		hasInf     bool
+		hasCount   bool
+	}
+	hists := make(map[string]*histState)
+	for _, s := range samples {
+		base := s.Name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(s.Name, suffix)
+			if trimmed != s.Name && types[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		typ, ok := types[base]
+		if !ok {
+			return fmt.Errorf("sample %s has no TYPE declaration", s.Name)
+		}
+		if math.IsNaN(s.Value) {
+			return fmt.Errorf("sample %s is NaN", s.Name)
+		}
+		if typ != "histogram" {
+			continue
+		}
+		key := base + "\x00" + nonLEKey(s.Labels)
+		st := hists[key]
+		if st == nil {
+			st = &histState{}
+			hists[key] = st
+		}
+		switch {
+		case s.Name == base+"_bucket" && s.Labels["le"] == "+Inf":
+			st.inf, st.hasInf = s.Value, true
+		case s.Name == base+"_count":
+			st.count, st.hasCount = s.Value, true
+		}
+	}
+	for key, st := range hists {
+		name := key[:strings.IndexByte(key, 0)]
+		if !st.hasInf {
+			return fmt.Errorf("histogram %s is missing its +Inf bucket", name)
+		}
+		if !st.hasCount {
+			return fmt.Errorf("histogram %s is missing _count", name)
+		}
+		if st.inf != st.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", name, st.inf, st.count)
+		}
+	}
+	return nil
+}
+
+// nonLEKey serializes a sample's labels minus "le", so the buckets, sum
+// and count of one histogram child group together.
+func nonLEKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	// Insertion-order independence matters more than speed here.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func checkComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+		if !nameRE.MatchString(fields[2]) {
+			return fmt.Errorf("invalid metric name %q", fields[2])
+		}
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		if !nameRE.MatchString(fields[2]) {
+			return fmt.Errorf("invalid metric name %q", fields[2])
+		}
+	}
+	return nil
+}
+
+// parseSample parses `name{label="value",...} 1.5`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i]) {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	// A trailing timestamp is legal exposition; take the first field.
+	if sp := strings.IndexAny(rest, " \t"); sp >= 0 {
+		rest = rest[:sp]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value %q", s.Name, rest)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses `{a="x",b="y"}` into out and returns the index just
+// past the closing brace.
+func parseLabels(s string, out map[string]string) (int, error) {
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && isNameChar(s[i]) {
+			i++
+		}
+		name := s[start:i]
+		if name == "" || i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("malformed label at %q", s[start:])
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label %s: value not quoted", name)
+		}
+		i++ // '"'
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("label %s: invalid escape \\%c", name, s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		out[name] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+func isNameChar(c byte) bool {
+	return c == '_' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}

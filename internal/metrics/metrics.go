@@ -1,0 +1,410 @@
+// Package metrics is a zero-dependency metrics registry with Prometheus
+// text exposition — the measurement backbone of the serving layer. The
+// GenASM paper argues for its design with per-stage evidence (filter
+// rejection rates, per-pipeline-stage throughput); this package lets the
+// service produce the software analogue of that breakdown continuously,
+// without pulling an external module into the repo's stdlib-only build.
+//
+// Three instrument kinds cover the serving needs:
+//
+//   - Counter: a monotonically increasing atomic uint64.
+//   - Gauge: an atomic int64 point-in-time value, or a GaugeFunc read at
+//     scrape time (for values the owner already tracks, like queue depth).
+//   - Histogram: fixed upper-bound buckets with cumulative exposition
+//     (`_bucket`/`_sum`/`_count`). Observe is allocation-free and safe for
+//     concurrent use, so it can sit on the alignment hot path.
+//
+// Labeled families (CounterVec, HistogramVec) resolve a label-value tuple
+// to an instrument with With; resolution takes a lock and may allocate, so
+// hot paths resolve once and retain the handle.
+//
+// Registry.WritePrometheus renders the whole registry in the Prometheus
+// text exposition format (version 0.0.4): HELP/TYPE lines, escaped label
+// values, deterministic ordering (families in registration order, children
+// sorted by label values).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefLatencyBuckets are the default request/stage latency bucket bounds in
+// seconds: 100µs to 10s, roughly exponential — alignment stages sit in the
+// µs–ms range, whole requests in ms–s.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a point-in-time integer value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket latency/size distribution. Observe is
+// allocation-free: one atomic add into the owning bucket plus a CAS loop
+// folding the value into the float64 sum.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket counts are small (≤ ~20) and the scan is
+	// branch-predictable, beating binary search at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// metric is one child of a family: exactly one of the instrument fields is
+// set, matching the family's type.
+type metric struct {
+	labelValues []string
+	c           *Counter
+	g           *Gauge
+	gf          func() float64
+	h           *Histogram
+}
+
+// family is one named metric family: a HELP/TYPE pair plus its children
+// (one per label-value tuple; a single unlabeled child for plain metrics).
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter", "gauge" or "histogram"
+	labels  []string
+	buckets []float64
+
+	mu       sync.Mutex
+	children map[string]*metric
+}
+
+// labelKey joins label values into a map key. \x1f (unit separator) cannot
+// collide with label-value content in any way that matters: two tuples
+// mapping to one key would need a value containing the separator, and the
+// exposition still renders them correctly as distinct-looking labels.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func (f *family) child(values []string) *metric {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.children[key]; ok {
+		return m
+	}
+	m := &metric{labelValues: append([]string(nil), values...)}
+	switch f.typ {
+	case "counter":
+		m.c = &Counter{}
+	case "gauge":
+		m.g = &Gauge{}
+	case "histogram":
+		m.h = newHistogram(f.buckets)
+	}
+	f.children[key] = m
+	return m
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{
+		bounds: buckets,
+		counts: make([]atomic.Uint64, len(buckets)+1),
+	}
+}
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ f *family }
+
+// With returns the counter for a label-value tuple, creating it on first
+// use. It locks and may allocate: resolve once and retain the handle on
+// hot paths.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).c }
+
+// Sum returns the total across every child — how an aggregate snapshot
+// (e.g. a JSON stats endpoint) reads the family without re-counting, so
+// the snapshot and the exposition cannot drift.
+func (v *CounterVec) Sum() uint64 {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	var n uint64
+	for _, m := range v.f.children {
+		n += m.c.Value()
+	}
+	return n
+}
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for a label-value tuple, creating it on first
+// use. It locks and may allocate: resolve once and retain the handle on
+// hot paths.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).h }
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; build one with New. Registration panics on a duplicate or
+// invalid name (programming errors); instrument use is lock-free.
+type Registry struct {
+	mu     sync.Mutex
+	fams   []*family
+	byName map[string]*family
+}
+
+// New returns an empty Registry.
+func New() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !nameRE.MatchString(l) || l == "le" {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %s", l, name))
+		}
+	}
+	if typ == "histogram" {
+		if len(buckets) == 0 {
+			buckets = DefLatencyBuckets
+		}
+		if !sort.Float64sAreSorted(buckets) {
+			panic(fmt.Sprintf("metrics: %s: bucket bounds must be sorted", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate metric name %q", name))
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		typ:      typ,
+		labels:   append([]string(nil), labels...),
+		buckets:  buckets,
+		children: make(map[string]*metric),
+	}
+	r.fams = append(r.fams, f)
+	r.byName[name] = f
+	return f
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, "counter", nil, nil).child(nil).c
+}
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, "counter", labels, nil)}
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, "gauge", nil, nil).child(nil).g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time —
+// for values their owner already maintains (queue occupancy, pool state).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, "gauge", nil, nil)
+	f.mu.Lock()
+	f.children[""] = &metric{gf: fn}
+	f.mu.Unlock()
+}
+
+// Histogram registers and returns an unlabeled histogram. Nil buckets
+// select DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.register(name, help, "histogram", nil, buckets).child(nil).h
+}
+
+// HistogramVec registers a labeled histogram family. Nil buckets select
+// DefLatencyBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, "histogram", labels, buckets)}
+}
+
+// WritePrometheus renders every family in the text exposition format.
+// Counters and histograms are scraped live (atomic loads); the output is
+// not a consistent point-in-time snapshot across metrics, matching
+// Prometheus semantics.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.fams...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+
+		f.mu.Lock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		children := make([]*metric, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+
+		for _, m := range children {
+			switch f.typ {
+			case "counter":
+				writeSample(&b, f.name, f.labels, m.labelValues, "", float64(m.c.Value()))
+			case "gauge":
+				v := 0.0
+				if m.gf != nil {
+					v = m.gf()
+				} else {
+					v = float64(m.g.Value())
+				}
+				writeSample(&b, f.name, f.labels, m.labelValues, "", v)
+			case "histogram":
+				var cum uint64
+				for i, bound := range m.h.bounds {
+					cum += m.h.counts[i].Load()
+					writeSample(&b, f.name+"_bucket", f.labels, m.labelValues,
+						formatFloat(bound), float64(cum))
+				}
+				cum += m.h.counts[len(m.h.bounds)].Load()
+				writeSample(&b, f.name+"_bucket", f.labels, m.labelValues, "+Inf", float64(cum))
+				writeSample(&b, f.name+"_sum", f.labels, m.labelValues, "", m.h.Sum())
+				writeSample(&b, f.name+"_count", f.labels, m.labelValues, "", float64(cum))
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the exposition (a /metrics
+// endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// writeSample renders one sample line; le, when non-empty, is appended as
+// the histogram bucket bound label.
+func writeSample(b *strings.Builder, name string, labels, values []string, le string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(`le="`)
+			b.WriteString(le)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integers without an exponent or
+// decimal point (the common case for counters), everything else in Go's
+// shortest-round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

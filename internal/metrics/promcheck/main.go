@@ -1,0 +1,19 @@
+// Command promcheck validates Prometheus text exposition read from stdin
+// and exits non-zero when it is malformed — the CI smoke gate behind
+// `curl /metrics | go run genasm/internal/metrics/promcheck`.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"genasm/internal/metrics"
+)
+
+func main() {
+	if err := metrics.Lint(os.Stdin); err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("promcheck: exposition ok")
+}

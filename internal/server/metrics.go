@@ -1,0 +1,295 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"genasm"
+	"genasm/internal/metrics"
+)
+
+// serverMetrics is every instrument the server exports on /metrics. The
+// JSON counters of /v1/stats read from these same instruments, so the two
+// views cannot drift. Handles used on per-read/per-alignment hot paths
+// (the trace hooks below) are pre-resolved plain Counters and Histograms —
+// no Vec lookups, no allocations.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	// HTTP surface.
+	requests *metrics.CounterVec   // genasm_http_requests_total{endpoint,status}
+	latency  *metrics.HistogramVec // genasm_http_request_seconds{endpoint,status}
+	errors   *metrics.CounterVec   // genasm_http_errors_total{kind}
+	bytesIn  *metrics.Counter
+	bytesOut *metrics.Counter
+	inFlight *metrics.Gauge
+
+	// Admission queue.
+	admitted     *metrics.Counter
+	rejected     *metrics.Counter
+	slotInFlight *metrics.Gauge
+
+	// Work served.
+	alignments       *metrics.Counter
+	streamsStarted   *metrics.Counter
+	streamsCompleted *metrics.Counter
+	streamsTruncated *metrics.Counter
+
+	// Engine (AlignTrace-fed).
+	workspaceWait *metrics.Histogram
+	alignSeconds  *metrics.Histogram
+	alignErrors   *metrics.Counter
+
+	// Mapping pipeline (MapTrace-fed).
+	mapperReads      *metrics.Counter
+	mapperMapped     *metrics.Counter
+	mapperSeeds      *metrics.Counter
+	mapperCandidates *metrics.Counter
+	mapperFiltered   *metrics.Counter
+	mapperAccepted   *metrics.Counter
+	readSeconds      *metrics.Histogram
+	stageSeed        *metrics.Histogram // genasm_mapper_stage_seconds{stage="seed"}
+	stageFilter      *metrics.Histogram //                          {stage="filter"}
+	stageAlign       *metrics.Histogram //                          {stage="align"}
+}
+
+// stageBuckets suit sub-millisecond pipeline stages better than the
+// request-latency defaults (a seed scan runs in microseconds).
+var stageBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
+}
+
+// newServerMetrics registers the server's instruments on a fresh registry.
+// Queue and pool occupancy are GaugeFuncs sampled at scrape time straight
+// from the live structures, so they need no upkeep on request paths.
+func newServerMetrics(s *Server) *serverMetrics {
+	r := metrics.New()
+	m := &serverMetrics{
+		reg: r,
+		requests: r.CounterVec("genasm_http_requests_total",
+			"HTTP requests served, by endpoint and status code.", "endpoint", "status"),
+		latency: r.HistogramVec("genasm_http_request_seconds",
+			"HTTP request latency in seconds, by endpoint and status code.",
+			nil, "endpoint", "status"),
+		errors: r.CounterVec("genasm_http_errors_total",
+			"Request failures, by kind (bad_request, too_large, overload, input, internal, canceled, stream_truncated).",
+			"kind"),
+		bytesIn:  r.Counter("genasm_http_request_bytes_total", "Request body bytes read."),
+		bytesOut: r.Counter("genasm_http_response_bytes_total", "Response body bytes written."),
+		inFlight: r.Gauge("genasm_http_in_flight_requests", "Requests currently being handled."),
+		admitted: r.Counter("genasm_requests_admitted_total",
+			"Requests admitted to alignment work through the admission queue."),
+		rejected: r.Counter("genasm_requests_rejected_total",
+			"Requests rejected with 429 because the admission queue was full."),
+		slotInFlight: r.Gauge("genasm_queue_in_flight_requests",
+			"Requests currently holding an admission slot."),
+		alignments: r.Counter("genasm_alignments_total",
+			"Individual alignments and mapped reads served."),
+		streamsStarted: r.Counter("genasm_streams_started_total",
+			"Streaming map requests admitted."),
+		streamsCompleted: r.Counter("genasm_streams_completed_total",
+			"Streaming map requests that drained to completion."),
+		streamsTruncated: r.Counter("genasm_streams_truncated_total",
+			"Streaming map requests cut short by input errors or dead clients."),
+		workspaceWait: r.Histogram("genasm_workspace_wait_seconds",
+			"Time alignments waited for a pooled workspace (saturation signal).", stageBuckets),
+		alignSeconds: r.Histogram("genasm_align_seconds",
+			"Time spent in the alignment kernel per engine alignment.", stageBuckets),
+		alignErrors: r.Counter("genasm_align_errors_total",
+			"Engine alignments that returned an error."),
+		mapperReads: r.Counter("genasm_mapper_reads_total",
+			"Reads that completed the mapping pipeline."),
+		mapperMapped: r.Counter("genasm_mapper_mapped_total",
+			"Reads that mapped (any candidate aligned)."),
+		mapperSeeds: r.Counter("genasm_mapper_seeds_total",
+			"Seed hits voting for candidate locations."),
+		mapperCandidates: r.Counter("genasm_mapper_candidates_total",
+			"Candidate locations produced by seeding."),
+		mapperFiltered: r.Counter("genasm_mapper_filtered_total",
+			"Candidates rejected by the pre-alignment filter."),
+		mapperAccepted: r.Counter("genasm_mapper_accepted_total",
+			"Candidates accepted by the pre-alignment filter."),
+		readSeconds: r.Histogram("genasm_mapper_read_seconds",
+			"End-to-end mapping pipeline time per read.", stageBuckets),
+	}
+	stage := r.HistogramVec("genasm_mapper_stage_seconds",
+		"Time per mapping pipeline stage invocation.", stageBuckets, "stage")
+	m.stageSeed = stage.With("seed")
+	m.stageFilter = stage.With("filter")
+	m.stageAlign = stage.With("align")
+
+	r.GaugeFunc("genasm_queue_used", "Admission slots currently held.",
+		func() float64 { return float64(len(s.slots)) })
+	r.GaugeFunc("genasm_queue_depth", "Admission slot capacity.",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	poolStat := func(f func(genasm.PoolStats) float64) func() float64 {
+		return func() float64 { return f(s.cfg.Engine.Stats()) }
+	}
+	r.GaugeFunc("genasm_pool_workspaces_in_flight", "Workspaces currently checked out.",
+		poolStat(func(st genasm.PoolStats) float64 { return float64(st.InFlight) }))
+	r.GaugeFunc("genasm_pool_workspaces_idle", "Workspaces parked on free lists.",
+		poolStat(func(st genasm.PoolStats) float64 { return float64(st.Idle) }))
+	r.GaugeFunc("genasm_pool_capacity", "Configured workspace cap.",
+		poolStat(func(st genasm.PoolStats) float64 { return float64(st.Capacity) }))
+	r.GaugeFunc("genasm_pool_workspace_hits", "Workspace checkouts served from a free list.",
+		poolStat(func(st genasm.PoolStats) float64 { return float64(st.Hits) }))
+	r.GaugeFunc("genasm_pool_workspace_misses", "Workspace checkouts that built a new workspace.",
+		poolStat(func(st genasm.PoolStats) float64 { return float64(st.Misses) }))
+	r.GaugeFunc("genasm_pool_workspace_bytes", "Scratch footprint of one workspace.",
+		poolStat(func(st genasm.PoolStats) float64 { return float64(st.WorkspaceBytes) }))
+	return m
+}
+
+// alignTrace adapts the registry into engine-level hooks. Attached to both
+// the serving and the mapping engine, so every alignment either path runs
+// lands in the same histograms.
+func (m *serverMetrics) alignTrace() *genasm.AlignTrace {
+	return &genasm.AlignTrace{
+		WorkspaceAcquired: func(wait time.Duration) { m.workspaceWait.Observe(wait.Seconds()) },
+		Done: func(textLen, queryLen int, d time.Duration, err error) {
+			m.alignSeconds.Observe(d.Seconds())
+			if err != nil {
+				m.alignErrors.Inc()
+			}
+		},
+	}
+}
+
+// mapTrace adapts the registry into mapping pipeline hooks — the
+// metrics-backed default trace every server-built Mapper carries.
+func (m *serverMetrics) mapTrace() *genasm.MapTrace {
+	return &genasm.MapTrace{
+		SeedingDone: func(seeds, candidates int, d time.Duration) {
+			m.mapperSeeds.Add(uint64(seeds))
+			m.mapperCandidates.Add(uint64(candidates))
+			m.stageSeed.Observe(d.Seconds())
+		},
+		FilterDone: func(accepted bool, d time.Duration) {
+			if accepted {
+				m.mapperAccepted.Inc()
+			} else {
+				m.mapperFiltered.Inc()
+			}
+			m.stageFilter.Observe(d.Seconds())
+		},
+		AlignDone: func(ok bool, d time.Duration) { m.stageAlign.Observe(d.Seconds()) },
+		ReadDone: func(candidates, filtered, accepted int, mapped bool, d time.Duration) {
+			m.mapperReads.Inc()
+			if mapped {
+				m.mapperMapped.Inc()
+			}
+			m.readSeconds.Observe(d.Seconds())
+		},
+	}
+}
+
+// request instrumentation ------------------------------------------------
+
+// endpointLabel normalizes a request path to the served route set, keeping
+// label cardinality bounded no matter what paths clients probe.
+func endpointLabel(path string) string {
+	switch path {
+	case "/v1/align", "/v1/batch", "/v1/map", "/v1/map/stream",
+		"/v1/healthz", "/v1/stats", "/metrics":
+		return path
+	}
+	return "other"
+}
+
+// ridKey carries the request ID through the request context.
+type ridKey struct{}
+
+// requestID returns the middleware-assigned ID, or "-" outside a request.
+func requestID(ctx context.Context) string {
+	if id, ok := ctx.Value(ridKey{}).(string); ok {
+		return id
+	}
+	return "-"
+}
+
+// statusRecorder captures the status code and response size flowing
+// through a ResponseWriter. Unwrap keeps http.NewResponseController
+// working (the streaming endpoints need Flush and EnableFullDuplex).
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	if r.status == 0 {
+		r.status = status
+	}
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// countingBody counts request body bytes as the handler reads them.
+type countingBody struct {
+	rc io.ReadCloser
+	n  int64
+}
+
+func (b *countingBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	b.n += int64(n)
+	return n, err
+}
+
+func (b *countingBody) Close() error { return b.rc.Close() }
+
+// instrument wraps the route mux with the observability middleware: a
+// request ID, per-endpoint/status counters and latency histograms, byte
+// accounting, and request-scoped slog logging.
+func (s *Server) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%08x-%06x", s.ridBase, s.ridSeq.Add(1))
+		r = r.WithContext(context.WithValue(r.Context(), ridKey{}, id))
+		body := &countingBody{rc: r.Body}
+		r.Body = body
+		rec := &statusRecorder{ResponseWriter: w}
+		s.m.inFlight.Inc()
+		start := time.Now()
+		h.ServeHTTP(rec, r)
+		d := time.Since(start)
+		s.m.inFlight.Dec()
+
+		status := rec.status
+		if status == 0 {
+			// Handler wrote nothing (e.g. client vanished mid-align);
+			// net/http will send 200 with an empty body.
+			status = http.StatusOK
+		}
+		endpoint := endpointLabel(r.URL.Path)
+		code := strconv.Itoa(status)
+		s.m.requests.With(endpoint, code).Inc()
+		s.m.latency.With(endpoint, code).Observe(d.Seconds())
+		s.m.bytesIn.Add(uint64(body.n))
+		s.m.bytesOut.Add(uint64(rec.bytes))
+		s.logger.LogAttrs(r.Context(), slog.LevelDebug, "request",
+			slog.String("rid", id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Duration("duration", d),
+			slog.Int64("bytes_in", body.n),
+			slog.Int64("bytes_out", rec.bytes),
+		)
+	})
+}

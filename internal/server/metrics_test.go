@@ -1,0 +1,208 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/metrics"
+	"genasm/internal/seq"
+	"genasm/internal/simulate"
+)
+
+// scrape fetches /metrics, lints the exposition, and indexes the samples
+// by name plus sorted label pairs.
+func scrape(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := metrics.Lint(bytes.NewReader(body)); err != nil {
+		t.Fatalf("/metrics exposition fails lint: %v\n%s", err, body)
+	}
+	samples, err := metrics.Parse(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		key := s.Name
+		for _, lk := range []string{"endpoint", "status", "kind", "stage", "le"} {
+			if v, ok := s.Labels[lk]; ok {
+				key += "{" + lk + "=" + v + "}"
+			}
+		}
+		out[key] = s.Value
+	}
+	return out
+}
+
+// TestMetricsEndToEnd drives known traffic through every endpoint family
+// and asserts the scraped metric values account for it — request counters
+// and latency histograms per endpoint/status, error kinds, admission and
+// pool gauges, stream lifecycle, and the mapper stage counters fed by the
+// pipeline trace hooks.
+func TestMetricsEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(777, 0))
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(30000))
+	simReads, err := simulate.Reads(rng, genome, 6, simulate.Illumina150, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, base := startServer(t, Config{
+		Engine:  newTestEngine(t),
+		RefName: "chrM",
+		Ref:     alphabet.DNA.Decode(genome),
+	})
+
+	// Known traffic: 3 aligns (200), 1 bad align (400), 1 map (200),
+	// 1 NDJSON stream (200), 1 rejected-shape request (404 on wrong path).
+	for i := 0; i < 3; i++ {
+		resp, _ := postJSON(t, base+"/v1/align", AlignRequest{Text: "ACGTACGTACGT", Query: "ACGTACGT"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("align status %d", resp.StatusCode)
+		}
+	}
+	if resp, _ := postJSON(t, base+"/v1/align", AlignRequest{Text: "ACGT"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad align status %d", resp.StatusCode)
+	}
+	mapReq := MapRequest{Reads: []MapRead{}}
+	for _, r := range simReads[:4] {
+		mapReq.Reads = append(mapReq.Reads, MapRead{Seq: string(alphabet.DNA.Decode(r.Seq))})
+	}
+	if resp, body := postJSON(t, base+"/v1/map", mapReq); resp.StatusCode != http.StatusOK {
+		t.Fatalf("map status %d (%s)", resp.StatusCode, body)
+	}
+	var ndjson bytes.Buffer
+	for _, r := range simReads[4:] {
+		json.NewEncoder(&ndjson).Encode(ndjsonReadLine{Name: "s", Seq: string(alphabet.DNA.Decode(r.Seq))})
+	}
+	resp := postStream(t, base, ndjson.Bytes(), "application/x-ndjson", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+
+	m := scrape(t, base)
+	checks := map[string]float64{
+		"genasm_http_requests_total{endpoint=/v1/align}{status=200}":        3,
+		"genasm_http_requests_total{endpoint=/v1/align}{status=400}":        1,
+		"genasm_http_requests_total{endpoint=/v1/map}{status=200}":          1,
+		"genasm_http_request_seconds_count{endpoint=/v1/align}{status=200}": 3,
+		"genasm_http_errors_total{kind=bad_request}":                        1,
+		"genasm_streams_started_total":                                      1,
+		"genasm_streams_completed_total":                                    1,
+		"genasm_queue_depth":                                                float64(srv.cfg.QueueDepth),
+		"genasm_queue_used":                                                 0,
+		"genasm_http_in_flight_requests":                                    1, // the scrape itself
+	}
+	for key, want := range checks {
+		if got, ok := m[key]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", key, got, ok, want)
+		}
+	}
+	// Pipeline trace coverage: 6 reads flowed through the mapper, seeding
+	// produced candidates and the engine histograms saw the alignments.
+	if got := m["genasm_mapper_reads_total"]; got != 6 {
+		t.Errorf("mapper reads = %v, want 6", got)
+	}
+	for _, name := range []string{
+		"genasm_mapper_seeds_total", "genasm_mapper_candidates_total",
+		"genasm_mapper_read_seconds_count",
+		"genasm_mapper_stage_seconds_count{stage=seed}",
+		"genasm_mapper_stage_seconds_count{stage=align}",
+		"genasm_workspace_wait_seconds_count", "genasm_align_seconds_count",
+		"genasm_http_request_bytes_total", "genasm_http_response_bytes_total",
+		"genasm_pool_capacity",
+	} {
+		if m[name] <= 0 {
+			t.Errorf("%s = %v, want > 0", name, m[name])
+		}
+	}
+	if m["genasm_mapper_mapped_total"] <= 0 || m["genasm_alignments_total"] <= 0 {
+		t.Errorf("mapped=%v alignments=%v, want > 0",
+			m["genasm_mapper_mapped_total"], m["genasm_alignments_total"])
+	}
+
+	// /v1/stats reads the same registry — the two views must agree.
+	st := srv.Stats().Server
+	if float64(st.Alignments) != m["genasm_alignments_total"] {
+		t.Errorf("stats alignments %d != metric %v", st.Alignments, m["genasm_alignments_total"])
+	}
+	if float64(st.Rejected) != m["genasm_requests_rejected_total"] {
+		t.Errorf("stats rejected %d != metric %v", st.Rejected, m["genasm_requests_rejected_total"])
+	}
+	var errSum float64
+	for k, v := range m {
+		if strings.HasPrefix(k, "genasm_http_errors_total{") {
+			errSum += v
+		}
+	}
+	if float64(st.Errored) != errSum {
+		t.Errorf("stats errored %d != metric sum %v", st.Errored, errSum)
+	}
+}
+
+// TestHealthzDegraded pins the degraded states: a saturated admission
+// queue and a shutting-down server both answer 503 "degraded"; an idle
+// server answers 200 "ok".
+func TestHealthzDegraded(t *testing.T) {
+	srv, err := New(Config{Engine: newTestEngine(t), QueueDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func() (int, string, string) {
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/healthz", nil))
+		var body struct {
+			Status string `json:"status"`
+			Reason string `json:"reason"`
+		}
+		if err := json.NewDecoder(rec.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Code, body.Status, body.Reason
+	}
+
+	if code, status, _ := get(); code != http.StatusOK || status != "ok" {
+		t.Fatalf("idle healthz = %d %q, want 200 ok", code, status)
+	}
+
+	// Saturate the admission queue.
+	srv.slots <- struct{}{}
+	srv.slots <- struct{}{}
+	if code, status, reason := get(); code != http.StatusServiceUnavailable ||
+		status != "degraded" || reason != "admission queue saturated" {
+		t.Fatalf("saturated healthz = %d %q %q, want 503 degraded", code, status, reason)
+	}
+	<-srv.slots
+	<-srv.slots
+	if code, status, _ := get(); code != http.StatusOK || status != "ok" {
+		t.Fatalf("drained healthz = %d %q, want 200 ok", code, status)
+	}
+
+	srv.closing.Store(true)
+	if code, status, reason := get(); code != http.StatusServiceUnavailable ||
+		status != "degraded" || reason != "shutting down" {
+		t.Fatalf("closing healthz = %d %q %q, want 503 degraded", code, status, reason)
+	}
+}

@@ -15,8 +15,19 @@
 //	POST /v1/map/stream — streaming read mapping: FASTA/FASTQ/NDJSON body
 //	                      in, flushed-per-record NDJSON or SAM out, in
 //	                      bounded memory (requires a preloaded reference)
-//	GET  /v1/healthz    — liveness
-//	GET  /v1/stats      — pool + server counters
+//	GET  /v1/healthz    — liveness ("degraded" + 503 when saturated or
+//	                      shutting down)
+//	GET  /v1/stats      — pool + server counters (JSON)
+//	GET  /metrics       — Prometheus text exposition
+//
+// Every request flows through an observability middleware: per-endpoint/
+// per-status counters and latency histograms, byte accounting, request IDs
+// and structured (log/slog) logging. The mapping pipeline and both engines
+// carry metrics-backed trace hooks (genasm.MapTrace / genasm.AlignTrace),
+// so /metrics breaks serving time down by pipeline stage. The /v1/stats
+// JSON counters are read from the same registry, so the two views cannot
+// drift. OpsHandler serves /metrics plus net/http/pprof for a private
+// operations listener.
 package server
 
 import (
@@ -25,18 +36,23 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync/atomic"
 	"time"
 
 	"genasm"
+	"genasm/internal/metrics"
 )
 
 // Config parameterizes a Server. The zero values of the limits pick
 // sensible production defaults; Engine is required.
 type Config struct {
-	// Engine is the shared alignment engine. Required.
+	// Engine is the shared alignment engine. Required. The server attaches
+	// a metrics-backed genasm.AlignTrace to it.
 	Engine *genasm.Engine
 	// QueueDepth bounds the number of requests admitted to alignment
 	// work at once (in flight + queued waiting for a workspace). Further
@@ -73,6 +89,9 @@ type Config struct {
 	Ref     []byte
 	// ShutdownTimeout bounds graceful shutdown. Defaults to 10s.
 	ShutdownTimeout time.Duration
+	// Logger receives structured request and error logs. Nil discards
+	// them (instrumentation still runs; /metrics is unaffected).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -100,16 +119,31 @@ func (c Config) withDefaults() Config {
 	if c.ShutdownTimeout <= 0 {
 		c.ShutdownTimeout = 10 * time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
 // Server is the HTTP alignment service.
 type Server struct {
-	cfg   Config
-	slots chan struct{}
-	hs    *http.Server
-	mux   *http.ServeMux
-	start time.Time
+	cfg     Config
+	slots   chan struct{}
+	hs      *http.Server
+	mux     *http.ServeMux
+	handler http.Handler
+	start   time.Time
+	logger  *slog.Logger
+
+	// m holds every exported instrument; /v1/stats reads from it too.
+	m *serverMetrics
+	// ridBase distinguishes server incarnations in request IDs; ridSeq
+	// numbers requests within one.
+	ridBase uint32
+	ridSeq  atomic.Uint64
+	// closing flips at Shutdown so healthz reports degraded while
+	// in-flight requests drain.
+	closing atomic.Bool
 
 	// mapEngine drives the /v1/map pipeline: read mapping is DNA-only and
 	// wants search-capable first windows, independent of how the serving
@@ -117,13 +151,6 @@ type Server struct {
 	mapEngine *genasm.Engine
 	// preMapper is the startup-indexed mapper for a preloaded reference.
 	preMapper *genasm.Mapper
-
-	requests   atomic.Uint64 // requests admitted to alignment work
-	alignments atomic.Uint64 // individual alignments/mapped reads served
-	rejected   atomic.Uint64 // 429s
-	errored    atomic.Uint64 // 4xx/5xx other than 429
-	inFlight   atomic.Int64  // requests currently holding a queue slot
-	streams    atomic.Uint64 // /v1/map/stream requests admitted
 }
 
 // New builds a Server (and, when Config.Ref is set, indexes the reference).
@@ -133,16 +160,23 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		slots: make(chan struct{}, cfg.QueueDepth),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		cfg:    cfg,
+		slots:  make(chan struct{}, cfg.QueueDepth),
+		mux:    http.NewServeMux(),
+		start:  time.Now(),
+		logger: cfg.Logger,
 	}
+	s.ridBase = uint32(s.start.UnixNano())
+	s.m = newServerMetrics(s)
+	// Both engines report workspace waits and kernel time into the same
+	// histograms — the engine-level half of the stage breakdown.
+	cfg.Engine.SetAlignTrace(s.m.alignTrace())
 	// The mapping engine uses the paper's read-alignment setup (search in
 	// the first window) and is sized like the serving engine.
 	me, err := genasm.NewEngine(
 		genasm.WithSearchStart(true),
 		genasm.WithMaxWorkspaces(cfg.Engine.Capacity()),
+		genasm.WithAlignTrace(s.m.alignTrace()),
 	)
 	if err != nil {
 		return nil, err
@@ -161,25 +195,47 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/map/stream", s.handleMapStream)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.Handle("GET /metrics", s.m.reg.Handler())
+	s.handler = s.instrument(s.mux)
 	s.hs = &http.Server{
-		Handler:           s.mux,
+		Handler:           s.handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return s, nil
 }
 
-// newMapper indexes a reference (letters) on the mapping engine, so the
-// returned Mapper is safe for concurrent use.
+// newMapper indexes a reference (letters) on the mapping engine; the
+// returned Mapper is safe for concurrent use and carries the server's
+// metrics-backed pipeline trace.
 func (s *Server) newMapper(ref []byte, refName string) (*genasm.Mapper, error) {
 	return s.mapEngine.NewMapper(ref, genasm.MapperConfig{
 		SeedK:     s.cfg.MapSeedK,
 		ErrorRate: s.cfg.MapErrorRate,
 		RefName:   refName,
+		Trace:     s.m.mapTrace(),
 	})
 }
 
-// Handler returns the service's HTTP handler (for tests and embedding).
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler, observability middleware
+// included (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Metrics returns the server's metric registry, for scraping or for
+// registering additional instruments before serving starts.
+func (s *Server) Metrics() *metrics.Registry { return s.m.reg }
+
+// OpsHandler returns the operations surface meant for a private listener:
+// GET /metrics plus the net/http/pprof handlers under /debug/pprof/.
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", s.m.reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 // Serve accepts connections on l until Shutdown; it returns
 // http.ErrServerClosed after a graceful shutdown, like net/http.
@@ -195,8 +251,11 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown drains in-flight requests and stops the server, bounded by
-// Config.ShutdownTimeout.
+// Config.ShutdownTimeout. Healthz reports degraded for the duration.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	s.logger.LogAttrs(ctx, slog.LevelInfo, "shutting down",
+		slog.Duration("timeout", s.cfg.ShutdownTimeout))
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.ShutdownTimeout)
 	defer cancel()
 	return s.hs.Shutdown(ctx)
@@ -208,22 +267,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // The bounded slot channel is the backpressure mechanism: engine capacity
 // bounds concurrent alignments, QueueDepth bounds how many requests may
 // wait for a workspace, and everything beyond that is told to back off.
-func (s *Server) acquireSlot(w http.ResponseWriter) bool {
+func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) bool {
 	select {
 	case s.slots <- struct{}{}:
-		s.requests.Add(1)
-		s.inFlight.Add(1)
+		s.m.admitted.Inc()
+		s.m.slotInFlight.Inc()
 		return true
 	default:
-		s.rejected.Add(1)
+		s.m.rejected.Inc()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "server overloaded: admission queue full")
+		s.httpError(w, r, http.StatusTooManyRequests, "overload",
+			"server overloaded: admission queue full")
 		return false
 	}
 }
 
 func (s *Server) releaseSlot() {
-	s.inFlight.Add(-1)
+	s.m.slotInFlight.Dec()
 	<-s.slots
 }
 
@@ -298,19 +358,19 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	if !s.checkSeq(w, "text", req.Text) || !s.checkSeq(w, "query", req.Query) {
+	if !s.checkSeq(w, r, "text", req.Text) || !s.checkSeq(w, r, "query", req.Query) {
 		return
 	}
-	if !s.acquireSlot(w) {
+	if !s.acquireSlot(w, r) {
 		return
 	}
 	defer s.releaseSlot()
 	aln, err := s.align(r.Context(), req)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
-	s.alignments.Add(1)
+	s.m.alignments.Inc()
 	writeJSON(w, http.StatusOK, alignResponse(aln))
 }
 
@@ -327,21 +387,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Jobs) == 0 {
-		writeError(w, http.StatusBadRequest, "batch: no jobs")
+		s.httpError(w, r, http.StatusBadRequest, "bad_request", "batch: no jobs")
 		return
 	}
 	if len(req.Jobs) > s.cfg.MaxBatchJobs {
-		writeError(w, http.StatusBadRequest,
+		s.httpError(w, r, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("batch: %d jobs exceeds limit %d", len(req.Jobs), s.cfg.MaxBatchJobs))
 		return
 	}
 	for i, j := range req.Jobs {
-		if !s.checkSeq(w, fmt.Sprintf("job %d text", i), j.Text) ||
-			!s.checkSeq(w, fmt.Sprintf("job %d query", i), j.Query) {
+		if !s.checkSeq(w, r, fmt.Sprintf("job %d text", i), j.Text) ||
+			!s.checkSeq(w, r, fmt.Sprintf("job %d query", i), j.Query) {
 			return
 		}
 	}
-	if !s.acquireSlot(w) {
+	if !s.acquireSlot(w, r) {
 		return
 	}
 	defer s.releaseSlot()
@@ -355,7 +415,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	results, err := s.cfg.Engine.AlignBatch(r.Context(), jobs)
 	if err != nil {
 		// The client went away mid-batch; nothing useful to write.
-		s.errored.Add(1)
+		s.fail(w, r, err)
 		return
 	}
 	items := make([]BatchItem, len(results))
@@ -366,7 +426,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		a := alignResponse(res.Alignment)
 		items[i] = BatchItem{Alignment: &a}
-		s.alignments.Add(1)
+		s.m.alignments.Inc()
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: items})
 }
@@ -377,26 +437,25 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Reads) == 0 {
-		writeError(w, http.StatusBadRequest, "map: no reads")
+		s.httpError(w, r, http.StatusBadRequest, "bad_request", "map: no reads")
 		return
 	}
 	if len(req.Reads) > s.cfg.MaxMapReads {
-		writeError(w, http.StatusBadRequest,
+		s.httpError(w, r, http.StatusBadRequest, "bad_request",
 			fmt.Sprintf("map: %d reads exceeds limit %d", len(req.Reads), s.cfg.MaxMapReads))
 		return
 	}
 	if len(req.Reference) > s.cfg.MaxRefLen {
-		s.errored.Add(1)
-		writeError(w, http.StatusBadRequest,
+		s.httpError(w, r, http.StatusBadRequest, "too_large",
 			fmt.Sprintf("map: reference length %d exceeds limit %d", len(req.Reference), s.cfg.MaxRefLen))
 		return
 	}
 	for i, rd := range req.Reads {
-		if !s.checkSeq(w, fmt.Sprintf("map: read %d", i), rd.Seq) {
+		if !s.checkSeq(w, r, fmt.Sprintf("map: read %d", i), rd.Seq) {
 			return
 		}
 	}
-	if !s.acquireSlot(w) {
+	if !s.acquireSlot(w, r) {
 		return
 	}
 	defer s.releaseSlot()
@@ -406,14 +465,13 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		var err error
 		m, err = s.newMapper([]byte(req.Reference), req.RefName)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "map: "+err.Error())
-			s.errored.Add(1)
+			s.httpError(w, r, http.StatusBadRequest, "input", "map: "+err.Error())
 			return
 		}
 	}
 	if m == nil {
-		writeError(w, http.StatusBadRequest, "map: no reference in request and none preloaded")
-		s.errored.Add(1)
+		s.httpError(w, r, http.StatusBadRequest, "bad_request",
+			"map: no reference in request and none preloaded")
 		return
 	}
 
@@ -427,14 +485,14 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	mappings, err := m.MapReads(r.Context(), reads)
 	if err != nil {
-		s.fail(w, err)
+		s.fail(w, r, err)
 		return
 	}
-	s.alignments.Add(uint64(len(mappings)))
+	s.m.alignments.Add(uint64(len(mappings)))
 
 	var buf bytes.Buffer
 	if err := m.WriteSAM(&buf, mappings); err != nil {
-		s.failInternal(w, err)
+		s.httpError(w, r, http.StatusInternalServerError, "internal", err.Error())
 		return
 	}
 	w.Header().Set("Content-Type", "text/x-sam; charset=utf-8")
@@ -442,9 +500,26 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	w.Write(buf.Bytes())
 }
 
+// handleHealthz reports liveness. The server is "degraded" — and answers
+// 503 so load balancers rotate it out — while shutting down or while the
+// admission queue is saturated (new alignment work would be rejected).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+	status, code := "ok", http.StatusOK
+	var reason string
+	switch {
+	case s.closing.Load():
+		status, code, reason = "degraded", http.StatusServiceUnavailable, "shutting down"
+	case len(s.slots) >= s.cfg.QueueDepth:
+		status, code, reason = "degraded", http.StatusServiceUnavailable, "admission queue saturated"
+	}
+	if reason != "" {
+		s.logger.LogAttrs(r.Context(), slog.LevelWarn, "healthz degraded",
+			slog.String("rid", requestID(r.Context())),
+			slog.String("reason", reason))
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"reason":         reason,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
 }
@@ -455,10 +530,12 @@ type StatsResponse struct {
 	Server ServerStats      `json:"server"`
 }
 
-// ServerStats are the server-side counters. InFlightRequests and
-// QueueUsed make streaming load observable: a long-lived /v1/map/stream
-// request holds one admission slot for its whole duration, so QueueUsed
-// climbing toward QueueDepth warns of saturation before 429s start.
+// ServerStats are the server-side counters — the JSON rendering of the
+// same registry instruments /metrics exposes, so the two views cannot
+// drift. InFlightRequests and QueueUsed make streaming load observable: a
+// long-lived /v1/map/stream request holds one admission slot for its whole
+// duration, so QueueUsed climbing toward QueueDepth warns of saturation
+// before 429s start.
 type ServerStats struct {
 	Requests         uint64 `json:"requests"`
 	Alignments       uint64 `json:"alignments"`
@@ -472,17 +549,17 @@ type ServerStats struct {
 	QueueDepth int `json:"queue_depth"`
 }
 
-// Stats snapshots the server and engine counters.
+// Stats snapshots the server and engine counters from the metric registry.
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
 		Pool: s.cfg.Engine.Stats(),
 		Server: ServerStats{
-			Requests:         s.requests.Load(),
-			Alignments:       s.alignments.Load(),
-			Streams:          s.streams.Load(),
-			Rejected:         s.rejected.Load(),
-			Errored:          s.errored.Load(),
-			InFlightRequests: s.inFlight.Load(),
+			Requests:         s.m.admitted.Value(),
+			Alignments:       s.m.alignments.Value(),
+			Streams:          s.m.streamsStarted.Value(),
+			Rejected:         s.m.rejected.Value(),
+			Errored:          s.m.errors.Sum(),
+			InFlightRequests: s.m.slotInFlight.Value(),
 			QueueUsed:        len(s.slots),
 			QueueDepth:       s.cfg.QueueDepth,
 		},
@@ -502,28 +579,25 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		s.errored.Add(1)
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
+			s.httpError(w, r, http.StatusRequestEntityTooLarge, "too_large",
 				fmt.Sprintf("body exceeds %d bytes", s.cfg.MaxBodyBytes))
 			return false
 		}
-		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		s.httpError(w, r, http.StatusBadRequest, "bad_request", "malformed request: "+err.Error())
 		return false
 	}
 	return true
 }
 
-func (s *Server) checkSeq(w http.ResponseWriter, field, seq string) bool {
+func (s *Server) checkSeq(w http.ResponseWriter, r *http.Request, field, seq string) bool {
 	if seq == "" {
-		s.errored.Add(1)
-		writeError(w, http.StatusBadRequest, field+": empty sequence")
+		s.httpError(w, r, http.StatusBadRequest, "bad_request", field+": empty sequence")
 		return false
 	}
 	if len(seq) > s.cfg.MaxSeqLen {
-		s.errored.Add(1)
-		writeError(w, http.StatusBadRequest,
+		s.httpError(w, r, http.StatusBadRequest, "too_large",
 			fmt.Sprintf("%s: length %d exceeds limit %d", field, len(seq), s.cfg.MaxSeqLen))
 		return false
 	}
@@ -533,19 +607,36 @@ func (s *Server) checkSeq(w http.ResponseWriter, field, seq string) bool {
 // fail reports an alignment error: every error on that path derives from
 // the client's input (encode failures, empty patterns, window budget), so
 // it answers 400 — except client disconnects, which get nothing.
-func (s *Server) fail(w http.ResponseWriter, err error) {
-	s.errored.Add(1)
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		// The client went away; nothing useful to write.
+		// The client went away; nothing useful to write, but the failure
+		// still counts and logs.
+		s.m.errors.With("canceled").Inc()
+		s.logger.LogAttrs(r.Context(), slog.LevelWarn, "request canceled",
+			slog.String("rid", requestID(r.Context())),
+			slog.String("path", r.URL.Path),
+			slog.String("error", err.Error()))
 		return
 	}
-	writeError(w, http.StatusBadRequest, err.Error())
+	s.httpError(w, r, http.StatusBadRequest, "input", err.Error())
 }
 
-// failInternal reports a server-side fault as a 500.
-func (s *Server) failInternal(w http.ResponseWriter, err error) {
-	s.errored.Add(1)
-	writeError(w, http.StatusInternalServerError, err.Error())
+// httpError is the one funnel for error responses: it counts the failure
+// in genasm_http_errors_total{kind}, logs it with the request ID (warn for
+// client errors, error for 5xx) and writes the JSON error body.
+func (s *Server) httpError(w http.ResponseWriter, r *http.Request, status int, kind, msg string) {
+	s.m.errors.With(kind).Inc()
+	level := slog.LevelWarn
+	if status >= 500 {
+		level = slog.LevelError
+	}
+	s.logger.LogAttrs(r.Context(), level, "request failed",
+		slog.String("rid", requestID(r.Context())),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.String("kind", kind),
+		slog.String("error", msg))
+	writeError(w, status, msg)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"log/slog"
 	"net/http"
 	"strings"
 
@@ -141,8 +142,8 @@ func (s *Server) newSeqSource(ctx context.Context, body io.Reader) (*streamReadS
 func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 	m := s.preMapper
 	if m == nil {
-		s.errored.Add(1)
-		writeError(w, http.StatusBadRequest, "map/stream: no preloaded reference (start the server with -ref)")
+		s.httpError(w, r, http.StatusBadRequest, "bad_request",
+			"map/stream: no preloaded reference (start the server with -ref)")
 		return
 	}
 
@@ -156,8 +157,7 @@ func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 	if r.Header.Get("Content-Encoding") == "gzip" {
 		zr, err := gzip.NewReader(body)
 		if err != nil {
-			s.errored.Add(1)
-			writeError(w, http.StatusBadRequest, "map/stream: gzip body: "+err.Error())
+			s.httpError(w, r, http.StatusBadRequest, "bad_request", "map/stream: gzip body: "+err.Error())
 			return
 		}
 		body = zr
@@ -167,8 +167,7 @@ func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 		if gzipMagic(br) {
 			zr, err := gzip.NewReader(br)
 			if err != nil {
-				s.errored.Add(1)
-				writeError(w, http.StatusBadRequest, "map/stream: gzip body: "+err.Error())
+				s.httpError(w, r, http.StatusBadRequest, "bad_request", "map/stream: gzip body: "+err.Error())
 				return
 			}
 			body = zr
@@ -184,8 +183,7 @@ func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 		// reject nested gzip outright.
 		br := bufio.NewReader(body)
 		if gzipMagic(br) {
-			s.errored.Add(1)
-			writeError(w, http.StatusBadRequest, "map/stream: nested gzip body not supported")
+			s.httpError(w, r, http.StatusBadRequest, "bad_request", "map/stream: nested gzip body not supported")
 			return
 		}
 		body = br
@@ -205,17 +203,16 @@ func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 	} else {
 		var err error
 		if src, err = s.newSeqSource(ctx, body); err != nil {
-			s.errored.Add(1)
-			writeError(w, http.StatusBadRequest, "map/stream: "+err.Error())
+			s.httpError(w, r, http.StatusBadRequest, "input", "map/stream: "+err.Error())
 			return
 		}
 	}
 
-	if !s.acquireSlot(w) {
+	if !s.acquireSlot(w, r) {
 		return
 	}
 	defer s.releaseSlot()
-	s.streams.Add(1)
+	s.m.streamsStarted.Inc()
 
 	// MapStream's dispatcher goroutine keeps reading the request body while
 	// results are flushed below. Without full duplex, Go's HTTP/1 server
@@ -225,22 +222,22 @@ func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 	// natively, so an unsupported error only matters on HTTP/1.
 	rc := http.NewResponseController(w)
 	if err := rc.EnableFullDuplex(); err != nil && r.ProtoMajor < 2 {
-		s.errored.Add(1)
-		writeError(w, http.StatusInternalServerError, "map/stream: full-duplex streaming unsupported: "+err.Error())
+		s.httpError(w, r, http.StatusInternalServerError, "internal",
+			"map/stream: full-duplex streaming unsupported: "+err.Error())
 		return
 	}
 
 	results := m.MapStream(ctx, src.reads)
 	if strings.Contains(r.Header.Get("Accept"), "text/x-sam") {
-		s.streamSAM(w, rc, cancel, m, src, results)
+		s.streamSAM(ctx, w, rc, cancel, m, src, results)
 		return
 	}
-	s.streamNDJSON(w, rc, cancel, src, results)
+	s.streamNDJSON(ctx, w, rc, cancel, src, results)
 }
 
 // streamNDJSON writes one JSON mapping record per line, flushing after
 // each so the client sees results as reads are mapped.
-func (s *Server) streamNDJSON(w http.ResponseWriter, rc *http.ResponseController, cancel context.CancelFunc, src *streamReadSource, results iter.Seq[genasm.MappingResult]) {
+func (s *Server) streamNDJSON(ctx context.Context, w http.ResponseWriter, rc *http.ResponseController, cancel context.CancelFunc, src *streamReadSource, results iter.Seq[genasm.MappingResult]) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -255,7 +252,7 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, rc *http.ResponseController
 		}
 		if res.Err != nil {
 			line.Error = res.Err.Error()
-			s.errored.Add(1)
+			s.m.errors.With("input").Inc()
 		} else {
 			mp := res.Mapping
 			line.Mapped = mp.Mapped
@@ -264,7 +261,7 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, rc *http.ResponseController
 			line.CIGAR = mp.CIGAR
 			line.ClassicCIGAR = mp.ClassicCIGAR
 			line.Distance = mp.Distance
-			s.alignments.Add(1)
+			s.m.alignments.Inc()
 		}
 		if err := enc.Encode(line); err != nil {
 			// Client went away: cancel the pipeline and keep draining so
@@ -277,15 +274,28 @@ func (s *Server) streamNDJSON(w http.ResponseWriter, rc *http.ResponseController
 		rc.Flush()
 	}
 	if stopped {
+		s.streamTruncated(ctx, "client went away mid-stream")
 		return
 	}
 	if src.err != nil {
 		// The input broke mid-stream: report it in-band as a final record
 		// (headers are long gone).
-		s.errored.Add(1)
+		s.streamTruncated(ctx, "input: "+src.err.Error())
 		enc.Encode(StreamMapResult{Index: -1, Error: "input: " + src.err.Error()})
 		rc.Flush()
+		return
 	}
+	s.m.streamsCompleted.Inc()
+}
+
+// streamTruncated records a stream cut short — counter, error kind, and a
+// warn log carrying the request ID.
+func (s *Server) streamTruncated(ctx context.Context, reason string) {
+	s.m.streamsTruncated.Inc()
+	s.m.errors.With("stream_truncated").Inc()
+	s.logger.LogAttrs(ctx, slog.LevelWarn, "stream truncated",
+		slog.String("rid", requestID(ctx)),
+		slog.String("reason", reason))
 }
 
 // gzipMagic reports whether the next bytes of br are the gzip magic
@@ -343,7 +353,7 @@ func (fw flushWriter) Write(p []byte) (int, error) {
 // SAM has no record-level error channel, a trailing "@CO" comment line
 // reports the failure so clients can tell a truncated stream from a
 // complete one (a bare 200 with fewer records would look complete).
-func (s *Server) streamSAM(w http.ResponseWriter, rc *http.ResponseController, cancel context.CancelFunc, m *genasm.Mapper, src *streamReadSource, results iter.Seq[genasm.MappingResult]) {
+func (s *Server) streamSAM(ctx context.Context, w http.ResponseWriter, rc *http.ResponseController, cancel context.CancelFunc, m *genasm.Mapper, src *streamReadSource, results iter.Seq[genasm.MappingResult]) {
 	w.Header().Set("Content-Type", "text/x-sam; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fw := flushWriter{w: w, rc: rc}
@@ -354,7 +364,7 @@ func (s *Server) streamSAM(w http.ResponseWriter, rc *http.ResponseController, c
 				continue
 			}
 			if res.Err == nil {
-				s.alignments.Add(1)
+				s.m.alignments.Inc()
 			}
 			if !yield(res) {
 				// WriteSAMStream aborted (per-read error or dead client):
@@ -367,7 +377,6 @@ func (s *Server) streamSAM(w http.ResponseWriter, rc *http.ResponseController, c
 		}
 	})
 	if err != nil || src.err != nil {
-		s.errored.Add(1)
 		// Prefer the input error as the root cause; err alone is a per-read
 		// mapping error or a write failure (in which case this trailer is a
 		// best-effort no-op on a dead connection).
@@ -375,6 +384,9 @@ func (s *Server) streamSAM(w http.ResponseWriter, rc *http.ResponseController, c
 		if cause == nil {
 			cause = err
 		}
+		s.streamTruncated(ctx, cause.Error())
 		fmt.Fprintf(fw, "@CO\tgenasm-serve: error: %s (stream truncated)\n", cause)
+		return
 	}
+	s.m.streamsCompleted.Inc()
 }

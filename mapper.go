@@ -35,6 +35,9 @@ type MapperConfig struct {
 	Prefilter bool
 	// RefName names the reference in SAM output (default "ref").
 	RefName string
+	// Trace attaches per-stage pipeline hooks (seeding, filtering,
+	// alignment, per-read) to every read this Mapper maps. See MapTrace.
+	Trace *MapTrace
 }
 
 // Read is one named read for mapping.
@@ -170,6 +173,7 @@ func (e *Engine) NewMapper(ref []byte, cfg MapperConfig) (*Mapper, error) {
 		ErrorRate:     cfg.ErrorRate,
 		Filter:        flt,
 		Aligner:       pooledRegionAligner{p: alignPool},
+		Trace:         cfg.Trace.internalTrace(),
 	})
 	if err != nil {
 		return nil, err

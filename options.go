@@ -12,6 +12,9 @@ type engineSettings struct {
 	// cap is reached and every workspace is busy; contexts ending while
 	// blocked return ctx.Err(). Zero defaults to 2×GOMAXPROCS.
 	MaxWorkspaces int
+	// trace is attached to the engine after construction (Config itself
+	// must stay comparable, so hooks cannot live there).
+	trace *AlignTrace
 }
 
 // Option configures an Engine under construction.
@@ -69,6 +72,13 @@ func WithShards(n int) Option {
 	return func(s *engineSettings) { s.Shards = n }
 }
 
+// WithAlignTrace attaches hooks run around every alignment the engine
+// serves — workspace-pool wait and per-alignment timing. Equivalent to
+// calling Engine.SetAlignTrace right after NewEngine.
+func WithAlignTrace(tr *AlignTrace) Option {
+	return func(s *engineSettings) { s.trace = tr }
+}
+
 // NewEngine builds a concurrency-safe Engine. With no options it is the
 // paper's default setup — DNA alphabet, W=64, O=24 — sized to the machine.
 func NewEngine(opts ...Option) (*Engine, error) {
@@ -76,5 +86,12 @@ func NewEngine(opts ...Option) (*Engine, error) {
 	for _, opt := range opts {
 		opt(&s)
 	}
-	return newEngine(s.Config, s.Shards, s.MaxWorkspaces)
+	e, err := newEngine(s.Config, s.Shards, s.MaxWorkspaces)
+	if err != nil {
+		return nil, err
+	}
+	if s.trace != nil {
+		e.SetAlignTrace(s.trace)
+	}
+	return e, nil
 }
