@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand/v2"
+	"path/filepath"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,7 @@ import (
 	"genasm/internal/filter"
 	"genasm/internal/gact"
 	"genasm/internal/hw"
+	"genasm/internal/index"
 	"genasm/internal/mapper"
 	"genasm/internal/metrics"
 	"genasm/internal/myers"
@@ -688,4 +690,128 @@ func mutateBench(rng *rand.Rand, s []byte, errRate float64) []byte {
 		}
 	}
 	return out
+}
+
+// benchIndexConfigs enumerates the persistent-index backends with the
+// canonical build parameters `genasm index build` exposes; the sub-bench
+// names ("backend=hash", ...) are shared by the three index benchmarks so
+// benchstat lines up build, load and lookup per backend.
+var benchIndexConfigs = []struct {
+	name string
+	cfg  RefIndexConfig
+}{
+	{"backend=hash", RefIndexConfig{Backend: IndexHash, SeedK: 15}},
+	{"backend=minimizer", RefIndexConfig{Backend: IndexMinimizer, SeedK: 15, MinimizerW: 10}},
+	{"backend=suffixarray", RefIndexConfig{Backend: IndexSuffixArray, SeedK: 15}},
+}
+
+// benchIndexRef builds the 200kb reference the index benchmarks share
+// (same genome shape as BenchmarkMapper).
+func benchIndexRef() []byte {
+	rng := rand.New(rand.NewPCG(2032, 0))
+	return alphabetDecode(seq.Genome(rng, seq.DefaultGenomeConfig(200000)))
+}
+
+// BenchmarkIndexBuild measures offline index construction per backend —
+// the cost `genasm index build` pays once so later boots can skip it. The
+// BenchmarkIndexLoad/IndexBuild ratio is the cold-start win BENCHMARKS.md
+// tracks.
+func BenchmarkIndexBuild(b *testing.B) {
+	ref := benchIndexRef()
+	e, err := NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range benchIndexConfigs {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ri, err := e.BuildRefIndex(ref, tc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ri.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkIndexLoad measures cold start from a prebuilt index file: open,
+// validate (CRC + digest) and mmap a ref.gidx into a ready-to-seed index.
+func BenchmarkIndexLoad(b *testing.B) {
+	ref := benchIndexRef()
+	e, err := NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range benchIndexConfigs {
+		b.Run(tc.name, func(b *testing.B) {
+			ri, err := e.BuildRefIndex(ref, tc.cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			path := filepath.Join(b.TempDir(), "ref.gidx")
+			if err := ri.WriteFile(path); err != nil {
+				b.Fatal(err)
+			}
+			ri.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lri, err := LoadRefIndex(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				lri.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkSeedLookup isolates the seeding step — CandidateLocationsInto
+// over simulated short reads — per backend, on both the in-memory built
+// form (mem) and the mmap-loaded on-disk form (mmap). The pair guards the
+// promise that loading an index from disk does not slow the hot path.
+func BenchmarkSeedLookup(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2033, 0))
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(200000))
+	ref := alphabetDecode(genome)
+	reads, err := simulate.Reads(rng, genome, 50, simulate.Illumina100, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range benchIndexConfigs {
+		for _, storage := range []string{"mem", "mmap"} {
+			b.Run(tc.name+"/"+storage, func(b *testing.B) {
+				ri, err := e.BuildRefIndex(ref, tc.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer ri.Close()
+				idx := ri.idx
+				if storage == "mmap" {
+					path := filepath.Join(b.TempDir(), "ref.gidx")
+					if err := ri.WriteFile(path); err != nil {
+						b.Fatal(err)
+					}
+					lri, err := LoadRefIndex(path)
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer lri.Close()
+					idx = lri.idx
+				}
+				var s index.SeedScratch
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					idx.CandidateLocationsInto(&s, reads[i%len(reads)].Seq, 8)
+				}
+			})
+		}
+	}
 }

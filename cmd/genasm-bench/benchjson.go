@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
 	"slices"
@@ -20,6 +21,8 @@ import (
 	"genasm"
 	"genasm/internal/alphabet"
 	"genasm/internal/core"
+	"genasm/internal/index"
+	"genasm/internal/indexfile"
 	"genasm/internal/metrics"
 	"genasm/internal/seq"
 	"genasm/internal/simulate"
@@ -320,7 +323,137 @@ func benchSuite() []namedBench {
 	suite = append(suite, namedBench{name: "MapperTraced/Untraced", fn: mapperBench(nil)})
 	suite = append(suite, namedBench{name: "MapperTraced/Traced", fn: mapperBench(metricsMapTrace())})
 
+	// Persistent-index benchmarks (mirror BenchmarkIndexBuild/IndexLoad/
+	// SeedLookup): offline construction vs mmap cold start per backend, and
+	// the seeding hot path on the built and the mmap-loaded index form.
+	// The IndexLoad/IndexBuild ratio is the cold-start win BENCHMARKS.md
+	// tracks.
+	indexRef := func() []byte {
+		rng := rand.New(rand.NewPCG(2032, 0))
+		return alphabet.DNA.Decode(seq.Genome(rng, seq.DefaultGenomeConfig(200000)))
+	}
+	for _, c := range []struct {
+		name string
+		cfg  genasm.RefIndexConfig
+	}{
+		{"backend=hash", genasm.RefIndexConfig{Backend: genasm.IndexHash, SeedK: 15}},
+		{"backend=minimizer", genasm.RefIndexConfig{Backend: genasm.IndexMinimizer, SeedK: 15, MinimizerW: 10}},
+		{"backend=suffixarray", genasm.RefIndexConfig{Backend: genasm.IndexSuffixArray, SeedK: 15}},
+	} {
+		c := c
+		suite = append(suite, namedBench{
+			name: "IndexBuild/" + c.name,
+			fn: func(b *testing.B) {
+				ref := indexRef()
+				e, err := genasm.DefaultEngine()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ri, err := e.BuildRefIndex(ref, c.cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ri.Close()
+				}
+			},
+		})
+		suite = append(suite, namedBench{
+			name: "IndexLoad/" + c.name,
+			fn: func(b *testing.B) {
+				ref := indexRef()
+				e, err := genasm.DefaultEngine()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ri, err := e.BuildRefIndex(ref, c.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dir, err := os.MkdirTemp("", "genasm-bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer os.RemoveAll(dir)
+				path := filepath.Join(dir, "ref.gidx")
+				if err := ri.WriteFile(path); err != nil {
+					b.Fatal(err)
+				}
+				ri.Close()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					lri, err := genasm.LoadRefIndex(path)
+					if err != nil {
+						b.Fatal(err)
+					}
+					lri.Close()
+				}
+			},
+		})
+		for _, storage := range []string{"mem", "mmap"} {
+			storage := storage
+			suite = append(suite, namedBench{
+				name: "SeedLookup/" + c.name + "/" + storage,
+				fn:   seedLookupBench(c.cfg, storage),
+			})
+		}
+	}
+
 	return suite
+}
+
+// seedLookupBench isolates the seeding step — CandidateLocationsInto over
+// simulated short reads — for one backend, on the in-memory built index
+// (mem) or an mmap-loaded index file (mmap). It mirrors
+// BenchmarkSeedLookup, reaching through the internal index/indexfile
+// packages because the raw SeedIndex is not public API.
+func seedLookupBench(cfg genasm.RefIndexConfig, storage string) func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewPCG(2033, 0))
+		genome := seq.Genome(rng, seq.DefaultGenomeConfig(200000))
+		reads, err := simulate.Reads(rng, genome, 50, simulate.Illumina100, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var idx index.SeedIndex
+		switch cfg.Backend {
+		case genasm.IndexMinimizer:
+			idx, err = index.BuildMinimizer(genome, cfg.SeedK, cfg.MinimizerW)
+		case genasm.IndexSuffixArray:
+			idx, err = index.BuildSuffixArray(genome, cfg.SeedK)
+		default:
+			idx, err = index.Build(genome, cfg.SeedK)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if storage == "mmap" {
+			dir, err := os.MkdirTemp("", "genasm-bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			path := filepath.Join(dir, "ref.gidx")
+			if err := indexfile.WriteFile(path, idx, "ref"); err != nil {
+				b.Fatal(err)
+			}
+			f, err := indexfile.Load(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			idx = f.Index
+		}
+		var s index.SeedScratch
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			idx.CandidateLocationsInto(&s, reads[i%len(reads)].Seq, 8)
+		}
+	}
 }
 
 // metricsMapTrace mirrors the server's metrics-backed MapTrace: every hook

@@ -4,6 +4,7 @@
 //
 //	genasm-serve -addr :8080 -workspaces 16 -queue 64
 //	genasm-serve -addr :8080 -ref ref.fasta   # preload /v1/map + /v1/map/stream reference
+//	genasm-serve -addr :8080 -ref-index ref.gidx   # mmap a prebuilt index (genasm index build)
 //	genasm-serve -addr :8080 -ops-addr 127.0.0.1:8081 -log json
 //
 // Endpoints:
@@ -67,6 +68,7 @@ type options struct {
 	searchStart bool
 	gapsFirst   bool
 	refPath     string
+	refIndex    string
 	refName     string
 	seedK       int
 	errorRate   float64
@@ -94,6 +96,7 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.searchStart, "search-start", false, "let alignments start at the best position in the first window")
 	fs.BoolVar(&o.gapsFirst, "gaps-first", false, "prefer gaps over substitutions during traceback")
 	fs.StringVar(&o.refPath, "ref", "", "optional FASTA reference to preload for /v1/map")
+	fs.StringVar(&o.refIndex, "ref-index", "", "prebuilt reference index file (genasm index build) to preload for /v1/map; mutually exclusive with -ref")
 	fs.StringVar(&o.refName, "ref-name", "", "reference name override for /v1/map SAM output")
 	fs.IntVar(&o.seedK, "seed-k", 0, "mapper seed length (0 = 15)")
 	fs.Float64Var(&o.errorRate, "error-rate", 0, "mapper expected error rate (0 = 0.10)")
@@ -165,6 +168,13 @@ func buildServer(o options) (*server.Server, error) {
 		MapSeedK:       o.seedK,
 		MapErrorRate:   o.errorRate,
 		Logger:         logger,
+	}
+	if o.refIndex != "" {
+		if o.refPath != "" {
+			return nil, fmt.Errorf("-ref and -ref-index are mutually exclusive")
+		}
+		cfg.RefIndexPath = o.refIndex
+		cfg.RefName = o.refName
 	}
 	if o.refPath != "" {
 		f, err := seqio.Open(o.refPath)

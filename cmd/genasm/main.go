@@ -5,6 +5,8 @@
 //	genasm filter  -region SEQ -read SEQ -k 5
 //	genasm search  -text FILE|SEQ -pattern SEQ -k 2 [-bytes]
 //	genasm map     -ref ref.fasta -reads reads.fastq.gz [-sam]
+//	genasm index   build -ref ref.fasta -out ref.gidx [-backend suffixarray]
+//	genasm index   inspect ref.gidx
 //
 // Every subcommand runs on the public genasm.Engine API. Sequence
 // arguments are either literal sequences or paths to FASTA/FASTQ files
@@ -46,6 +48,8 @@ func main() {
 		err = runSearch(ctx, os.Args[2:])
 	case "map":
 		err = runMap(ctx, os.Args[2:])
+	case "index":
+		err = runIndex(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -61,12 +65,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: genasm <align|editdist|filter|search|map> [flags]
+	fmt.Fprintln(os.Stderr, `usage: genasm <align|editdist|filter|search|map|index> [flags]
   align    -text SEQ -query SEQ [-global] [-search-start]
   editdist -a SEQ -b SEQ
   filter   -region SEQ -read SEQ -k N
   search   -text SEQ|FILE -pattern SEQ -k N [-bytes]
-  map      -ref FASTA[.gz] -reads FASTA|FASTQ[.gz] [-seed-k N] [-error-rate F] [-sam]`)
+  map      -ref FASTA[.gz] -reads FASTA|FASTQ[.gz] [-seed-k N] [-error-rate F] [-sam]
+  index    build -ref FASTA[.gz] -out FILE [-backend hash|minimizer|suffixarray] [-seed-k N] [-minimizer-w N]
+           inspect FILE`)
 }
 
 // loadSeq returns the sequence in arg: the first record of a FASTA/FASTQ

@@ -61,6 +61,21 @@
 // letters outside it are reported as *AlphabetError. Accelerator models
 // the performance, area and power of the hardware design.
 //
+// # Persistent reference indexes
+//
+// Engine.NewMapper rebuilds the seed index from the reference on every
+// call. For references mapped against repeatedly, Engine.BuildRefIndex
+// constructs a RefIndex once — with a choice of seeding backend:
+// IndexHash (every k-mer), IndexMinimizer (windowed sampling) or
+// IndexSuffixArray (SA-IS suffix array) — RefIndex.WriteFile persists it
+// in a versioned, checksummed on-disk format, and LoadRefIndex memory-maps
+// it back (falling back to a heap copy where mmap is unavailable).
+// Engine.NewMapperFromIndex then boots a Mapper in file-validation time
+// rather than index-construction time; all backends and both storage
+// forms produce identical mappings, and the loaded index seeds without
+// allocating. `genasm index build`/`inspect` and `genasm-serve -ref-index`
+// are the command-line faces of the same workflow.
+//
 // # Kernels
 //
 // WithKernel selects the alignment kernel. KernelScrooge, the default,

@@ -1,17 +1,19 @@
-// Package index implements the hash-table-based reference index and
-// seeding of read mapping (Figure 1, steps 0 and 1, and the "hash-table
-// based indexing" use case of Section 11): all fixed-length substrings
-// (seeds) of the reference keyed to their locations, plus minimizer
-// sampling as used by Minimap2-class mappers to shrink the index.
+// Package index implements the candidate-generation backends of read
+// mapping (Figure 1, steps 0 and 1, and the "hash-table based indexing"
+// use case of Section 11): a k-mer hash index over the reference (all
+// fixed-length seeds keyed to their locations), minimizer sampling as used
+// by Minimap2-class mappers to shrink the index, and an SA-IS suffix array
+// with binary-search seeding. All backends implement SeedIndex, so the
+// mapping pipeline is agnostic to which one generated its candidates.
 package index
 
 import (
-	"cmp"
 	"fmt"
 	"slices"
 )
 
-// Index is a k-mer hash index over one reference sequence.
+// Index is a k-mer hash index over one reference sequence — the hash and
+// minimizer backends of SeedIndex.
 type Index struct {
 	k        int
 	ref      []byte
@@ -21,9 +23,6 @@ type Index struct {
 	numSeeds int
 }
 
-// maxK keeps 2-bit packed k-mers within a uint64.
-const maxK = 31
-
 // Build indexes every k-mer of the encoded reference.
 func Build(ref []byte, k int) (*Index, error) {
 	return build(ref, k, 0)
@@ -32,7 +31,8 @@ func Build(ref []byte, k int) (*Index, error) {
 // BuildMinimizer indexes only window minimizers: for every window of w
 // consecutive k-mers, the lexicographically smallest (after hashing) is
 // kept. This is Minimap2's sampling scheme, shrinking the index roughly
-// 2/(w+1)-fold while preserving mapability.
+// 2/(w+1)-fold while preserving mapability. w=1 degenerates to keeping
+// every k-mer (each window holds exactly one candidate).
 func BuildMinimizer(ref []byte, k, w int) (*Index, error) {
 	if w < 1 {
 		return nil, fmt.Errorf("index: minimizer window %d < 1", w)
@@ -41,8 +41,8 @@ func BuildMinimizer(ref []byte, k, w int) (*Index, error) {
 }
 
 func build(ref []byte, k, w int) (*Index, error) {
-	if k < 1 || k > maxK {
-		return nil, fmt.Errorf("index: k=%d out of [1,%d]", k, maxK)
+	if k < 1 || k > MaxK {
+		return nil, &KRangeError{K: k}
 	}
 	if len(ref) < k {
 		return nil, fmt.Errorf("index: reference length %d < k=%d", len(ref), k)
@@ -151,6 +151,47 @@ func (idx *Index) Seeds() int { return idx.numSeeds }
 // Ref returns the indexed reference.
 func (idx *Index) Ref() []byte { return idx.ref }
 
+// Stats implements SeedIndex. Bytes approximates Go's map footprint: per
+// bucket one key, one slice header and ~10 bytes of bucket overhead, plus
+// the location entries and the reference itself.
+func (idx *Index) Stats() Stats {
+	backend := BackendHash
+	if idx.sampled {
+		backend = BackendMinimizer
+	}
+	return Stats{
+		Backend:    backend,
+		K:          idx.k,
+		MinimizerW: idx.windowW,
+		RefLen:     len(idx.ref),
+		Seeds:      idx.numSeeds,
+		Buckets:    len(idx.loc),
+		Bytes:      int64(len(idx.ref)) + int64(len(idx.loc))*(8+24+10) + int64(idx.numSeeds)*4,
+	}
+}
+
+// Flatten exports the location table as sorted parallel arrays — the
+// on-disk layout of the hash backends: keys holds the distinct packed
+// k-mers ascending, locs the concatenated per-key location lists, and
+// offs[i]:offs[i+1] brackets key i's span of locs (len(offs) ==
+// len(keys)+1). Positions within one key keep their indexing order
+// (ascending), so a flattened-and-reloaded index yields byte-identical
+// candidate lists.
+func (idx *Index) Flatten() (keys []uint64, offs []uint32, locs []int32) {
+	keys = make([]uint64, 0, len(idx.loc))
+	for k := range idx.loc {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	offs = make([]uint32, 1, len(keys)+1)
+	locs = make([]int32, 0, idx.numSeeds)
+	for _, k := range keys {
+		locs = append(locs, idx.loc[k]...)
+		offs = append(offs, uint32(len(locs)))
+	}
+	return keys, offs, locs
+}
+
 // Lookup returns the reference positions of the seed (nil if absent). The
 // returned slice is shared with the index and must not be modified.
 func (idx *Index) Lookup(kmer []byte) []int32 {
@@ -160,58 +201,22 @@ func (idx *Index) Lookup(kmer []byte) []int32 {
 	return idx.loc[pack(kmer)]
 }
 
-// Candidate is a potential mapping location of a read, with the number of
-// seeds that voted for it.
-type Candidate struct {
-	// Pos is the inferred read start position in the reference.
-	Pos int
-	// Votes is the number of seed hits consistent with Pos.
-	Votes int
-}
-
-// binAgg aggregates the votes of one drift-tolerance bin.
-type binAgg struct {
-	votes     int
-	bestStart int
-	bestVotes int
-}
-
-// SeedScratch holds the per-read state of CandidateLocationsInto — vote
-// maps and the candidate list — so a mapping pipeline that seeds millions
-// of reads reuses one scratch per worker instead of reallocating per read.
-// The zero value is ready to use; a SeedScratch must not be shared between
-// concurrent calls.
-type SeedScratch struct {
-	exact map[int]int
-	bins  map[int]binAgg
-	cands []Candidate
-}
-
-// CandidateLocations runs the seeding step (Figure 1, step 1): every k-mer
-// of the read is looked up and each hit votes for the implied read start
-// position (hit position minus read offset). Votes are aggregated in bins
-// to tolerate indel drift, but each bin reports its most-voted exact start
-// so downstream aligners get a precise anchor. Candidates are returned
-// most-voted first, capped at maxCandidates (0 = no cap).
+// CandidateLocations runs the seeding step (Figure 1, step 1) with
+// throwaway scratch; see CandidateLocationsInto.
 func (idx *Index) CandidateLocations(read []byte, maxCandidates int) []Candidate {
 	var s SeedScratch
 	return idx.CandidateLocationsInto(&s, read, maxCandidates)
 }
 
-// CandidateLocationsInto is CandidateLocations with caller-owned scratch:
-// the returned slice views s.cands and stays valid until the scratch's
-// next use. Read k-mers are packed with a rolling 2-bit update (O(n)
-// instead of O(n·k)); k-mers containing codes outside the DNA alphabet
-// cast no votes.
+// CandidateLocationsInto implements SeedIndex: every k-mer of the read is
+// looked up and each hit votes for the implied read start position (hit
+// position minus read offset); SeedScratch.collect aggregates the votes
+// into ranked candidates. The returned slice views s.cands and stays valid
+// until the scratch's next use. Read k-mers are packed with a rolling
+// 2-bit update (O(n) instead of O(n·k)); k-mers containing codes outside
+// the DNA alphabet cast no votes.
 func (idx *Index) CandidateLocationsInto(s *SeedScratch, read []byte, maxCandidates int) []Candidate {
-	const bin = 16 // indel drift tolerance
-	if s.exact == nil {
-		s.exact = make(map[int]int, 128)
-		s.bins = make(map[int]binAgg, 16)
-	}
-	clear(s.exact)
-	clear(s.bins)
-
+	s.Begin()
 	mask := kmerMask(idx.k)
 	var key uint64
 	valid := 0 // consecutive in-alphabet codes ending at the current base
@@ -227,34 +232,8 @@ func (idx *Index) CandidateLocationsInto(s *SeedScratch, read []byte, maxCandida
 		}
 		off := i - idx.k + 1
 		for _, pos := range idx.loc[key&mask] {
-			s.exact[int(pos)-off]++
+			s.Vote(int(pos) - off)
 		}
 	}
-
-	for start, v := range s.exact {
-		b, ok := s.bins[start/bin]
-		if !ok {
-			b = binAgg{bestStart: start, bestVotes: v}
-		}
-		b.votes += v
-		if v > b.bestVotes || (v == b.bestVotes && start < b.bestStart) {
-			b.bestVotes, b.bestStart = v, start
-		}
-		s.bins[start/bin] = b
-	}
-	s.cands = s.cands[:0]
-	for _, b := range s.bins {
-		pos := max(b.bestStart, 0)
-		s.cands = append(s.cands, Candidate{Pos: pos, Votes: b.votes})
-	}
-	slices.SortFunc(s.cands, func(a, b Candidate) int {
-		if c := cmp.Compare(b.Votes, a.Votes); c != 0 {
-			return c
-		}
-		return cmp.Compare(a.Pos, b.Pos)
-	})
-	if maxCandidates > 0 && len(s.cands) > maxCandidates {
-		return s.cands[:maxCandidates]
-	}
-	return s.cands
+	return s.Collect(maxCandidates)
 }

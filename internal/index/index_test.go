@@ -1,7 +1,10 @@
 package index
 
 import (
+	"errors"
 	"math/rand/v2"
+	"reflect"
+	"slices"
 	"testing"
 
 	"genasm/internal/seq"
@@ -156,6 +159,122 @@ func TestCandidateCap(t *testing.T) {
 	cands := idx.CandidateLocations(read, 3)
 	if len(cands) > 3 {
 		t.Fatalf("cap violated: %d candidates", len(cands))
+	}
+}
+
+// TestKRangeTypedError pins the typed error for out-of-range seed
+// lengths: callers (the public MapperConfig validation among them) match
+// it with errors.As instead of parsing a generic build failure.
+func TestKRangeTypedError(t *testing.T) {
+	ref := testRef(100, 8)
+	for _, k := range []int{0, -3, MaxK + 1, 64} {
+		var kerr *KRangeError
+		_, err := Build(ref, k)
+		if !errors.As(err, &kerr) {
+			t.Errorf("Build k=%d: want *KRangeError, got %v", k, err)
+			continue
+		}
+		if kerr.K != k {
+			t.Errorf("KRangeError.K = %d, want %d", kerr.K, k)
+		}
+	}
+	if _, err := Build(ref, MaxK); err != nil {
+		t.Errorf("k=MaxK should build: %v", err)
+	}
+}
+
+// TestRefExactlyK covers the smallest legal reference: one k-mer, one
+// seed, and a lookup that finds it.
+func TestRefExactlyK(t *testing.T) {
+	ref := testRef(15, 9)
+	idx, err := Build(ref, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Seeds() != 1 {
+		t.Errorf("Seeds = %d, want 1", idx.Seeds())
+	}
+	cands := idx.CandidateLocations(ref, 0)
+	if len(cands) != 1 || cands[0].Pos != 0 || cands[0].Votes != 1 {
+		t.Errorf("candidates = %v, want one at 0 with 1 vote", cands)
+	}
+	// Minimizer path with the single possible window.
+	mini, err := BuildMinimizer(ref, 15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mini.Seeds() != 1 {
+		t.Errorf("minimizer Seeds = %d, want 1", mini.Seeds())
+	}
+}
+
+// TestMinimizerWindowOne pins the w=1 degenerate case: every window holds
+// exactly one k-mer, so the "sampled" index keeps every seed and produces
+// the same candidates as the full hash index.
+func TestMinimizerWindowOne(t *testing.T) {
+	ref := testRef(5000, 10)
+	full, err := Build(ref, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, err := BuildMinimizer(ref, 13, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Seeds() != full.Seeds() {
+		t.Errorf("w=1 minimizer has %d seeds, full index %d", w1.Seeds(), full.Seeds())
+	}
+	read := ref[1234:1334]
+	if got, want := w1.CandidateLocations(read, 0), full.CandidateLocations(read, 0); !reflect.DeepEqual(got, want) {
+		t.Errorf("w=1 candidates %v, full %v", got, want)
+	}
+	if st := w1.Stats(); st.Backend != BackendMinimizer || st.MinimizerW != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestHashIndexStats(t *testing.T) {
+	ref := testRef(2000, 15)
+	idx, err := Build(ref, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := idx.Stats()
+	if st.Backend != BackendHash || st.K != 11 || st.MinimizerW != 0 ||
+		st.RefLen != 2000 || st.Seeds != 2000-11+1 || st.Buckets == 0 || st.Bytes <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestFlattenRoundTrip checks the serialization export: sorted distinct
+// keys, monotone offsets bracketing each key's ascending location run.
+func TestFlattenRoundTrip(t *testing.T) {
+	ref := testRef(3000, 16)
+	idx, err := Build(ref, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, offs, locs := idx.Flatten()
+	if len(offs) != len(keys)+1 || offs[0] != 0 || int(offs[len(offs)-1]) != len(locs) {
+		t.Fatalf("offsets malformed: %d keys, %d offs, %d locs", len(keys), len(offs), len(locs))
+	}
+	if !slices.IsSorted(keys) {
+		t.Error("keys not sorted")
+	}
+	if len(locs) != idx.Seeds() {
+		t.Errorf("%d locs, %d seeds", len(locs), idx.Seeds())
+	}
+	for i, key := range keys {
+		span := locs[offs[i]:offs[i+1]]
+		if len(span) == 0 {
+			t.Fatalf("key %d has empty span", key)
+		}
+		for _, p := range span {
+			kmer := ref[p : int(p)+idx.K()]
+			if pack(kmer) != key {
+				t.Fatalf("loc %d under key %d packs to %d", p, key, pack(kmer))
+			}
+		}
 	}
 }
 

@@ -1,0 +1,149 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+
+	"genasm/internal/seq"
+)
+
+// naiveSuffixArray is the O(n² log n) reference construction.
+func naiveSuffixArray(s []byte) []int32 {
+	sa := make([]int32, len(s))
+	for i := range sa {
+		sa[i] = int32(i)
+	}
+	sort.Slice(sa, func(i, j int) bool {
+		return bytes.Compare(s[sa[i]:], s[sa[j]:]) < 0
+	})
+	return sa
+}
+
+func TestSAISMatchesNaive(t *testing.T) {
+	// Hand-picked adversarial shapes plus random references: repeats,
+	// runs, and the classic abracadabra-style LMS patterns (in 2-bit
+	// codes) stress the naming and induction passes.
+	fixed := [][]byte{
+		{0},
+		{0, 0, 0, 0},
+		{3, 2, 1, 0},
+		{0, 1, 0, 1, 0, 1},
+		{1, 0, 1, 1, 0, 1, 1, 0, 0},
+		{2, 2, 1, 2, 2, 1, 2, 2, 1, 0},
+		{0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3},
+	}
+	for i, ref := range fixed {
+		if got, want := suffixArray(ref), naiveSuffixArray(ref); !reflect.DeepEqual(got, want) {
+			t.Errorf("fixed[%d] %v: sa-is %v, naive %v", i, ref, got, want)
+		}
+	}
+	rng := rand.New(rand.NewPCG(42, 0))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(300)
+		ref := seq.Random(rng, n)
+		if got, want := suffixArray(ref), naiveSuffixArray(ref); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d): sa-is %v, naive %v\nref %v", trial, n, got, want, ref)
+		}
+	}
+}
+
+func TestBuildSuffixArrayValidation(t *testing.T) {
+	ref := testRef(100, 11)
+	if _, err := BuildSuffixArray(ref, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	var kerr *KRangeError
+	_, err := BuildSuffixArray(ref, MaxK+1)
+	if !errors.As(err, &kerr) {
+		t.Errorf("k=%d: want KRangeError, got %v", MaxK+1, err)
+	}
+	if _, err := BuildSuffixArray(ref[:5], 10); err == nil {
+		t.Error("ref shorter than k should fail")
+	}
+	if _, err := BuildSuffixArray([]byte{0, 9, 1}, 2); err == nil {
+		t.Error("invalid codes should fail")
+	}
+}
+
+func TestNewSuffixIndexValidation(t *testing.T) {
+	ref := testRef(50, 12)
+	si, err := BuildSuffixArray(ref, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSuffixIndex(ref, si.SA()[:10], 11); err == nil {
+		t.Error("short sa should fail")
+	}
+	bad := append([]int32(nil), si.SA()...)
+	bad[3] = int32(len(ref))
+	if _, err := NewSuffixIndex(ref, bad, 11); err == nil {
+		t.Error("out-of-range sa entry should fail")
+	}
+	bad[3] = -1
+	if _, err := NewSuffixIndex(ref, bad, 11); err == nil {
+		t.Error("negative sa entry should fail")
+	}
+	if _, err := NewSuffixIndex(ref, si.SA(), 11); err != nil {
+		t.Errorf("valid wrap failed: %v", err)
+	}
+}
+
+// TestSuffixCandidatesMatchHash pins the cross-backend invariant the
+// differential mapping tests build on: the suffix array and the full hash
+// index see exactly the same seed hits, so their candidate lists are
+// byte-identical.
+func TestSuffixCandidatesMatchHash(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 0))
+	ref := testRef(20000, 13)
+	hash, err := Build(ref, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := BuildSuffixArray(ref, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hs, ss SeedScratch
+	for trial := 0; trial < 100; trial++ {
+		var read []byte
+		switch trial % 3 {
+		case 0: // exact slice
+			p := rng.IntN(len(ref) - 150)
+			read = ref[p : p+150]
+		case 1: // mutated slice
+			p := rng.IntN(len(ref) - 150)
+			read = append([]byte(nil), ref[p:p+150]...)
+			for e := 0; e < 8; e++ {
+				q := rng.IntN(len(read))
+				read[q] = (read[q] + byte(1+rng.IntN(3))) % 4
+			}
+		default: // random, plus an invalid code to exercise skipping
+			read = seq.Random(rng, 100)
+			read[rng.IntN(len(read))] = 9
+		}
+		hc := hash.CandidateLocationsInto(&hs, read, 0)
+		sc := sa.CandidateLocationsInto(&ss, read, 0)
+		if !reflect.DeepEqual(hc, sc) {
+			t.Fatalf("trial %d: hash candidates %v, suffix-array candidates %v", trial, hc, sc)
+		}
+	}
+}
+
+func TestSuffixIndexStats(t *testing.T) {
+	ref := testRef(500, 14)
+	si, err := BuildSuffixArray(ref, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := si.Stats()
+	if st.Backend != BackendSuffixArray || st.K != 15 || st.RefLen != 500 || st.Seeds != 500 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Bytes != 500+4*500 {
+		t.Errorf("bytes = %d", st.Bytes)
+	}
+}

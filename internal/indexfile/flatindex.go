@@ -1,0 +1,137 @@
+package indexfile
+
+import (
+	"fmt"
+
+	"genasm/internal/index"
+)
+
+// flatIndex is the loaded form of the hash-family backends: the bucket map
+// flattened into three sorted parallel arrays that are served zero-copy
+// from the file mapping. Lookups binary-search keys instead of hashing
+// into a map — O(log buckets) per k-mer, but with zero load-time
+// construction and no per-bucket allocation. It yields byte-identical
+// candidates to the in-memory Index it was written from: Flatten()
+// preserves per-key location order, and both funnel hits through the
+// shared SeedScratch voting.
+type flatIndex struct {
+	k         int
+	w         int
+	minimizer bool
+	ref       []byte
+
+	keys []uint64 // distinct packed k-mers, ascending
+	offs []uint32 // len(keys)+1; offs[i]:offs[i+1] brackets key i's locs
+	locs []int32  // concatenated per-key reference positions
+}
+
+// validate bounds-checks the structure once at load so the seeding hot
+// path can index without checks: monotone offsets covering locs exactly,
+// strictly ascending keys, and every location a valid k-mer start.
+func (fi *flatIndex) validate() error {
+	if len(fi.offs) != len(fi.keys)+1 {
+		return fmt.Errorf("%w: %d offsets for %d keys", ErrCorrupt, len(fi.offs), len(fi.keys))
+	}
+	if fi.offs[0] != 0 || int(fi.offs[len(fi.offs)-1]) != len(fi.locs) {
+		return fmt.Errorf("%w: offsets span [%d,%d] over %d locations", ErrCorrupt, fi.offs[0], fi.offs[len(fi.offs)-1], len(fi.locs))
+	}
+	for i := 1; i < len(fi.offs); i++ {
+		if fi.offs[i] < fi.offs[i-1] {
+			return fmt.Errorf("%w: offsets not monotone at %d", ErrCorrupt, i)
+		}
+	}
+	for i := 1; i < len(fi.keys); i++ {
+		if fi.keys[i] <= fi.keys[i-1] {
+			return fmt.Errorf("%w: keys not strictly ascending at %d", ErrCorrupt, i)
+		}
+	}
+	if max := kmerMask(fi.k); len(fi.keys) > 0 && fi.keys[len(fi.keys)-1] > max {
+		return fmt.Errorf("%w: key exceeds %d-mer range", ErrCorrupt, fi.k)
+	}
+	limit := int32(len(fi.ref) - fi.k)
+	for i, p := range fi.locs {
+		if p < 0 || p > limit {
+			return fmt.Errorf("%w: location %d out of range: %d", ErrCorrupt, i, p)
+		}
+	}
+	return nil
+}
+
+// kmerMask is the low-bits mask of a packed k-mer (2 bits per base).
+func kmerMask(k int) uint64 { return uint64(1)<<(2*k) - 1 }
+
+// K implements index.SeedIndex.
+func (fi *flatIndex) K() int { return fi.k }
+
+// Ref implements index.SeedIndex.
+func (fi *flatIndex) Ref() []byte { return fi.ref }
+
+// Stats implements index.SeedIndex; Bytes is the flat-array footprint.
+func (fi *flatIndex) Stats() index.Stats {
+	backend := index.BackendHash
+	if fi.minimizer {
+		backend = index.BackendMinimizer
+	}
+	return index.Stats{
+		Backend:    backend,
+		K:          fi.k,
+		MinimizerW: fi.w,
+		RefLen:     len(fi.ref),
+		Seeds:      len(fi.locs),
+		Buckets:    len(fi.keys),
+		Bytes:      int64(len(fi.ref)) + 8*int64(len(fi.keys)) + 4*int64(len(fi.offs)) + 4*int64(len(fi.locs)),
+	}
+}
+
+// Flatten implements the serialization export, allowing a loaded index to
+// be written back out (Write round-trips through either form).
+func (fi *flatIndex) Flatten() (keys []uint64, offs []uint32, locs []int32) {
+	return fi.keys, fi.offs, fi.locs
+}
+
+// findKey binary-searches the sorted key array; returns the bucket index
+// or -1. Manual loop, no closures: the seeding hot path stays
+// allocation-free.
+func (fi *flatIndex) findKey(key uint64) int {
+	lo, hi := 0, len(fi.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if fi.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(fi.keys) && fi.keys[lo] == key {
+		return lo
+	}
+	return -1
+}
+
+// CandidateLocationsInto implements index.SeedIndex with the same rolling
+// 2-bit packing as the in-memory Index; each hit votes through the shared
+// scratch, so candidate lists are identical across storage forms.
+func (fi *flatIndex) CandidateLocationsInto(s *index.SeedScratch, read []byte, maxCandidates int) []index.Candidate {
+	s.Begin()
+	mask := kmerMask(fi.k)
+	var key uint64
+	valid := 0
+	for i, c := range read {
+		if c > 3 {
+			valid = 0
+			continue
+		}
+		valid++
+		key = key<<2 | uint64(c)
+		if valid < fi.k {
+			continue
+		}
+		off := i - fi.k + 1
+		if b := fi.findKey(key & mask); b >= 0 {
+			for _, pos := range fi.locs[fi.offs[b]:fi.offs[b+1]] {
+				s.Vote(int(pos) - off)
+			}
+		}
+	}
+	return s.Collect(maxCandidates)
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package indexfile
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile is unavailable on this platform; Load falls back to reading the
+// file into RAM.
+func mapFile(_ *os.File, _ int64) ([]byte, func() error, error) {
+	return nil, nil, errors.New("indexfile: mmap not supported on this platform")
+}

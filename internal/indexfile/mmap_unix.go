@@ -1,0 +1,26 @@
+//go:build unix
+
+package indexfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only and returns the mapping plus its
+// releaser. The mapping is shared (the page cache backs it directly), so a
+// multi-gigabyte index costs no private RAM and is demand-paged.
+func mapFile(f *os.File, size int64) (data []byte, closer func() error, err error) {
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("indexfile: cannot map %d-byte file", size)
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("indexfile: file size %d exceeds address space", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("indexfile: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -180,6 +180,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.SeedK == 0 {
 		c.SeedK = 15
 	}
+	if c.SeedK < 1 || c.SeedK > index.MaxK {
+		return c, &index.KRangeError{K: c.SeedK}
+	}
 	if c.MaxCandidates == 0 {
 		c.MaxCandidates = 8
 	}
@@ -237,7 +240,7 @@ type mapScratch struct {
 // pooled internally).
 type Mapper struct {
 	cfg     Config
-	idx     *index.Index
+	idx     index.SeedIndex
 	ref     []byte
 	scratch sync.Pool // of *mapScratch
 }
@@ -260,8 +263,34 @@ func New(ref []byte, cfg Config) (*Mapper, error) {
 	return &Mapper{cfg: cfg, idx: idx, ref: ref}, nil
 }
 
+// NewFromIndex builds a Mapper over a prebuilt seed index — any SeedIndex
+// backend, including one loaded from an index file — skipping the indexing
+// step entirely. The seeding parameters come from the index itself;
+// cfg.SeedK and cfg.MinimizerW are ignored.
+func NewFromIndex(idx index.SeedIndex, cfg Config) (*Mapper, error) {
+	st := idx.Stats()
+	cfg.SeedK = st.K
+	cfg.MinimizerW = st.MinimizerW
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Mapper{cfg: cfg, idx: idx, ref: idx.Ref()}, nil
+}
+
 // Index exposes the underlying seed index.
-func (m *Mapper) Index() *index.Index { return m.idx }
+func (m *Mapper) Index() index.SeedIndex { return m.idx }
+
+// HashIndex returns the concrete hash/minimizer index, or nil when the
+// Mapper runs on a different backend.
+//
+// Deprecated: use Index; the pipeline no longer assumes a hash backend.
+func (m *Mapper) HashIndex() *index.Index {
+	if hi, ok := m.idx.(*index.Index); ok {
+		return hi
+	}
+	return nil
+}
 
 // MapRead maps one encoded read, trying both strands, and returns the
 // lowest-edit-distance alignment across all surviving candidates.

@@ -198,6 +198,15 @@ func (v *CounterVec) Sum() uint64 {
 	return n
 }
 
+// GaugeVec is a labeled gauge family — e.g. an info-style metric whose
+// labels carry the payload ({backend="hash",source="mmap"} set to 1).
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for a label-value tuple, creating it on first
+// use. It locks and may allocate: resolve once and retain the handle on
+// hot paths.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).g }
+
 // HistogramVec is a labeled histogram family.
 type HistogramVec struct{ f *family }
 
@@ -270,6 +279,11 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 // Gauge registers and returns an unlabeled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.register(name, help, "gauge", nil, nil).child(nil).g
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, "gauge", labels, nil)}
 }
 
 // GaugeFunc registers a gauge whose value is read from fn at scrape time —

@@ -64,6 +64,34 @@ func TestVecChildrenAreDistinctAndCached(t *testing.T) {
 	}
 }
 
+func TestGaugeVec(t *testing.T) {
+	r := New()
+	v := r.GaugeVec("index_info", "Index descriptor.", "backend", "source")
+	a := v.With("hash", "mmap")
+	b := v.With("suffixarray", "built")
+	if a == b {
+		t.Fatal("distinct label tuples returned the same gauge")
+	}
+	a.Set(1)
+	b.Set(1)
+	if v.With("hash", "mmap") != a {
+		t.Error("repeated With did not return the cached child")
+	}
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`index_info{backend="hash",source="mmap"} 1`,
+		`index_info{backend="suffixarray",source="built"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRegisterPanics(t *testing.T) {
 	r := New()
 	r.Counter("dup", "x")

@@ -146,6 +146,26 @@ func newServerMetrics(s *Server) *serverMetrics {
 	return m
 }
 
+// registerIndexInfo exports the preloaded reference index on /metrics:
+// size and load time as gauges, and an info-style descriptor whose labels
+// carry the backend and origin — the standard pattern for dimensioning
+// dashboards by deployment shape ("which backend is this fleet running?").
+// Called once at startup when a reference is preloaded.
+func (m *serverMetrics) registerIndexInfo(st genasm.IndexStats) {
+	m.reg.GaugeFunc("genasm_index_bytes",
+		"In-memory footprint of the preloaded reference index (reference included).",
+		func() float64 { return float64(st.Bytes) })
+	m.reg.GaugeFunc("genasm_index_seeds",
+		"Seed positions in the preloaded reference index.",
+		func() float64 { return float64(st.Seeds) })
+	m.reg.GaugeFunc("genasm_index_load_seconds",
+		"Wall time spent loading the reference index file (0 when the index was built at startup).",
+		func() float64 { return st.LoadTime.Seconds() })
+	m.reg.GaugeVec("genasm_index_info",
+		"Preloaded reference index descriptor; the labels carry the backend (hash, minimizer, suffixarray) and source (built, mmap, memory).",
+		"backend", "source").With(st.Backend, st.Source).Set(1)
+}
+
 // alignTrace adapts the registry into engine-level hooks. Attached to both
 // the serving and the mapping engine, so every alignment either path runs
 // lands in the same histograms.

@@ -87,6 +87,13 @@ type Config struct {
 	// "reference".
 	RefName string
 	Ref     []byte
+	// RefIndexPath preloads the /v1/map reference from a prebuilt index
+	// file (see `genasm index build`) instead of indexing Ref at startup —
+	// the file is mmapped, so boot time is independent of reference size.
+	// Mutually exclusive with Ref; MapSeedK must be left zero (the seed
+	// length is baked into the file). The server owns the mapping and
+	// releases it on clean Shutdown.
+	RefIndexPath string
 	// ShutdownTimeout bounds graceful shutdown. Defaults to 10s.
 	ShutdownTimeout time.Duration
 	// Logger receives structured request and error logs. Nil discards
@@ -151,6 +158,10 @@ type Server struct {
 	mapEngine *genasm.Engine
 	// preMapper is the startup-indexed mapper for a preloaded reference.
 	preMapper *genasm.Mapper
+	// refIndex backs preMapper when the reference came from an index file
+	// (Config.RefIndexPath); the server releases its mapping on clean
+	// Shutdown.
+	refIndex *genasm.RefIndex
 }
 
 // New builds a Server (and, when Config.Ref is set, indexes the reference).
@@ -182,12 +193,45 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.mapEngine = me
-	if len(cfg.Ref) > 0 {
+	switch {
+	case cfg.RefIndexPath != "" && len(cfg.Ref) > 0:
+		return nil, errors.New("server: Ref and RefIndexPath are mutually exclusive")
+	case cfg.RefIndexPath != "":
+		if cfg.MapSeedK != 0 {
+			return nil, errors.New("server: MapSeedK conflicts with RefIndexPath (the seed length is baked into the index file)")
+		}
+		ri, err := genasm.LoadRefIndex(cfg.RefIndexPath)
+		if err != nil {
+			return nil, fmt.Errorf("server: loading reference index: %w", err)
+		}
+		m, err := s.mapEngine.NewMapperFromIndex(ri, genasm.MapperConfig{
+			ErrorRate: cfg.MapErrorRate,
+			RefName:   cfg.RefName,
+			Trace:     s.m.mapTrace(),
+		})
+		if err != nil {
+			ri.Close()
+			return nil, fmt.Errorf("server: reference index %s: %w", cfg.RefIndexPath, err)
+		}
+		s.refIndex = ri
+		s.preMapper = m
+		st := ri.Stats()
+		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "reference index loaded",
+			slog.String("path", cfg.RefIndexPath),
+			slog.String("backend", st.Backend),
+			slog.String("source", st.Source),
+			slog.Int("ref_len", st.RefLen),
+			slog.String("ref_digest", fmt.Sprintf("%016x", st.RefDigest)),
+			slog.Duration("load_time", st.LoadTime))
+	case len(cfg.Ref) > 0:
 		m, err := s.newMapper(cfg.Ref, cfg.RefName)
 		if err != nil {
 			return nil, fmt.Errorf("server: indexing reference: %w", err)
 		}
 		s.preMapper = m
+	}
+	if s.preMapper != nil {
+		s.m.registerIndexInfo(s.preMapper.IndexStats())
 	}
 	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -251,14 +295,23 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown drains in-flight requests and stops the server, bounded by
-// Config.ShutdownTimeout. Healthz reports degraded for the duration.
+// Config.ShutdownTimeout. Healthz reports degraded for the duration. After
+// a clean drain the preloaded reference index's file mapping (if any) is
+// released; on a timed-out drain it is deliberately leaked, since requests
+// may still be touching the mapped pages.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closing.Store(true)
 	s.logger.LogAttrs(ctx, slog.LevelInfo, "shutting down",
 		slog.Duration("timeout", s.cfg.ShutdownTimeout))
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.ShutdownTimeout)
 	defer cancel()
-	return s.hs.Shutdown(ctx)
+	err := s.hs.Shutdown(ctx)
+	if err == nil && s.refIndex != nil {
+		if cerr := s.refIndex.Close(); cerr != nil {
+			err = fmt.Errorf("server: closing reference index: %w", cerr)
+		}
+	}
+	return err
 }
 
 // admission --------------------------------------------------------------

@@ -9,6 +9,7 @@ import (
 	"math/rand/v2"
 	"net"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -446,6 +447,109 @@ func TestPreloadedReference(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// TestPreloadedRefIndexFile boots the server from a prebuilt index file
+// (the RefIndexPath fast-start path) and pins that mapping through it is
+// identical to a server that indexed the same reference at startup, that
+// the index shows on /metrics, and that the mapping is released on clean
+// shutdown.
+func TestPreloadedRefIndexFile(t *testing.T) {
+	rng := rand.New(rand.NewPCG(78, 1))
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(20000))
+	refLetters := alphabet.DNA.Decode(genome)
+	reads, err := simulate.Reads(rng, genome, 3, simulate.Illumina150, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := MapRequest{}
+	for i, r := range reads {
+		req.Reads = append(req.Reads, MapRead{Name: fmt.Sprintf("p%d", i), Seq: string(alphabet.DNA.Decode(r.Seq))})
+	}
+
+	eng := newTestEngine(t)
+	ri, err := eng.BuildRefIndex(refLetters, RefIndexBuildConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ref.gidx"
+	if err := ri.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	_, baseBuilt := startServer(t, Config{Engine: newTestEngine(t), RefName: "chrF", Ref: refLetters})
+	_, baseFile := startServer(t, Config{Engine: newTestEngine(t), RefIndexPath: path})
+
+	respB, bodyB := postJSON(t, baseBuilt+"/v1/map", req)
+	respF, bodyF := postJSON(t, baseFile+"/v1/map", req)
+	if respB.StatusCode != http.StatusOK || respF.StatusCode != http.StatusOK {
+		t.Fatalf("status built=%d file=%d: %s %s", respB.StatusCode, respF.StatusCode, bodyB, bodyF)
+	}
+	if !strings.Contains(string(bodyF), "SN:chrF") {
+		t.Errorf("file-backed server lost the reference name from the index:\n%s", bodyF)
+	}
+	if !bytes.Equal(bodyB, bodyF) {
+		t.Errorf("mappings diverge between built and file-loaded index:\n%s\nvs\n%s", bodyB, bodyF)
+	}
+
+	mresp, err := http.Get(baseFile + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	exposition, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		`genasm_index_info{backend="hash",source="m`, // mmap or memory
+		"genasm_index_bytes",
+		"genasm_index_load_seconds",
+		"genasm_index_seeds",
+	} {
+		if !strings.Contains(string(exposition), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// RefIndexBuildConfig is the index configuration the file-backed server
+// tests build with: the name written into the file must surface in SAM.
+func RefIndexBuildConfig(t *testing.T) genasm.RefIndexConfig {
+	t.Helper()
+	return genasm.RefIndexConfig{RefName: "chrF"}
+}
+
+func TestRefIndexConfigErrors(t *testing.T) {
+	eng := newTestEngine(t)
+	if _, err := New(Config{Engine: eng, Ref: []byte("ACGT"), RefIndexPath: "x.gidx"}); err == nil {
+		t.Error("Ref + RefIndexPath accepted")
+	}
+	if _, err := New(Config{Engine: eng, RefIndexPath: t.TempDir() + "/absent.gidx"}); err == nil {
+		t.Error("missing index file accepted")
+	}
+	rng := rand.New(rand.NewPCG(79, 1))
+	refLetters := alphabet.DNA.Decode(seq.Genome(rng, seq.DefaultGenomeConfig(2000)))
+	ri, err := eng.BuildRefIndex(refLetters, genasm.RefIndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/ref.gidx"
+	if err := ri.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Engine: eng, RefIndexPath: path, MapSeedK: 21}); err == nil {
+		t.Error("MapSeedK + RefIndexPath accepted")
+	}
+	// Corrupt the file; the server must refuse to boot, not panic.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Engine: eng, RefIndexPath: path}); err == nil {
+		t.Error("corrupt index file accepted")
+	}
 }
 
 func TestMapLimits(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"genasm/internal/cigar"
 	"genasm/internal/core"
 	"genasm/internal/filter"
+	"genasm/internal/indexfile"
 	"genasm/internal/mapper"
 	"genasm/internal/pool"
 	"genasm/internal/sam"
@@ -77,10 +78,11 @@ type ReadMapping struct {
 // construction and alignment scratch is drawn from a sharded workspace
 // pool. Build one with Engine.NewMapper.
 type Mapper struct {
-	e       *Engine
-	m       *mapper.Mapper
-	refName string
-	refLen  int
+	e        *Engine
+	m        *mapper.Mapper
+	refName  string
+	refLen   int
+	idxStats IndexStats
 }
 
 // pooledRegionAligner adapts a workspace pool into the mapping pipeline's
@@ -145,22 +147,9 @@ func (e *Engine) NewMapper(ref []byte, cfg MapperConfig) (*Mapper, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Candidate regions carry leading slack for anchor imprecision, so the
-	// alignment step must be allowed to start at the best position within
-	// the first window. Engines already configured that way share their
-	// pool; otherwise the mapper derives a search-capable pool of the same
-	// capacity.
-	alignPool := e.pool
-	if !e.cfg.SearchStart {
-		searchCfg := e.cfg
-		searchCfg.SearchStart = true
-		alignPool, err = pool.New(pool.Config{
-			Core:          searchCfg.coreConfig(),
-			MaxWorkspaces: e.Capacity(),
-		})
-		if err != nil {
-			return nil, err
-		}
+	alignPool, err := e.mapperAlignPool()
+	if err != nil {
+		return nil, err
 	}
 	var flt filter.Filter
 	if cfg.Prefilter {
@@ -182,7 +171,37 @@ func (e *Engine) NewMapper(ref []byte, cfg MapperConfig) (*Mapper, error) {
 	if refName == "" {
 		refName = "ref"
 	}
-	return &Mapper{e: e, m: m, refName: refName, refLen: len(ref)}, nil
+	st := m.Index().Stats()
+	idxStats := IndexStats{
+		Backend:    st.Backend,
+		K:          st.K,
+		MinimizerW: st.MinimizerW,
+		RefLen:     st.RefLen,
+		Seeds:      st.Seeds,
+		Buckets:    st.Buckets,
+		Bytes:      st.Bytes,
+		RefDigest:  indexfile.RefDigest(encRef),
+		Source:     "built",
+	}
+	return &Mapper{e: e, m: m, refName: refName, refLen: len(ref), idxStats: idxStats}, nil
+}
+
+// mapperAlignPool returns the workspace pool the mapping pipeline's
+// alignment step draws from. Candidate regions carry leading slack for
+// anchor imprecision, so the alignment step must be allowed to start at
+// the best position within the first window. Engines already configured
+// with SearchStart share their pool; otherwise a private search-capable
+// pool of the same capacity is derived.
+func (e *Engine) mapperAlignPool() (*pool.Pool, error) {
+	if e.cfg.SearchStart {
+		return e.pool, nil
+	}
+	searchCfg := e.cfg
+	searchCfg.SearchStart = true
+	return pool.New(pool.Config{
+		Core:          searchCfg.coreConfig(),
+		MaxWorkspaces: e.Capacity(),
+	})
 }
 
 // Map is the one-shot read-mapping convenience: it indexes ref with the
