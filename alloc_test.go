@@ -29,7 +29,7 @@ func TestMapReadAllocBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := e.NewMapper(alphabetDecode(genome), MapperConfig{SeedK: 15, ErrorRate: 0.05, Prefilter: true})
+	m, err := e.NewMapper(alphabetDecode(genome), MapperConfig{SeedParams: SeedParams{SeedK: 15}, ErrorRate: 0.05, Prefilter: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestMapReadTracedAllocBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	m, err := e.NewMapper(alphabetDecode(genome), MapperConfig{
-		SeedK: 15, ErrorRate: 0.05, Prefilter: true, Trace: metricsMapTrace(),
+		SeedParams: SeedParams{SeedK: 15}, ErrorRate: 0.05, Prefilter: true, Trace: metricsMapTrace(),
 	})
 	if err != nil {
 		t.Fatal(err)

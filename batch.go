@@ -92,19 +92,3 @@ func (e *Engine) alignJob(ctx context.Context, job BatchJob) BatchResult {
 	aln, err := e.runEncoded(ctx, encText, encQuery, job.Global)
 	return BatchResult{Alignment: aln, Err: err}
 }
-
-// AlignBatch aligns many pairs in parallel with a transient engine sized to
-// workers (workers <= 0 uses the default sizing). Results are in job order;
-// per-job failures, including encode failures, are reported in
-// BatchResult.Err rather than aborting the batch.
-//
-// Deprecated: use Engine.AlignBatch, which is context-aware and draws from
-// a long-lived engine's workspace pool instead of building workspaces per
-// call — or Engine.AlignStream for bounded-memory job streams.
-func AlignBatch(cfg Config, jobs []BatchJob, workers int) ([]BatchResult, error) {
-	e, err := newEngine(cfg, 0, workers)
-	if err != nil {
-		return nil, err
-	}
-	return e.AlignBatch(context.Background(), jobs)
-}

@@ -396,7 +396,7 @@ func BenchmarkMapper(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	m, err := e.NewMapper(alphabetDecode(genome), MapperConfig{SeedK: 15, ErrorRate: 0.05, Prefilter: true})
+	m, err := e.NewMapper(alphabetDecode(genome), MapperConfig{SeedParams: SeedParams{SeedK: 15}, ErrorRate: 0.05, Prefilter: true})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -441,7 +441,7 @@ func BenchmarkMapperTraced(b *testing.B) {
 				b.Fatal(err)
 			}
 			m, err := e.NewMapper(alphabetDecode(genome), MapperConfig{
-				SeedK: 15, ErrorRate: 0.05, Prefilter: true, Trace: tc.trace,
+				SeedParams: SeedParams{SeedK: 15}, ErrorRate: 0.05, Prefilter: true, Trace: tc.trace,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -700,9 +700,9 @@ var benchIndexConfigs = []struct {
 	name string
 	cfg  RefIndexConfig
 }{
-	{"backend=hash", RefIndexConfig{Backend: IndexHash, SeedK: 15}},
-	{"backend=minimizer", RefIndexConfig{Backend: IndexMinimizer, SeedK: 15, MinimizerW: 10}},
-	{"backend=suffixarray", RefIndexConfig{Backend: IndexSuffixArray, SeedK: 15}},
+	{"backend=hash", RefIndexConfig{Backend: IndexHash, SeedParams: SeedParams{SeedK: 15}}},
+	{"backend=minimizer", RefIndexConfig{Backend: IndexMinimizer, SeedParams: SeedParams{SeedK: 15, MinimizerW: 10}}},
+	{"backend=suffixarray", RefIndexConfig{Backend: IndexSuffixArray, SeedParams: SeedParams{SeedK: 15}}},
 }
 
 // benchIndexRef builds the 200kb reference the index benchmarks share

@@ -24,6 +24,7 @@ import (
 	"genasm/internal/index"
 	"genasm/internal/indexfile"
 	"genasm/internal/metrics"
+	"genasm/internal/registry"
 	"genasm/internal/seq"
 	"genasm/internal/simulate"
 )
@@ -296,7 +297,7 @@ func benchSuite() []namedBench {
 				b.Fatal(err)
 			}
 			m, err := e.NewMapper(alphabet.DNA.Decode(genome), genasm.MapperConfig{
-				SeedK: 15, ErrorRate: 0.05, Prefilter: true, Trace: trace,
+				SeedParams: genasm.SeedParams{SeedK: 15}, ErrorRate: 0.05, Prefilter: true, Trace: trace,
 			})
 			if err != nil {
 				b.Fatal(err)
@@ -336,9 +337,9 @@ func benchSuite() []namedBench {
 		name string
 		cfg  genasm.RefIndexConfig
 	}{
-		{"backend=hash", genasm.RefIndexConfig{Backend: genasm.IndexHash, SeedK: 15}},
-		{"backend=minimizer", genasm.RefIndexConfig{Backend: genasm.IndexMinimizer, SeedK: 15, MinimizerW: 10}},
-		{"backend=suffixarray", genasm.RefIndexConfig{Backend: genasm.IndexSuffixArray, SeedK: 15}},
+		{"backend=hash", genasm.RefIndexConfig{Backend: genasm.IndexHash, SeedParams: genasm.SeedParams{SeedK: 15}}},
+		{"backend=minimizer", genasm.RefIndexConfig{Backend: genasm.IndexMinimizer, SeedParams: genasm.SeedParams{SeedK: 15, MinimizerW: 10}}},
+		{"backend=suffixarray", genasm.RefIndexConfig{Backend: genasm.IndexSuffixArray, SeedParams: genasm.SeedParams{SeedK: 15}}},
 	} {
 		c := c
 		suite = append(suite, namedBench{
@@ -402,7 +403,77 @@ func benchSuite() []namedBench {
 		}
 	}
 
+	// Registry benchmarks (mirror BenchmarkRegistry): the per-request pin on
+	// a resident reference — paid by every named /v1/map request — versus the
+	// mmap-load-plus-evict churn when the resident budget is one index short.
+	suite = append(suite, namedBench{name: "Registry/acquire-hit", fn: registryBench(false)})
+	suite = append(suite, namedBench{name: "Registry/load-evict", fn: registryBench(true)})
+
 	return suite
+}
+
+// registryBench builds file-backed references behind a registry and times
+// Acquire/Release. With churn=false a single resident reference is pinned
+// repeatedly (pure hit path); with churn=true two references alternate
+// under a budget that fits only one, so every Acquire evicts and reloads.
+func registryBench(churn bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		e, err := genasm.NewEngine(genasm.WithSearchStart(true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var budget int64
+		names := []string{"chrA"}
+		if churn {
+			budget = 1
+			names = []string{"chrA", "chrB"}
+		}
+		r, err := registry.New(registry.Config{
+			NewMapper: func(ri *genasm.RefIndex, name string) (*genasm.Mapper, error) {
+				return e.NewMapperFromIndex(ri, genasm.MapperConfig{RefName: name})
+			},
+			MaxResidentBytes: budget,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer r.Close()
+		dir, err := os.MkdirTemp("", "genasm-bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		for i, name := range names {
+			rng := rand.New(rand.NewPCG(uint64(2040+i), 0))
+			ref := alphabet.DNA.Decode(seq.Genome(rng, seq.DefaultGenomeConfig(50000)))
+			ri, err := e.BuildRefIndex(ref, genasm.RefIndexConfig{RefName: name})
+			if err != nil {
+				b.Fatal(err)
+			}
+			path := filepath.Join(dir, name+".gasmidx")
+			if err := ri.WriteFile(path); err != nil {
+				b.Fatal(err)
+			}
+			ri.Close()
+			if err := r.AddFile(name, path); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !churn {
+			if err := r.Load(names[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h, err := r.Acquire(names[i%len(names)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Release()
+		}
+	}
 }
 
 // seedLookupBench isolates the seeding step — CandidateLocationsInto over

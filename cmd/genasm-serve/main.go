@@ -5,19 +5,32 @@
 //	genasm-serve -addr :8080 -workspaces 16 -queue 64
 //	genasm-serve -addr :8080 -ref ref.fasta   # preload /v1/map + /v1/map/stream reference
 //	genasm-serve -addr :8080 -ref-index ref.gidx   # mmap a prebuilt index (genasm index build)
+//	genasm-serve -addr :8080 -ref-dir /data/refs -max-resident-bytes 8000000000
 //	genasm-serve -addr :8080 -ops-addr 127.0.0.1:8081 -log json
 //
 // Endpoints:
 //
-//	POST /v1/align      {"text":"ACGT...","query":"ACG...","global":false}
-//	POST /v1/batch      {"jobs":[{...},{...}]}
-//	POST /v1/map        {"ref_name":"chr1","reference":"ACGT...","reads":[{"name":"r1","seq":"ACGT..."}]}
-//	POST /v1/map/stream FASTA/FASTQ/NDJSON reads in the body; NDJSON (or
-//	                    SAM with "Accept: text/x-sam") streamed back,
-//	                    flushed per record (requires -ref)
-//	GET  /v1/healthz    503 "degraded" when saturated or shutting down
-//	GET  /v1/stats      JSON counters (same registry as /metrics)
-//	GET  /metrics       Prometheus text exposition
+//	POST   /v1/align        {"text":"ACGT...","query":"ACG...","global":false}
+//	POST   /v1/batch        {"jobs":[{...},{...}]}
+//	POST   /v1/map[?ref=n]  {"ref":"chr1","reads":[...]} or an inline
+//	                        {"reference":"ACGT...","reads":[...]}
+//	POST   /v1/map/stream[?ref=n] FASTA/FASTQ/NDJSON reads in the body;
+//	                        NDJSON (or SAM with "Accept: text/x-sam")
+//	                        streamed back, flushed per record
+//	GET    /v1/refs         reference registry listing
+//	POST   /v1/refs/{n}/load force a reference resident
+//	DELETE /v1/refs/{n}     remove a reference
+//	POST   /v1/refs/reload  re-scan -ref-dir (SIGHUP does the same)
+//	GET    /v1/healthz      503 "degraded" when saturated or shutting down
+//	GET    /v1/stats        JSON counters (same registry as /metrics)
+//	GET    /metrics         Prometheus text exposition
+//
+// With -ref-dir every *.gasmidx/*.gidx file in the directory is served as
+// a named reference (basename sans extension), mmap-loaded lazily and
+// evicted LRU under the -max-resident-bytes budget; SIGHUP re-scans the
+// directory without a restart. Requests pick a reference with the "ref"
+// field/query parameter; batch traffic can be marked for early shedding
+// with "X-Genasm-Priority: batch".
 //
 // With -ops-addr a second listener serves the private operations surface:
 // GET /metrics plus net/http/pprof under /debug/pprof/ — keep it off the
@@ -69,6 +82,8 @@ type options struct {
 	gapsFirst   bool
 	refPath     string
 	refIndex    string
+	refDir      string
+	maxResident int64
 	refName     string
 	seedK       int
 	errorRate   float64
@@ -97,6 +112,8 @@ func parseFlags(args []string) (options, error) {
 	fs.BoolVar(&o.gapsFirst, "gaps-first", false, "prefer gaps over substitutions during traceback")
 	fs.StringVar(&o.refPath, "ref", "", "optional FASTA reference to preload for /v1/map")
 	fs.StringVar(&o.refIndex, "ref-index", "", "prebuilt reference index file (genasm index build) to preload for /v1/map; mutually exclusive with -ref")
+	fs.StringVar(&o.refDir, "ref-dir", "", "directory of *.gasmidx/*.gidx files served as named references (lazy mmap-load; SIGHUP re-scans)")
+	fs.Int64Var(&o.maxResident, "max-resident-bytes", 0, "resident-bytes budget for file-backed references; idle ones are evicted LRU (0 = unbounded)")
 	fs.StringVar(&o.refName, "ref-name", "", "reference name override for /v1/map SAM output")
 	fs.IntVar(&o.seedK, "seed-k", 0, "mapper seed length (0 = 15)")
 	fs.Float64Var(&o.errorRate, "error-rate", 0, "mapper expected error rate (0 = 0.10)")
@@ -159,15 +176,17 @@ func buildServer(o options) (*server.Server, error) {
 		return nil, err
 	}
 	cfg := server.Config{
-		Engine:         engine,
-		QueueDepth:     o.queue,
-		MaxBodyBytes:   o.maxBody,
-		MaxBatchJobs:   o.maxBatch,
-		MaxSeqLen:      o.maxSeq,
-		MaxStreamBytes: o.maxStream,
-		MapSeedK:       o.seedK,
-		MapErrorRate:   o.errorRate,
-		Logger:         logger,
+		Engine:           engine,
+		QueueDepth:       o.queue,
+		MaxBodyBytes:     o.maxBody,
+		MaxBatchJobs:     o.maxBatch,
+		MaxSeqLen:        o.maxSeq,
+		MaxStreamBytes:   o.maxStream,
+		MapSeedK:         o.seedK,
+		MapErrorRate:     o.errorRate,
+		RefDir:           o.refDir,
+		MaxResidentBytes: o.maxResident,
+		Logger:           logger,
 	}
 	if o.refIndex != "" {
 		if o.refPath != "" {
@@ -247,22 +266,40 @@ func run(args []string) error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		stopOps()
-		return err
-	case err := <-opsErrc:
-		return fmt.Errorf("ops listener: %w", err)
-	case got := <-sig:
-		log.Printf("genasm-serve: %v, shutting down", got)
-		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
-		defer cancel()
-		if err := s.Shutdown(ctx); err != nil {
+	// SIGHUP re-scans -ref-dir in place (the classic "reload your config"
+	// signal): new index files start serving, vanished ones are retired
+	// without interrupting in-flight requests.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-errc:
+			stopOps()
 			return err
+		case err := <-opsErrc:
+			return fmt.Errorf("ops listener: %w", err)
+		case <-hup:
+			if o.refDir == "" {
+				log.Printf("genasm-serve: SIGHUP ignored (no -ref-dir)")
+				continue
+			}
+			added, removed, err := s.ReloadRefs()
+			if err != nil {
+				log.Printf("genasm-serve: SIGHUP reload failed: %v", err)
+				continue
+			}
+			log.Printf("genasm-serve: SIGHUP reloaded %s: added %v, removed %v", o.refDir, added, removed)
+		case got := <-sig:
+			log.Printf("genasm-serve: %v, shutting down", got)
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			if err := s.Shutdown(ctx); err != nil {
+				return err
+			}
+			if err := <-errc; err != http.ErrServerClosed {
+				return err
+			}
+			return stopOps()
 		}
-		if err := <-errc; err != http.ErrServerClosed {
-			return err
-		}
-		return stopOps()
 	}
 }

@@ -12,8 +12,10 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
+	"genasm"
 	"genasm/internal/alphabet"
 	"genasm/internal/metrics"
 	"genasm/internal/seq"
@@ -275,5 +277,169 @@ func TestBadFlags(t *testing.T) {
 	}
 	if _, err := buildServer(o); err == nil {
 		t.Error("expected error for invalid window size")
+	}
+}
+
+// TestMultiRefEndToEnd drives the multi-reference serving path the way a
+// deployment would: a -ref-dir of prebuilt indexes, named /v1/map?ref=
+// requests against both references concurrently, a hot removal under that
+// load (in-flight requests keep working; new ones 404), and the /metrics
+// evidence — per-reference index descriptors and priority-class admission
+// counters.
+func TestMultiRefEndToEnd(t *testing.T) {
+	eng, err := genasm.NewEngine(genasm.WithSearchStart(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	genomes := map[string][]byte{}
+	readBodies := map[string]string{}
+	for i, name := range []string{"chr1", "chr2"} {
+		rng := rand.New(rand.NewPCG(uint64(40+i), 0))
+		genome := seq.Genome(rng, seq.DefaultGenomeConfig(20000))
+		genomes[name] = genome
+		ri, err := eng.BuildRefIndex(alphabet.DNA.Decode(genome), genasm.RefIndexConfig{RefName: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ri.WriteFile(filepath.Join(dir, name+".gasmidx")); err != nil {
+			t.Fatal(err)
+		}
+		ri.Close()
+		reads, err := simulate.Reads(rng, genome, 3, simulate.Illumina150, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := `{"reads":[`
+		for j, r := range reads {
+			if j > 0 {
+				body += ","
+			}
+			body += fmt.Sprintf(`{"name":"q%d","seq":"%s"}`, j, alphabet.DNA.Decode(r.Seq))
+		}
+		readBodies[name] = body + `]}`
+	}
+
+	base := startFromFlags(t, []string{
+		"-workspaces", "4", "-queue", "16", "-log", "off",
+		"-ref-dir", dir, "-max-resident-bytes", "100000000",
+	})
+
+	// Both references serve concurrently under their own names.
+	var wg sync.WaitGroup
+	for _, name := range []string{"chr1", "chr2"} {
+		for range 4 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				code, body := post(t, base+"/v1/map?ref="+name, readBodies[name])
+				if code != http.StatusOK {
+					t.Errorf("map %s: %d %s", name, code, body)
+					return
+				}
+				if !strings.Contains(body, "SN:"+name) {
+					t.Errorf("map %s: wrong SAM reference header:\n%s", name, body)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+
+	// Hot-remove chr2 while chr1 keeps taking traffic: the chr1 requests
+	// must not fail, and chr2 becomes 404.
+	stop := make(chan struct{})
+	var loadWg sync.WaitGroup
+	loadWg.Add(1)
+	go func() {
+		defer loadWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if code, body := post(t, base+"/v1/map?ref=chr1", readBodies["chr1"]); code != http.StatusOK {
+				t.Errorf("map chr1 during removal: %d %s", code, body)
+				return
+			}
+		}
+	}()
+	req, err := http.NewRequest("DELETE", base+"/v1/refs/chr2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete chr2: %d", dresp.StatusCode)
+	}
+	if code, _ := post(t, base+"/v1/map?ref=chr2", readBodies["chr2"]); code != http.StatusNotFound {
+		t.Errorf("map removed chr2: %d, want 404", code)
+	}
+	close(stop)
+	loadWg.Wait()
+
+	// One batch-class request so both admission classes show on /metrics.
+	breq, err := http.NewRequest("POST", base+"/v1/align",
+		strings.NewReader(`{"text":"ACGTACGT","query":"ACGT"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	breq.Header.Set("Content-Type", "application/json")
+	breq.Header.Set("X-Genasm-Priority", "batch")
+	bresp, err := http.DefaultClient.Do(breq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusOK {
+		t.Fatalf("batch-class align: %d", bresp.StatusCode)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposition, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err := metrics.Lint(bytes.NewReader(exposition)); err != nil {
+		t.Fatalf("/metrics fails lint: %v", err)
+	}
+	for _, want := range []string{
+		`genasm_index_info{ref="chr1",backend=`,
+		`genasm_index_info{ref="chr2",backend=`,
+		`genasm_admission_total{class="interactive",outcome="admitted"}`,
+		`genasm_admission_total{class="batch",outcome="admitted"}`,
+		"genasm_ref_loads_total",
+		"genasm_ref_evictions_total",
+		"genasm_refs_resident_bytes",
+	} {
+		if !strings.Contains(string(exposition), want) {
+			t.Errorf("/metrics lacks %s", want)
+		}
+	}
+
+	// /v1/refs reflects the removal.
+	rresp, err := http.Get(base + "/v1/refs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	var listing struct {
+		Refs []struct {
+			Name  string `json:"name"`
+			State string `json:"state"`
+		} `json:"refs"`
+	}
+	if err := json.NewDecoder(rresp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Refs) != 1 || listing.Refs[0].Name != "chr1" || listing.Refs[0].State != "loaded" {
+		t.Errorf("refs listing after removal: %+v", listing.Refs)
 	}
 }

@@ -57,8 +57,7 @@ func runIndexBuild(args []string) error {
 	start := time.Now()
 	ri, err := e.BuildRefIndex(ref, genasm.RefIndexConfig{
 		Backend:    genasm.IndexBackend(*backend),
-		SeedK:      *seedK,
-		MinimizerW: *minimizerW,
+		SeedParams: genasm.SeedParams{SeedK: *seedK, MinimizerW: *minimizerW},
 		RefName:    name,
 	})
 	if err != nil {

@@ -284,9 +284,9 @@ func runMap(ctx context.Context, args []string) error {
 		return err
 	}
 	m, err := e.NewMapper(ref, genasm.MapperConfig{
-		SeedK:     *seedK,
-		ErrorRate: *errRate,
-		RefName:   refRec.Name,
+		SeedParams: genasm.SeedParams{SeedK: *seedK},
+		ErrorRate:  *errRate,
+		RefName:    refRec.Name,
 	})
 	if err != nil {
 		return err

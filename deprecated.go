@@ -1,0 +1,218 @@
+package genasm
+
+// This file is the one home of the pre-Engine compatibility surface. Every
+// identifier in it is a thin shim over Engine (PR 2's API redesign) kept so
+// pre-Engine callers keep compiling; none of them gain features anymore.
+//
+// Scheduled removal: these shims will be deleted in the next major API
+// revision. New code must use NewEngine and the Engine methods; existing
+// callers can migrate gradually (see the README's "Migrating from the
+// pre-Engine API" table, and Pool.Engine for an in-place bridge).
+
+import (
+	"context"
+)
+
+// Aligner aligns queries against texts with the GenASM algorithms.
+//
+// Deprecated: Aligner predates Engine, which serves the same calls
+// context-first and safely from any number of goroutines. Use NewEngine;
+// an Aligner is now a single-workspace Engine.
+type Aligner struct {
+	e *Engine
+}
+
+// NewAligner builds an Aligner.
+//
+// Deprecated: use NewEngine.
+func NewAligner(cfg Config) (*Aligner, error) {
+	e, err := newEngine(cfg, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Aligner{e: e}, nil
+}
+
+// Align aligns query against text semi-globally (see Engine.Align).
+//
+// Deprecated: use Engine.Align.
+func (al *Aligner) Align(text, query []byte) (Alignment, error) {
+	return al.e.Align(context.Background(), text, query)
+}
+
+// AlignGlobal aligns query against text end to end (see
+// Engine.AlignGlobal).
+//
+// Deprecated: use Engine.AlignGlobal.
+func (al *Aligner) AlignGlobal(text, query []byte) (Alignment, error) {
+	return al.e.AlignGlobal(context.Background(), text, query)
+}
+
+// EditDistance returns the edit distance between two sequences of
+// arbitrary length (see Engine.EditDistance).
+//
+// Deprecated: use Engine.EditDistance.
+func (al *Aligner) EditDistance(a, b []byte) (int, error) {
+	return al.e.EditDistance(context.Background(), a, b)
+}
+
+// EditDistance is a convenience wrapper: DNA alphabet, default
+// configuration, scratch drawn from the shared default engine, safe for
+// concurrent use.
+//
+// Deprecated: use Engine.EditDistance on a long-lived Engine (DefaultEngine
+// returns the shared default one).
+func EditDistance(a, b []byte) (int, error) {
+	e, err := DefaultEngine()
+	if err != nil {
+		return 0, err
+	}
+	return e.EditDistance(context.Background(), a, b)
+}
+
+// PoolConfig parameterizes a Pool: the alignment Config plus sizing of the
+// workspace pool behind it.
+//
+// Deprecated: use NewEngine with WithConfig, WithShards and
+// WithMaxWorkspaces.
+type PoolConfig struct {
+	// Config is the alignment configuration every pooled workspace uses.
+	Config
+	// Shards is the number of independent free lists inside the pool;
+	// zero picks a default scaled to GOMAXPROCS.
+	Shards int
+	// MaxWorkspaces caps the number of live workspaces (the software
+	// analogue of the accelerator's vault count). Alignments block once
+	// the cap is reached and every workspace is busy. Zero defaults to
+	// 2×GOMAXPROCS.
+	MaxWorkspaces int
+}
+
+// Pool is a concurrency-safe aligner backed by a sharded workspace pool.
+//
+// Deprecated: Pool predates Engine and is now a thin shim over it — Engine
+// serves the same calls context-first and adds Search, Filter, AlignBatch,
+// Compile and read mapping behind the same pool. Use NewEngine; existing
+// Pools can migrate gradually via Pool.Engine.
+type Pool struct {
+	e *Engine
+}
+
+// NewPool builds a Pool. The zero PoolConfig is the paper's default
+// alignment setup with sizing scaled to GOMAXPROCS.
+//
+// Deprecated: use NewEngine.
+func NewPool(cfg PoolConfig) (*Pool, error) {
+	e, err := newEngine(cfg.Config, cfg.Shards, cfg.MaxWorkspaces)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{e: e}, nil
+}
+
+// Engine returns the Engine behind this Pool — the migration path for
+// callers moving to the context-first API.
+func (p *Pool) Engine() *Engine { return p.e }
+
+// Align aligns query against text semi-globally, safely callable from any
+// goroutine.
+//
+// Deprecated: use Engine.Align.
+func (p *Pool) Align(text, query []byte) (Alignment, error) {
+	return p.e.Align(context.Background(), text, query)
+}
+
+// AlignContext is Align with cancellation: if every workspace is busy and
+// ctx ends before one frees up, the context error is returned.
+//
+// Deprecated: use Engine.Align.
+func (p *Pool) AlignContext(ctx context.Context, text, query []byte) (Alignment, error) {
+	return p.e.Align(ctx, text, query)
+}
+
+// AlignGlobal aligns query against text end to end, safely callable from
+// any goroutine.
+//
+// Deprecated: use Engine.AlignGlobal.
+func (p *Pool) AlignGlobal(text, query []byte) (Alignment, error) {
+	return p.e.AlignGlobal(context.Background(), text, query)
+}
+
+// AlignGlobalContext is AlignGlobal with cancellation.
+//
+// Deprecated: use Engine.AlignGlobal.
+func (p *Pool) AlignGlobalContext(ctx context.Context, text, query []byte) (Alignment, error) {
+	return p.e.AlignGlobal(ctx, text, query)
+}
+
+// EditDistance returns the edit distance between two sequences, safely
+// callable from any goroutine.
+//
+// Deprecated: use Engine.EditDistance.
+func (p *Pool) EditDistance(a, b []byte) (int, error) {
+	return p.e.EditDistance(context.Background(), a, b)
+}
+
+// Stats snapshots the underlying workspace pool counters.
+//
+// Deprecated: use Engine.Stats.
+func (p *Pool) Stats() PoolStats { return p.e.Stats() }
+
+// Capacity is the maximum number of concurrently running alignments.
+//
+// Deprecated: use Engine.Capacity.
+func (p *Pool) Capacity() int { return p.e.Capacity() }
+
+// DefaultPool returns a Pool view of the shared default engine.
+//
+// Deprecated: use DefaultEngine.
+func DefaultPool() (*Pool, error) {
+	e, err := DefaultEngine()
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{e: e}, nil
+}
+
+// Search finds all positions where pattern occurs in text with at most
+// maxEdits edits using the shared default engine for alpha.
+//
+// Deprecated: use Engine.Search, which is context-aware and respects the
+// engine's configuration; or Compile the pattern once when it scans many
+// texts.
+func Search(alpha Alphabet, text, pattern []byte, maxEdits int) ([]Match, error) {
+	e, err := defaultEngine(alpha)
+	if err != nil {
+		return nil, err
+	}
+	return e.Search(context.Background(), text, pattern, maxEdits)
+}
+
+// Filter reports whether read may be within maxEdits edits of some position
+// in region, using the shared default DNA engine.
+//
+// Deprecated: use Engine.Filter, which is context-aware, respects the
+// engine's alphabet instead of hardcoding DNA, and reuses pooled scratch.
+func Filter(region, read []byte, maxEdits int) (bool, error) {
+	e, err := defaultEngine(DNA)
+	if err != nil {
+		return false, err
+	}
+	return e.Filter(context.Background(), region, read, maxEdits)
+}
+
+// AlignBatch aligns many pairs in parallel with a transient engine sized to
+// workers (workers <= 0 uses the default sizing). Results are in job order;
+// per-job failures, including encode failures, are reported in
+// BatchResult.Err rather than aborting the batch.
+//
+// Deprecated: use Engine.AlignBatch, which is context-aware and draws from
+// a long-lived engine's workspace pool instead of building workspaces per
+// call — or Engine.AlignStream for bounded-memory job streams.
+func AlignBatch(cfg Config, jobs []BatchJob, workers int) ([]BatchResult, error) {
+	e, err := newEngine(cfg, 0, workers)
+	if err != nil {
+		return nil, err
+	}
+	return e.AlignBatch(context.Background(), jobs)
+}

@@ -143,6 +143,17 @@
 // flush-per-record backpressure — plus bounded admission queueing (429 on
 // overload), graceful shutdown, Prometheus metrics on GET /metrics,
 // structured request logging and an optional private ops listener with
-// pprof; see internal/server for the API. The underlying algorithm
+// pprof; see internal/server for the API.
+//
+// The server is multi-reference: -ref-dir serves a directory of persisted
+// index files as named references (the software echo of the accelerator
+// partitioning the reference across vault-local DRAM), each mmap-loaded
+// lazily on first use, pinned by in-flight requests, and evicted
+// least-recently-used under a resident-bytes budget. Requests name their
+// reference with a "ref" field or query parameter, an admin surface under
+// /v1/refs lists, pre-warms, removes and hot-reloads references without a
+// restart, and admission distinguishes interactive from batch priority
+// (X-Genasm-Priority) so bulk traffic is shed first under overload; see
+// internal/registry for the registry itself. The underlying algorithm
 // packages live in internal/ and operate on dense codes.
 package genasm

@@ -86,6 +86,11 @@ func (e *Engine) Alphabet() Alphabet { return e.cfg.Alphabet }
 // Capacity is the maximum number of concurrently running alignments.
 func (e *Engine) Capacity() int { return e.pool.Config().MaxWorkspaces }
 
+// PoolStats snapshots workspace pool activity: free-list hits, misses
+// (workspace creations), workspaces currently in flight and idle, and the
+// capacity.
+type PoolStats = pool.Stats
+
 // Stats snapshots the underlying workspace pool counters.
 func (e *Engine) Stats() PoolStats { return e.pool.Stats() }
 

@@ -60,9 +60,9 @@ func main() {
 		// Pre-alignment filtering is a short-read step (Section 8); long
 		// reads go straight from seeding to alignment.
 		m, err := e.NewMapper(genomeLetters, genasm.MapperConfig{
-			SeedK:     d.seedK,
-			ErrorRate: d.profile.ErrorRate,
-			Prefilter: d.profile.ReadLen <= 1000,
+			SeedParams: genasm.SeedParams{SeedK: d.seedK},
+			ErrorRate:  d.profile.ErrorRate,
+			Prefilter:  d.profile.ReadLen <= 1000,
 		})
 		if err != nil {
 			log.Fatal(err)

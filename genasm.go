@@ -1,7 +1,6 @@
 package genasm
 
 import (
-	"context"
 	"fmt"
 	"strings"
 
@@ -178,59 +177,5 @@ var (
 	ScoringMinimap2 = Scoring{Match: 2, Mismatch: -4, GapOpen: -4, GapExtend: -2}
 )
 
-// Aligner aligns queries against texts with the GenASM algorithms.
-//
-// Deprecated: Aligner predates Engine, which serves the same calls
-// context-first and safely from any number of goroutines. Use NewEngine;
-// an Aligner is now a single-workspace Engine.
-type Aligner struct {
-	e *Engine
-}
-
-// NewAligner builds an Aligner.
-//
-// Deprecated: use NewEngine.
-func NewAligner(cfg Config) (*Aligner, error) {
-	e, err := newEngine(cfg, 1, 1)
-	if err != nil {
-		return nil, err
-	}
-	return &Aligner{e: e}, nil
-}
-
-// Align aligns query against text semi-globally (see Engine.Align).
-//
-// Deprecated: use Engine.Align.
-func (al *Aligner) Align(text, query []byte) (Alignment, error) {
-	return al.e.Align(context.Background(), text, query)
-}
-
-// AlignGlobal aligns query against text end to end (see
-// Engine.AlignGlobal).
-//
-// Deprecated: use Engine.AlignGlobal.
-func (al *Aligner) AlignGlobal(text, query []byte) (Alignment, error) {
-	return al.e.AlignGlobal(context.Background(), text, query)
-}
-
-// EditDistance returns the edit distance between two sequences of
-// arbitrary length (see Engine.EditDistance).
-//
-// Deprecated: use Engine.EditDistance.
-func (al *Aligner) EditDistance(a, b []byte) (int, error) {
-	return al.e.EditDistance(context.Background(), a, b)
-}
-
-// EditDistance is a convenience wrapper: DNA alphabet, default
-// configuration, scratch drawn from the shared default engine, safe for
-// concurrent use.
-//
-// Deprecated: use Engine.EditDistance on a long-lived Engine (DefaultEngine
-// returns the shared default one).
-func EditDistance(a, b []byte) (int, error) {
-	e, err := DefaultEngine()
-	if err != nil {
-		return 0, err
-	}
-	return e.EditDistance(context.Background(), a, b)
-}
+// The pre-Engine compatibility shims (Aligner, Pool, the free Search/
+// Filter/AlignBatch/EditDistance functions) live in deprecated.go.

@@ -1,0 +1,228 @@
+// Command apitxt dumps the exported API surface of the repo's public
+// packages as stable, sorted text — one declaration per line. CI diffs the
+// output against the committed golden (api/genasm.txt), so any change to
+// the public API shows up as an explicit, reviewable diff instead of
+// slipping through; to accept an intentional change, regenerate with
+//
+//	go run ./internal/apitxt -w
+//
+// The dump is syntax-derived (go/parser, no type checking), which keeps it
+// dependency-free and fast: exported consts, vars, funcs, types, methods
+// on exported receivers, and exported struct fields / interface methods.
+// Unexported detail inside exported types is elided, so internal refactors
+// don't churn the golden.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// packages lists the public surface the golden tracks: import path →
+// directory relative to the repo root.
+var packages = [][2]string{
+	{"genasm", "."},
+	{"genasm/seqio", "seqio"},
+}
+
+func main() {
+	write := flag.Bool("w", false, "write api/genasm.txt instead of printing to stdout")
+	golden := flag.String("golden", "api/genasm.txt", "golden file path (with -w)")
+	flag.Parse()
+
+	var out bytes.Buffer
+	for _, p := range packages {
+		decls, err := dumpPackage(p[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "apitxt: %s: %v\n", p[0], err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&out, "package %s\n\n", p[0])
+		for _, d := range decls {
+			fmt.Fprintln(&out, d)
+		}
+		fmt.Fprintln(&out)
+	}
+	if *write {
+		if err := os.MkdirAll(filepath.Dir(*golden), 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "apitxt:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*golden, out.Bytes(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apitxt:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	os.Stdout.Write(out.Bytes())
+}
+
+// dumpPackage renders the exported declarations of every non-test .go file
+// in dir, sorted for stability.
+func dumpPackage(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	var decls []string
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range f.Decls {
+			decls = append(decls, renderDecl(fset, d)...)
+		}
+	}
+	sort.Strings(decls)
+	return decls, nil
+}
+
+func renderDecl(fset *token.FileSet, d ast.Decl) []string {
+	switch d := d.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return nil
+		}
+		d.Doc = nil
+		d.Body = nil
+		return []string{render(fset, d)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch spec := spec.(type) {
+			case *ast.TypeSpec:
+				if !spec.Name.IsExported() {
+					continue
+				}
+				elideUnexported(spec.Type)
+				spec.Doc, spec.Comment = nil, nil
+				out = append(out, "type "+render(fset, spec))
+			case *ast.ValueSpec:
+				kw := "const"
+				if d.Tok == token.VAR {
+					kw = "var"
+				}
+				for i, name := range spec.Names {
+					if !name.IsExported() {
+						continue
+					}
+					line := kw + " " + name.Name
+					if spec.Type != nil {
+						line += " " + render(fset, spec.Type)
+					} else if d.Tok == token.CONST && i < len(spec.Values) {
+						line += " = " + render(fset, spec.Values[i])
+					}
+					out = append(out, line)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// receiverExported keeps methods only when the receiver's base type is
+// exported (methods on unexported types are unreachable API).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// elideUnexported strips unexported fields from struct types and collapses
+// them to a marker, so internal layout changes don't churn the dump but
+// "gained/lost unexported state" still shows.
+func elideUnexported(t ast.Expr) {
+	st, ok := t.(*ast.StructType)
+	if !ok || st.Fields == nil {
+		return
+	}
+	kept := st.Fields.List[:0]
+	elided := false
+	for _, f := range st.Fields.List {
+		f.Doc, f.Comment = nil, nil
+		if len(f.Names) == 0 {
+			// Embedded field: keep when the embedded type name is exported.
+			if exportedEmbedded(f.Type) {
+				kept = append(kept, f)
+			} else {
+				elided = true
+			}
+			continue
+		}
+		names := f.Names[:0]
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			} else {
+				elided = true
+			}
+		}
+		f.Names = names
+		if len(f.Names) > 0 {
+			kept = append(kept, f)
+		}
+	}
+	if elided {
+		kept = append(kept, &ast.Field{
+			Names: []*ast.Ident{ast.NewIdent("_")},
+			Type:  ast.NewIdent("unexported"),
+		})
+	}
+	st.Fields.List = kept
+}
+
+func exportedEmbedded(t ast.Expr) bool {
+	switch tt := t.(type) {
+	case *ast.StarExpr:
+		return exportedEmbedded(tt.X)
+	case *ast.SelectorExpr:
+		return tt.Sel.IsExported()
+	case *ast.Ident:
+		return tt.IsExported()
+	}
+	return false
+}
+
+var spaces = regexp.MustCompile(`\s+`)
+
+// render prints a node on one line with collapsed whitespace, so the dump
+// diffs line-per-declaration.
+func render(fset *token.FileSet, node any) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		return fmt.Sprintf("<error: %v>", err)
+	}
+	return spaces.ReplaceAllString(strings.TrimSpace(buf.String()), " ")
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestGoldenInSync fails whenever the exported API surface drifts from the
+// committed golden — the same gate CI applies, enforced locally by plain
+// `go test ./...`. Regenerate deliberately with `go run ./internal/apitxt -w`.
+func TestGoldenInSync(t *testing.T) {
+	if err := os.Chdir("../.."); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("api/genasm.txt")
+	if err != nil {
+		t.Fatalf("missing golden (generate with `go run ./internal/apitxt -w`): %v", err)
+	}
+	var got []byte
+	for _, p := range packages {
+		decls, err := dumpPackage(p[1])
+		if err != nil {
+			t.Fatalf("%s: %v", p[0], err)
+		}
+		got = append(got, "package "+p[0]+"\n\n"...)
+		for _, d := range decls {
+			got = append(got, d+"\n"...)
+		}
+		got = append(got, '\n')
+	}
+	if string(got) != string(want) {
+		t.Errorf("exported API surface drifted from api/genasm.txt.\n" +
+			"If the change is intentional, regenerate the golden with:\n" +
+			"\tgo run ./internal/apitxt -w\n" +
+			"and include it in the same commit. Diff:\n" + diffHint(string(want), string(got)))
+	}
+}
+
+// diffHint renders a minimal line diff — enough to see what moved without
+// shelling out.
+func diffHint(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range splitLines(want) {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range splitLines(got) {
+		gotSet[l] = true
+	}
+	var out string
+	for _, l := range splitLines(want) {
+		if !gotSet[l] {
+			out += "- " + l + "\n"
+		}
+	}
+	for _, l := range splitLines(got) {
+		if !wantSet[l] {
+			out += "+ " + l + "\n"
+		}
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,647 @@
+// Package registry manages a set of named reference indexes for a serving
+// process — the software analogue of the accelerator distributing reference
+// partitions across vaults (Section 7): many references resident at once,
+// each served by its own mapper, with a bounded memory budget deciding which
+// stay hot.
+//
+// A Registry maps reference names to entries. An entry is either *static*
+// (an in-memory RefIndex handed over via Register, typically built from a
+// FASTA at boot) or *file-backed* (a .gasmidx path added via AddFile or a
+// directory Reload, mmap-loaded lazily on first use). Acquire pins a loaded
+// entry for the duration of one request: eviction never unmaps an index
+// under an active pin — evicted residents are retired and closed only when
+// the last pin is released. A configurable resident-bytes budget evicts the
+// least-recently-used idle file-backed entry when exceeded.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"genasm"
+)
+
+// ErrUnknownRef reports a reference name that is not registered. Servers
+// map it to 404.
+var ErrUnknownRef = errors.New("registry: unknown reference")
+
+// ErrClosed reports use of a closed registry.
+var ErrClosed = errors.New("registry: closed")
+
+// ErrNotEvictable reports an Evict of a static (in-memory) entry, which has
+// no file to reload from and therefore can only be Removed.
+var ErrNotEvictable = errors.New("registry: static reference is not evictable")
+
+// Config parameterizes a Registry.
+type Config struct {
+	// NewMapper turns a loaded RefIndex into the Mapper served for it.
+	// Required; called once per load, outside the registry lock.
+	NewMapper func(ri *genasm.RefIndex, name string) (*genasm.Mapper, error)
+	// Open loads a reference index file. Defaults to genasm.LoadRefIndex;
+	// injectable for tests.
+	Open func(path string) (*genasm.RefIndex, error)
+	// MaxResidentBytes bounds the summed file bytes of loaded file-backed
+	// entries; exceeding it evicts idle entries in LRU order. 0 = no bound.
+	MaxResidentBytes int64
+	// Logger receives load/evict events. nil discards them.
+	Logger *slog.Logger
+	// OnLoad and OnEvict observe resident-set changes (for metrics). They
+	// are called outside the registry lock and may be nil.
+	OnLoad  func(name string, st genasm.IndexStats)
+	OnEvict func(name string, st genasm.IndexStats)
+}
+
+// resident is one loaded index with its mapper. It stays alive — pinned by
+// in-flight requests — even after its entry is evicted or replaced; the
+// underlying mapping closes when the last pin releases.
+type resident struct {
+	ri      *genasm.RefIndex
+	mapper  *genasm.Mapper
+	stats   genasm.IndexStats
+	bytes   int64
+	pins    int
+	retired bool
+}
+
+// entry is one named reference: static (path == "") or file-backed.
+type entry struct {
+	name    string
+	path    string
+	res     *resident
+	loading chan struct{} // non-nil while a load is in flight
+	lastErr error
+	lastUse int64 // registry LRU clock tick of the last Acquire
+}
+
+// State labels an entry's lifecycle for List.
+type State string
+
+// Entry states.
+const (
+	StateLoaded  State = "loaded"
+	StateCold    State = "cold"
+	StateLoading State = "loading"
+	StateError   State = "error"
+)
+
+// RefInfo is one List/Get row.
+type RefInfo struct {
+	Name   string
+	Path   string // "" for static entries
+	Static bool
+	State  State
+	Pins   int
+	Stats  genasm.IndexStats // zero unless loaded
+	Err    string            // last load error, "" when none
+}
+
+// Stats snapshots registry-wide counters.
+type Stats struct {
+	Refs             int   `json:"refs"`
+	Loaded           int   `json:"loaded"`
+	ResidentBytes    int64 `json:"resident_bytes"`
+	MaxResidentBytes int64 `json:"max_resident_bytes"`
+	Loads            int64 `json:"loads"`
+	LoadErrors       int64 `json:"load_errors"`
+	Evictions        int64 `json:"evictions"`
+	Hits             int64 `json:"hits"`
+	Misses           int64 `json:"misses"`
+}
+
+// Registry is a concurrency-safe set of named references. The zero value is
+// not usable; build one with New.
+type Registry struct {
+	cfg Config
+
+	mu       sync.Mutex
+	entries  map[string]*entry
+	resident int64
+	clock    int64
+	closed   bool
+
+	loads, loadErrors, evictions, hits, misses int64
+}
+
+// New builds a Registry. cfg.NewMapper is required.
+func New(cfg Config) (*Registry, error) {
+	if cfg.NewMapper == nil {
+		return nil, errors.New("registry: Config.NewMapper is required")
+	}
+	if cfg.Open == nil {
+		cfg.Open = genasm.LoadRefIndex
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return &Registry{cfg: cfg, entries: make(map[string]*entry)}, nil
+}
+
+// tickLocked advances the LRU clock; larger ticks are more recent.
+func (r *Registry) tickLocked() int64 {
+	r.clock++
+	return r.clock
+}
+
+// Register installs a static in-memory reference under name, building its
+// mapper immediately. The registry takes ownership of ri (Close releases
+// it). Registering an existing name replaces it; the old resident retires
+// and closes once unpinned.
+func (r *Registry) Register(name string, ri *genasm.RefIndex) error {
+	if name == "" {
+		return errors.New("registry: empty reference name")
+	}
+	m, err := r.cfg.NewMapper(ri, name)
+	if err != nil {
+		return err
+	}
+	st := ri.Stats()
+	res := &resident{ri: ri, mapper: m, stats: st, bytes: 0}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	old := r.entries[name]
+	var closeOld func() error
+	if old != nil {
+		closeOld = r.retireLocked(old)
+	}
+	r.entries[name] = &entry{name: name, res: res, lastUse: r.tickLocked()}
+	r.mu.Unlock()
+
+	runClose(r.cfg.Logger, name, closeOld)
+	if r.cfg.OnLoad != nil {
+		r.cfg.OnLoad(name, st)
+	}
+	r.cfg.Logger.Info("reference registered", "ref", name, "source", st.Source, "seeds", st.Seeds)
+	return nil
+}
+
+// AddFile registers a file-backed reference under name without loading it.
+// The index is mmap-loaded on first Acquire (or by an explicit Load). An
+// existing file-backed entry with the same path is left untouched; any
+// other existing entry is replaced.
+func (r *Registry) AddFile(name, path string) error {
+	if name == "" {
+		return errors.New("registry: empty reference name")
+	}
+	if path == "" {
+		return errors.New("registry: empty index path")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	if old := r.entries[name]; old != nil {
+		if old.path == path {
+			return nil
+		}
+		closeOld := r.retireLocked(old)
+		defer runClose(r.cfg.Logger, name, closeOld)
+	}
+	r.entries[name] = &entry{name: name, path: path}
+	return nil
+}
+
+// Acquire pins reference name for the duration of one request, loading it
+// first if cold. The returned handle's Mapper is valid until Release; the
+// underlying index cannot be unmapped while any handle is held. Unknown
+// names return ErrUnknownRef.
+func (r *Registry) Acquire(name string) (*Handle, error) {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return nil, ErrClosed
+		}
+		e, ok := r.entries[name]
+		if !ok {
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownRef, name)
+		}
+		if e.res != nil && !e.res.retired {
+			e.res.pins++
+			e.lastUse = r.tickLocked()
+			r.hits++
+			h := &Handle{r: r, name: name, res: e.res}
+			r.mu.Unlock()
+			return h, nil
+		}
+		if e.loading != nil {
+			ch := e.loading
+			r.mu.Unlock()
+			<-ch
+			continue // reinspect: load finished (or failed) — retry
+		}
+		if e.path == "" {
+			// Static entry whose resident was retired (replaced or evicted
+			// mid-flight) and not re-registered: nothing to reload from.
+			r.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrUnknownRef, name)
+		}
+		// Cold file-backed entry: this goroutine performs the load.
+		ch := make(chan struct{})
+		e.loading = ch
+		r.misses++
+		r.mu.Unlock()
+
+		res, err := r.load(e.name, e.path)
+
+		r.mu.Lock()
+		e.loading = nil
+		close(ch)
+		if err != nil {
+			e.lastErr = err
+			r.loadErrors++
+			r.mu.Unlock()
+			return nil, err
+		}
+		e.lastErr = nil
+		e.res = res
+		e.lastUse = r.tickLocked()
+		r.resident += res.bytes
+		r.loads++
+		res.pins++
+		h := &Handle{r: r, name: name, res: res}
+		closers := r.enforceBudgetLocked(e)
+		r.mu.Unlock()
+
+		for _, c := range closers {
+			runClose(r.cfg.Logger, "", c)
+		}
+		if r.cfg.OnLoad != nil {
+			r.cfg.OnLoad(name, res.stats)
+		}
+		r.cfg.Logger.Info("reference loaded", "ref", name, "bytes", res.bytes,
+			"backend", res.stats.Backend, "seeds", res.stats.Seeds, "load", res.stats.LoadTime)
+		return h, nil
+	}
+}
+
+// load opens and prepares one file-backed reference, outside the lock.
+func (r *Registry) load(name, path string) (*resident, error) {
+	ri, err := r.cfg.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry: load %q: %w", name, err)
+	}
+	m, err := r.cfg.NewMapper(ri, name)
+	if err != nil {
+		ri.Close()
+		return nil, fmt.Errorf("registry: load %q: %w", name, err)
+	}
+	st := ri.Stats()
+	return &resident{ri: ri, mapper: m, stats: st, bytes: st.FileBytes}, nil
+}
+
+// Load forces reference name resident (a no-op when already loaded).
+func (r *Registry) Load(name string) error {
+	h, err := r.Acquire(name)
+	if err != nil {
+		return err
+	}
+	h.Release()
+	return nil
+}
+
+// Evict unloads reference name but keeps it registered: the next Acquire
+// reloads it from its file. In-flight handles keep working — the resident
+// is retired and its mapping closes when the last pin releases. Static
+// entries return ErrNotEvictable; unknown names ErrUnknownRef.
+func (r *Registry) Evict(name string) error {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownRef, name)
+	}
+	if e.path == "" {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotEvictable, name)
+	}
+	closeNow := r.retireLocked(e)
+	r.mu.Unlock()
+	runClose(r.cfg.Logger, name, closeNow)
+	return nil
+}
+
+// Remove evicts and unregisters reference name. Works on static entries
+// too. In-flight handles keep working until released.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownRef, name)
+	}
+	closeNow := r.retireLocked(e)
+	delete(r.entries, name)
+	r.mu.Unlock()
+	runClose(r.cfg.Logger, name, closeNow)
+	return nil
+}
+
+// retireLocked detaches e's resident, decrements the budget, and bumps the
+// eviction counter. It returns a finisher to run outside the lock — the
+// finisher fires OnEvict and, when the resident is unpinned, closes its
+// mapping (a pinned resident closes later, at the last Release). Returns
+// nil when there was nothing resident to retire.
+func (r *Registry) retireLocked(e *entry) func() error {
+	res := e.res
+	if res == nil || res.retired {
+		return nil
+	}
+	res.retired = true
+	e.res = nil
+	r.resident -= res.bytes
+	r.evictions++
+	name, st := e.name, res.stats
+	closeNow := res.pins == 0
+	r.cfg.Logger.Info("reference evicted", "ref", name, "pins", res.pins, "bytes", res.bytes)
+	return func() error {
+		if r.cfg.OnEvict != nil {
+			r.cfg.OnEvict(name, st)
+		}
+		if closeNow {
+			return res.ri.Close()
+		}
+		return nil
+	}
+}
+
+// enforceBudgetLocked evicts idle file-backed entries in LRU order until
+// the resident budget holds, never touching keep (the entry just loaded)
+// or pinned residents. Returns the close funcs to run outside the lock.
+func (r *Registry) enforceBudgetLocked(keep *entry) []func() error {
+	if r.cfg.MaxResidentBytes <= 0 {
+		return nil
+	}
+	var closers []func() error
+	for r.resident > r.cfg.MaxResidentBytes {
+		var victim *entry
+		for _, e := range r.entries {
+			if e == keep || e.path == "" || e.res == nil || e.res.retired || e.res.pins > 0 {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			r.cfg.Logger.Warn("resident budget exceeded with no evictable reference",
+				"resident_bytes", r.resident, "max_resident_bytes", r.cfg.MaxResidentBytes)
+			return closers
+		}
+		if c := r.retireLocked(victim); c != nil {
+			closers = append(closers, c)
+		}
+	}
+	return closers
+}
+
+// List reports every registered reference, sorted by name.
+func (r *Registry) List() []RefInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RefInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, r.infoLocked(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Get reports one reference by name.
+func (r *Registry) Get(name string) (RefInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return RefInfo{}, false
+	}
+	return r.infoLocked(e), true
+}
+
+func (r *Registry) infoLocked(e *entry) RefInfo {
+	info := RefInfo{Name: e.name, Path: e.path, Static: e.path == ""}
+	switch {
+	case e.res != nil && !e.res.retired:
+		info.State = StateLoaded
+		info.Pins = e.res.pins
+		info.Stats = e.res.stats
+	case e.loading != nil:
+		info.State = StateLoading
+	case e.lastErr != nil:
+		info.State = StateError
+		info.Err = e.lastErr.Error()
+	default:
+		info.State = StateCold
+	}
+	return info
+}
+
+// Names returns the registered reference names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sole returns the single registered reference name when exactly one is
+// registered — the default target for requests that name no reference.
+func (r *Registry) Sole() (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.entries) != 1 {
+		return "", false
+	}
+	for name := range r.entries {
+		return name, true
+	}
+	return "", false
+}
+
+// Stats snapshots the registry counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Stats{
+		Refs:             len(r.entries),
+		ResidentBytes:    r.resident,
+		MaxResidentBytes: r.cfg.MaxResidentBytes,
+		Loads:            r.loads,
+		LoadErrors:       r.loadErrors,
+		Evictions:        r.evictions,
+		Hits:             r.hits,
+		Misses:           r.misses,
+	}
+	for _, e := range r.entries {
+		if e.res != nil && !e.res.retired {
+			s.Loaded++
+		}
+	}
+	return s
+}
+
+// IndexExts are the index-file extensions Reload recognizes.
+var IndexExts = []string{".gasmidx", ".gidx"}
+
+// Reload synchronizes the registry with the index files in dir: new
+// *.gasmidx/*.gidx files are registered cold under their basename (sans
+// extension), entries whose file vanished are removed (in-flight handles
+// unaffected), and entries whose path is unchanged are left as they are —
+// an already-loaded reference stays hot across a reload. Static entries
+// are never touched. Returns the added and removed names.
+func (r *Registry) Reload(dir string) (added, removed []string, err error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("registry: reload: %w", err)
+	}
+	want := make(map[string]string) // name -> path
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		ext := filepath.Ext(de.Name())
+		ok := false
+		for _, e := range IndexExts {
+			if ext == e {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		name := strings.TrimSuffix(de.Name(), ext)
+		want[name] = filepath.Join(dir, de.Name())
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	var closers []func() error
+	for name, e := range r.entries {
+		if e.path == "" {
+			continue // static entries are not managed by the directory
+		}
+		if _, ok := want[name]; !ok {
+			if c := r.retireLocked(e); c != nil {
+				closers = append(closers, c)
+			}
+			delete(r.entries, name)
+			removed = append(removed, name)
+		}
+	}
+	for name, path := range want {
+		e, ok := r.entries[name]
+		if ok && (e.path == path || e.path == "") {
+			continue
+		}
+		if ok {
+			if c := r.retireLocked(e); c != nil {
+				closers = append(closers, c)
+			}
+		}
+		r.entries[name] = &entry{name: name, path: path}
+		added = append(added, name)
+	}
+	r.mu.Unlock()
+
+	for _, c := range closers {
+		runClose(r.cfg.Logger, "", c)
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	r.cfg.Logger.Info("registry reloaded", "dir", dir, "added", added, "removed", removed)
+	return added, removed, nil
+}
+
+// Close retires every entry and closes unpinned residents; pinned ones
+// close as their handles release. Subsequent registry calls fail with
+// ErrClosed (Release still works).
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	var closers []func() error
+	for name, e := range r.entries {
+		if c := r.retireLocked(e); c != nil {
+			closers = append(closers, c)
+		}
+		delete(r.entries, name)
+	}
+	r.mu.Unlock()
+	var first error
+	for _, c := range closers {
+		if err := c(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Handle is one pinned acquisition of a loaded reference. Release it when
+// the request completes; the Mapper must not be used afterwards.
+type Handle struct {
+	r    *Registry
+	name string
+	res  *resident
+}
+
+// Name returns the reference name the handle pins.
+func (h *Handle) Name() string { return h.name }
+
+// Mapper returns the reference's ready Mapper.
+func (h *Handle) Mapper() *genasm.Mapper { return h.res.mapper }
+
+// Stats describes the pinned index.
+func (h *Handle) Stats() genasm.IndexStats { return h.res.stats }
+
+// Release unpins the reference. If the resident was evicted while pinned,
+// the last release closes the underlying mapping. Safe to call once per
+// handle; further calls are no-ops.
+func (h *Handle) Release() {
+	res := h.res
+	if res == nil {
+		return
+	}
+	h.res = nil
+	h.r.mu.Lock()
+	res.pins--
+	closeNow := res.retired && res.pins == 0
+	h.r.mu.Unlock()
+	if closeNow {
+		runClose(h.r.cfg.Logger, h.name, res.ri.Close)
+	}
+}
+
+// runClose invokes a deferred resident closer, logging (never propagating)
+// its error: a failed munmap on a retired mapping cannot fail the request
+// that triggered it.
+func runClose(l *slog.Logger, name string, c func() error) {
+	if c == nil {
+		return
+	}
+	if err := c(); err != nil {
+		l.Warn("reference close failed", "ref", name, "err", err)
+	}
+}

@@ -1,0 +1,431 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"genasm"
+)
+
+const refSeq = "ACGTACGTTTGACCAGTACCATTGGAACCGCTTAAGGCCTTAGGACCATCA" +
+	"GGATTACCAGGTTTACACCAGGTACGTACGTACCTGTAATCCAGGAAACCGT"
+
+func testEngine(t *testing.T) *genasm.Engine {
+	t.Helper()
+	e, err := genasm.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// writeIndex builds an index over refSeq (plus a per-name suffix so digests
+// differ) and persists it under dir/name.gasmidx, returning the path.
+func writeIndex(t *testing.T, e *genasm.Engine, dir, name string) string {
+	t.Helper()
+	ri, err := e.BuildRefIndex([]byte(refSeq), genasm.RefIndexConfig{RefName: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name+".gasmidx")
+	if err := ri.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func newTestRegistry(t *testing.T, e *genasm.Engine, cfg Config) *Registry {
+	t.Helper()
+	if cfg.NewMapper == nil {
+		cfg.NewMapper = func(ri *genasm.RefIndex, name string) (*genasm.Mapper, error) {
+			return e.NewMapperFromIndex(ri, genasm.MapperConfig{})
+		}
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func TestAcquireLoadsLazily(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	path := writeIndex(t, e, dir, "chrA")
+	r := newTestRegistry(t, e, Config{})
+	if err := r.AddFile("chrA", path); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := r.Get("chrA"); info.State != StateCold {
+		t.Fatalf("state before Acquire = %q, want cold", info.State)
+	}
+	h, err := r.Acquire("chrA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if h.Mapper() == nil || h.Name() != "chrA" {
+		t.Fatalf("bad handle: mapper=%v name=%q", h.Mapper(), h.Name())
+	}
+	if st := h.Stats(); st.Source != "mmap" && st.Source != "memory" {
+		t.Errorf("Stats().Source = %q, want mmap/memory", st.Source)
+	}
+	info, _ := r.Get("chrA")
+	if info.State != StateLoaded || info.Pins != 1 {
+		t.Errorf("after Acquire: state=%q pins=%d, want loaded/1", info.State, info.Pins)
+	}
+	// Map a read through the pinned mapper.
+	read := []byte(refSeq[10:42])
+	if _, err := h.Mapper().MapRead(t.Context(), read); err != nil {
+		t.Fatalf("Map through handle: %v", err)
+	}
+	st := r.Stats()
+	if st.Misses != 1 || st.Loads != 1 {
+		t.Errorf("stats after first acquire: %+v", st)
+	}
+	h2, err := r.Acquire("chrA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2.Release()
+	if st := r.Stats(); st.Hits != 1 {
+		t.Errorf("second acquire should hit: %+v", st)
+	}
+}
+
+func TestUnknownRef(t *testing.T) {
+	r := newTestRegistry(t, testEngine(t), Config{})
+	if _, err := r.Acquire("nope"); !errors.Is(err, ErrUnknownRef) {
+		t.Fatalf("Acquire unknown: %v, want ErrUnknownRef", err)
+	}
+	if err := r.Evict("nope"); !errors.Is(err, ErrUnknownRef) {
+		t.Fatalf("Evict unknown: %v", err)
+	}
+	if err := r.Remove("nope"); !errors.Is(err, ErrUnknownRef) {
+		t.Fatalf("Remove unknown: %v", err)
+	}
+}
+
+func TestEvictUnderPinDefersClose(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	path := writeIndex(t, e, dir, "chrA")
+	var evicted []string
+	r := newTestRegistry(t, e, Config{
+		OnEvict: func(name string, _ genasm.IndexStats) { evicted = append(evicted, name) },
+	})
+	if err := r.AddFile("chrA", path); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Acquire("chrA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Evict("chrA"); err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0] != "chrA" {
+		t.Errorf("OnEvict calls = %v, want [chrA]", evicted)
+	}
+	// The pinned mapper must keep working after the evict.
+	if _, err := h.Mapper().MapRead(t.Context(), []byte(refSeq[4:36])); err != nil {
+		t.Fatalf("Map after evict while pinned: %v", err)
+	}
+	// The entry stays registered and reloads on the next acquire.
+	if info, ok := r.Get("chrA"); !ok || info.State != StateCold {
+		t.Errorf("after evict: info=%+v ok=%v, want cold", info, ok)
+	}
+	h.Release()
+	h2, err := r.Acquire("chrA")
+	if err != nil {
+		t.Fatalf("re-acquire after evict: %v", err)
+	}
+	h2.Release()
+	if st := r.Stats(); st.Loads != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 loads, 1 eviction", st)
+	}
+}
+
+func TestDoubleReleaseIsSafe(t *testing.T) {
+	e := testEngine(t)
+	path := writeIndex(t, e, t.TempDir(), "chrA")
+	r := newTestRegistry(t, e, Config{})
+	if err := r.AddFile("chrA", path); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Acquire("chrA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	h.Release()
+	if info, _ := r.Get("chrA"); info.Pins != 0 {
+		t.Errorf("pins after double release = %d", info.Pins)
+	}
+}
+
+func TestStaticRegister(t *testing.T) {
+	e := testEngine(t)
+	ri, err := e.BuildRefIndex([]byte(refSeq), genasm.RefIndexConfig{RefName: "mem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newTestRegistry(t, e, Config{})
+	if err := r.Register("mem", ri); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := r.Get("mem")
+	if !ok || !info.Static || info.State != StateLoaded {
+		t.Fatalf("static info = %+v", info)
+	}
+	if err := r.Evict("mem"); !errors.Is(err, ErrNotEvictable) {
+		t.Errorf("Evict static: %v, want ErrNotEvictable", err)
+	}
+	h, err := r.Acquire("mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if err := r.Remove("mem"); err != nil {
+		t.Errorf("Remove static: %v", err)
+	}
+	if _, err := r.Acquire("mem"); !errors.Is(err, ErrUnknownRef) {
+		t.Errorf("Acquire after Remove: %v", err)
+	}
+}
+
+func TestSole(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	r := newTestRegistry(t, e, Config{})
+	if _, ok := r.Sole(); ok {
+		t.Error("Sole on empty registry")
+	}
+	r.AddFile("a", writeIndex(t, e, dir, "a"))
+	if name, ok := r.Sole(); !ok || name != "a" {
+		t.Errorf("Sole = %q,%v", name, ok)
+	}
+	r.AddFile("b", writeIndex(t, e, dir, "b"))
+	if _, ok := r.Sole(); ok {
+		t.Error("Sole with two refs")
+	}
+}
+
+func TestBudgetEvictsLRU(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	pa := writeIndex(t, e, dir, "a")
+	pb := writeIndex(t, e, dir, "b")
+	pc := writeIndex(t, e, dir, "c")
+	fi, err := os.Stat(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget fits two indexes but not three.
+	r := newTestRegistry(t, e, Config{MaxResidentBytes: 2*fi.Size() + fi.Size()/2})
+	for name, p := range map[string]string{"a": pa, "b": pb, "c": pc} {
+		if err := r.AddFile(name, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, name := range []string{"a", "b"} {
+		if err := r.Load(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is the LRU victim when "c" loads.
+	h, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	if err := r.Load("c"); err != nil {
+		t.Fatal(err)
+	}
+	states := map[string]State{}
+	for _, info := range r.List() {
+		states[info.Name] = info.State
+	}
+	want := map[string]State{"a": StateLoaded, "b": StateCold, "c": StateLoaded}
+	for name, w := range want {
+		if states[name] != w {
+			t.Errorf("state[%s] = %q, want %q (all: %v)", name, states[name], w, states)
+		}
+	}
+	if st := r.Stats(); st.ResidentBytes > st.MaxResidentBytes {
+		t.Errorf("resident %d exceeds budget %d", st.ResidentBytes, st.MaxResidentBytes)
+	}
+}
+
+func TestBudgetSkipsPinned(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	pa := writeIndex(t, e, dir, "a")
+	pb := writeIndex(t, e, dir, "b")
+	fi, err := os.Stat(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget fits one index only; "a" stays pinned while "b" loads.
+	r := newTestRegistry(t, e, Config{MaxResidentBytes: fi.Size() + fi.Size()/2})
+	r.AddFile("a", pa)
+	r.AddFile("b", pb)
+	h, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if err := r.Load("b"); err != nil {
+		t.Fatal(err)
+	}
+	// Both stay loaded: the budget cannot evict a pinned reference.
+	for _, name := range []string{"a", "b"} {
+		if info, _ := r.Get(name); info.State != StateLoaded {
+			t.Errorf("state[%s] = %q, want loaded", name, info.State)
+		}
+	}
+}
+
+func TestLoadErrorIsRetried(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "x.gasmidx")
+	if err := os.WriteFile(bad, []byte("not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := newTestRegistry(t, e, Config{})
+	r.AddFile("x", bad)
+	if _, err := r.Acquire("x"); err == nil {
+		t.Fatal("Acquire of corrupt index succeeded")
+	}
+	if info, _ := r.Get("x"); info.State != StateError || info.Err == "" {
+		t.Errorf("after failed load: %+v", info)
+	}
+	// Replace the file with a valid index: the next Acquire retries.
+	ri, err := e.BuildRefIndex([]byte(refSeq), genasm.RefIndexConfig{RefName: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ri.WriteFile(bad); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Acquire("x")
+	if err != nil {
+		t.Fatalf("Acquire after repair: %v", err)
+	}
+	h.Release()
+	if st := r.Stats(); st.LoadErrors != 1 || st.Loads != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReloadDirectory(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	writeIndex(t, e, dir, "chrA")
+	writeIndex(t, e, dir, "chrB")
+	os.WriteFile(filepath.Join(dir, "README.txt"), []byte("ignore me"), 0o644)
+	r := newTestRegistry(t, e, Config{})
+	// A static entry must survive reloads untouched.
+	ri, err := e.BuildRefIndex([]byte(refSeq), genasm.RefIndexConfig{RefName: "mem"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register("mem", ri); err != nil {
+		t.Fatal(err)
+	}
+
+	added, removed, err := r.Reload(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(added) != "[chrA chrB]" || len(removed) != 0 {
+		t.Fatalf("first reload: added=%v removed=%v", added, removed)
+	}
+	if err := r.Load("chrA"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drop chrB, add chrC; chrA (loaded) must stay hot.
+	os.Remove(filepath.Join(dir, "chrB.gasmidx"))
+	writeIndex(t, e, dir, "chrC")
+	added, removed, err = r.Reload(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(added) != "[chrC]" || fmt.Sprint(removed) != "[chrB]" {
+		t.Fatalf("second reload: added=%v removed=%v", added, removed)
+	}
+	if info, _ := r.Get("chrA"); info.State != StateLoaded {
+		t.Errorf("chrA went %q across reload, want loaded", info.State)
+	}
+	if _, ok := r.Get("chrB"); ok {
+		t.Error("chrB still registered after its file vanished")
+	}
+	if info, ok := r.Get("mem"); !ok || info.State != StateLoaded {
+		t.Errorf("static entry after reload: %+v ok=%v", info, ok)
+	}
+}
+
+func TestConcurrentAcquireSingleLoad(t *testing.T) {
+	e := testEngine(t)
+	path := writeIndex(t, e, t.TempDir(), "chrA")
+	r := newTestRegistry(t, e, Config{})
+	r.AddFile("chrA", path)
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for range n {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h, err := r.Acquire("chrA")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer h.Release()
+			if _, err := h.Mapper().MapRead(t.Context(), []byte(refSeq[8:40])); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := r.Stats(); st.Loads != 1 {
+		t.Errorf("concurrent acquires caused %d loads, want 1", st.Loads)
+	}
+}
+
+func TestCloseWhilePinned(t *testing.T) {
+	e := testEngine(t)
+	path := writeIndex(t, e, t.TempDir(), "chrA")
+	r := newTestRegistry(t, e, Config{})
+	r.AddFile("chrA", path)
+	h, err := r.Acquire("chrA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The pinned mapper still works; the mapping closes at Release.
+	if _, err := h.Mapper().MapRead(t.Context(), []byte(refSeq[4:36])); err != nil {
+		t.Fatalf("Map after Close while pinned: %v", err)
+	}
+	h.Release()
+	if _, err := r.Acquire("chrA"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Acquire after Close: %v, want ErrClosed", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}

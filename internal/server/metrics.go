@@ -7,10 +7,12 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"genasm"
 	"genasm/internal/metrics"
+	"genasm/internal/registry"
 )
 
 // serverMetrics is every instrument the server exports on /metrics. The
@@ -32,6 +34,7 @@ type serverMetrics struct {
 	// Admission queue.
 	admitted     *metrics.Counter
 	rejected     *metrics.Counter
+	admission    *metrics.CounterVec // genasm_admission_total{class,outcome}
 	slotInFlight *metrics.Gauge
 
 	// Work served.
@@ -53,9 +56,16 @@ type serverMetrics struct {
 	mapperFiltered   *metrics.Counter
 	mapperAccepted   *metrics.Counter
 	readSeconds      *metrics.Histogram
-	stageSeed        *metrics.Histogram // genasm_mapper_stage_seconds{stage="seed"}
-	stageFilter      *metrics.Histogram //                          {stage="filter"}
-	stageAlign       *metrics.Histogram //                          {stage="align"}
+	stage            *metrics.HistogramVec // genasm_mapper_stage_seconds{stage,ref}
+
+	// Reference registry: per-reference descriptors keyed by name, plus
+	// load/evict lifecycle counters.
+	indexBytes   *metrics.GaugeVec // genasm_index_bytes{ref}
+	indexSeeds   *metrics.GaugeVec // genasm_index_seeds{ref}
+	indexLoad    *metrics.GaugeVec // genasm_index_load_seconds{ref}
+	indexInfo    *metrics.GaugeVec // genasm_index_info{ref,backend,source}
+	refLoads     *metrics.Counter
+	refEvictions *metrics.Counter
 }
 
 // stageBuckets suit sub-millisecond pipeline stages better than the
@@ -66,8 +76,9 @@ var stageBuckets = []float64{
 }
 
 // newServerMetrics registers the server's instruments on a fresh registry.
-// Queue and pool occupancy are GaugeFuncs sampled at scrape time straight
-// from the live structures, so they need no upkeep on request paths.
+// Queue, pool and reference-registry occupancy are GaugeFuncs sampled at
+// scrape time straight from the live structures, so they need no upkeep on
+// request paths.
 func newServerMetrics(s *Server) *serverMetrics {
 	r := metrics.New()
 	m := &serverMetrics{
@@ -78,7 +89,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"HTTP request latency in seconds, by endpoint and status code.",
 			nil, "endpoint", "status"),
 		errors: r.CounterVec("genasm_http_errors_total",
-			"Request failures, by kind (bad_request, too_large, overload, input, internal, canceled, stream_truncated).",
+			"Request failures, by kind (bad_request, too_large, overload, input, internal, canceled, stream_truncated, not_found, ref_load).",
 			"kind"),
 		bytesIn:  r.Counter("genasm_http_request_bytes_total", "Request body bytes read."),
 		bytesOut: r.Counter("genasm_http_response_bytes_total", "Response body bytes written."),
@@ -87,6 +98,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Requests admitted to alignment work through the admission queue."),
 		rejected: r.Counter("genasm_requests_rejected_total",
 			"Requests rejected with 429 because the admission queue was full."),
+		admission: r.CounterVec("genasm_admission_total",
+			"Admission decisions, by priority class (interactive, batch) and outcome (admitted, rejected).",
+			"class", "outcome"),
 		slotInFlight: r.Gauge("genasm_queue_in_flight_requests",
 			"Requests currently holding an admission slot."),
 		alignments: r.Counter("genasm_alignments_total",
@@ -117,12 +131,26 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Candidates accepted by the pre-alignment filter."),
 		readSeconds: r.Histogram("genasm_mapper_read_seconds",
 			"End-to-end mapping pipeline time per read.", stageBuckets),
+		stage: r.HistogramVec("genasm_mapper_stage_seconds",
+			"Time per mapping pipeline stage invocation, by stage and reference (\"inline\" for request-supplied references).",
+			stageBuckets, "stage", "ref"),
+		indexBytes: r.GaugeVec("genasm_index_bytes",
+			"In-memory footprint of a resident reference index (reference included), by name. 0 after eviction.",
+			"ref"),
+		indexSeeds: r.GaugeVec("genasm_index_seeds",
+			"Seed positions in a resident reference index, by name. 0 after eviction.",
+			"ref"),
+		indexLoad: r.GaugeVec("genasm_index_load_seconds",
+			"Wall time spent loading a reference index file (0 when the index was built in-process).",
+			"ref"),
+		indexInfo: r.GaugeVec("genasm_index_info",
+			"Resident reference index descriptor (1 = resident, 0 = evicted); the labels carry the name, backend (hash, minimizer, suffixarray) and source (built, mmap, memory).",
+			"ref", "backend", "source"),
+		refLoads: r.Counter("genasm_ref_loads_total",
+			"Reference indexes loaded (or registered) into the registry."),
+		refEvictions: r.Counter("genasm_ref_evictions_total",
+			"Reference indexes evicted or removed from the registry."),
 	}
-	stage := r.HistogramVec("genasm_mapper_stage_seconds",
-		"Time per mapping pipeline stage invocation.", stageBuckets, "stage")
-	m.stageSeed = stage.With("seed")
-	m.stageFilter = stage.With("filter")
-	m.stageAlign = stage.With("align")
 
 	r.GaugeFunc("genasm_queue_used", "Admission slots currently held.",
 		func() float64 { return float64(len(s.slots)) })
@@ -143,27 +171,49 @@ func newServerMetrics(s *Server) *serverMetrics {
 		poolStat(func(st genasm.PoolStats) float64 { return float64(st.Misses) }))
 	r.GaugeFunc("genasm_pool_workspace_bytes", "Scratch footprint of one workspace.",
 		poolStat(func(st genasm.PoolStats) float64 { return float64(st.WorkspaceBytes) }))
+
+	// Registry occupancy. s.refs is wired after the metrics are built, so
+	// the closures guard against sampling a half-constructed server.
+	refStat := func(f func(registry.Stats) float64) func() float64 {
+		return func() float64 {
+			if s.refs == nil {
+				return 0
+			}
+			return f(s.refs.Stats())
+		}
+	}
+	r.GaugeFunc("genasm_refs_registered", "References registered in the registry.",
+		refStat(func(st registry.Stats) float64 { return float64(st.Refs) }))
+	r.GaugeFunc("genasm_refs_loaded", "References currently resident (loaded).",
+		refStat(func(st registry.Stats) float64 { return float64(st.Loaded) }))
+	r.GaugeFunc("genasm_refs_resident_bytes", "Summed on-disk bytes of resident file-backed references.",
+		refStat(func(st registry.Stats) float64 { return float64(st.ResidentBytes) }))
+	r.GaugeFunc("genasm_refs_max_resident_bytes", "Configured resident-bytes budget (0 = unbounded).",
+		refStat(func(st registry.Stats) float64 { return float64(st.MaxResidentBytes) }))
 	return m
 }
 
-// registerIndexInfo exports the preloaded reference index on /metrics:
-// size and load time as gauges, and an info-style descriptor whose labels
-// carry the backend and origin — the standard pattern for dimensioning
-// dashboards by deployment shape ("which backend is this fleet running?").
-// Called once at startup when a reference is preloaded.
-func (m *serverMetrics) registerIndexInfo(st genasm.IndexStats) {
-	m.reg.GaugeFunc("genasm_index_bytes",
-		"In-memory footprint of the preloaded reference index (reference included).",
-		func() float64 { return float64(st.Bytes) })
-	m.reg.GaugeFunc("genasm_index_seeds",
-		"Seed positions in the preloaded reference index.",
-		func() float64 { return float64(st.Seeds) })
-	m.reg.GaugeFunc("genasm_index_load_seconds",
-		"Wall time spent loading the reference index file (0 when the index was built at startup).",
-		func() float64 { return st.LoadTime.Seconds() })
-	m.reg.GaugeVec("genasm_index_info",
-		"Preloaded reference index descriptor; the labels carry the backend (hash, minimizer, suffixarray) and source (built, mmap, memory).",
-		"backend", "source").With(st.Backend, st.Source).Set(1)
+// refLoaded exports a reference that became resident: per-name size and
+// load-time gauges plus an info-style descriptor whose labels carry the
+// backend and origin — the standard pattern for dimensioning dashboards by
+// deployment shape ("which backend is this fleet running?"). Wired to the
+// registry's OnLoad hook.
+func (m *serverMetrics) refLoaded(name string, st genasm.IndexStats) {
+	m.refLoads.Inc()
+	m.indexBytes.With(name).Set(st.Bytes)
+	m.indexSeeds.With(name).Set(int64(st.Seeds))
+	m.indexLoad.With(name).Set(int64(st.LoadTime.Seconds()))
+	m.indexInfo.With(name, st.Backend, st.Source).Set(1)
+}
+
+// refEvicted zeroes a reference's descriptors when it leaves the resident
+// set. Wired to the registry's OnEvict hook.
+func (m *serverMetrics) refEvicted(name string, st genasm.IndexStats) {
+	m.refEvictions.Inc()
+	m.indexBytes.With(name).Set(0)
+	m.indexSeeds.With(name).Set(0)
+	m.indexLoad.With(name).Set(0)
+	m.indexInfo.With(name, st.Backend, st.Source).Set(0)
 }
 
 // alignTrace adapts the registry into engine-level hooks. Attached to both
@@ -181,14 +231,20 @@ func (m *serverMetrics) alignTrace() *genasm.AlignTrace {
 	}
 }
 
-// mapTrace adapts the registry into mapping pipeline hooks — the
-// metrics-backed default trace every server-built Mapper carries.
-func (m *serverMetrics) mapTrace() *genasm.MapTrace {
+// mapTraceFor adapts the registry into mapping pipeline hooks for one
+// named reference — the metrics-backed trace every server-built Mapper
+// carries. The per-stage histogram handles are resolved once per mapper,
+// so the per-read hot path does no Vec lookups. Request-supplied inline
+// references share the "inline" label to keep cardinality bounded.
+func (m *serverMetrics) mapTraceFor(ref string) *genasm.MapTrace {
+	stageSeed := m.stage.With("seed", ref)
+	stageFilter := m.stage.With("filter", ref)
+	stageAlign := m.stage.With("align", ref)
 	return &genasm.MapTrace{
 		SeedingDone: func(seeds, candidates int, d time.Duration) {
 			m.mapperSeeds.Add(uint64(seeds))
 			m.mapperCandidates.Add(uint64(candidates))
-			m.stageSeed.Observe(d.Seconds())
+			stageSeed.Observe(d.Seconds())
 		},
 		FilterDone: func(accepted bool, d time.Duration) {
 			if accepted {
@@ -196,9 +252,9 @@ func (m *serverMetrics) mapTrace() *genasm.MapTrace {
 			} else {
 				m.mapperFiltered.Inc()
 			}
-			m.stageFilter.Observe(d.Seconds())
+			stageFilter.Observe(d.Seconds())
 		},
-		AlignDone: func(ok bool, d time.Duration) { m.stageAlign.Observe(d.Seconds()) },
+		AlignDone: func(ok bool, d time.Duration) { stageAlign.Observe(d.Seconds()) },
 		ReadDone: func(candidates, filtered, accepted int, mapped bool, d time.Duration) {
 			m.mapperReads.Inc()
 			if mapped {
@@ -212,12 +268,18 @@ func (m *serverMetrics) mapTrace() *genasm.MapTrace {
 // request instrumentation ------------------------------------------------
 
 // endpointLabel normalizes a request path to the served route set, keeping
-// label cardinality bounded no matter what paths clients probe.
+// label cardinality bounded no matter what paths clients probe. The
+// reference admin endpoints collapse onto "/v1/refs" (names are not
+// labels here; per-reference dimensions live on the genasm_index_* and
+// stage metrics).
 func endpointLabel(path string) string {
 	switch path {
 	case "/v1/align", "/v1/batch", "/v1/map", "/v1/map/stream",
-		"/v1/healthz", "/v1/stats", "/metrics":
+		"/v1/healthz", "/v1/stats", "/v1/refs", "/metrics":
 		return path
+	}
+	if strings.HasPrefix(path, "/v1/refs/") {
+		return "/v1/refs"
 	}
 	return "other"
 }

@@ -45,7 +45,7 @@ func scrape(t *testing.T, base string) map[string]float64 {
 	out := make(map[string]float64, len(samples))
 	for _, s := range samples {
 		key := s.Name
-		for _, lk := range []string{"endpoint", "status", "kind", "stage", "le"} {
+		for _, lk := range []string{"endpoint", "status", "kind", "stage", "ref", "class", "outcome", "le"} {
 			if v, ok := s.Labels[lk]; ok {
 				key += "{" + lk + "=" + v + "}"
 			}
@@ -114,6 +114,18 @@ func TestMetricsEndToEnd(t *testing.T) {
 		"genasm_queue_depth":                                                float64(srv.cfg.QueueDepth),
 		"genasm_queue_used":                                                 0,
 		"genasm_http_in_flight_requests":                                    1, // the scrape itself
+		// Admission decisions by priority class: 3 aligns + 1 map +
+		// 1 stream were admitted (the bad align failed validation before
+		// reaching the queue), all default-interactive.
+		"genasm_admission_total{class=interactive}{outcome=admitted}": 5,
+		// The boot-registered reference shows in the registry gauges and
+		// per-reference index descriptors.
+		"genasm_refs_registered":         1,
+		"genasm_refs_loaded":             1,
+		"genasm_ref_loads_total":         1,
+		"genasm_index_info{ref=chrM}":    1,
+		"genasm_refs_max_resident_bytes": 0,
+		"genasm_ref_evictions_total":     0,
 	}
 	for key, want := range checks {
 		if got, ok := m[key]; !ok || got != want {
@@ -128,8 +140,8 @@ func TestMetricsEndToEnd(t *testing.T) {
 	for _, name := range []string{
 		"genasm_mapper_seeds_total", "genasm_mapper_candidates_total",
 		"genasm_mapper_read_seconds_count",
-		"genasm_mapper_stage_seconds_count{stage=seed}",
-		"genasm_mapper_stage_seconds_count{stage=align}",
+		"genasm_mapper_stage_seconds_count{stage=seed}{ref=chrM}",
+		"genasm_mapper_stage_seconds_count{stage=align}{ref=chrM}",
 		"genasm_workspace_wait_seconds_count", "genasm_align_seconds_count",
 		"genasm_http_request_bytes_total", "genasm_http_response_bytes_total",
 		"genasm_pool_capacity",

@@ -1,0 +1,466 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"genasm"
+	"genasm/internal/alphabet"
+	"genasm/internal/seq"
+	"genasm/internal/simulate"
+)
+
+// writeIndexFile builds a reference index for a fresh simulated genome and
+// writes it to dir/name.gasmidx, returning the genome's 2-bit sequence for
+// read simulation.
+func writeIndexFile(t *testing.T, eng *genasm.Engine, dir, name string, seed uint64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, 0))
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(20000))
+	ri, err := eng.BuildRefIndex(alphabet.DNA.Decode(genome), genasm.RefIndexConfig{RefName: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ri.Close()
+	if err := ri.WriteFile(dir + "/" + name + ".gasmidx"); err != nil {
+		t.Fatal(err)
+	}
+	return genome
+}
+
+// simReadsFor turns a simulated genome into /v1/map request reads.
+func simReadsFor(t *testing.T, genome []byte, n int) []MapRead {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(9, 9))
+	reads, err := simulate.Reads(rng, genome, n, simulate.Illumina150, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]MapRead, n)
+	for i, r := range reads {
+		out[i] = MapRead{Name: fmt.Sprintf("r%d", i), Seq: string(alphabet.DNA.Decode(r.Seq))}
+	}
+	return out
+}
+
+func do(t *testing.T, method, url string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestMultiRefServing is the multi-reference end-to-end: two named
+// references served from a -ref-dir style directory, lazy loading visible
+// on /v1/refs, per-name mapping, admin load/delete, and directory reload.
+func TestMultiRefServing(t *testing.T) {
+	eng := newTestEngine(t)
+	dir := t.TempDir()
+	genomeA := writeIndexFile(t, eng, dir, "chrA", 101)
+	genomeB := writeIndexFile(t, eng, dir, "chrB", 202)
+	readsA := simReadsFor(t, genomeA, 3)
+	readsB := simReadsFor(t, genomeB, 3)
+
+	srv, base := startServer(t, Config{Engine: newTestEngine(t), RefDir: dir})
+
+	// Boot: both references registered but cold — nothing loads until a
+	// request needs it.
+	var listing RefsResponse
+	_, body := do(t, "GET", base+"/v1/refs")
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Refs) != 2 {
+		t.Fatalf("boot listing has %d refs, want 2: %s", len(listing.Refs), body)
+	}
+	for _, ref := range listing.Refs {
+		if ref.State != "cold" {
+			t.Errorf("boot: ref %s state %q, want cold", ref.Name, ref.State)
+		}
+	}
+
+	// An unnamed request is ambiguous with two references registered.
+	resp, body := postJSON(t, base+"/v1/map", MapRequest{Reads: readsA})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "multiple references") {
+		t.Fatalf("ambiguous map: status %d, body %s", resp.StatusCode, body)
+	}
+
+	// Named requests resolve, lazy-load, and carry the right SAM header.
+	resp, samA := postJSON(t, base+"/v1/map?ref=chrA", MapRequest{Reads: readsA})
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(samA), "SN:chrA") {
+		t.Fatalf("map chrA: status %d, body %s", resp.StatusCode, samA)
+	}
+	resp, samB := postJSON(t, base+"/v1/map", MapRequest{Ref: "chrB", Reads: readsB})
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(samB), "SN:chrB") {
+		t.Fatalf("map chrB: status %d, body %s", resp.StatusCode, samB)
+	}
+
+	// Unknown names are 404 with the typed error code.
+	resp, body = postJSON(t, base+"/v1/map?ref=nope", MapRequest{Reads: readsA})
+	var envelope ErrorBody
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatalf("error response is not the JSON envelope: %s", body)
+	}
+	if resp.StatusCode != http.StatusNotFound || envelope.Error.Code != "not_found" {
+		t.Fatalf("unknown ref: status %d, envelope %+v", resp.StatusCode, envelope.Error)
+	}
+	if envelope.Error.RequestID == "" || envelope.Error.Message == "" {
+		t.Fatalf("envelope missing request_id/message: %+v", envelope.Error)
+	}
+
+	// Both loads are now visible in the registry stats.
+	if st := srv.Stats().Refs; st.Loaded != 2 || st.Loads != 2 {
+		t.Fatalf("registry stats after maps: %+v", st)
+	}
+
+	// DELETE removes a reference: in-registry state drops it and new
+	// requests for it get 404; the other reference is untouched.
+	resp, _ = do(t, "DELETE", base+"/v1/refs/chrA")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete chrA: status %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, base+"/v1/map?ref=chrA", MapRequest{Reads: readsA})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("map deleted ref: status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, base+"/v1/map?ref=chrB", MapRequest{Ref: "chrB", Reads: readsB})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map chrB after deleting chrA: status %d", resp.StatusCode)
+	}
+
+	// Reload rescans the directory: chrA's file is still there, so it comes
+	// back; a new chrC file registers; deleting chrB's file drops it.
+	writeIndexFile(t, eng, dir, "chrC", 303)
+	if err := os.Remove(dir + "/chrB.gasmidx"); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = do(t, "POST", base+"/v1/refs/reload")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: status %d, body %s", resp.StatusCode, body)
+	}
+	var reload struct {
+		Added   []string `json:"added"`
+		Removed []string `json:"removed"`
+	}
+	if err := json.Unmarshal(body, &reload); err != nil {
+		t.Fatal(err)
+	}
+	if len(reload.Added) != 2 || len(reload.Removed) != 1 || reload.Removed[0] != "chrB" {
+		t.Fatalf("reload = %+v, want added [chrA chrC], removed [chrB]", reload)
+	}
+
+	// Admin load forces a reference resident without a mapping request.
+	resp, body = do(t, "POST", base+"/v1/refs/chrC/load")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load chrC: status %d, body %s", resp.StatusCode, body)
+	}
+	var loaded RefJSON
+	if err := json.Unmarshal(body, &loaded); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.State != "loaded" || loaded.FileBytes == 0 {
+		t.Fatalf("loaded chrC = %+v", loaded)
+	}
+	resp, _ = do(t, "POST", base+"/v1/refs/ghost/load")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("load unknown ref: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestEvictMidStream pins the refcount guarantee under -race: a reference
+// removed from the registry while a /v1/map/stream request is mid-flight
+// stays mapped — the stream completes correctly — while new requests for
+// it immediately get 404.
+func TestEvictMidStream(t *testing.T) {
+	eng := newTestEngine(t)
+	dir := t.TempDir()
+	genome := writeIndexFile(t, eng, dir, "chrE", 404)
+	reads := simReadsFor(t, genome, 3)
+
+	_, base := startServer(t, Config{Engine: newTestEngine(t), RefDir: dir})
+
+	// Pipe-fed NDJSON stream: each read is written only after the previous
+	// result arrives, so the request is provably in flight when the
+	// reference is removed between reads.
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest("POST", base+"/v1/map/stream?ref=chrE", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	line := func(i int) []byte {
+		b, _ := json.Marshal(ndjsonReadLine{Name: reads[i].Name, Seq: reads[i].Seq})
+		return append(b, '\n')
+	}
+	watchdog := time.AfterFunc(30*time.Second, func() {
+		pw.CloseWithError(fmt.Errorf("watchdog: stream stalled"))
+	})
+	defer watchdog.Stop()
+
+	go pw.Write(line(0))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	readResult := func(i int) {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended before result %d: %v", i, sc.Err())
+		}
+		var res StreamMapResult
+		if err := json.Unmarshal(sc.Bytes(), &res); err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if res.Index != i || res.Error != "" {
+			t.Fatalf("result %d = %+v", i, res)
+		}
+	}
+	readResult(0)
+
+	// The stream holds a pin on chrE; remove it out from under the request.
+	dresp, _ := do(t, "DELETE", base+"/v1/refs/chrE")
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete mid-stream: status %d", dresp.StatusCode)
+	}
+	// New requests must 404 immediately...
+	mresp, _ := postJSON(t, base+"/v1/map?ref=chrE", MapRequest{Reads: reads})
+	if mresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("map after mid-stream delete: status %d, want 404", mresp.StatusCode)
+	}
+	// ...while the pinned stream keeps mapping against the removed index.
+	for i := 1; i < len(reads); i++ {
+		if _, err := pw.Write(line(i)); err != nil {
+			t.Fatalf("writing read %d: %v", i, err)
+		}
+		readResult(i)
+	}
+	pw.Close()
+	if sc.Scan() {
+		t.Fatalf("unexpected trailing record %q", sc.Text())
+	}
+}
+
+// TestPriorityClasses pins admission shedding: with the queue partially
+// occupied past the batch limit, batch-class requests are rejected while
+// interactive ones still run; unknown classes are 400.
+func TestPriorityClasses(t *testing.T) {
+	eng := newTestEngine(t)
+	srv, base := startServer(t, Config{Engine: eng, QueueDepth: 4, InteractiveReserve: 2})
+	if srv.batchLimit != 2 {
+		t.Fatalf("batchLimit = %d, want 2", srv.batchLimit)
+	}
+
+	post := func(class string) (*http.Response, []byte) {
+		t.Helper()
+		b, _ := json.Marshal(AlignRequest{Text: "ACGTACGT", Query: "ACGT"})
+		req, err := http.NewRequest("POST", base+"/v1/align", strings.NewReader(string(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if class != "" {
+			req.Header.Set("X-Genasm-Priority", class)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp, body
+	}
+
+	// Unloaded: both classes are admitted.
+	for _, class := range []string{"", "interactive", "batch"} {
+		if resp, body := post(class); resp.StatusCode != http.StatusOK {
+			t.Fatalf("idle %q: status %d, body %s", class, resp.StatusCode, body)
+		}
+	}
+
+	// Occupy the queue up to the batch limit (2 of 4 slots): batch is shed,
+	// interactive still runs in the reserve.
+	srv.slots <- struct{}{}
+	srv.slots <- struct{}{}
+	resp, body := post("batch")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("batch at limit: status %d, body %s", resp.StatusCode, body)
+	}
+	var envelope ErrorBody
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope.Error.Code != "overload" {
+		t.Fatalf("batch rejection envelope %s (err %v)", body, err)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("batch rejection without Retry-After")
+	}
+	if resp, body := post("interactive"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("interactive in reserve: status %d, body %s", resp.StatusCode, body)
+	}
+	<-srv.slots
+	<-srv.slots
+
+	// Recovered: batch runs again.
+	if resp, body := post("batch"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch after drain: status %d, body %s", resp.StatusCode, body)
+	}
+
+	// Unknown class is a client error, not a shed.
+	resp, body = post("bulk")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "priority class") {
+		t.Fatalf("unknown class: status %d, body %s", resp.StatusCode, body)
+	}
+
+	// The per-class admission counters saw the traffic.
+	m := scrape(t, base)
+	if got := m["genasm_admission_total{class=batch}{outcome=rejected}"]; got != 1 {
+		t.Errorf("batch rejections = %v, want 1", got)
+	}
+	if got := m["genasm_admission_total{class=batch}{outcome=admitted}"]; got != 2 {
+		t.Errorf("batch admissions = %v, want 2", got)
+	}
+	if got := m["genasm_admission_total{class=interactive}{outcome=admitted}"]; got != 3 {
+		t.Errorf("interactive admissions = %v, want 3", got)
+	}
+}
+
+// TestErrorEnvelope pins the error contract on a sample of failure modes:
+// every non-2xx response is {"error":{code,message,request_id}} with the
+// documented code.
+func TestErrorEnvelope(t *testing.T) {
+	eng := newTestEngine(t)
+	_, base := startServer(t, Config{Engine: eng, MaxSeqLen: 50})
+
+	for _, tc := range []struct {
+		name, code string
+		status     int
+		post       func() (*http.Response, []byte)
+	}{
+		{"malformed json", "bad_request", http.StatusBadRequest, func() (*http.Response, []byte) {
+			resp, err := http.Post(base+"/v1/align", "application/json", strings.NewReader("{"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			return resp, body
+		}},
+		{"oversized sequence", "too_large", http.StatusBadRequest, func() (*http.Response, []byte) {
+			return postJSON(t, base+"/v1/align", AlignRequest{Text: strings.Repeat("A", 51), Query: "ACGT"})
+		}},
+		{"bad letters", "input", http.StatusBadRequest, func() (*http.Response, []byte) {
+			return postJSON(t, base+"/v1/align", AlignRequest{Text: "ACGT", Query: "AXGT"})
+		}},
+		{"no reference", "bad_request", http.StatusBadRequest, func() (*http.Response, []byte) {
+			return postJSON(t, base+"/v1/map", MapRequest{Reads: []MapRead{{Seq: "ACGTACGT"}}})
+		}},
+		{"unknown ref admin", "not_found", http.StatusNotFound, func() (*http.Response, []byte) {
+			return do(t, "DELETE", base+"/v1/refs/ghost")
+		}},
+		{"reload without dir", "bad_request", http.StatusBadRequest, func() (*http.Response, []byte) {
+			return do(t, "POST", base+"/v1/refs/reload")
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := tc.post()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status %d, want %d (%s)", resp.StatusCode, tc.status, body)
+			}
+			var envelope ErrorBody
+			if err := json.Unmarshal(body, &envelope); err != nil {
+				t.Fatalf("not the JSON envelope: %s", body)
+			}
+			if envelope.Error.Code != tc.code {
+				t.Errorf("code %q, want %q (message %q)", envelope.Error.Code, tc.code, envelope.Error.Message)
+			}
+			if envelope.Error.Message == "" || envelope.Error.RequestID == "" {
+				t.Errorf("incomplete envelope: %+v", envelope.Error)
+			}
+		})
+	}
+}
+
+// TestResidentBudgetOverHTTP pins LRU eviction through the serving stack:
+// with a budget that fits two of three references, mapping against the
+// third evicts the least-recently-used and /metrics records the eviction.
+func TestResidentBudgetOverHTTP(t *testing.T) {
+	eng := newTestEngine(t)
+	dir := t.TempDir()
+	genomes := map[string][]byte{
+		"chrA": writeIndexFile(t, eng, dir, "chrA", 1),
+		"chrB": writeIndexFile(t, eng, dir, "chrB", 2),
+		"chrC": writeIndexFile(t, eng, dir, "chrC", 3),
+	}
+	fi, err := os.Stat(dir + "/chrA.gasmidx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := fi.Size()*5/2 + 3 // fits two indexes, not three
+
+	srv, base := startServer(t, Config{
+		Engine:           newTestEngine(t),
+		RefDir:           dir,
+		MaxResidentBytes: budget,
+	})
+
+	mapAgainst := func(name string) {
+		t.Helper()
+		resp, body := postJSON(t, base+"/v1/map?ref="+name, MapRequest{Reads: simReadsFor(t, genomes[name], 2)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("map %s: status %d, body %s", name, resp.StatusCode, body)
+		}
+	}
+	mapAgainst("chrA")
+	mapAgainst("chrB")
+	mapAgainst("chrA") // freshen chrA so chrB is the LRU victim
+	mapAgainst("chrC") // over budget: evicts chrB
+
+	st := srv.Stats().Refs
+	if st.Loaded != 2 || st.Evictions != 1 {
+		t.Fatalf("registry stats after budget eviction: %+v", st)
+	}
+	if st.ResidentBytes > budget {
+		t.Fatalf("resident %d bytes over budget %d", st.ResidentBytes, budget)
+	}
+	var listing RefsResponse
+	_, body := do(t, "GET", base+"/v1/refs")
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	for _, ref := range listing.Refs {
+		want := "loaded"
+		if ref.Name == "chrB" {
+			want = "cold"
+		}
+		if ref.State != want {
+			t.Errorf("ref %s state %q, want %q", ref.Name, ref.State, want)
+		}
+	}
+	// The evicted reference transparently reloads on demand.
+	mapAgainst("chrB")
+	if st := srv.Stats().Refs; st.Loads != 4 || st.Evictions != 2 {
+		t.Fatalf("registry stats after reload: %+v", st)
+	}
+}

@@ -5,27 +5,47 @@
 // count of per-vault GenASM units, Section 7), so concurrency is bounded
 // by the engine capacity and excess load queues in a bounded admission
 // queue rather than piling up goroutines; when the queue is full, requests
-// are rejected with 429 so clients can back off.
+// are rejected with 429 so clients can back off. Requests carry a priority
+// class ("X-Genasm-Priority: interactive|batch"): batch traffic is shed
+// first, before the queue saturates, so interactive latency survives bulk
+// load.
+//
+// The server serves many named references at once through an internal
+// registry (the software mirror of the accelerator partitioning the
+// reference across vaults): references are registered from a directory of
+// prebuilt index files (-ref-dir), mmap-loaded lazily on first use,
+// evicted under a resident-bytes budget, and pinned by in-flight requests
+// so eviction never unmaps an index mid-request. Mapping requests name
+// their reference with a "ref" body field or query parameter; with exactly
+// one reference registered it may be omitted.
 //
 // Endpoints:
 //
-//	POST /v1/align      — one alignment: {"text","query","global"}
-//	POST /v1/batch      — many alignments, results in request order
-//	POST /v1/map        — read mapping; responds with SAM records
-//	POST /v1/map/stream — streaming read mapping: FASTA/FASTQ/NDJSON body
-//	                      in, flushed-per-record NDJSON or SAM out, in
-//	                      bounded memory (requires a preloaded reference)
-//	GET  /v1/healthz    — liveness ("degraded" + 503 when saturated or
-//	                      shutting down)
-//	GET  /v1/stats      — pool + server counters (JSON)
-//	GET  /metrics       — Prometheus text exposition
+//	POST   /v1/align            — one alignment: {"text","query","global"}
+//	POST   /v1/batch            — many alignments, results in request order
+//	POST   /v1/map[?ref=name]   — read mapping; responds with SAM records
+//	POST   /v1/map/stream[?ref=name] — streaming read mapping: FASTA/FASTQ/
+//	                              NDJSON body in, flushed-per-record NDJSON
+//	                              or SAM out, in bounded memory
+//	GET    /v1/refs             — reference registry listing (JSON)
+//	POST   /v1/refs/{name}/load — force a reference resident
+//	DELETE /v1/refs/{name}      — remove a reference (in-flight requests
+//	                              finish; new ones get 404)
+//	POST   /v1/refs/reload      — re-scan the -ref-dir directory
+//	GET    /v1/healthz          — liveness ("degraded" + 503 when saturated
+//	                              or shutting down)
+//	GET    /v1/stats            — pool + server + registry counters (JSON)
+//	GET    /metrics             — Prometheus text exposition
 //
-// Every request flows through an observability middleware: per-endpoint/
-// per-status counters and latency histograms, byte accounting, request IDs
-// and structured (log/slog) logging. The mapping pipeline and both engines
-// carry metrics-backed trace hooks (genasm.MapTrace / genasm.AlignTrace),
-// so /metrics breaks serving time down by pipeline stage. The /v1/stats
-// JSON counters are read from the same registry, so the two views cannot
+// Every non-2xx response carries the JSON error envelope
+// {"error":{"code","message","request_id"}}, with code matching the
+// genasm_http_errors_total{kind} label. Every request flows through an
+// observability middleware: per-endpoint/per-status counters and latency
+// histograms, byte accounting, request IDs and structured (log/slog)
+// logging. The mapping pipeline and both engines carry metrics-backed
+// trace hooks (genasm.MapTrace / genasm.AlignTrace), so /metrics breaks
+// serving time down by pipeline stage and reference. The /v1/stats JSON
+// counters are read from the same registry, so the two views cannot
 // drift. OpsHandler serves /metrics plus net/http/pprof for a private
 // operations listener.
 package server
@@ -46,6 +66,7 @@ import (
 
 	"genasm"
 	"genasm/internal/metrics"
+	"genasm/internal/registry"
 )
 
 // Config parameterizes a Server. The zero values of the limits pick
@@ -58,6 +79,12 @@ type Config struct {
 	// work at once (in flight + queued waiting for a workspace). Further
 	// requests receive 429. Defaults to 4× the engine capacity.
 	QueueDepth int
+	// InteractiveReserve holds back admission slots for the interactive
+	// priority class: batch requests ("X-Genasm-Priority: batch") are
+	// rejected once queue occupancy reaches QueueDepth−InteractiveReserve,
+	// so bulk load is shed before it can crowd out interactive traffic.
+	// Defaults to a quarter of QueueDepth (at least 1).
+	InteractiveReserve int
 	// MaxBodyBytes caps a request body. Defaults to 8 MiB.
 	MaxBodyBytes int64
 	// MaxBatchJobs caps the jobs in one /v1/batch request. Defaults to
@@ -79,21 +106,32 @@ type Config struct {
 	// MaxBodyBytes: 1 GiB.
 	MaxStreamBytes int64
 	// MapSeedK and MapErrorRate parameterize the /v1/map pipeline
-	// (defaults: the mapper's own 15 / 0.10).
+	// (defaults: the mapper's own 15 / 0.10). MapSeedK applies to
+	// references indexed by this server (Config.Ref and request-supplied
+	// ones); file-loaded indexes carry their own seed length.
 	MapSeedK     int
 	MapErrorRate float64
-	// RefName and Ref optionally preload a DNA reference (letters) for
-	// /v1/map: the index is built once at startup and requests may omit
-	// "reference".
+	// RefName and Ref optionally register an in-memory DNA reference
+	// (letters) at startup: the index is built once at boot and registered
+	// under RefName (default "ref").
 	RefName string
 	Ref     []byte
-	// RefIndexPath preloads the /v1/map reference from a prebuilt index
-	// file (see `genasm index build`) instead of indexing Ref at startup —
-	// the file is mmapped, so boot time is independent of reference size.
-	// Mutually exclusive with Ref; MapSeedK must be left zero (the seed
-	// length is baked into the file). The server owns the mapping and
-	// releases it on clean Shutdown.
+	// RefIndexPath registers a reference from a prebuilt index file (see
+	// `genasm index build`): the file is validated and mmap-loaded at
+	// boot, under RefName or — when RefName is empty — the name recorded
+	// in the file. Mutually exclusive with Ref; MapSeedK must be left
+	// zero (the seed length is baked into the file).
 	RefIndexPath string
+	// RefDir registers every *.gasmidx/*.gidx file in a directory as a
+	// named reference (the basename, sans extension, is the name). The
+	// indexes are mmap-loaded lazily on first use and the directory can
+	// be re-scanned at runtime (POST /v1/refs/reload, or SIGHUP in
+	// genasm-serve). Combinable with Ref or RefIndexPath.
+	RefDir string
+	// MaxResidentBytes bounds the summed on-disk bytes of resident
+	// file-backed references; exceeding it evicts idle references in LRU
+	// order. 0 = no bound.
+	MaxResidentBytes int64
 	// ShutdownTimeout bounds graceful shutdown. Defaults to 10s.
 	ShutdownTimeout time.Duration
 	// Logger receives structured request and error logs. Nil discards
@@ -104,6 +142,12 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 4 * c.Engine.Capacity()
+	}
+	if c.InteractiveReserve <= 0 {
+		c.InteractiveReserve = max(1, c.QueueDepth/4)
+	}
+	if c.InteractiveReserve > c.QueueDepth {
+		c.InteractiveReserve = c.QueueDepth
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 8 << 20
@@ -142,6 +186,10 @@ type Server struct {
 	start   time.Time
 	logger  *slog.Logger
 
+	// batchLimit is the queue occupancy at which batch-class requests are
+	// shed (QueueDepth − InteractiveReserve).
+	batchLimit int
+
 	// m holds every exported instrument; /v1/stats reads from it too.
 	m *serverMetrics
 	// ridBase distinguishes server incarnations in request IDs; ridSeq
@@ -156,26 +204,26 @@ type Server struct {
 	// wants search-capable first windows, independent of how the serving
 	// engine is configured.
 	mapEngine *genasm.Engine
-	// preMapper is the startup-indexed mapper for a preloaded reference.
-	preMapper *genasm.Mapper
-	// refIndex backs preMapper when the reference came from an index file
-	// (Config.RefIndexPath); the server releases its mapping on clean
+	// refs is the named-reference registry every mapping request resolves
+	// against; the server closes it (unmapping resident indexes) on clean
 	// Shutdown.
-	refIndex *genasm.RefIndex
+	refs *registry.Registry
 }
 
-// New builds a Server (and, when Config.Ref is set, indexes the reference).
+// New builds a Server: the metrics registry, the mapping engine, and the
+// reference registry seeded from Config.Ref / RefIndexPath / RefDir.
 func New(cfg Config) (*Server, error) {
 	if cfg.Engine == nil {
 		return nil, errors.New("server: Config.Engine is required")
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		slots:  make(chan struct{}, cfg.QueueDepth),
-		mux:    http.NewServeMux(),
-		start:  time.Now(),
-		logger: cfg.Logger,
+		cfg:        cfg,
+		slots:      make(chan struct{}, cfg.QueueDepth),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		logger:     cfg.Logger,
+		batchLimit: cfg.QueueDepth - cfg.InteractiveReserve,
 	}
 	s.ridBase = uint32(s.start.UnixNano())
 	s.m = newServerMetrics(s)
@@ -193,50 +241,34 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.mapEngine = me
-	switch {
-	case cfg.RefIndexPath != "" && len(cfg.Ref) > 0:
-		return nil, errors.New("server: Ref and RefIndexPath are mutually exclusive")
-	case cfg.RefIndexPath != "":
-		if cfg.MapSeedK != 0 {
-			return nil, errors.New("server: MapSeedK conflicts with RefIndexPath (the seed length is baked into the index file)")
-		}
-		ri, err := genasm.LoadRefIndex(cfg.RefIndexPath)
-		if err != nil {
-			return nil, fmt.Errorf("server: loading reference index: %w", err)
-		}
-		m, err := s.mapEngine.NewMapperFromIndex(ri, genasm.MapperConfig{
-			ErrorRate: cfg.MapErrorRate,
-			RefName:   cfg.RefName,
-			Trace:     s.m.mapTrace(),
-		})
-		if err != nil {
-			ri.Close()
-			return nil, fmt.Errorf("server: reference index %s: %w", cfg.RefIndexPath, err)
-		}
-		s.refIndex = ri
-		s.preMapper = m
-		st := ri.Stats()
-		s.logger.LogAttrs(context.Background(), slog.LevelInfo, "reference index loaded",
-			slog.String("path", cfg.RefIndexPath),
-			slog.String("backend", st.Backend),
-			slog.String("source", st.Source),
-			slog.Int("ref_len", st.RefLen),
-			slog.String("ref_digest", fmt.Sprintf("%016x", st.RefDigest)),
-			slog.Duration("load_time", st.LoadTime))
-	case len(cfg.Ref) > 0:
-		m, err := s.newMapper(cfg.Ref, cfg.RefName)
-		if err != nil {
-			return nil, fmt.Errorf("server: indexing reference: %w", err)
-		}
-		s.preMapper = m
+	refs, err := registry.New(registry.Config{
+		NewMapper: func(ri *genasm.RefIndex, name string) (*genasm.Mapper, error) {
+			return s.mapEngine.NewMapperFromIndex(ri, genasm.MapperConfig{
+				ErrorRate: cfg.MapErrorRate,
+				RefName:   name,
+				Trace:     s.m.mapTraceFor(name),
+			})
+		},
+		MaxResidentBytes: cfg.MaxResidentBytes,
+		Logger:           cfg.Logger,
+		OnLoad:           s.m.refLoaded,
+		OnEvict:          s.m.refEvicted,
+	})
+	if err != nil {
+		return nil, err
 	}
-	if s.preMapper != nil {
-		s.m.registerIndexInfo(s.preMapper.IndexStats())
+	s.refs = refs
+	if err := s.seedRegistry(); err != nil {
+		return nil, err
 	}
 	s.mux.HandleFunc("POST /v1/align", s.handleAlign)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/map", s.handleMap)
 	s.mux.HandleFunc("POST /v1/map/stream", s.handleMapStream)
+	s.mux.HandleFunc("GET /v1/refs", s.handleRefsList)
+	s.mux.HandleFunc("POST /v1/refs/reload", s.handleRefsReload)
+	s.mux.HandleFunc("POST /v1/refs/{name}/load", s.handleRefLoad)
+	s.mux.HandleFunc("DELETE /v1/refs/{name}", s.handleRefDelete)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.Handle("GET /metrics", s.m.reg.Handler())
@@ -248,15 +280,72 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// newMapper indexes a reference (letters) on the mapping engine; the
-// returned Mapper is safe for concurrent use and carries the server's
-// metrics-backed pipeline trace.
+// seedRegistry populates the reference registry from the boot
+// configuration. Config errors — a corrupt RefIndexPath, an unreadable
+// RefDir, conflicting options — fail the boot rather than surfacing on
+// first request.
+func (s *Server) seedRegistry() error {
+	cfg := s.cfg
+	switch {
+	case cfg.RefIndexPath != "" && len(cfg.Ref) > 0:
+		return errors.New("server: Ref and RefIndexPath are mutually exclusive")
+	case cfg.RefIndexPath != "":
+		if cfg.MapSeedK != 0 {
+			return errors.New("server: MapSeedK conflicts with RefIndexPath (the seed length is baked into the index file)")
+		}
+		// Validate the file (and learn its recorded name) eagerly, then
+		// hand it to the registry as a regular file-backed — and therefore
+		// evictable — reference.
+		ri, err := genasm.LoadRefIndex(cfg.RefIndexPath)
+		if err != nil {
+			return fmt.Errorf("server: loading reference index: %w", err)
+		}
+		name := cfg.RefName
+		if name == "" {
+			name = ri.RefName()
+		}
+		ri.Close()
+		if err := s.refs.AddFile(name, cfg.RefIndexPath); err != nil {
+			return err
+		}
+		if err := s.refs.Load(name); err != nil {
+			return fmt.Errorf("server: reference index %s: %w", cfg.RefIndexPath, err)
+		}
+	case len(cfg.Ref) > 0:
+		name := cfg.RefName
+		if name == "" {
+			name = "ref"
+		}
+		ri, err := s.mapEngine.BuildRefIndex(cfg.Ref, genasm.RefIndexConfig{
+			SeedParams: genasm.SeedParams{SeedK: cfg.MapSeedK},
+			RefName:    name,
+		})
+		if err != nil {
+			return fmt.Errorf("server: indexing reference: %w", err)
+		}
+		if err := s.refs.Register(name, ri); err != nil {
+			ri.Close()
+			return fmt.Errorf("server: registering reference: %w", err)
+		}
+	}
+	if cfg.RefDir != "" {
+		if _, _, err := s.refs.Reload(cfg.RefDir); err != nil {
+			return fmt.Errorf("server: scanning reference dir: %w", err)
+		}
+	}
+	return nil
+}
+
+// newMapper indexes a request-supplied reference (letters) on the mapping
+// engine; the returned Mapper is safe for concurrent use and carries the
+// server's metrics-backed pipeline trace under the "inline" reference
+// label.
 func (s *Server) newMapper(ref []byte, refName string) (*genasm.Mapper, error) {
 	return s.mapEngine.NewMapper(ref, genasm.MapperConfig{
-		SeedK:     s.cfg.MapSeedK,
-		ErrorRate: s.cfg.MapErrorRate,
-		RefName:   refName,
-		Trace:     s.m.mapTrace(),
+		SeedParams: genasm.SeedParams{SeedK: s.cfg.MapSeedK},
+		ErrorRate:  s.cfg.MapErrorRate,
+		RefName:    refName,
+		Trace:      s.m.mapTraceFor("inline"),
 	})
 }
 
@@ -267,6 +356,20 @@ func (s *Server) Handler() http.Handler { return s.handler }
 // Metrics returns the server's metric registry, for scraping or for
 // registering additional instruments before serving starts.
 func (s *Server) Metrics() *metrics.Registry { return s.m.reg }
+
+// Refs returns the server's reference registry (for embedding and tests).
+func (s *Server) Refs() *registry.Registry { return s.refs }
+
+// ReloadRefs re-scans Config.RefDir, registering new index files and
+// dropping references whose file vanished. It errors when no RefDir is
+// configured. The SIGHUP handler of genasm-serve and POST /v1/refs/reload
+// both land here.
+func (s *Server) ReloadRefs() (added, removed []string, err error) {
+	if s.cfg.RefDir == "" {
+		return nil, nil, errors.New("server: no reference directory configured (-ref-dir)")
+	}
+	return s.refs.Reload(s.cfg.RefDir)
+}
 
 // OpsHandler returns the operations surface meant for a private listener:
 // GET /metrics plus the net/http/pprof handlers under /debug/pprof/.
@@ -296,9 +399,9 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Shutdown drains in-flight requests and stops the server, bounded by
 // Config.ShutdownTimeout. Healthz reports degraded for the duration. After
-// a clean drain the preloaded reference index's file mapping (if any) is
-// released; on a timed-out drain it is deliberately leaked, since requests
-// may still be touching the mapped pages.
+// a clean drain the reference registry is closed, releasing every resident
+// index's file mapping; on a timed-out drain it is deliberately leaked,
+// since requests may still be touching the mapped pages.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.closing.Store(true)
 	s.logger.LogAttrs(ctx, slog.LevelInfo, "shutting down",
@@ -306,9 +409,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.ShutdownTimeout)
 	defer cancel()
 	err := s.hs.Shutdown(ctx)
-	if err == nil && s.refIndex != nil {
-		if cerr := s.refIndex.Close(); cerr != nil {
-			err = fmt.Errorf("server: closing reference index: %w", cerr)
+	if err == nil {
+		if cerr := s.refs.Close(); cerr != nil {
+			err = fmt.Errorf("server: closing reference registry: %w", cerr)
 		}
 	}
 	return err
@@ -316,23 +419,63 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // admission --------------------------------------------------------------
 
+// Priority classes of the admission queue. Batch is shed first: it is
+// rejected while interactive traffic still has InteractiveReserve slots of
+// headroom.
+const (
+	classInteractive = "interactive"
+	classBatch       = "batch"
+)
+
+// requestClass reads the X-Genasm-Priority header (default interactive),
+// answering 400 on an unknown class.
+func (s *Server) requestClass(w http.ResponseWriter, r *http.Request) (string, bool) {
+	switch h := r.Header.Get("X-Genasm-Priority"); h {
+	case "", classInteractive:
+		return classInteractive, true
+	case classBatch:
+		return classBatch, true
+	default:
+		s.httpError(w, r, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("unknown priority class %q (want %q or %q)", h, classInteractive, classBatch))
+		return "", false
+	}
+}
+
 // acquireSlot admits the request to alignment work or rejects it with 429.
 // The bounded slot channel is the backpressure mechanism: engine capacity
 // bounds concurrent alignments, QueueDepth bounds how many requests may
 // wait for a workspace, and everything beyond that is told to back off.
+// Batch-class requests are shed earlier, at batchLimit, so the reserve
+// stays available to interactive traffic. (The occupancy read is a benign
+// race: load shedding needs a threshold, not an exact count.)
 func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) bool {
+	class, ok := s.requestClass(w, r)
+	if !ok {
+		return false
+	}
+	if class == classBatch && len(s.slots) >= s.batchLimit {
+		s.rejectSlot(w, r, class)
+		return false
+	}
 	select {
 	case s.slots <- struct{}{}:
 		s.m.admitted.Inc()
+		s.m.admission.With(class, "admitted").Inc()
 		s.m.slotInFlight.Inc()
 		return true
 	default:
-		s.m.rejected.Inc()
-		w.Header().Set("Retry-After", "1")
-		s.httpError(w, r, http.StatusTooManyRequests, "overload",
-			"server overloaded: admission queue full")
+		s.rejectSlot(w, r, class)
 		return false
 	}
+}
+
+func (s *Server) rejectSlot(w http.ResponseWriter, r *http.Request, class string) {
+	s.m.rejected.Inc()
+	s.m.admission.With(class, "rejected").Inc()
+	w.Header().Set("Retry-After", "1")
+	s.httpError(w, r, http.StatusTooManyRequests, "overload",
+		"server overloaded: admission queue full")
 }
 
 func (s *Server) releaseSlot() {
@@ -396,9 +539,12 @@ type MapRead struct {
 	Seq  string `json:"seq"`
 }
 
-// MapRequest is the body of POST /v1/map. Reference may be omitted when
-// the server preloaded one at startup.
+// MapRequest is the body of POST /v1/map. Ref names a registered
+// reference (it also accepts the ?ref= query parameter); Reference
+// supplies an inline one, indexed per request. With neither, the sole
+// registered reference serves the request.
 type MapRequest struct {
+	Ref       string    `json:"ref,omitempty"`
 	RefName   string    `json:"ref_name,omitempty"`
 	Reference string    `json:"reference,omitempty"`
 	Reads     []MapRead `json:"reads"`
@@ -484,9 +630,55 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Results: items})
 }
 
+// acquireRef resolves and pins the reference for a mapping request: name
+// when given (body field or ?ref=), else the sole registered reference.
+// On failure it writes the error response — 404 for an unknown name — and
+// returns nil; otherwise the caller must Release the handle when the
+// request completes (the pin is what keeps eviction from unmapping the
+// index mid-request).
+func (s *Server) acquireRef(w http.ResponseWriter, r *http.Request, name string) *registry.Handle {
+	if name == "" {
+		var ok bool
+		if name, ok = s.refs.Sole(); !ok {
+			if len(s.refs.Names()) == 0 {
+				s.httpError(w, r, http.StatusBadRequest, "bad_request",
+					"no reference named and none registered (start the server with -ref, -ref-index or -ref-dir)")
+			} else {
+				s.httpError(w, r, http.StatusBadRequest, "bad_request",
+					`multiple references registered; name one with "ref"`)
+			}
+			return nil
+		}
+	}
+	h, err := s.refs.Acquire(name)
+	if err != nil {
+		switch {
+		case errors.Is(err, registry.ErrUnknownRef):
+			s.httpError(w, r, http.StatusNotFound, "not_found",
+				fmt.Sprintf("unknown reference %q", name))
+		case errors.Is(err, registry.ErrClosed):
+			s.httpError(w, r, http.StatusServiceUnavailable, "overload", "server shutting down")
+		default:
+			s.httpError(w, r, http.StatusInternalServerError, "ref_load",
+				fmt.Sprintf("loading reference %q: %v", name, err))
+		}
+		return nil
+	}
+	return h
+}
+
 func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	var req MapRequest
 	if !s.decode(w, r, &req) {
+		return
+	}
+	refName := r.URL.Query().Get("ref")
+	if req.Ref != "" {
+		refName = req.Ref
+	}
+	if refName != "" && req.Reference != "" {
+		s.httpError(w, r, http.StatusBadRequest, "bad_request",
+			`map: "ref" (a registered reference) and "reference" (inline) are mutually exclusive`)
 		return
 	}
 	if len(req.Reads) == 0 {
@@ -513,7 +705,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseSlot()
 
-	m := s.preMapper
+	var m *genasm.Mapper
 	if req.Reference != "" {
 		var err error
 		m, err = s.newMapper([]byte(req.Reference), req.RefName)
@@ -521,11 +713,13 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 			s.httpError(w, r, http.StatusBadRequest, "input", "map: "+err.Error())
 			return
 		}
-	}
-	if m == nil {
-		s.httpError(w, r, http.StatusBadRequest, "bad_request",
-			"map: no reference in request and none preloaded")
-		return
+	} else {
+		h := s.acquireRef(w, r, refName)
+		if h == nil {
+			return
+		}
+		defer h.Release()
+		m = h.Mapper()
 	}
 
 	reads := make([]genasm.Read, len(req.Reads))
@@ -551,6 +745,119 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/x-sam; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	w.Write(buf.Bytes())
+}
+
+// reference registry endpoints -------------------------------------------
+
+// RefJSON is one reference row of GET /v1/refs; the index fields are
+// present only while the reference is resident.
+type RefJSON struct {
+	Name   string `json:"name"`
+	Path   string `json:"path,omitempty"`
+	Static bool   `json:"static,omitempty"`
+	// State is "loaded", "cold", "loading" or "error".
+	State string `json:"state"`
+	Pins  int    `json:"pins"`
+	Error string `json:"error,omitempty"`
+
+	Backend     string  `json:"backend,omitempty"`
+	Source      string  `json:"source,omitempty"`
+	RefLen      int     `json:"ref_len,omitempty"`
+	Seeds       int     `json:"seeds,omitempty"`
+	Bytes       int64   `json:"bytes,omitempty"`
+	FileBytes   int64   `json:"file_bytes,omitempty"`
+	LoadSeconds float64 `json:"load_seconds,omitempty"`
+}
+
+func refJSON(info registry.RefInfo) RefJSON {
+	out := RefJSON{
+		Name:   info.Name,
+		Path:   info.Path,
+		Static: info.Static,
+		State:  string(info.State),
+		Pins:   info.Pins,
+		Error:  info.Err,
+	}
+	if info.State == registry.StateLoaded {
+		st := info.Stats
+		out.Backend = st.Backend
+		out.Source = st.Source
+		out.RefLen = st.RefLen
+		out.Seeds = st.Seeds
+		out.Bytes = st.Bytes
+		out.FileBytes = st.FileBytes
+		out.LoadSeconds = st.LoadTime.Seconds()
+	}
+	return out
+}
+
+// RefsResponse is the body of GET /v1/refs.
+type RefsResponse struct {
+	Refs  []RefJSON      `json:"refs"`
+	Stats registry.Stats `json:"stats"`
+}
+
+func (s *Server) handleRefsList(w http.ResponseWriter, r *http.Request) {
+	infos := s.refs.List()
+	out := RefsResponse{Refs: make([]RefJSON, len(infos)), Stats: s.refs.Stats()}
+	for i, info := range infos {
+		out.Refs[i] = refJSON(info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRefLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.refs.Load(name); err != nil {
+		switch {
+		case errors.Is(err, registry.ErrUnknownRef):
+			s.httpError(w, r, http.StatusNotFound, "not_found",
+				fmt.Sprintf("unknown reference %q", name))
+		default:
+			s.httpError(w, r, http.StatusInternalServerError, "ref_load",
+				fmt.Sprintf("loading reference %q: %v", name, err))
+		}
+		return
+	}
+	info, _ := s.refs.Get(name)
+	writeJSON(w, http.StatusOK, refJSON(info))
+}
+
+func (s *Server) handleRefDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.refs.Remove(name); err != nil {
+		s.httpError(w, r, http.StatusNotFound, "not_found",
+			fmt.Sprintf("unknown reference %q", name))
+		return
+	}
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "reference removed",
+		slog.String("rid", requestID(r.Context())),
+		slog.String("ref", name))
+	writeJSON(w, http.StatusOK, map[string]string{"removed": name})
+}
+
+func (s *Server) handleRefsReload(w http.ResponseWriter, r *http.Request) {
+	added, removed, err := s.ReloadRefs()
+	if err != nil {
+		if s.cfg.RefDir == "" {
+			s.httpError(w, r, http.StatusBadRequest, "bad_request", err.Error())
+		} else {
+			s.httpError(w, r, http.StatusInternalServerError, "internal", err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"added":   emptyNotNil(added),
+		"removed": emptyNotNil(removed),
+	})
+}
+
+// emptyNotNil keeps JSON arrays [] instead of null for empty slices.
+func emptyNotNil(s []string) []string {
+	if s == nil {
+		return []string{}
+	}
+	return s
 }
 
 // handleHealthz reports liveness. The server is "degraded" — and answers
@@ -581,6 +888,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 type StatsResponse struct {
 	Pool   genasm.PoolStats `json:"pool"`
 	Server ServerStats      `json:"server"`
+	Refs   registry.Stats   `json:"refs"`
 }
 
 // ServerStats are the server-side counters — the JSON rendering of the
@@ -598,11 +906,14 @@ type ServerStats struct {
 	InFlightRequests int64  `json:"in_flight_requests"`
 	// QueueUsed is the number of admission slots currently held
 	// (in-flight plus queued work); QueueDepth is the configured cap.
+	// BatchLimit is the occupancy at which batch-class requests are shed.
 	QueueUsed  int `json:"queue_used"`
 	QueueDepth int `json:"queue_depth"`
+	BatchLimit int `json:"batch_limit"`
 }
 
-// Stats snapshots the server and engine counters from the metric registry.
+// Stats snapshots the server, engine and reference-registry counters from
+// the metric registry.
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
 		Pool: s.cfg.Engine.Stats(),
@@ -615,7 +926,9 @@ func (s *Server) Stats() StatsResponse {
 			InFlightRequests: s.m.slotInFlight.Value(),
 			QueueUsed:        len(s.slots),
 			QueueDepth:       s.cfg.QueueDepth,
+			BatchLimit:       s.batchLimit,
 		},
+		Refs: s.refs.Stats(),
 	}
 }
 
@@ -676,7 +989,8 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 
 // httpError is the one funnel for error responses: it counts the failure
 // in genasm_http_errors_total{kind}, logs it with the request ID (warn for
-// client errors, error for 5xx) and writes the JSON error body.
+// client errors, error for 5xx) and writes the JSON error envelope, whose
+// code field is the same kind label.
 func (s *Server) httpError(w http.ResponseWriter, r *http.Request, status int, kind, msg string) {
 	s.m.errors.With(kind).Inc()
 	level := slog.LevelWarn
@@ -689,7 +1003,7 @@ func (s *Server) httpError(w http.ResponseWriter, r *http.Request, status int, k
 		slog.Int("status", status),
 		slog.String("kind", kind),
 		slog.String("error", msg))
-	writeError(w, status, msg)
+	writeError(w, status, kind, msg, requestID(r.Context()))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -698,6 +1012,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// ErrorBody is the JSON envelope of every non-2xx response.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// ErrorDetail carries the machine-readable error code (the
+// genasm_http_errors_total{kind} label), the human-readable message, and
+// the request ID to quote when correlating with server logs.
+type ErrorDetail struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg, rid string) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg, RequestID: rid}})
 }

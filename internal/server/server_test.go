@@ -499,7 +499,7 @@ func TestPreloadedRefIndexFile(t *testing.T) {
 	defer mresp.Body.Close()
 	exposition, _ := io.ReadAll(mresp.Body)
 	for _, want := range []string{
-		`genasm_index_info{backend="hash",source="m`, // mmap or memory
+		`genasm_index_info{ref="chrF",backend="hash",source="m`, // mmap or memory
 		"genasm_index_bytes",
 		"genasm_index_load_seconds",
 		"genasm_index_seeds",

@@ -138,14 +138,17 @@ func (s *Server) newSeqSource(ctx context.Context, body io.Reader) (*streamReadS
 
 // handleMapStream serves POST /v1/map/stream: reads in (FASTA/FASTQ/
 // NDJSON), mapping records out (NDJSON, or SAM with "Accept: text/x-sam"),
-// one flushed record at a time.
+// one flushed record at a time. The reference is named with ?ref= (or
+// implied when exactly one is registered) and stays pinned — and therefore
+// mapped — for the whole stream, even if it is evicted or removed from the
+// registry mid-request.
 func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
-	m := s.preMapper
-	if m == nil {
-		s.httpError(w, r, http.StatusBadRequest, "bad_request",
-			"map/stream: no preloaded reference (start the server with -ref)")
+	h := s.acquireRef(w, r, r.URL.Query().Get("ref"))
+	if h == nil {
 		return
 	}
+	defer h.Release()
+	m := h.Mapper()
 
 	// MaxStreamBytes bounds the request compressed AND decompressed: the
 	// wire-level MaxBytesReader alone would let a small gzip bomb expand

@@ -20,11 +20,11 @@ import (
 // default setup (seed length 15, up to 8 candidates per strand, 10%
 // expected error rate, no pre-alignment filter).
 type MapperConfig struct {
-	// SeedK is the seed length (default 15).
-	SeedK int
-	// MinimizerW samples the index with minimizers when > 0 (Minimap2's
-	// scheme), shrinking the index roughly 2/(w+1)-fold.
-	MinimizerW int
+	// SeedParams are the shared seeding knobs (seed length, minimizer
+	// window) — the same struct RefIndexConfig embeds. Leave zero when the
+	// Mapper comes from a prebuilt index (NewMapperFromIndex), where both
+	// are fixed by the file.
+	SeedParams
 	// MaxCandidates bounds the candidate locations tried per strand
 	// (default 8).
 	MaxCandidates int

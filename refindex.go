@@ -25,17 +25,29 @@ const (
 	IndexSuffixArray IndexBackend = "suffixarray"
 )
 
+// SeedParams is the one shared home of the seeding knobs: both reference
+// indexing (RefIndexConfig) and mapping (MapperConfig) embed it, so the two
+// surfaces cannot drift apart. The zero value selects the defaults.
+type SeedParams struct {
+	// SeedK is the seed length (default 15, max 31 — longer seeds no
+	// longer fit the 2-bit packed uint64 keys and are rejected with a
+	// typed KRangeError).
+	SeedK int
+	// MinimizerW samples the index with window minimizers when > 0
+	// (Minimap2's scheme), shrinking the index roughly 2/(w+1)-fold. Only
+	// meaningful for minimizer-backed indexes (default 10 there).
+	MinimizerW int
+}
+
 // RefIndexConfig parameterizes BuildRefIndex. The zero value builds a hash
 // index with the default seed length.
 type RefIndexConfig struct {
 	// Backend selects the index structure. Empty defaults to IndexHash, or
 	// IndexMinimizer when MinimizerW > 0.
 	Backend IndexBackend
-	// SeedK is the seed length (default 15, max 31).
-	SeedK int
-	// MinimizerW is the minimizer window; only meaningful for
-	// IndexMinimizer (default 10 for that backend).
-	MinimizerW int
+	// SeedParams are the shared seeding knobs (seed length, minimizer
+	// window).
+	SeedParams
 	// RefName names the reference in SAM output and is stored in written
 	// index files (default "ref").
 	RefName string

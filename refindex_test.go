@@ -20,7 +20,7 @@ func diffTestMappers(t *testing.T, e *Engine, refLetters []byte) map[string][2]*
 	dir := t.TempDir()
 	out := make(map[string][2]*Mapper)
 	for _, backend := range []IndexBackend{IndexHash, IndexMinimizer, IndexSuffixArray} {
-		cfg := RefIndexConfig{Backend: backend, SeedK: 13, RefName: "chrD"}
+		cfg := RefIndexConfig{Backend: backend, SeedParams: SeedParams{SeedK: 13}, RefName: "chrD"}
 		if backend == IndexMinimizer {
 			cfg.MinimizerW = 5
 		}
@@ -109,7 +109,7 @@ func TestRefIndexStatsAndSources(t *testing.T) {
 	refLetters := alphabetDecode(seq.Genome(rng, seq.DefaultGenomeConfig(5000)))
 	e := newTestEngine(t)
 
-	built, err := e.BuildRefIndex(refLetters, RefIndexConfig{Backend: IndexSuffixArray, SeedK: 11})
+	built, err := e.BuildRefIndex(refLetters, RefIndexConfig{Backend: IndexSuffixArray, SeedParams: SeedParams{SeedK: 11}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,16 +167,16 @@ func TestRefIndexConfigValidation(t *testing.T) {
 	e := newTestEngine(t)
 
 	var kerr *index.KRangeError
-	if _, err := e.BuildRefIndex(refLetters, RefIndexConfig{SeedK: 40}); !errors.As(err, &kerr) {
+	if _, err := e.BuildRefIndex(refLetters, RefIndexConfig{SeedParams: SeedParams{SeedK: 40}}); !errors.As(err, &kerr) {
 		t.Errorf("SeedK=40: want KRangeError, got %v", err)
 	}
 	if _, err := e.BuildRefIndex(refLetters, RefIndexConfig{Backend: "btree"}); err == nil {
 		t.Error("unknown backend accepted")
 	}
-	if _, err := e.BuildRefIndex(refLetters, RefIndexConfig{Backend: IndexHash, MinimizerW: 4}); err == nil {
+	if _, err := e.BuildRefIndex(refLetters, RefIndexConfig{Backend: IndexHash, SeedParams: SeedParams{MinimizerW: 4}}); err == nil {
 		t.Error("hash backend with MinimizerW accepted")
 	}
-	if _, err := e.BuildRefIndex(refLetters, RefIndexConfig{Backend: IndexSuffixArray, MinimizerW: 4}); err == nil {
+	if _, err := e.BuildRefIndex(refLetters, RefIndexConfig{Backend: IndexSuffixArray, SeedParams: SeedParams{MinimizerW: 4}}); err == nil {
 		t.Error("suffix-array backend with MinimizerW accepted")
 	}
 	if _, err := newTestEngine(t, WithAlphabet(Protein)).BuildRefIndex(refLetters, RefIndexConfig{}); err == nil {
@@ -187,7 +187,7 @@ func TestRefIndexConfigValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.NewMapperFromIndex(built, MapperConfig{SeedK: 13}); err == nil {
+	if _, err := e.NewMapperFromIndex(built, MapperConfig{SeedParams: SeedParams{SeedK: 13}}); err == nil {
 		t.Error("NewMapperFromIndex should reject explicit SeedK")
 	}
 	if _, err := newTestEngine(t, WithAlphabet(Protein)).NewMapperFromIndex(built, MapperConfig{}); err == nil {
@@ -203,7 +203,7 @@ func TestRefIndexConfigValidation(t *testing.T) {
 
 	// MapperConfig.SeedK out of range surfaces the typed error through the
 	// classic constructor too.
-	if _, err := e.NewMapper(refLetters, MapperConfig{SeedK: 32}); !errors.As(err, &kerr) {
+	if _, err := e.NewMapper(refLetters, MapperConfig{SeedParams: SeedParams{SeedK: 32}}); !errors.As(err, &kerr) {
 		t.Errorf("NewMapper SeedK=32: want KRangeError, got %v", err)
 	}
 }

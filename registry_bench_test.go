@@ -1,0 +1,128 @@
+package genasm_test
+
+// Benchmarks for the multi-reference registry serving path. They live in
+// an external test package: internal/registry imports genasm, so the root
+// package's own test binary cannot import it without a cycle.
+//
+// Registry/acquire-hit is the per-request overhead every /v1/map request
+// pays to resolve and pin its reference — it must stay trivial next to the
+// mapping work itself. Registry/load-evict is the cold path: an Acquire
+// that mmap-loads the index file because the budget just evicted it.
+
+import (
+	"context"
+	"math/rand/v2"
+	"path/filepath"
+	"testing"
+
+	"genasm"
+	"genasm/internal/alphabet"
+	"genasm/internal/registry"
+	"genasm/internal/seq"
+)
+
+// benchRegistry builds a registry over freshly written index files, one
+// per name.
+func benchRegistry(b *testing.B, budget int64, names ...string) *registry.Registry {
+	b.Helper()
+	e, err := genasm.NewEngine(genasm.WithSearchStart(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	r, err := registry.New(registry.Config{
+		NewMapper: func(ri *genasm.RefIndex, name string) (*genasm.Mapper, error) {
+			return e.NewMapperFromIndex(ri, genasm.MapperConfig{RefName: name})
+		},
+		MaxResidentBytes: budget,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i, name := range names {
+		rng := rand.New(rand.NewPCG(uint64(900+i), 0))
+		ref := alphabet.DNA.Decode(seq.Genome(rng, seq.DefaultGenomeConfig(50000)))
+		ri, err := e.BuildRefIndex(ref, genasm.RefIndexConfig{RefName: name})
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".gasmidx")
+		if err := ri.WriteFile(path); err != nil {
+			b.Fatal(err)
+		}
+		ri.Close()
+		if err := r.AddFile(name, path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Cleanup(func() { r.Close() })
+	return r
+}
+
+func BenchmarkRegistry(b *testing.B) {
+	b.Run("acquire-hit", func(b *testing.B) {
+		r := benchRegistry(b, 0, "chrA")
+		if err := r.Load("chrA"); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				h, err := r.Acquire("chrA")
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				h.Release()
+			}
+		})
+	})
+
+	b.Run("acquire-map-read", func(b *testing.B) {
+		// The full serving resolve: pin, map one read, release — what one
+		// /v1/map/stream record costs end to end through the registry.
+		r := benchRegistry(b, 0, "chrA")
+		h, err := r.Acquire("chrA")
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewPCG(900, 0))
+		genome := seq.Genome(rng, seq.DefaultGenomeConfig(50000))
+		read := alphabet.DNA.Decode(genome[7000:7150])
+		h.Release()
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h, err := r.Acquire("chrA")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := h.Mapper().MapRead(ctx, read); err != nil {
+				b.Fatal(err)
+			}
+			h.Release()
+		}
+	})
+
+	b.Run("load-evict", func(b *testing.B) {
+		// Budget of one index: every alternation between the two names
+		// evicts one reference and mmap-loads the other.
+		r := benchRegistry(b, 1, "chrA", "chrB")
+		names := []string{"chrA", "chrB"}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h, err := r.Acquire(names[i%2])
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Release()
+		}
+		b.StopTimer()
+		if st := r.Stats(); st.Evictions < int64(b.N-2) {
+			b.Fatalf("budget did not force eviction churn: %+v (N=%d)", st, b.N)
+		}
+	})
+}

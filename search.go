@@ -88,30 +88,3 @@ func (e *Engine) Filter(ctx context.Context, region, read []byte, maxEdits int) 
 	mw.SetEndPadding(true)
 	return mw.Distance(encRegion) <= maxEdits, nil
 }
-
-// Search finds all positions where pattern occurs in text with at most
-// maxEdits edits using the shared default engine for alpha.
-//
-// Deprecated: use Engine.Search, which is context-aware and respects the
-// engine's configuration; or Compile the pattern once when it scans many
-// texts.
-func Search(alpha Alphabet, text, pattern []byte, maxEdits int) ([]Match, error) {
-	e, err := defaultEngine(alpha)
-	if err != nil {
-		return nil, err
-	}
-	return e.Search(context.Background(), text, pattern, maxEdits)
-}
-
-// Filter reports whether read may be within maxEdits edits of some position
-// in region, using the shared default DNA engine.
-//
-// Deprecated: use Engine.Filter, which is context-aware, respects the
-// engine's alphabet instead of hardcoding DNA, and reuses pooled scratch.
-func Filter(region, read []byte, maxEdits int) (bool, error) {
-	e, err := defaultEngine(DNA)
-	if err != nil {
-		return false, err
-	}
-	return e.Filter(context.Background(), region, read, maxEdits)
-}
