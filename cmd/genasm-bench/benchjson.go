@@ -631,13 +631,31 @@ func runCompare(spec string, maxRegressPct, maxRegressMemPct float64) int {
 		return 2
 	}
 
-	var names []string
+	var names, headOnly, baseOnly []string
 	for name := range head {
 		if _, ok := base[name]; ok {
 			names = append(names, name)
+		} else {
+			headOnly = append(headOnly, name)
+		}
+	}
+	for name := range base {
+		if _, ok := head[name]; !ok {
+			baseOnly = append(baseOnly, name)
 		}
 	}
 	sort.Strings(names)
+	sort.Strings(headOnly)
+	sort.Strings(baseOnly)
+	// New benchmarks (e.g. a first BENCH_load-*.json point) have no base
+	// to regress against and vanished ones nothing to gate — warn so the
+	// log shows what was not compared, and gate only the intersection.
+	for _, name := range headOnly {
+		fmt.Printf("warning: %s only in head (new benchmark, skipped)\n", name)
+	}
+	for _, name := range baseOnly {
+		fmt.Printf("warning: %s only in base (missing from head, skipped)\n", name)
+	}
 	if len(names) == 0 {
 		fmt.Println("no common benchmarks between base and head; nothing to gate")
 		return 0

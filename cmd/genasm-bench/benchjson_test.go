@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBenchFile(t *testing.T, path string, results []BenchResult) {
+	t.Helper()
+	data, err := json.Marshal(BenchFile{Label: "t", Benchmarks: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareSkipsUnmatched pins the warn-and-skip contract: benchmarks
+// present only in head (a freshly added BENCH_load-*.json point) or only
+// in base must not fail the gate — only the intersection is compared.
+func TestCompareSkipsUnmatched(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	headPath := filepath.Join(dir, "head.json")
+	writeBenchFile(t, basePath, []BenchResult{
+		{Name: "Shared", NsPerOp: 100},
+		{Name: "Vanished", NsPerOp: 50},
+	})
+	writeBenchFile(t, headPath, []BenchResult{
+		{Name: "Shared", NsPerOp: 105},
+		{Name: "Load/smoke-align/align/p99", NsPerOp: 2_000_000},
+	})
+	if code := runCompare(basePath+","+headPath, 10, 10); code != 0 {
+		t.Fatalf("runCompare = %d, want 0 (head-only and base-only must be skipped)", code)
+	}
+	// The shared benchmark still gates: 105 vs 100 is a 5% regression,
+	// over a 1% threshold.
+	if code := runCompare(basePath+","+headPath, 1, 10); code != 1 {
+		t.Fatalf("runCompare = %d, want 1 (shared benchmark regressed)", code)
+	}
+}
+
+// TestCompareNoOverlap confirms disjoint base/head is a clean pass.
+func TestCompareNoOverlap(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	headPath := filepath.Join(dir, "head.json")
+	writeBenchFile(t, basePath, []BenchResult{{Name: "Old", NsPerOp: 10}})
+	writeBenchFile(t, headPath, []BenchResult{{Name: "New", NsPerOp: 10}})
+	if code := runCompare(basePath+","+headPath, 10, 10); code != 0 {
+		t.Fatalf("runCompare = %d, want 0 for disjoint sets", code)
+	}
+}

@@ -1,0 +1,353 @@
+// Command genasm-loadgen drives a genasm-serve instance with JSON-defined
+// workload scenarios and reports client-observed latency percentiles per
+// endpoint and phase, alongside the server's own counters for the run.
+//
+// Run built-in or file scenarios against a live server:
+//
+//	genasm-loadgen -target http://localhost:8080 -scenario short-read-flood
+//	genasm-loadgen -target http://localhost:8080 -scenario my-scenario.json -out BENCH_load-dev.json
+//
+// Or run the self-contained smoke suite (spawns an in-process server over a
+// two-reference temp -ref-dir, runs three short scenarios, enforces their
+// p99/error-rate gates, exits non-zero on violation):
+//
+//	genasm-loadgen -smoke -out BENCH_load-smoke.json
+//
+// Reports are BENCH_<label>.json files consumable by `genasm-bench
+// -compare`, with the full per-phase measurements attached under "load".
+package main
+
+import (
+	"context"
+	"embed"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"genasm"
+	"genasm/internal/alphabet"
+	"genasm/internal/loadgen"
+	"genasm/internal/seq"
+	"genasm/internal/server"
+)
+
+//go:embed scenarios/*.json
+var builtinFS embed.FS
+
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var scenarioArgs stringList
+	target := flag.String("target", "", "base URL of a running genasm-serve (e.g. http://localhost:8080)")
+	flag.Var(&scenarioArgs, "scenario", "scenario file path or built-in name (repeatable; see -list)")
+	list := flag.Bool("list", false, "list built-in scenarios and exit")
+	out := flag.String("out", "", "write the run report (BENCH_<label>.json schema) to this path")
+	label := flag.String("label", "", "report label (default: load-<first scenario> or load-smoke)")
+	smoke := flag.Bool("smoke", false, "self-contained smoke run: in-process server, two temp references, built-in smoke scenarios, gate enforcement")
+	durationScale := flag.Float64("duration-scale", 1.0, "multiply every phase duration (e.g. 0.2 for a fifth-length run)")
+	seed := flag.Uint64("seed", 0, "override every scenario's corpus/mix seed (0 = use scenario seeds)")
+	flag.Parse()
+
+	if *list {
+		return listBuiltins()
+	}
+	if !*smoke && *target == "" {
+		fmt.Fprintln(os.Stderr, "genasm-loadgen: -target or -smoke is required (-h for usage)")
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *smoke {
+		if len(scenarioArgs) == 0 {
+			scenarioArgs = stringList{"smoke"}
+		}
+		if *label == "" {
+			*label = "load-smoke"
+		}
+		if *out == "" {
+			*out = "BENCH_load-smoke.json"
+		}
+	} else if len(scenarioArgs) == 0 {
+		scenarioArgs = stringList{"mixed-align-map"}
+	}
+
+	var scenarios []*loadgen.Scenario
+	for _, arg := range scenarioArgs {
+		scs, err := loadScenarioArg(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genasm-loadgen: %v\n", err)
+			return 2
+		}
+		scenarios = append(scenarios, scs...)
+	}
+	for _, sc := range scenarios {
+		sc.Scale(*durationScale)
+		if *seed != 0 {
+			sc.Seed = *seed
+		}
+	}
+	if *label == "" {
+		*label = "load-" + scenarios[0].Name
+	}
+
+	refGenomes := map[string]string{}
+	if *smoke {
+		tgt, cleanup, err := startSmokeServer(refGenomes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genasm-loadgen: smoke server: %v\n", err)
+			return 1
+		}
+		defer cleanup()
+		*target = tgt
+		fmt.Printf("smoke server listening on %s (refs: %s)\n", tgt, strings.Join(sortedKeys(refGenomes), ", "))
+	}
+
+	client := &http.Client{}
+	serverRefs, err := loadgen.FetchRefNames(client, *target)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genasm-loadgen: listing references on %s: %v\n", *target, err)
+		return 1
+	}
+
+	var results []*loadgen.ScenarioResult
+	for _, sc := range scenarios {
+		refs, err := resolveRefs(sc, serverRefs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genasm-loadgen: %v\n", err)
+			return 1
+		}
+		corpus, err := loadgen.BuildCorpus(sc, refs, refGenomes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genasm-loadgen: %v\n", err)
+			return 1
+		}
+		fmt.Printf("=== scenario %s (%s, %v)\n", sc.Name, sc.Description, sc.Duration())
+		r := &loadgen.Runner{
+			Target:   *target,
+			Scenario: sc,
+			Corpus:   corpus,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("    "+format+"\n", args...)
+			},
+		}
+		res, err := r.Run(ctx)
+		if res != nil {
+			printResult(res)
+			results = append(results, res)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genasm-loadgen: scenario %s aborted: %v\n", sc.Name, err)
+			break
+		}
+	}
+	if len(results) == 0 {
+		return 1
+	}
+
+	if *out != "" {
+		rep := loadgen.BuildReport(*label, results)
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "genasm-loadgen: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "genasm-loadgen: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s (%d benchmark points)\n", *out, len(rep.Benchmarks))
+	}
+
+	if !loadgen.GatesPassed(results) {
+		fmt.Fprintln(os.Stderr, "genasm-loadgen: FAIL: latency/error gates violated")
+		return 1
+	}
+	if ctx.Err() != nil {
+		return 1
+	}
+	fmt.Println("all gates passed")
+	return 0
+}
+
+// loadScenarioArg resolves one -scenario argument: an existing file path,
+// or the name of an embedded built-in.
+func loadScenarioArg(arg string) ([]*loadgen.Scenario, error) {
+	if _, err := os.Stat(arg); err == nil {
+		return loadgen.LoadScenarioFile(arg)
+	}
+	name := strings.TrimSuffix(arg, ".json")
+	data, err := builtinFS.ReadFile("scenarios/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: not a file and not a built-in (try -list)", arg)
+	}
+	scs, err := loadgen.ParseScenarios(data)
+	if err != nil {
+		return nil, fmt.Errorf("built-in %s: %w", name, err)
+	}
+	return scs, nil
+}
+
+func listBuiltins() int {
+	entries, err := builtinFS.ReadDir("scenarios")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "genasm-loadgen: %v\n", err)
+		return 1
+	}
+	for _, e := range entries {
+		data, err := builtinFS.ReadFile("scenarios/" + e.Name())
+		if err != nil {
+			continue
+		}
+		scs, err := loadgen.ParseScenarios(data)
+		if err != nil {
+			fmt.Printf("%-20s (invalid: %v)\n", e.Name(), err)
+			continue
+		}
+		names := make([]string, len(scs))
+		for i, sc := range scs {
+			names[i] = sc.Name
+		}
+		fmt.Printf("%-20s %s\n", strings.TrimSuffix(e.Name(), ".json"), strings.Join(names, ", "))
+		for _, sc := range scs {
+			fmt.Printf("%-20s   %s (%v)\n", "", sc.Description, sc.Duration())
+		}
+	}
+	return 0
+}
+
+// resolveRefs decides which references a scenario's corpus targets: every
+// server reference when the mix fans out with "*", otherwise the named
+// ones (nil means the server default).
+func resolveRefs(sc *loadgen.Scenario, serverRefs []string) ([]string, error) {
+	fanOut := false
+	named := map[string]bool{}
+	for _, m := range sc.Mix {
+		switch m.Ref {
+		case "*":
+			fanOut = true
+		case "":
+		default:
+			named[m.Ref] = true
+		}
+	}
+	if fanOut {
+		if len(serverRefs) == 0 {
+			return nil, fmt.Errorf("scenario %s fans out with ref \"*\" but the server has no registered references", sc.Name)
+		}
+		return serverRefs, nil
+	}
+	if len(named) == 0 {
+		return nil, nil
+	}
+	return sortedKeysBool(named), nil
+}
+
+// startSmokeServer builds two small seeded reference indexes in a temp
+// -ref-dir, boots an in-process server over them on a loopback port and
+// fills refGenomes so the corpus draws reads from the real references.
+func startSmokeServer(refGenomes map[string]string) (target string, cleanup func(), err error) {
+	dir, err := os.MkdirTemp("", "genasm-loadgen-smoke-*")
+	if err != nil {
+		return "", nil, err
+	}
+	rm := func() { os.RemoveAll(dir) }
+
+	e, err := genasm.DefaultEngine()
+	if err != nil {
+		rm()
+		return "", nil, err
+	}
+	for i, name := range []string{"chr1", "chr2"} {
+		rng := rand.New(rand.NewPCG(uint64(100+i), 0))
+		genome := alphabet.DNA.Decode(seq.Genome(rng, seq.DefaultGenomeConfig(60_000)))
+		ri, err := e.BuildRefIndex(genome, genasm.RefIndexConfig{RefName: name})
+		if err != nil {
+			rm()
+			return "", nil, fmt.Errorf("building %s: %w", name, err)
+		}
+		if err := ri.WriteFile(filepath.Join(dir, name+".gasmidx")); err != nil {
+			rm()
+			return "", nil, err
+		}
+		refGenomes[name] = string(genome)
+	}
+
+	srv, err := server.New(server.Config{Engine: e, RefDir: dir})
+	if err != nil {
+		rm()
+		return "", nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rm()
+		return "", nil, err
+	}
+	go srv.Serve(l)
+	cleanup = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		rm()
+	}
+	return "http://" + l.Addr().String(), cleanup, nil
+}
+
+func printResult(res *loadgen.ScenarioResult) {
+	for _, path := range sortedKeys(res.Aggregate) {
+		agg := res.Aggregate[path]
+		fmt.Printf("    %-16s n=%-6d p50=%7.2fms p95=%7.2fms p99=%7.2fms p999=%7.2fms err=%d shed=%d\n",
+			path, agg.Completed, agg.P50Ms, agg.P95Ms, agg.P99Ms, agg.P999Ms, agg.Errors, agg.Shed)
+	}
+	if res.Server != nil {
+		fmt.Printf("    server: requests=%d alignments=%d streams=%d rejected=%d errored=%d ref_loads=%d evictions=%d\n",
+			res.Server.Requests, res.Server.Alignments, res.Server.Streams,
+			res.Server.Rejected, res.Server.Errored, res.Server.RefLoads, res.Server.Evictions)
+	}
+	if len(res.GateFailures) > 0 {
+		for _, f := range res.GateFailures {
+			fmt.Printf("    GATE FAIL: %s\n", f)
+		}
+	} else if res.Phases != nil {
+		fmt.Printf("    error_rate=%.4f shed_rate=%.4f\n", res.ErrorRate, res.ShedRate)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysBool(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

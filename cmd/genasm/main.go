@@ -50,6 +50,8 @@ func main() {
 		err = runMap(ctx, os.Args[2:])
 	case "index":
 		err = runIndex(os.Args[2:])
+	case "simulate":
+		err = runSimulate(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -65,14 +67,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: genasm <align|editdist|filter|search|map|index> [flags]
+	fmt.Fprintln(os.Stderr, `usage: genasm <align|editdist|filter|search|map|index|simulate> [flags]
   align    -text SEQ -query SEQ [-global] [-search-start]
   editdist -a SEQ -b SEQ
   filter   -region SEQ -read SEQ -k N
   search   -text SEQ|FILE -pattern SEQ -k N [-bytes]
   map      -ref FASTA[.gz] -reads FASTA|FASTQ[.gz] [-seed-k N] [-error-rate F] [-sam]
   index    build -ref FASTA[.gz] -out FILE [-backend hash|minimizer|suffixarray] [-seed-k N] [-minimizer-w N]
-           inspect FILE`)
+           inspect FILE
+  simulate -profile NAME -n N -seed S [-ref FASTA | -genome-len N] [-format fastq|fasta]
+           [-rev-comp] [-out FILE] [-genome-out FILE] [-truth FILE] [-list-profiles]`)
 }
 
 // loadSeq returns the sequence in arg: the first record of a FASTA/FASTQ

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"strings"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/seq"
+	"genasm/internal/simulate"
+	"genasm/seqio"
+)
+
+// runSimulate generates a seeded, deterministic synthetic read set (and
+// optionally its genome) with one of the paper's error profiles — the same
+// generator genasm-loadgen scenarios use, exposed so benchmarks, docs and
+// load tests share a corpus.
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	profileName := fs.String("profile", "illumina-150", "error profile (see -list-profiles)")
+	listProfiles := fs.Bool("list-profiles", false, "list known profiles and exit")
+	n := fs.Int("n", 100, "number of reads")
+	seedFlag := fs.Uint64("seed", 1, "generator seed; same seed, same output")
+	refPath := fs.String("ref", "", "draw reads from this FASTA reference (gzip ok; first record)")
+	genomeLen := fs.Int("genome-len", 100_000, "synthetic genome length when -ref is not given")
+	format := fs.String("format", "fastq", "output format: fastq or fasta")
+	revComp := fs.Bool("rev-comp", false, "reverse-complement each read with probability 1/2")
+	out := fs.String("out", "", "write reads here (default stdout)")
+	genomeOut := fs.String("genome-out", "", "also write the (synthetic) genome as FASTA")
+	truthOut := fs.String("truth", "", "write a TSV of per-read ground truth (name, pos, span, edits, revcomp)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listProfiles {
+		for _, p := range simulate.Profiles() {
+			fmt.Printf("%-16s %6d bp  %4.0f%% error (sub %.0f%% / ins %.0f%% / del %.0f%%)\n",
+				p.Name, p.ReadLen, p.ErrorRate*100, p.SubFrac*100, p.InsFrac*100, p.DelFrac*100)
+		}
+		return nil
+	}
+	profile, err := simulate.ProfileByName(*profileName)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewPCG(*seedFlag, 0))
+	var genome []byte
+	if *refPath != "" {
+		rec, err := firstRecord(*refPath)
+		if err != nil {
+			return err
+		}
+		genome, err = alphabet.DNA.Encode(foldAmbiguous(rec.Seq))
+		if err != nil {
+			return err
+		}
+	} else {
+		genome = seq.Genome(rng, seq.DefaultGenomeConfig(*genomeLen))
+	}
+
+	reads, err := simulate.Reads(rng, genome, *n, profile, *revComp)
+	if err != nil {
+		return err
+	}
+
+	if *genomeOut != "" {
+		gf, err := os.Create(*genomeOut)
+		if err != nil {
+			return err
+		}
+		gw := seqio.NewFASTAWriter(gf)
+		rec := seqio.Record{Name: "genome", Desc: fmt.Sprintf("seed=%d len=%d", *seedFlag, len(genome)), Seq: alphabet.DNA.Decode(genome)}
+		if err := gw.WriteRecord(rec); err != nil {
+			gf.Close()
+			return err
+		}
+		if err := gw.Flush(); err != nil {
+			gf.Close()
+			return err
+		}
+		if err := gf.Close(); err != nil {
+			return err
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	var writeRec func(seqio.Record) error
+	var flush func() error
+	switch *format {
+	case "fasta":
+		fw := seqio.NewFASTAWriter(w)
+		writeRec, flush = fw.WriteRecord, fw.Flush
+	case "fastq":
+		fw := seqio.NewFASTQWriter(w)
+		writeRec, flush = fw.WriteRecord, fw.Flush
+	default:
+		return fmt.Errorf("simulate: unknown format %q (want fastq or fasta)", *format)
+	}
+
+	var truth *os.File
+	if *truthOut != "" {
+		truth, err = os.Create(*truthOut)
+		if err != nil {
+			return err
+		}
+		defer truth.Close()
+		fmt.Fprintln(truth, "name\tpos\tgenome_span\tedits\trev_comp")
+	}
+
+	for _, r := range reads {
+		letters := alphabet.DNA.Decode(r.Seq)
+		rec := seqio.Record{
+			Name: fmt.Sprintf("sim_%d", r.ID),
+			Desc: fmt.Sprintf("pos=%d edits=%d", r.Pos, r.Edits),
+			Seq:  letters,
+		}
+		if *format == "fastq" {
+			rec.Qual = []byte(strings.Repeat("I", len(letters)))
+		}
+		if err := writeRec(rec); err != nil {
+			return err
+		}
+		if truth != nil {
+			fmt.Fprintf(truth, "sim_%d\t%d\t%d\t%d\t%t\n", r.ID, r.Pos, r.GenomeSpan, r.Edits, r.RevComp)
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "simulate: %d %s reads from %d bp genome (seed %d)\n",
+		len(reads), profile.Name, len(genome), *seedFlag)
+	return nil
+}

@@ -1,0 +1,107 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"genasm/internal/alphabet"
+	"genasm/internal/seq"
+	"genasm/internal/simulate"
+)
+
+// CorpusRead is one pre-generated read with the reference region it should
+// align against, both as ASCII DNA ready for request bodies.
+type CorpusRead struct {
+	Name string
+	// Seq is the read sequence.
+	Seq string
+	// Region is the candidate reference window around the read's true
+	// position (the align endpoint's "text").
+	Region string
+}
+
+// Corpus is the pre-generated material a scenario's requests draw from:
+// per-reference read pools plus the inline reference sequence for
+// inline_ref requests. Building it up front keeps request hot paths free
+// of generation cost, so client-side latency measures the server.
+type Corpus struct {
+	// Refs lists the reference names reads were drawn for, in fan-out
+	// order ("" when the scenario targets the server default).
+	Refs []string
+	// Reads maps reference name to its read pool.
+	Reads map[string][]CorpusRead
+	// InlineRef is the ASCII reference shipped by inline_ref map
+	// requests (the first reference's genome).
+	InlineRef string
+}
+
+// BuildCorpus generates the scenario's corpus. refGenomes supplies the
+// actual reference sequences keyed by registered name (ASCII DNA); reads
+// for those references are drawn from the real sequence so the server
+// finds genuine mappings. Names in refs missing from refGenomes (and the
+// "" default) fall back to a synthetic genome of Corpus.GenomeLen — the
+// reads still exercise the full pipeline, they just mostly map nowhere.
+func BuildCorpus(sc *Scenario, refs []string, refGenomes map[string]string) (*Corpus, error) {
+	profile, err := simulate.ProfileByName(sc.Corpus.Profile)
+	if err != nil {
+		return nil, err
+	}
+	if len(refs) == 0 {
+		refs = []string{""}
+	}
+	rng := rand.New(rand.NewPCG(sc.Seed, 0x10adce9))
+	c := &Corpus{Refs: refs, Reads: make(map[string][]CorpusRead, len(refs))}
+	for _, name := range refs {
+		genome, err := corpusGenome(rng, sc, profile, refGenomes[name])
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: corpus for ref %q: %w", name, err)
+		}
+		reads, err := simulate.Reads(rng, genome, sc.Corpus.Reads, profile, sc.Corpus.RevComp)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: corpus for ref %q: %w", name, err)
+		}
+		pool := make([]CorpusRead, len(reads))
+		for i, r := range reads {
+			region := simulate.CandidateRegion(genome, r.Pos, profile.ReadLen, profile.ErrorRate)
+			pool[i] = CorpusRead{
+				Name:   fmt.Sprintf("r%d", r.ID),
+				Seq:    string(alphabet.DNA.Decode(r.Seq)),
+				Region: string(alphabet.DNA.Decode(region)),
+			}
+		}
+		c.Reads[name] = pool
+		if c.InlineRef == "" {
+			c.InlineRef = string(alphabet.DNA.Decode(genome))
+		}
+	}
+	return c, nil
+}
+
+// corpusGenome returns the encoded genome to draw reads from: the supplied
+// reference sequence when available, otherwise a fresh synthetic one.
+func corpusGenome(rng *rand.Rand, sc *Scenario, p simulate.Profile, ref string) ([]byte, error) {
+	if ref != "" {
+		g, err := alphabet.DNA.Encode([]byte(ref))
+		if err != nil {
+			return nil, err
+		}
+		if fits(g, p) {
+			return g, nil
+		}
+		// Reference shorter than the read length (tiny test indexes with
+		// long-read profiles): fall back to synthetic.
+	}
+	n := sc.Corpus.GenomeLen
+	for {
+		g := seq.Genome(rng, seq.DefaultGenomeConfig(n))
+		if fits(g, p) {
+			return g, nil
+		}
+		n *= 2 // grow until the profile's reads fit
+	}
+}
+
+func fits(genome []byte, p simulate.Profile) bool {
+	slack := int(float64(p.ReadLen)*p.ErrorRate*2) + 10
+	return len(genome) >= p.ReadLen+slack+1
+}

@@ -1,0 +1,484 @@
+package loadgen
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Runner drives one scenario against a live server.
+type Runner struct {
+	// Target is the server base URL, e.g. "http://127.0.0.1:8080".
+	Target string
+	// Client issues the requests; nil uses a dedicated client with a
+	// large connection pool and no timeout (phases bound their own
+	// lifetime via context).
+	Client *http.Client
+	// Scenario and Corpus define the workload; the corpus must have been
+	// built for the scenario (BuildCorpus).
+	Scenario *Scenario
+	Corpus   *Corpus
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// prepared is one fully-assembled request the hot path replays: building
+// bodies ahead of time (including gzip) keeps client-side work out of the
+// measured latency.
+type prepared struct {
+	path    string // endpoint path, the recording key
+	url     string
+	headers map[string]string
+	body    []byte
+	slow    time.Duration
+}
+
+// mixEntry is a RequestSpec compiled against the corpus.
+type mixEntry struct {
+	weight   float64
+	variants []prepared
+	next     atomic.Uint64 // round-robins refs × payload variants
+}
+
+func (m *mixEntry) pick() *prepared {
+	return &m.variants[m.next.Add(1)%uint64(len(m.variants))]
+}
+
+// endpointStats collects per-endpoint outcomes inside one phase.
+type endpointStats struct {
+	hist      Histogram // 2xx latency only
+	attempts  uint64
+	completed uint64 // 2xx
+	errors    uint64 // transport + 5xx
+	shed      uint64 // 429
+	other4xx  uint64
+	status    map[int]uint64
+	envelope  map[string]uint64
+}
+
+// collector aggregates one phase's outcomes.
+type collector struct {
+	mu         sync.Mutex
+	byEndpoint map[string]*endpointStats
+	dropped    uint64 // open-loop arrivals skipped at the in-flight cap
+}
+
+func (c *collector) endpoint(path string) *endpointStats {
+	es := c.byEndpoint[path]
+	if es == nil {
+		es = &endpointStats{status: make(map[int]uint64), envelope: make(map[string]uint64)}
+		c.byEndpoint[path] = es
+	}
+	return es
+}
+
+func (c *collector) record(path string, status int, envCode string, d time.Duration, transportErr bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	es := c.endpoint(path)
+	es.attempts++
+	if transportErr {
+		es.errors++
+		return
+	}
+	es.status[status]++
+	switch {
+	case status >= 200 && status < 300:
+		es.completed++
+		es.hist.Record(d)
+	case status == http.StatusTooManyRequests:
+		es.shed++
+	case status >= 500:
+		es.errors++
+	default:
+		es.other4xx++
+	}
+	if envCode != "" {
+		es.envelope[envCode]++
+	}
+}
+
+// Run executes every phase in order and returns the scenario result.
+// The context bounds the whole run; cancellation stops mid-phase and
+// returns what was measured so far along with ctx.Err().
+func (r *Runner) Run(ctx context.Context) (*ScenarioResult, error) {
+	sc := r.Scenario
+	mix, err := r.compileMix()
+	if err != nil {
+		return nil, err
+	}
+	client := r.Client
+	if client == nil {
+		maxConc := 0
+		for _, p := range sc.Phases {
+			if p.Concurrency > maxConc {
+				maxConc = p.Concurrency
+			}
+		}
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = maxConc + 16
+		tr.MaxIdleConnsPerHost = maxConc + 16
+		client = &http.Client{Transport: tr}
+	}
+
+	before, berr := CaptureServerSnapshot(client, r.Target)
+	if berr != nil {
+		r.logf("warning: pre-run server snapshot failed: %v", berr)
+	}
+
+	result := &ScenarioResult{
+		Scenario:    sc.Name,
+		Description: sc.Description,
+		Target:      r.Target,
+		Seed:        sc.Seed,
+	}
+	rng := rand.New(rand.NewPCG(sc.Seed, 0xd51e4))
+	var runErr error
+	for i := range sc.Phases {
+		phase := &sc.Phases[i]
+		r.logf("phase %q: mode=%s duration=%s qps=%g..%g concurrency=%d",
+			phase.Name, phase.Mode, time.Duration(phase.Duration), phase.QPS, rampTarget(phase), phase.Concurrency)
+		col := &collector{byEndpoint: make(map[string]*endpointStats)}
+		start := time.Now()
+		if phase.Mode == "closed" {
+			err = r.runClosed(ctx, client, phase, mix, col, rng.Uint64())
+		} else {
+			err = r.runOpen(ctx, client, phase, mix, col, rng.Uint64())
+		}
+		elapsed := time.Since(start)
+		result.addPhase(phase, col, elapsed)
+		if err != nil {
+			runErr = err
+			break
+		}
+	}
+	result.finishAggregate()
+
+	after, aerr := CaptureServerSnapshot(client, r.Target)
+	if aerr != nil {
+		r.logf("warning: post-run server snapshot failed: %v", aerr)
+	}
+	if berr == nil && aerr == nil {
+		result.Server = DiffSnapshots(before, after)
+	}
+	if sc.Gates != nil {
+		result.GateFailures = EvaluateGates(sc.Gates, result)
+	}
+	return result, runErr
+}
+
+func rampTarget(p *Phase) float64 {
+	if p.RampToQPS > 0 {
+		return p.RampToQPS
+	}
+	return p.QPS
+}
+
+// runOpen paces arrivals at the phase's (possibly ramping) QPS. Arrivals
+// that would exceed the in-flight cap are dropped and counted — in an
+// open-loop test the cap filling up IS the signal that the server fell
+// behind the offered load, so the drops must not silently re-queue.
+func (r *Runner) runOpen(ctx context.Context, client *http.Client, p *Phase, mix []*mixEntry, col *collector, seed uint64) error {
+	duration := time.Duration(p.Duration)
+	start := time.Now()
+	deadline := start.Add(duration)
+	inflight := make(chan struct{}, p.Concurrency)
+	var wg sync.WaitGroup
+	rng := rand.New(rand.NewPCG(seed, 0x09e7))
+	var next time.Duration // offset of the next arrival from start
+	for {
+		frac := float64(next) / float64(duration)
+		qps := p.QPS
+		if p.RampToQPS > 0 {
+			qps += (p.RampToQPS - p.QPS) * frac
+		}
+		if qps < 0.001 {
+			qps = 0.001
+		}
+		next += time.Duration(float64(time.Second) / qps)
+		at := start.Add(next)
+		if !at.Before(deadline) {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return ctx.Err()
+		case <-time.After(time.Until(at)):
+		}
+		prep := pickMix(rng, mix).pick()
+		select {
+		case inflight <- struct{}{}:
+		default:
+			col.mu.Lock()
+			col.dropped++
+			col.endpoint(prep.path).attempts++
+			col.mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			r.issue(ctx, client, prep, col)
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+// runClosed runs Concurrency workers back-to-back until the phase ends:
+// throughput is whatever the server sustains at that concurrency.
+func (r *Runner) runClosed(ctx context.Context, client *http.Client, p *Phase, mix []*mixEntry, col *collector, seed uint64) error {
+	deadline := time.Now().Add(time.Duration(p.Duration))
+	var wg sync.WaitGroup
+	for w := 0; w < p.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(seed, uint64(w)))
+			for time.Now().Before(deadline) {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				r.issue(ctx, client, pickMix(rng, mix).pick(), col)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+func pickMix(rng *rand.Rand, mix []*mixEntry) *mixEntry {
+	if len(mix) == 1 {
+		return mix[0]
+	}
+	var total float64
+	for _, m := range mix {
+		total += m.weight
+	}
+	x := rng.Float64() * total
+	for _, m := range mix {
+		x -= m.weight
+		if x < 0 {
+			return m
+		}
+	}
+	return mix[len(mix)-1]
+}
+
+// issue sends one prepared request and records the outcome. Latency spans
+// send through full body drain — what a caller actually waits.
+func (r *Runner) issue(ctx context.Context, client *http.Client, prep *prepared, col *collector) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, prep.url, bytes.NewReader(prep.body))
+	if err != nil {
+		col.record(prep.path, 0, "", 0, true)
+		return
+	}
+	for k, v := range prep.headers {
+		req.Header.Set(k, v)
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		col.record(prep.path, 0, "", 0, true)
+		return
+	}
+	envCode := drainBody(resp, prep.slow)
+	col.record(prep.path, resp.StatusCode, envCode, time.Since(start), false)
+}
+
+// drainBody consumes the response, optionally pacing reads to emulate a
+// slow client, and extracts the error-envelope code from failed JSON
+// responses.
+func drainBody(resp *http.Response, slow time.Duration) string {
+	defer resp.Body.Close()
+	wantEnvelope := resp.StatusCode >= 400 &&
+		strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json")
+	var saved bytes.Buffer
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 && wantEnvelope && saved.Len() < 1<<16 {
+			saved.Write(buf[:n])
+		}
+		if err != nil {
+			break
+		}
+		if slow > 0 {
+			time.Sleep(slow)
+		}
+	}
+	if !wantEnvelope {
+		return ""
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if json.Unmarshal(saved.Bytes(), &env) == nil && env.Error.Code != "" {
+		return env.Error.Code
+	}
+	return ""
+}
+
+// payloadVariants bounds how many distinct bodies each mix entry rotates
+// through per reference; enough to defeat any response caching without
+// holding the whole corpus pre-marshaled.
+const payloadVariants = 8
+
+// compileMix turns the scenario's RequestSpecs into prepared requests.
+func (r *Runner) compileMix() ([]*mixEntry, error) {
+	sc := r.Scenario
+	mix := make([]*mixEntry, 0, len(sc.Mix))
+	for i := range sc.Mix {
+		spec := &sc.Mix[i]
+		refs, err := r.specRefs(spec)
+		if err != nil {
+			return nil, err
+		}
+		entry := &mixEntry{weight: spec.Weight}
+		for _, ref := range refs {
+			pool := r.Corpus.Reads[ref]
+			if len(pool) == 0 {
+				// Fan-out names outside the corpus (registered after
+				// corpus build) reuse the first pool.
+				pool = r.Corpus.Reads[r.Corpus.Refs[0]]
+			}
+			nvar := payloadVariants
+			if len(pool) < nvar {
+				nvar = len(pool)
+			}
+			for v := 0; v < nvar; v++ {
+				prep, err := r.prepare(spec, ref, pool, v)
+				if err != nil {
+					return nil, err
+				}
+				entry.variants = append(entry.variants, *prep)
+			}
+		}
+		if len(entry.variants) == 0 {
+			return nil, fmt.Errorf("loadgen: scenario %q mix[%d]: empty corpus", sc.Name, i)
+		}
+		mix = append(mix, entry)
+	}
+	return mix, nil
+}
+
+// specRefs resolves a mix entry's Ref field to concrete reference names.
+func (r *Runner) specRefs(spec *RequestSpec) ([]string, error) {
+	if spec.Endpoint == EndpointAlign || spec.Endpoint == EndpointBatch {
+		// Pairwise alignment carries its own text; no reference involved.
+		return []string{r.Corpus.Refs[0]}, nil
+	}
+	switch spec.Ref {
+	case "*":
+		return r.Corpus.Refs, nil
+	case "":
+		return []string{""}, nil
+	default:
+		return []string{spec.Ref}, nil
+	}
+}
+
+// prepare assembles variant v of a mix entry for one reference.
+func (r *Runner) prepare(spec *RequestSpec, ref string, pool []CorpusRead, v int) (*prepared, error) {
+	prep := &prepared{
+		headers: map[string]string{"Content-Type": "application/json"},
+		slow:    time.Duration(spec.SlowReader),
+	}
+	if spec.Priority != "" {
+		prep.headers["X-Genasm-Priority"] = spec.Priority
+	}
+	at := func(i int) CorpusRead { return pool[(v*spec.Reads+i)%len(pool)] }
+	switch spec.Endpoint {
+	case EndpointAlign:
+		rd := at(0)
+		prep.path = "/v1/align"
+		body, err := json.Marshal(map[string]any{
+			"text": rd.Region, "query": rd.Seq, "global": spec.Global,
+		})
+		if err != nil {
+			return nil, err
+		}
+		prep.body = body
+	case EndpointBatch:
+		prep.path = "/v1/batch"
+		jobs := make([]map[string]any, spec.Reads)
+		for i := range jobs {
+			rd := at(i)
+			jobs[i] = map[string]any{"text": rd.Region, "query": rd.Seq, "global": spec.Global}
+		}
+		body, err := json.Marshal(map[string]any{"jobs": jobs})
+		if err != nil {
+			return nil, err
+		}
+		prep.body = body
+	case EndpointMap:
+		prep.path = "/v1/map"
+		reads := make([]map[string]string, spec.Reads)
+		for i := range reads {
+			rd := at(i)
+			reads[i] = map[string]string{"name": rd.Name, "seq": rd.Seq}
+		}
+		req := map[string]any{"reads": reads}
+		if spec.InlineRef {
+			req["reference"] = r.Corpus.InlineRef
+		} else if ref != "" {
+			req["ref"] = ref
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		prep.body = body
+	case EndpointMapStream:
+		prep.path = "/v1/map/stream"
+		var fastq bytes.Buffer
+		for i := 0; i < spec.Reads; i++ {
+			rd := at(i)
+			fmt.Fprintf(&fastq, "@%s\n%s\n+\n%s\n", rd.Name, rd.Seq, strings.Repeat("I", len(rd.Seq)))
+		}
+		prep.body = fastq.Bytes()
+		delete(prep.headers, "Content-Type")
+		if spec.Gzip {
+			var gz bytes.Buffer
+			zw := gzip.NewWriter(&gz)
+			if _, err := zw.Write(prep.body); err != nil {
+				return nil, err
+			}
+			if err := zw.Close(); err != nil {
+				return nil, err
+			}
+			prep.body = gz.Bytes()
+			prep.headers["Content-Encoding"] = "gzip"
+		}
+		if spec.SAM {
+			prep.headers["Accept"] = "text/x-sam"
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown endpoint %q", spec.Endpoint)
+	}
+	prep.url = strings.TrimRight(r.Target, "/") + prep.path
+	if spec.Endpoint == EndpointMapStream && ref != "" {
+		prep.url += "?ref=" + ref
+	}
+	return prep, nil
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}

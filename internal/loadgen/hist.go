@@ -1,0 +1,154 @@
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram records latencies HDR-style: exponential major buckets, each
+// split into 64 linear sub-buckets, giving ~1.5% relative precision from
+// ~1µs to minutes in a fixed ~14 KB footprint. Unlike the serving layer's
+// fixed-bound metrics.Histogram (tuned for Prometheus exposition), this
+// shape keeps tail percentiles sharp across the five orders of magnitude a
+// load test spans — a p999 of 80ms and one of 95ms must not land in the
+// same bucket.
+//
+// A Histogram is not safe for concurrent use; the driver keeps one per
+// recording key under its collector lock and Merges per-phase copies into
+// aggregates.
+type Histogram struct {
+	counts [histSlots]uint64
+	count  uint64
+	sum    int64 // ns
+	min    int64 // ns; valid when count > 0
+	max    int64 // ns
+}
+
+const (
+	// histUnitNs is the resolution floor: values are bucketed in ~1µs
+	// steps (1024ns so the index math stays in shifts).
+	histUnitNs = 1024
+	// histSubBits picks 64 linear sub-buckets per power-of-two range.
+	histSubBits  = 6
+	histSubCount = 1 << histSubBits
+	// histMaxExp covers up to 1024ns·2^(26+6) ≈ 75 min; beyond that
+	// values clamp into the last bucket (their exact max is still kept).
+	histMaxExp = 26
+	histSlots  = (histMaxExp + 1) * histSubCount
+)
+
+// histIndex maps a non-negative duration to its bucket.
+func histIndex(ns int64) int {
+	b := uint64(ns) / histUnitNs
+	if b < histSubCount {
+		return int(b)
+	}
+	exp := bits.Len64(b) - histSubBits
+	if exp > histMaxExp {
+		return histSlots - 1
+	}
+	return exp*histSubCount + int(b>>uint(exp))
+}
+
+// histValue returns the midpoint duration of bucket idx in nanoseconds.
+func histValue(idx int) int64 {
+	exp := idx / histSubCount
+	sub := int64(idx % histSubCount)
+	if exp == 0 {
+		return (2*sub + 1) * histUnitNs / 2
+	}
+	lo := sub << uint(exp)
+	hi := (sub + 1) << uint(exp)
+	return (lo + hi) * histUnitNs / 2
+}
+
+// Record adds one latency observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[histIndex(ns)]++
+	h.count++
+	h.sum += ns
+	if h.count == 1 || ns < h.min {
+		h.min = ns
+	}
+	if ns > h.max {
+		h.max = ns
+	}
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average latency (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / int64(h.count))
+}
+
+// Min and Max return the exact extremes (0 when empty).
+func (h *Histogram) Min() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.min)
+}
+
+// Max returns the largest recorded value (tracked exactly, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
+
+// Quantile returns the latency at quantile q (0 ≤ q ≤ 1): the midpoint of
+// the bucket holding the q·count-th observation, clamped to the exact
+// recorded extremes so p0/p100 are truthful.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := histValue(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v)
+		}
+	}
+	return time.Duration(h.max)
+}

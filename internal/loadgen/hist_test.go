@@ -1,0 +1,102 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func TestHistIndexMonotonic(t *testing.T) {
+	prev := -1
+	for ns := int64(0); ns < int64(10*time.Second); ns += 777_777 {
+		idx := histIndex(ns)
+		if idx < prev {
+			t.Fatalf("histIndex not monotonic at %d: %d < %d", ns, idx, prev)
+		}
+		if idx >= histSlots {
+			t.Fatalf("histIndex(%d) = %d out of range", ns, idx)
+		}
+		prev = idx
+	}
+	// Bucket midpoints must bracket the values that map to them.
+	for _, ns := range []int64{0, 512, 1024, 65_000, 1_000_000, 250_000_000, int64(2 * time.Minute)} {
+		idx := histIndex(ns)
+		mid := histValue(idx)
+		if ns > 2048 {
+			ratio := math.Abs(float64(mid-ns)) / float64(ns)
+			if ratio > 0.02 {
+				t.Errorf("bucket midpoint for %dns is %dns: relative error %.3f > 2%%", ns, mid, ratio)
+			}
+		}
+	}
+}
+
+func TestHistogramOverflowClamps(t *testing.T) {
+	var h Histogram
+	h.Record(3 * time.Hour) // beyond histMaxExp coverage
+	if got := h.Max(); got != 3*time.Hour {
+		t.Fatalf("Max = %v, want exact 3h", got)
+	}
+	if got := h.Quantile(0.5); got != 3*time.Hour {
+		t.Fatalf("Quantile(0.5) = %v, want clamp to recorded max", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	// 10k samples uniform in [1ms, 101ms): quantiles should track the
+	// underlying distribution to within bucket precision (~1.6%) plus
+	// sampling noise.
+	rng := rand.New(rand.NewPCG(42, 0))
+	for i := 0; i < 10_000; i++ {
+		h.Record(time.Millisecond + time.Duration(rng.Int64N(int64(100*time.Millisecond))))
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 51 * time.Millisecond},
+		{0.95, 96 * time.Millisecond},
+		{0.99, 100 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		err := math.Abs(float64(got-tc.want)) / float64(tc.want)
+		if err > 0.05 {
+			t.Errorf("Quantile(%.2f) = %v, want ~%v (err %.3f)", tc.q, got, tc.want, err)
+		}
+	}
+	if p0 := h.Quantile(0); p0 != h.Min() {
+		t.Errorf("Quantile(0) = %v, want min %v", p0, h.Min())
+	}
+	if p100 := h.Quantile(1); p100 != h.Max() {
+		t.Errorf("Quantile(1) = %v, want max %v", p100, h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, m Histogram
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	m.Merge(&a)
+	m.Merge(&b)
+	var empty Histogram
+	m.Merge(&empty)
+	if m.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", m.Count())
+	}
+	if m.Min() != time.Millisecond || m.Max() != 200*time.Millisecond {
+		t.Fatalf("merged min/max = %v/%v", m.Min(), m.Max())
+	}
+	med := m.Quantile(0.5)
+	if med < 95*time.Millisecond || med > 105*time.Millisecond {
+		t.Fatalf("merged median = %v, want ~100ms", med)
+	}
+}

@@ -1,0 +1,283 @@
+// Package loadgen is a workload-driven load harness for genasm-serve: it
+// replays JSON-defined traffic scenarios (endpoint mixes, QPS ramps,
+// open- and closed-loop phases) against a live server, records HDR-style
+// latency per endpoint and phase, and snapshots the server's own /metrics
+// and /v1/stats around the run so client-observed percentiles can be
+// correlated with server-side queue, eviction and stage-latency deltas.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// Duration is a time.Duration that marshals to/from JSON as a Go duration
+// string ("250ms", "10s") and also accepts bare numbers as seconds.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "2s"-style strings or numeric seconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("loadgen: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return fmt.Errorf("loadgen: duration must be a string like \"2s\" or a number of seconds: %s", b)
+	}
+	*d = Duration(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// Scenario is one named traffic shape: a request mix driven through a
+// sequence of phases against a generated read corpus.
+type Scenario struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Seed makes corpus generation and mix sampling deterministic
+	// (0 means seed 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Corpus configures the synthetic genome and reads the requests
+	// draw from.
+	Corpus CorpusSpec `json:"corpus"`
+	// Mix is the weighted set of request shapes; each arrival picks one
+	// spec with probability weight/total.
+	Mix []RequestSpec `json:"mix"`
+	// Phases run in order; their durations add up to the scenario
+	// wall time.
+	Phases []Phase `json:"phases"`
+	// Gates, when present, turn the run into a pass/fail check.
+	Gates *Gates `json:"gates,omitempty"`
+}
+
+// CorpusSpec sizes the synthetic workload.
+type CorpusSpec struct {
+	// GenomeLen is the synthetic reference length used to draw reads
+	// when the target references' own sequences aren't supplied.
+	GenomeLen int `json:"genome_len"`
+	// Profile names a simulate error profile ("illumina-150", "pacbio-10",
+	// ...); empty means Illumina-150bp.
+	Profile string `json:"profile,omitempty"`
+	// Reads is the pool size; requests cycle through it.
+	Reads int `json:"reads"`
+	// RevComp reverse-complements half the pool, like a real sequencer.
+	RevComp bool `json:"rev_comp,omitempty"`
+}
+
+// Endpoint names the request shapes the driver knows how to issue.
+const (
+	EndpointAlign     = "align"      // POST /v1/align, one pairwise job
+	EndpointBatch     = "batch"      // POST /v1/batch, Reads jobs per call
+	EndpointMap       = "map"        // POST /v1/map, Reads reads per call
+	EndpointMapStream = "map_stream" // POST /v1/map/stream, FASTQ body
+)
+
+// RequestSpec is one weighted entry of a scenario's mix.
+type RequestSpec struct {
+	// Endpoint selects the request shape (see Endpoint* constants).
+	Endpoint string `json:"endpoint"`
+	// Weight is the relative arrival probability (default 1).
+	Weight float64 `json:"weight,omitempty"`
+	// Ref names the server reference to target; "*" fans out across all
+	// registered references round-robin; empty uses the server default.
+	Ref string `json:"ref,omitempty"`
+	// InlineRef ships the reference sequence in the request body
+	// (map only), exercising the per-request indexing path.
+	InlineRef bool `json:"inline_ref,omitempty"`
+	// Reads is how many reads/jobs each request carries (map, batch,
+	// map_stream; default 1).
+	Reads int `json:"reads,omitempty"`
+	// Gzip compresses the map_stream body (Content-Encoding: gzip).
+	Gzip bool `json:"gzip,omitempty"`
+	// SAM asks map_stream for SAM output (Accept: text/x-sam).
+	SAM bool `json:"sam,omitempty"`
+	// Priority sets X-Genasm-Priority ("batch" or "interactive").
+	Priority string `json:"priority,omitempty"`
+	// SlowReader drains the response body at roughly one 4 KiB chunk
+	// per this interval, emulating a slow client.
+	SlowReader Duration `json:"slow_reader,omitempty"`
+	// Global requests end-to-end alignment (align/batch only).
+	Global bool `json:"global,omitempty"`
+}
+
+// Phase is one stage of the load shape.
+type Phase struct {
+	Name     string   `json:"name"`
+	Duration Duration `json:"duration"`
+	// Mode is "open" (arrivals paced at QPS regardless of completions)
+	// or "closed" (Concurrency workers in lockstep). Default open.
+	Mode string `json:"mode,omitempty"`
+	// QPS is the arrival rate for open-loop phases; with RampToQPS set,
+	// the rate ramps linearly across the phase.
+	QPS       float64 `json:"qps,omitempty"`
+	RampToQPS float64 `json:"ramp_to_qps,omitempty"`
+	// Concurrency caps in-flight requests: worker count for closed
+	// phases, in-flight ceiling for open ones (default 64).
+	Concurrency int `json:"concurrency,omitempty"`
+	// Warmup excludes the phase from aggregate percentiles and gates.
+	Warmup bool `json:"warmup,omitempty"`
+}
+
+// Gates are the pass/fail ceilings evaluated over all non-warmup phases.
+type Gates struct {
+	// MaxP99Ms caps the aggregate p99 per endpoint path (e.g.
+	// "/v1/align"); the key "*" applies to every endpoint in the run.
+	MaxP99Ms map[string]float64 `json:"max_p99_ms,omitempty"`
+	// MaxErrorRate caps (transport errors + 5xx) / attempts.
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+	// MaxShedRate caps 429s / attempts. 429s are not errors — shedding
+	// is the server working as designed — but a scenario may still
+	// bound how much of its traffic gets shed.
+	MaxShedRate float64 `json:"max_shed_rate,omitempty"`
+}
+
+// Validate checks the scenario and fills defaults in place.
+func (s *Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("loadgen: scenario missing name")
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Corpus.GenomeLen == 0 {
+		s.Corpus.GenomeLen = 100_000
+	}
+	if s.Corpus.Reads == 0 {
+		s.Corpus.Reads = 64
+	}
+	if s.Corpus.Profile == "" {
+		s.Corpus.Profile = "illumina-150"
+	}
+	if len(s.Mix) == 0 {
+		return fmt.Errorf("loadgen: scenario %q has an empty mix", s.Name)
+	}
+	for i := range s.Mix {
+		m := &s.Mix[i]
+		switch m.Endpoint {
+		case EndpointAlign, EndpointBatch, EndpointMap, EndpointMapStream:
+		default:
+			return fmt.Errorf("loadgen: scenario %q mix[%d]: unknown endpoint %q", s.Name, i, m.Endpoint)
+		}
+		if m.Weight < 0 {
+			return fmt.Errorf("loadgen: scenario %q mix[%d]: negative weight", s.Name, i)
+		}
+		if m.Weight == 0 {
+			m.Weight = 1
+		}
+		if m.Reads <= 0 {
+			m.Reads = 1
+		}
+		if m.InlineRef && m.Endpoint != EndpointMap {
+			return fmt.Errorf("loadgen: scenario %q mix[%d]: inline_ref only applies to map", s.Name, i)
+		}
+		switch m.Priority {
+		case "", "batch", "interactive":
+		default:
+			return fmt.Errorf("loadgen: scenario %q mix[%d]: unknown priority %q", s.Name, i, m.Priority)
+		}
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("loadgen: scenario %q has no phases", s.Name)
+	}
+	for i := range s.Phases {
+		p := &s.Phases[i]
+		if p.Name == "" {
+			p.Name = fmt.Sprintf("phase%d", i)
+		}
+		if p.Duration <= 0 {
+			return fmt.Errorf("loadgen: scenario %q phase %q: non-positive duration", s.Name, p.Name)
+		}
+		switch p.Mode {
+		case "":
+			p.Mode = "open"
+		case "open", "closed":
+		default:
+			return fmt.Errorf("loadgen: scenario %q phase %q: unknown mode %q", s.Name, p.Name, p.Mode)
+		}
+		if p.Mode == "open" && p.QPS <= 0 {
+			return fmt.Errorf("loadgen: scenario %q phase %q: open-loop phase needs qps > 0", s.Name, p.Name)
+		}
+		if p.Concurrency <= 0 {
+			if p.Mode == "closed" {
+				return fmt.Errorf("loadgen: scenario %q phase %q: closed-loop phase needs concurrency > 0", s.Name, p.Name)
+			}
+			p.Concurrency = 64
+		}
+	}
+	return nil
+}
+
+// Duration sums the phase durations.
+func (s *Scenario) Duration() time.Duration {
+	var total time.Duration
+	for _, p := range s.Phases {
+		total += time.Duration(p.Duration)
+	}
+	return total
+}
+
+// Scale multiplies every phase duration by f (used by -duration-scale to
+// shrink scenarios for CI), keeping each phase at 100ms minimum.
+func (s *Scenario) Scale(f float64) {
+	if f <= 0 || f == 1 {
+		return
+	}
+	for i := range s.Phases {
+		d := time.Duration(float64(s.Phases[i].Duration) * f)
+		if d < 100*time.Millisecond {
+			d = 100 * time.Millisecond
+		}
+		s.Phases[i].Duration = Duration(d)
+	}
+}
+
+// ParseScenarios decodes one scenario object or a JSON array of them.
+func ParseScenarios(data []byte) ([]*Scenario, error) {
+	trimmed := strings.TrimLeftFunc(string(data), func(r rune) bool {
+		return r == ' ' || r == '\t' || r == '\n' || r == '\r'
+	})
+	var list []*Scenario
+	if strings.HasPrefix(trimmed, "[") {
+		if err := json.Unmarshal(data, &list); err != nil {
+			return nil, fmt.Errorf("loadgen: parse scenarios: %w", err)
+		}
+	} else {
+		var one Scenario
+		if err := json.Unmarshal(data, &one); err != nil {
+			return nil, fmt.Errorf("loadgen: parse scenario: %w", err)
+		}
+		list = []*Scenario{&one}
+	}
+	for _, sc := range list {
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return list, nil
+}
+
+// LoadScenarioFile reads and parses a scenario file.
+func LoadScenarioFile(path string) ([]*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	scs, err := ParseScenarios(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return scs, nil
+}

@@ -118,6 +118,120 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// HistSnapshot is a point-in-time copy of a Histogram's buckets, the unit
+// of quantile estimation and of cross-child aggregation (snapshots of
+// same-bucketed histograms merge; e.g. one endpoint's latency across
+// status codes).
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has len(Bounds)+1
+	// entries, the last being the +Inf bucket.
+	Bounds []float64
+	Counts []uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state. Like the exposition, it
+// is not atomic across buckets — quantiles read from it are as consistent
+// as a Prometheus scrape.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Count returns the snapshot's total observation count.
+func (s HistSnapshot) Count() uint64 {
+	var n uint64
+	for _, c := range s.Counts {
+		n += c
+	}
+	return n
+}
+
+// Merge folds o into s. The two snapshots must share bucket bounds (they
+// do when taken from the same family); mismatched shapes panic.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	if len(s.Counts) == 0 {
+		s.Bounds, s.Counts, s.Sum = o.Bounds, append([]uint64(nil), o.Counts...), o.Sum
+		return
+	}
+	if len(o.Counts) != len(s.Counts) {
+		panic(fmt.Sprintf("metrics: merging snapshots with %d and %d buckets", len(s.Counts), len(o.Counts)))
+	}
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+	s.Sum += o.Sum
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket counts,
+// interpolating linearly within the target bucket — the same estimate
+// Prometheus's histogram_quantile computes. Observations in the +Inf
+// bucket clamp to the largest finite bound; an empty snapshot returns 0.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	total := s.Count()
+	if total == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: no upper bound to interpolate toward.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		if c == 0 {
+			return s.Bounds[i]
+		}
+		frac := (rank - float64(cum-c)) / float64(c)
+		return lower + (s.Bounds[i]-lower)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// LabeledSnapshot pairs one Vec child's label values with its snapshot.
+type LabeledSnapshot struct {
+	Labels []string
+	Hist   HistSnapshot
+}
+
+// Snapshot copies every child of the family, in unspecified order. Use it
+// to aggregate across a label dimension (merge the snapshots that share
+// the label values you keep).
+func (v *HistogramVec) Snapshot() []LabeledSnapshot {
+	v.f.mu.Lock()
+	children := make([]*metric, 0, len(v.f.children))
+	for _, m := range v.f.children {
+		children = append(children, m)
+	}
+	v.f.mu.Unlock()
+	out := make([]LabeledSnapshot, len(children))
+	for i, m := range children {
+		out[i] = LabeledSnapshot{Labels: m.labelValues, Hist: m.h.Snapshot()}
+	}
+	return out
+}
+
 // metric is one child of a family: exactly one of the instrument fields is
 // set, matching the family's type.
 type metric struct {

@@ -275,3 +275,61 @@ func TestObserveAllocFree(t *testing.T) {
 		t.Errorf("Observe+Add allocs/op = %v, want 0", allocs)
 	}
 }
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("q_seconds", "q", []float64{0.001, 0.01, 0.1, 1})
+	if got := h.Snapshot().Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	// 100 observations spread evenly through (0, 0.001]: every quantile
+	// interpolates inside the first bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.0005)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got <= 0 || got > 0.001 {
+		t.Errorf("p50 = %v, want within (0, 0.001]", got)
+	}
+	// Push 100 more into (0.01, 0.1]: p99 lands in that bucket, p25 stays
+	// in the first.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05)
+	}
+	s = h.Snapshot()
+	if got := s.Quantile(0.99); got <= 0.01 || got > 0.1 {
+		t.Errorf("p99 = %v, want within (0.01, 0.1]", got)
+	}
+	if got := s.Quantile(0.25); got > 0.001 {
+		t.Errorf("p25 = %v, want <= 0.001", got)
+	}
+	// An observation beyond the last bound clamps to it.
+	h.Observe(50)
+	if got := h.Snapshot().Quantile(1); got != 1 {
+		t.Errorf("p100 with +Inf observation = %v, want clamp to 1", got)
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	r := New()
+	v := r.HistogramVec("m_seconds", "m", []float64{0.01, 0.1}, "endpoint", "status")
+	v.With("/a", "200").Observe(0.005)
+	v.With("/a", "400").Observe(0.05)
+	v.With("/b", "200").Observe(0.05)
+
+	var merged HistSnapshot
+	for _, ls := range v.Snapshot() {
+		if ls.Labels[0] == "/a" {
+			merged.Merge(ls.Hist)
+		}
+	}
+	if got := merged.Count(); got != 2 {
+		t.Fatalf("merged count = %d, want 2", got)
+	}
+	if want := 0.005 + 0.05; merged.Sum < want-1e-9 || merged.Sum > want+1e-9 {
+		t.Errorf("merged sum = %v, want %v", merged.Sum, want)
+	}
+	if got := merged.Quantile(1); got <= 0.01 || got > 0.1 {
+		t.Errorf("merged p100 = %v, want within (0.01, 0.1]", got)
+	}
+}

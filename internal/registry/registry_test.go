@@ -429,3 +429,197 @@ func TestCloseWhilePinned(t *testing.T) {
 		t.Errorf("second Close: %v", err)
 	}
 }
+
+// TestReloadRenameSameBytes covers a directory rename (remove + add of the
+// same index bytes under a new name): the old name must disappear, the new
+// one appear, and a handle pinned under the old name must keep serving
+// until released.
+func TestReloadRenameSameBytes(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	writeIndex(t, e, dir, "oldname")
+	r := newTestRegistry(t, e, Config{})
+	if _, _, err := r.Reload(dir); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Acquire("oldname")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.Rename(filepath.Join(dir, "oldname.gasmidx"), filepath.Join(dir, "newname.gasmidx")); err != nil {
+		t.Fatal(err)
+	}
+	added, removed, err := r.Reload(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(added) != "[newname]" || fmt.Sprint(removed) != "[oldname]" {
+		t.Fatalf("rename reload: added=%v removed=%v", added, removed)
+	}
+	if _, ok := r.Get("oldname"); ok {
+		t.Error("oldname still registered after rename reload")
+	}
+	// The pinned handle outlives the rename; its mapper still serves.
+	if _, err := h.Mapper().MapRead(t.Context(), []byte(refSeq[5:37])); err != nil {
+		t.Errorf("pinned mapper after rename reload: %v", err)
+	}
+	h.Release()
+	if _, err := r.Acquire("oldname"); !errors.Is(err, ErrUnknownRef) {
+		t.Errorf("Acquire(oldname) after rename = %v, want ErrUnknownRef", err)
+	}
+	h2, err := r.Acquire("newname")
+	if err != nil {
+		t.Fatalf("Acquire(newname): %v", err)
+	}
+	defer h2.Release()
+	if _, err := h2.Mapper().MapRead(t.Context(), []byte(refSeq[5:37])); err != nil {
+		t.Errorf("mapper under new name: %v", err)
+	}
+}
+
+// TestReloadDuplicateNameInDir pins the tie-break when two index files
+// share a basename (chr1.gasmidx and chr1.gidx): ReadDir is sorted and the
+// last extension wins, so .gidx beats .gasmidx — and a second reload of the
+// unchanged directory must be a no-op, not flap between the two files.
+func TestReloadDuplicateNameInDir(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	path := writeIndex(t, e, dir, "chr1") // chr1.gasmidx
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "chr1.gidx"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := newTestRegistry(t, e, Config{})
+	added, removed, err := r.Reload(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(added) != "[chr1]" || len(removed) != 0 {
+		t.Fatalf("duplicate reload: added=%v removed=%v", added, removed)
+	}
+	info, ok := r.Get("chr1")
+	if !ok {
+		t.Fatal("chr1 not registered")
+	}
+	if want := filepath.Join(dir, "chr1.gidx"); info.Path != want {
+		t.Errorf("duplicate basename resolved to %q, want %q (.gidx wins)", info.Path, want)
+	}
+	if err := r.Load("chr1"); err != nil {
+		t.Fatalf("Load through winning duplicate: %v", err)
+	}
+	// Unchanged directory: reload must not re-add or retire anything.
+	added, removed, err = r.Reload(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 0 || len(removed) != 0 {
+		t.Fatalf("no-op reload flapped: added=%v removed=%v", added, removed)
+	}
+	if info, _ := r.Get("chr1"); info.State != StateLoaded {
+		t.Errorf("chr1 state after no-op reload = %q, want loaded", info.State)
+	}
+}
+
+// TestReloadEvictUnderLoad hammers Acquire/MapRead/Release on two
+// references while the main goroutine loops Reload (with a third reference
+// appearing and vanishing) and explicit Evicts. Run under -race, this pins
+// that reload/evict/acquire interleavings neither race nor break pinned
+// handles; workers tolerate only ErrUnknownRef (for the flapping name).
+func TestReloadEvictUnderLoad(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	writeIndex(t, e, dir, "chrA")
+	writeIndex(t, e, dir, "chrB")
+	flapPath := writeIndex(t, e, dir, "chrC")
+	flapBytes, err := os.ReadFile(flapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := newTestRegistry(t, e, Config{})
+	if _, _, err := r.Reload(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"chrA", "chrB", "chrC"}
+			read := []byte(refSeq[8:40])
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := names[(i+w)%len(names)]
+				h, err := r.Acquire(name)
+				if err != nil {
+					if name == "chrC" {
+						// Mid-flap: unknown (after removal reload) or a
+						// load error (file deleted between registration
+						// and the lazy mmap) are both expected.
+						continue
+					}
+					select {
+					case errc <- fmt.Errorf("Acquire(%s): %w", name, err):
+					default:
+					}
+					return
+				}
+				if _, err := h.Mapper().MapRead(t.Context(), read); err != nil {
+					select {
+					case errc <- fmt.Errorf("MapRead(%s): %w", name, err):
+					default:
+					}
+					h.Release()
+					return
+				}
+				h.Release()
+			}
+		}(w)
+	}
+
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			os.Remove(flapPath)
+		} else {
+			if err := os.WriteFile(flapPath, flapBytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := r.Reload(dir); err != nil {
+			t.Fatalf("Reload #%d: %v", i, err)
+		}
+		// Evict whichever of the stable refs; pinned handles must survive.
+		name := "chrA"
+		if i%3 == 0 {
+			name = "chrB"
+		}
+		if err := r.Evict(name); err != nil && !errors.Is(err, ErrUnknownRef) {
+			t.Fatalf("Evict(%s) #%d: %v", name, i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	// Steady state: both stable refs still acquirable.
+	for _, name := range []string{"chrA", "chrB"} {
+		h, err := r.Acquire(name)
+		if err != nil {
+			t.Fatalf("final Acquire(%s): %v", name, err)
+		}
+		h.Release()
+	}
+}

@@ -265,6 +265,78 @@ func (m *serverMetrics) mapTraceFor(ref string) *genasm.MapTrace {
 	}
 }
 
+// latency summaries ------------------------------------------------------
+
+// LatencySummary is the percentile digest of one latency histogram, in
+// milliseconds. Percentiles are bucket-interpolated estimates (the same
+// histogram_quantile would compute from /metrics), precomputed server-side
+// so loadgen and humans can read them without a scrape-and-quantile step.
+type LatencySummary struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// LatencyStats groups the server's latency digests for /v1/stats.
+type LatencyStats struct {
+	// Endpoints is keyed by endpoint label, merged across status codes.
+	Endpoints map[string]LatencySummary `json:"endpoints"`
+	// Stages is keyed by mapping pipeline stage (seed, filter, align),
+	// merged across references.
+	Stages map[string]LatencySummary `json:"stages"`
+	// Read is the end-to-end mapping pipeline time per read.
+	Read LatencySummary `json:"read"`
+	// Align is kernel time per engine alignment; WorkspaceWait the wait
+	// for a pooled workspace (saturation signal).
+	Align         LatencySummary `json:"align"`
+	WorkspaceWait LatencySummary `json:"workspace_wait"`
+}
+
+// summarize digests one histogram snapshot into milliseconds.
+func summarize(s metrics.HistSnapshot) LatencySummary {
+	n := s.Count()
+	out := LatencySummary{Count: n}
+	if n == 0 {
+		return out
+	}
+	const ms = 1e3
+	out.MeanMs = s.Sum / float64(n) * ms
+	out.P50Ms = s.Quantile(0.50) * ms
+	out.P95Ms = s.Quantile(0.95) * ms
+	out.P99Ms = s.Quantile(0.99) * ms
+	return out
+}
+
+// summarizeBy merges a Vec's children by one label position and digests
+// each group.
+func summarizeBy(v *metrics.HistogramVec, label int) map[string]LatencySummary {
+	groups := make(map[string]metrics.HistSnapshot)
+	for _, ls := range v.Snapshot() {
+		key := ls.Labels[label]
+		g := groups[key]
+		g.Merge(ls.Hist)
+		groups[key] = g
+	}
+	out := make(map[string]LatencySummary, len(groups))
+	for key, g := range groups {
+		out[key] = summarize(g)
+	}
+	return out
+}
+
+// latencyStats digests the live latency histograms.
+func (m *serverMetrics) latencyStats() LatencyStats {
+	return LatencyStats{
+		Endpoints:     summarizeBy(m.latency, 0),
+		Stages:        summarizeBy(m.stage, 0),
+		Read:          summarize(m.readSeconds.Snapshot()),
+		Align:         summarize(m.alignSeconds.Snapshot()),
+		WorkspaceWait: summarize(m.workspaceWait.Snapshot()),
+	}
+}
+
 // request instrumentation ------------------------------------------------
 
 // endpointLabel normalizes a request path to the served route set, keeping

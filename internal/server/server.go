@@ -886,9 +886,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Pool   genasm.PoolStats `json:"pool"`
-	Server ServerStats      `json:"server"`
-	Refs   registry.Stats   `json:"refs"`
+	Pool    genasm.PoolStats `json:"pool"`
+	Server  ServerStats      `json:"server"`
+	Refs    registry.Stats   `json:"refs"`
+	Latency LatencyStats     `json:"latency"`
 }
 
 // ServerStats are the server-side counters — the JSON rendering of the
@@ -928,7 +929,8 @@ func (s *Server) Stats() StatsResponse {
 			QueueDepth:       s.cfg.QueueDepth,
 			BatchLimit:       s.batchLimit,
 		},
-		Refs: s.refs.Stats(),
+		Refs:    s.refs.Stats(),
+		Latency: s.m.latencyStats(),
 	}
 }
 

@@ -572,3 +572,73 @@ func TestMapLimits(t *testing.T) {
 		t.Errorf("oversized read: status %d, body %s", resp.StatusCode, body)
 	}
 }
+
+// TestStatsLatencySummaries pins the /v1/stats percentile digests: after
+// known traffic the per-endpoint and pipeline summaries carry counts and
+// sane, ordered percentiles — no scrape-and-quantile step needed.
+func TestStatsLatencySummaries(t *testing.T) {
+	rng := rand.New(rand.NewPCG(778, 0))
+	genome := seq.Genome(rng, seq.DefaultGenomeConfig(30000))
+	simReads, err := simulate.Reads(rng, genome, 4, simulate.Illumina150, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, base := startServer(t, Config{
+		Engine:  newTestEngine(t),
+		RefName: "chrL",
+		Ref:     alphabet.DNA.Decode(genome),
+	})
+
+	for i := 0; i < 5; i++ {
+		if resp, _ := postJSON(t, base+"/v1/align", AlignRequest{Text: "ACGTACGTACGT", Query: "ACGTACGT"}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("align status %d", resp.StatusCode)
+		}
+	}
+	mapReq := MapRequest{}
+	for _, r := range simReads {
+		mapReq.Reads = append(mapReq.Reads, MapRead{Seq: string(alphabet.DNA.Decode(r.Seq))})
+	}
+	if resp, body := postJSON(t, base+"/v1/map", mapReq); resp.StatusCode != http.StatusOK {
+		t.Fatalf("map status %d (%s)", resp.StatusCode, body)
+	}
+
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+
+	align, ok := stats.Latency.Endpoints["/v1/align"]
+	if !ok {
+		t.Fatalf("no /v1/align latency summary; endpoints: %v", stats.Latency.Endpoints)
+	}
+	if align.Count != 5 {
+		t.Errorf("/v1/align count = %d, want 5", align.Count)
+	}
+	if align.P50Ms <= 0 || align.P50Ms > align.P95Ms || align.P95Ms > align.P99Ms {
+		t.Errorf("/v1/align percentiles not ordered: p50=%v p95=%v p99=%v",
+			align.P50Ms, align.P95Ms, align.P99Ms)
+	}
+	if align.MeanMs <= 0 {
+		t.Errorf("/v1/align mean = %v, want > 0", align.MeanMs)
+	}
+	if _, ok := stats.Latency.Endpoints["/v1/map"]; !ok {
+		t.Errorf("no /v1/map latency summary")
+	}
+	for _, stage := range []string{"seed", "align"} {
+		s, ok := stats.Latency.Stages[stage]
+		if !ok || s.Count == 0 {
+			t.Errorf("stage %q summary missing or empty: %+v (stages: %v)", stage, s, stats.Latency.Stages)
+		}
+	}
+	if stats.Latency.Read.Count != uint64(len(simReads)) {
+		t.Errorf("read summary count = %d, want %d", stats.Latency.Read.Count, len(simReads))
+	}
+	if stats.Latency.Align.Count == 0 || stats.Latency.WorkspaceWait.Count == 0 {
+		t.Errorf("engine summaries empty: align=%+v wait=%+v", stats.Latency.Align, stats.Latency.WorkspaceWait)
+	}
+}

@@ -12,6 +12,7 @@ package simulate
 import (
 	"fmt"
 	"math/rand/v2"
+	"strings"
 
 	"genasm/internal/seq"
 )
@@ -50,6 +51,44 @@ var LongReadProfiles = []Profile{PacBio10, PacBio15, ONT10, ONT15}
 
 // ShortReadProfiles are the three short-read datasets of Figure 10.
 var ShortReadProfiles = []Profile{Illumina100, Illumina150, Illumina250}
+
+// Profiles returns every named profile, long reads first.
+func Profiles() []Profile {
+	out := make([]Profile, 0, len(LongReadProfiles)+len(ShortReadProfiles))
+	out = append(out, LongReadProfiles...)
+	out = append(out, ShortReadProfiles...)
+	return out
+}
+
+// ProfileByName resolves a profile by its Name or by a relaxed slug
+// ("pacbio-10", "ont15", "illumina-150bp", case-insensitive, '%' and
+// separators ignored), so CLI flags and scenario files don't need the
+// exact display spelling.
+func ProfileByName(name string) (Profile, error) {
+	want := profileKey(name)
+	for _, p := range Profiles() {
+		if profileKey(p.Name) == want {
+			return p, nil
+		}
+	}
+	known := make([]string, 0, 7)
+	for _, p := range Profiles() {
+		known = append(known, p.Name)
+	}
+	return Profile{}, fmt.Errorf("simulate: unknown profile %q (known: %s)", name, strings.Join(known, ", "))
+}
+
+// profileKey canonicalizes a profile name for matching: lowercase
+// alphanumerics only, with a trailing "bp" suffix dropped.
+func profileKey(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
+	}
+	return strings.TrimSuffix(b.String(), "bp")
+}
 
 // Read is a simulated read with its ground truth.
 type Read struct {

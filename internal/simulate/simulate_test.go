@@ -198,3 +198,32 @@ func TestLongReadSpan(t *testing.T) {
 		}
 	}
 }
+
+func TestProfileByName(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want string
+	}{
+		{"PacBio-10%", "PacBio-10%"},
+		{"pacbio-10", "PacBio-10%"},
+		{"ONT15", "ONT-15%"},
+		{"illumina-150", "Illumina-150bp"},
+		{"Illumina-150bp", "Illumina-150bp"},
+		{"ILLUMINA_250", "Illumina-250bp"},
+	} {
+		p, err := ProfileByName(tc.in)
+		if err != nil {
+			t.Errorf("ProfileByName(%q): %v", tc.in, err)
+			continue
+		}
+		if p.Name != tc.want {
+			t.Errorf("ProfileByName(%q) = %q, want %q", tc.in, p.Name, tc.want)
+		}
+	}
+	if _, err := ProfileByName("nanopore-99"); err == nil {
+		t.Error("ProfileByName accepted unknown profile")
+	}
+	if n := len(Profiles()); n != 7 {
+		t.Errorf("Profiles() returned %d entries, want 7", n)
+	}
+}
