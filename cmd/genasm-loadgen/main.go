@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand/v2"
 	"net"
 	"net/http"
@@ -36,10 +37,17 @@ import (
 
 	"genasm"
 	"genasm/internal/alphabet"
+	"genasm/internal/faults"
 	"genasm/internal/loadgen"
 	"genasm/internal/seq"
 	"genasm/internal/server"
 )
+
+// defaultChaosFaults is the fault mix the -chaos run enables: sporadic
+// kernel errors, injected latency, rare kernel panics and workspace
+// acquisition failures — every class the resilience layer must absorb
+// while keeping responses in-contract.
+const defaultChaosFaults = "align.kernel:error@0.02,align.kernel:latency=3ms@0.05,align.kernel:panic@0.005,workspace.acquire:error@0.01"
 
 //go:embed scenarios/*.json
 var builtinFS embed.FS
@@ -64,6 +72,8 @@ func run() int {
 	out := flag.String("out", "", "write the run report (BENCH_<label>.json schema) to this path")
 	label := flag.String("label", "", "report label (default: load-<first scenario> or load-smoke)")
 	smoke := flag.Bool("smoke", false, "self-contained smoke run: in-process server, two temp references, built-in smoke scenarios, gate enforcement")
+	chaos := flag.Bool("chaos", false, "chaos smoke run (implies -smoke): enable fault injection, run the chaos scenario, then exercise the reference-load circuit breaker")
+	faultSpec := flag.String("faults", "", "fault-injection spec for the in-process smoke server (site:mode[=param][@prob][#max], comma-separated; see internal/faults)")
 	durationScale := flag.Float64("duration-scale", 1.0, "multiply every phase duration (e.g. 0.2 for a fifth-length run)")
 	seed := flag.Uint64("seed", 0, "override every scenario's corpus/mix seed (0 = use scenario seeds)")
 	flag.Parse()
@@ -71,8 +81,27 @@ func run() int {
 	if *list {
 		return listBuiltins()
 	}
+	if *chaos {
+		*smoke = true
+		if len(scenarioArgs) == 0 {
+			scenarioArgs = stringList{"chaos"}
+		}
+		if *label == "" {
+			*label = "load-chaos"
+		}
+		if *out == "" {
+			*out = "BENCH_chaos.json"
+		}
+		if *faultSpec == "" {
+			*faultSpec = defaultChaosFaults
+		}
+	}
 	if !*smoke && *target == "" {
 		fmt.Fprintln(os.Stderr, "genasm-loadgen: -target or -smoke is required (-h for usage)")
+		return 2
+	}
+	if *faultSpec != "" && !*smoke {
+		fmt.Fprintln(os.Stderr, "genasm-loadgen: -faults only applies to the in-process -smoke server (start a remote server with genasm-serve -faults instead)")
 		return 2
 	}
 
@@ -123,6 +152,14 @@ func run() int {
 		*target = tgt
 		fmt.Printf("smoke server listening on %s (refs: %s)\n", tgt, strings.Join(sortedKeys(refGenomes), ", "))
 	}
+	if *faultSpec != "" {
+		if err := faults.Enable(*faultSpec); err != nil {
+			fmt.Fprintf(os.Stderr, "genasm-loadgen: %v\n", err)
+			return 2
+		}
+		defer faults.Disable()
+		fmt.Printf("fault injection active: %s\n", *faultSpec)
+	}
 
 	client := &http.Client{}
 	serverRefs, err := loadgen.FetchRefNames(client, *target)
@@ -164,6 +201,14 @@ func run() int {
 	}
 	if len(results) == 0 {
 		return 1
+	}
+
+	if *chaos && ctx.Err() == nil {
+		if err := breakerExercise(ctx, client, *target); err != nil {
+			fmt.Fprintf(os.Stderr, "genasm-loadgen: FAIL: breaker exercise: %v\n", err)
+			return 1
+		}
+		fmt.Println("breaker exercise passed: open -> cooldown -> recovered")
 	}
 
 	if *out != "" {
@@ -294,7 +339,16 @@ func startSmokeServer(refGenomes map[string]string) (target string, cleanup func
 		refGenomes[name] = string(genome)
 	}
 
-	srv, err := server.New(server.Config{Engine: e, RefDir: dir})
+	// Tight retry/breaker settings make the -chaos breaker exercise fast
+	// and deterministic; fault-free smoke runs never hit them.
+	srv, err := server.New(server.Config{
+		Engine:              e,
+		RefDir:              dir,
+		RefLoadRetries:      1,
+		RefLoadBackoff:      10 * time.Millisecond,
+		RefBreakerThreshold: 3,
+		RefBreakerCooldown:  500 * time.Millisecond,
+	})
 	if err != nil {
 		rm()
 		return "", nil, err
@@ -312,6 +366,106 @@ func startSmokeServer(refGenomes map[string]string) (target string, cleanup func
 		rm()
 	}
 	return "http://" + l.Addr().String(), cleanup, nil
+}
+
+// breakerExercise drives one reference's load circuit breaker through a
+// full open → cooldown → recovery cycle: it drops the reference and
+// re-registers it cold, injects exactly enough registry.load failures to
+// trip the smoke server's breaker (threshold 3, one retry per attempt),
+// confirms /v1/refs reports the breaker open and load requests answer
+// 503, waits out the cooldown, and confirms the recovery probe loads the
+// reference and closes the breaker.
+func breakerExercise(ctx context.Context, client *http.Client, target string) error {
+	const ref = "chr2"
+	base := strings.TrimRight(target, "/")
+	fmt.Printf("=== breaker exercise: tripping the %s load breaker\n", ref)
+
+	do := func(method, path string) (int, error) {
+		req, err := http.NewRequestWithContext(ctx, method, base+path, nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+	type refView struct{ State, Breaker string }
+	refState := func() (refView, error) {
+		var view refView
+		resp, err := client.Get(base + "/v1/refs")
+		if err != nil {
+			return view, err
+		}
+		defer resp.Body.Close()
+		var refs server.RefsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&refs); err != nil {
+			return view, err
+		}
+		for _, r := range refs.Refs {
+			if r.Name == ref {
+				return refView{State: r.State, Breaker: r.Breaker}, nil
+			}
+		}
+		return view, fmt.Errorf("reference %q missing from /v1/refs", ref)
+	}
+
+	// The scenario left the reference resident, and loading a resident
+	// reference is a no-op — drop it and re-register it cold via a
+	// -ref-dir re-scan so load attempts really hit the loader.
+	if code, err := do(http.MethodDelete, "/v1/refs/"+ref); err != nil || code != http.StatusOK {
+		return fmt.Errorf("DELETE /v1/refs/%s: status %d err %v", ref, code, err)
+	}
+	if code, err := do(http.MethodPost, "/v1/refs/reload"); err != nil || code != http.StatusOK {
+		return fmt.Errorf("POST /v1/refs/reload: status %d err %v", code, err)
+	}
+
+	// Six injected failures = 3 load calls × (1 try + 1 retry): exactly
+	// the breaker threshold, and the rule retires before the recovery
+	// probe so the probe's load succeeds.
+	if err := faults.Enable("registry.load:error#6"); err != nil {
+		return err
+	}
+	defer faults.Disable()
+
+	opened := false
+	for i := 0; i < 6 && !opened; i++ {
+		code, err := do(http.MethodPost, "/v1/refs/"+ref+"/load")
+		if err != nil {
+			return err
+		}
+		if code != http.StatusInternalServerError && code != http.StatusServiceUnavailable {
+			return fmt.Errorf("load %d under fault: status %d, want 500 or 503", i, code)
+		}
+		view, err := refState()
+		if err != nil {
+			return err
+		}
+		opened = view.Breaker == "open"
+	}
+	if !opened {
+		return fmt.Errorf("breaker never opened after repeated load failures")
+	}
+	if code, err := do(http.MethodPost, "/v1/refs/"+ref+"/load"); err != nil || code != http.StatusServiceUnavailable {
+		return fmt.Errorf("load with breaker open: status %d err %v, want 503", code, err)
+	}
+	fmt.Println("    breaker open, load answers 503; waiting out the cooldown")
+
+	time.Sleep(700 * time.Millisecond) // cooldown 500ms + scheduling margin
+	if code, err := do(http.MethodPost, "/v1/refs/"+ref+"/load"); err != nil || code != http.StatusOK {
+		return fmt.Errorf("recovery probe load: status %d err %v, want 200", code, err)
+	}
+	view, err := refState()
+	if err != nil {
+		return err
+	}
+	if view.State != "loaded" || view.Breaker != "closed" {
+		return fmt.Errorf("after recovery: state=%q breaker=%q, want loaded/closed", view.State, view.Breaker)
+	}
+	return nil
 }
 
 func printResult(res *loadgen.ScenarioResult) {

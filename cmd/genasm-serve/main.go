@@ -7,6 +7,7 @@
 //	genasm-serve -addr :8080 -ref-index ref.gidx   # mmap a prebuilt index (genasm index build)
 //	genasm-serve -addr :8080 -ref-dir /data/refs -max-resident-bytes 8000000000
 //	genasm-serve -addr :8080 -ops-addr 127.0.0.1:8081 -log json
+//	genasm-serve -addr :8080 -request-timeout 30s -stream-idle-timeout 1m
 //
 // Endpoints:
 //
@@ -32,6 +33,12 @@
 // field/query parameter; batch traffic can be marked for early shedding
 // with "X-Genasm-Priority: batch".
 //
+// Every alignment-bearing request runs under a -request-timeout deadline
+// (answered 504 with code "timeout" when exceeded); streams that move no
+// record for -stream-idle-timeout are truncated in-band. -faults (or the
+// GENASM_FAULTS environment variable) enables the fault-injection harness
+// for chaos testing — never set it in production.
+//
 // With -ops-addr a second listener serves the private operations surface:
 // GET /metrics plus net/http/pprof under /debug/pprof/ — keep it off the
 // public network. Structured logs (request failures, stream truncations,
@@ -54,6 +61,7 @@ import (
 	"time"
 
 	"genasm"
+	"genasm/internal/faults"
 	"genasm/internal/server"
 	"genasm/seqio"
 )
@@ -89,6 +97,9 @@ type options struct {
 	errorRate   float64
 	logFormat   string
 	logLevel    string
+	reqTimeout  time.Duration
+	idleTimeout time.Duration
+	faultSpec   string
 }
 
 func parseFlags(args []string) (options, error) {
@@ -117,6 +128,10 @@ func parseFlags(args []string) (options, error) {
 	fs.StringVar(&o.refName, "ref-name", "", "reference name override for /v1/map SAM output")
 	fs.IntVar(&o.seedK, "seed-k", 0, "mapper seed length (0 = 15)")
 	fs.Float64Var(&o.errorRate, "error-rate", 0, "mapper expected error rate (0 = 0.10)")
+	fs.DurationVar(&o.reqTimeout, "request-timeout", 0, "per-request deadline for align/batch/map (0 = 60s, negative disables)")
+	fs.DurationVar(&o.idleTimeout, "stream-idle-timeout", 0, "/v1/map/stream is truncated when no record moves for this long (0 = 2m, negative disables)")
+	fs.StringVar(&o.faultSpec, "faults", os.Getenv("GENASM_FAULTS"),
+		"fault-injection spec for chaos testing (site:mode[=param][@prob][#max], comma-separated; default $GENASM_FAULTS; empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -176,17 +191,19 @@ func buildServer(o options) (*server.Server, error) {
 		return nil, err
 	}
 	cfg := server.Config{
-		Engine:           engine,
-		QueueDepth:       o.queue,
-		MaxBodyBytes:     o.maxBody,
-		MaxBatchJobs:     o.maxBatch,
-		MaxSeqLen:        o.maxSeq,
-		MaxStreamBytes:   o.maxStream,
-		MapSeedK:         o.seedK,
-		MapErrorRate:     o.errorRate,
-		RefDir:           o.refDir,
-		MaxResidentBytes: o.maxResident,
-		Logger:           logger,
+		Engine:            engine,
+		QueueDepth:        o.queue,
+		MaxBodyBytes:      o.maxBody,
+		MaxBatchJobs:      o.maxBatch,
+		MaxSeqLen:         o.maxSeq,
+		MaxStreamBytes:    o.maxStream,
+		MapSeedK:          o.seedK,
+		MapErrorRate:      o.errorRate,
+		RefDir:            o.refDir,
+		MaxResidentBytes:  o.maxResident,
+		RequestTimeout:    o.reqTimeout,
+		StreamIdleTimeout: o.idleTimeout,
+		Logger:            logger,
 	}
 	if o.refIndex != "" {
 		if o.refPath != "" {
@@ -222,6 +239,12 @@ func run(args []string) error {
 	o, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+	if o.faultSpec != "" {
+		if err := faults.Enable(o.faultSpec); err != nil {
+			return err
+		}
+		log.Printf("genasm-serve: FAULT INJECTION ACTIVE: %s", o.faultSpec)
 	}
 	s, err := buildServer(o)
 	if err != nil {

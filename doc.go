@@ -156,4 +156,19 @@
 // (X-Genasm-Priority) so bulk traffic is shed first under overload; see
 // internal/registry for the registry itself. The underlying algorithm
 // packages live in internal/ and operate on dense codes.
+//
+// The serving stack is resilient by construction. Request deadlines
+// propagate end to end — through admission, the workspace pool and into
+// the core DC loop, which polls cancellation between windows — so a
+// context that expires mid-alignment returns ctx.Err() (the server turns
+// it into a 504 "timeout" envelope) instead of burning a workspace.
+// Every pooled alignment runs inside a recover boundary: a panic in the
+// kernel surfaces as *PanicError (carrying the site and stack) rather
+// than tearing the process down, and the panicking workspace is
+// quarantined — dropped from the pool, visible as PoolStats.Quarantined —
+// so corrupted scratch state can never serve a later request. Reference
+// loads retry with backoff behind a per-reference circuit breaker, the
+// server sheds batch work first in a hysteretic degraded mode, and the
+// internal/faults harness injects errors, latency and panics at named
+// sites for chaos testing with zero cost while disabled.
 package genasm

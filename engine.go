@@ -177,6 +177,9 @@ func (e *Engine) runEncoded(ctx context.Context, encText, encQuery []byte, globa
 	if tr != nil && tr.Done != nil {
 		tr.Done(len(encText), len(encQuery), time.Since(start), err)
 	}
+	if err != nil {
+		err = convertPanicError(err)
+	}
 	return out, err
 }
 

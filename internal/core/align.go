@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"genasm/internal/cigar"
+	"genasm/internal/faults"
 )
 
 // Align aligns the encoded pattern (query/read) against the encoded text
@@ -60,6 +61,9 @@ func (w *Workspace) align(text, pattern []byte, global bool) (Alignment, error) 
 	// Drop the window-text reference when done so a pooled idle workspace
 	// does not pin the caller's (encoded) text until its next alignment.
 	defer func() { w.scanText = nil }()
+	if err := faults.Fire(faults.SiteAlignKernel); err != nil {
+		return Alignment{}, err
+	}
 	if len(pattern) == 0 {
 		return Alignment{}, fmt.Errorf("core: empty pattern")
 	}
@@ -80,6 +84,9 @@ func (w *Workspace) align(text, pattern []byte, global bool) (Alignment, error) 
 	firstWindow := true
 
 	for curPattern < len(pattern) && curText < len(text) {
+		if err := w.checkCtx(); err != nil {
+			return Alignment{}, err
+		}
 		mp := min(W, len(pattern)-curPattern)
 		nt := min(W, len(text)-curText)
 		final := mp == len(pattern)-curPattern

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -226,6 +227,10 @@ type Workspace struct {
 	cfg    Config
 	nw     int // words per bitvector row (ceil(W/64))
 	stride int // error levels per stored text position (maxK+1)
+
+	// ctx, when non-nil, is consulted once per DC window so a pathological
+	// alignment cannot wedge a worker past its deadline (see SetContext).
+	ctx context.Context
 
 	pm alphabet.PatternMasks
 

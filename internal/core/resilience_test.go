@@ -1,0 +1,54 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"genasm/internal/faults"
+)
+
+// TestAlignHonorsContext pins the per-window context check: a canceled
+// context aborts a multi-window alignment at a window boundary.
+func TestAlignHonorsContext(t *testing.T) {
+	w := MustNew(Config{})
+	text := enc(strings.Repeat("ACGTACGTTG", 40)) // several windows long
+	pattern := enc(strings.Repeat("ACGTACGTTG", 40))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w.SetContext(ctx)
+	if _, err := w.Align(text, pattern); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Align with canceled ctx = %v, want context.Canceled", err)
+	}
+
+	// Clearing the context restores normal operation on the same workspace.
+	w.SetContext(nil)
+	if _, err := w.Align(text, pattern); err != nil {
+		t.Fatalf("Align after SetContext(nil) = %v", err)
+	}
+}
+
+// TestAlignFaultSite pins the align.kernel injection point.
+func TestAlignFaultSite(t *testing.T) {
+	t.Cleanup(faults.Disable)
+	if err := faults.Enable("align.kernel:error"); err != nil {
+		t.Fatal(err)
+	}
+	w := MustNew(Config{})
+	if _, err := w.Align(enc("ACGT"), enc("ACGT")); !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("Align with injected fault = %v, want ErrInjected", err)
+	}
+	faults.Disable()
+	if _, err := w.Align(enc("ACGT"), enc("ACGT")); err != nil {
+		t.Fatalf("Align after Disable = %v", err)
+	}
+}
+
+func TestPanicErrorMessage(t *testing.T) {
+	pe := &PanicError{Site: "align", Value: "boom"}
+	if got := pe.Error(); !strings.Contains(got, "align") || !strings.Contains(got, "boom") || !strings.Contains(got, "quarantined") {
+		t.Fatalf("PanicError.Error() = %q", got)
+	}
+}

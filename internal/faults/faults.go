@@ -1,0 +1,299 @@
+// Package faults is a build-tag-free fault-injection harness for chaos
+// testing the serving stack. Injection points ("sites") are compiled into
+// production code paths but cost a single atomic pointer load when no
+// faults are enabled — zero allocations, no branches taken — so the hooks
+// can live on hot paths without violating the alloc budgets.
+//
+// A fault spec is a comma-separated list of rules:
+//
+//	site:mode[=param][@probability][#max]
+//
+// where mode is one of
+//
+//	error            return an injected error from the site
+//	latency=<dur>    sleep for <dur> (time.ParseDuration syntax)
+//	panic            panic with an InjectedPanic value
+//
+// "@probability" (0..1, default 1) makes the rule fire on a deterministic
+// evenly-spaced subset of calls rather than every call, and "#max" retires
+// the rule after it has fired max times. Examples:
+//
+//	align.kernel:error@0.02
+//	registry.load:error#6
+//	align.kernel:latency=5ms@0.1,workspace.acquire:panic@0.001
+//
+// Rules for the same site are tried in spec order; the first one that
+// fires wins. Probability gating is deterministic (a rule with @p fires on
+// every ~1/p-th eligible call), which keeps chaos CI runs reproducible.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Site names wired into the serving stack. Callers pass these to Fire.
+const (
+	// SiteRegistryLoad fires inside the registry's reference-load path,
+	// before the index file is opened.
+	SiteRegistryLoad = "registry.load"
+	// SiteIndexMmap fires inside LoadRefIndex, before the on-disk index
+	// is opened/mmapped.
+	SiteIndexMmap = "index.mmap"
+	// SiteWorkspaceAcquire fires after a pooled workspace is acquired,
+	// inside the pool's recover boundary.
+	SiteWorkspaceAcquire = "workspace.acquire"
+	// SiteAlignKernel fires at the entry of the core alignment kernel.
+	SiteAlignKernel = "align.kernel"
+)
+
+// Injected is the error returned by an "error"-mode rule. Callers can
+// detect injected failures with errors.As or errors.Is(err, ErrInjected).
+type Injected struct{ Site string }
+
+func (e *Injected) Error() string { return "faults: injected error at " + e.Site }
+
+func (e *Injected) Is(target error) bool { return target == ErrInjected }
+
+// ErrInjected matches every *Injected error via errors.Is.
+var ErrInjected = errors.New("faults: injected error")
+
+// InjectedPanic is the panic value thrown by a "panic"-mode rule. The
+// pool's recover boundary uses the Site to label the quarantine metric.
+type InjectedPanic struct{ Site string }
+
+func (p InjectedPanic) String() string { return "faults: injected panic at " + p.Site }
+
+type mode uint8
+
+const (
+	modeError mode = iota
+	modeLatency
+	modePanic
+)
+
+func (m mode) String() string {
+	switch m {
+	case modeError:
+		return "error"
+	case modeLatency:
+		return "latency"
+	case modePanic:
+		return "panic"
+	}
+	return "?"
+}
+
+type rule struct {
+	site    string
+	mode    mode
+	latency time.Duration
+	prob    float64 // (0,1]; 1 = every call
+	max     int64   // retire after this many firings; 0 = unlimited
+
+	seen  atomic.Int64 // eligible calls observed (probability clock)
+	fired atomic.Int64 // injections actually performed
+}
+
+// trigger decides whether this call fires, deterministically: with
+// probability p, firing happens on calls where floor(n*p) increments,
+// i.e. evenly spaced every ~1/p calls.
+func (r *rule) trigger() bool {
+	if r.max > 0 && r.fired.Load() >= r.max {
+		return false
+	}
+	n := r.seen.Add(1)
+	if r.prob < 1 {
+		if math.Floor(float64(n)*r.prob) <= math.Floor(float64(n-1)*r.prob) {
+			return false
+		}
+	}
+	if r.max > 0 && r.fired.Add(1) > r.max {
+		return false
+	}
+	if r.max == 0 {
+		r.fired.Add(1)
+	}
+	return true
+}
+
+// Set is a parsed, immutable fault specification.
+type Set struct {
+	rules map[string][]*rule
+	spec  string
+}
+
+var active atomic.Pointer[Set]
+
+// Fire is the injection hook. It returns nil (after a single atomic load)
+// when fault injection is disabled. When a matching error rule fires it
+// returns an *Injected error; a latency rule sleeps; a panic rule panics
+// with InjectedPanic{site}.
+func Fire(site string) error {
+	s := active.Load()
+	if s == nil {
+		return nil
+	}
+	return s.fire(site)
+}
+
+func (s *Set) fire(site string) error {
+	for _, r := range s.rules[site] {
+		if !r.trigger() {
+			continue
+		}
+		switch r.mode {
+		case modeError:
+			return &Injected{Site: site}
+		case modeLatency:
+			time.Sleep(r.latency)
+			return nil
+		case modePanic:
+			panic(InjectedPanic{Site: site})
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether any fault rules are active.
+func Enabled() bool { return active.Load() != nil }
+
+// Spec returns the currently active spec string ("" when disabled).
+func Spec() string {
+	if s := active.Load(); s != nil {
+		return s.spec
+	}
+	return ""
+}
+
+// Enable parses spec and installs it as the process-wide fault set,
+// replacing any previous set (and resetting its counters). An empty spec
+// disables injection.
+func Enable(spec string) error {
+	s, err := Parse(spec)
+	if err != nil {
+		return err
+	}
+	active.Store(s) // s is nil for an empty spec
+	return nil
+}
+
+// Disable removes all fault rules, returning Fire to its zero-cost path.
+func Disable() { active.Store(nil) }
+
+// Parse parses a fault spec without installing it. It returns (nil, nil)
+// for an empty spec.
+func Parse(spec string) (*Set, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	s := &Set{rules: map[string][]*rule{}, spec: spec}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, fmt.Errorf("faults: rule %q: %w", part, err)
+		}
+		s.rules[r.site] = append(s.rules[r.site], r)
+	}
+	if len(s.rules) == 0 {
+		return nil, nil
+	}
+	return s, nil
+}
+
+func parseRule(part string) (*rule, error) {
+	site, rest, ok := strings.Cut(part, ":")
+	if !ok || site == "" {
+		return nil, errors.New("want site:mode[=param][@prob][#max]")
+	}
+	r := &rule{site: site, prob: 1}
+	if rest, ok = cutSuffixInt(rest, "#", &r.max); !ok {
+		return nil, errors.New("bad #max")
+	}
+	if at := strings.LastIndexByte(rest, '@'); at >= 0 {
+		p, err := strconv.ParseFloat(rest[at+1:], 64)
+		if err != nil || p <= 0 || p > 1 {
+			return nil, fmt.Errorf("bad probability %q (want 0 < p <= 1)", rest[at+1:])
+		}
+		r.prob = p
+		rest = rest[:at]
+	}
+	modeName, param, hasParam := strings.Cut(rest, "=")
+	switch modeName {
+	case "error":
+		r.mode = modeError
+	case "panic":
+		r.mode = modePanic
+	case "latency":
+		if !hasParam {
+			return nil, errors.New("latency needs a duration, e.g. latency=5ms")
+		}
+		d, err := time.ParseDuration(param)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad latency %q", param)
+		}
+		r.mode = modeLatency
+		r.latency = d
+		hasParam = false
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want error, latency, panic)", modeName)
+	}
+	if hasParam {
+		return nil, fmt.Errorf("mode %s takes no parameter", modeName)
+	}
+	return r, nil
+}
+
+// cutSuffixInt strips a trailing "#<n>" if present, storing n in *out.
+func cutSuffixInt(s, sep string, out *int64) (string, bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, true
+	}
+	n, err := strconv.ParseInt(s[i+len(sep):], 10, 64)
+	if err != nil || n <= 0 {
+		return s, false
+	}
+	*out = n
+	return s[:i], true
+}
+
+// SiteCount holds injection counters for one rule of the active set.
+type SiteCount struct {
+	Site  string `json:"site"`
+	Mode  string `json:"mode"`
+	Seen  int64  `json:"seen"`
+	Fired int64  `json:"fired"`
+}
+
+// Counts reports per-rule injection counters for the active set, sorted
+// by site then spec order. It returns nil when injection is disabled.
+func Counts() []SiteCount {
+	s := active.Load()
+	if s == nil {
+		return nil
+	}
+	var out []SiteCount
+	for site, rules := range s.rules {
+		for _, r := range rules {
+			fired := r.fired.Load()
+			if r.max > 0 && fired > r.max {
+				fired = r.max
+			}
+			out = append(out, SiteCount{Site: site, Mode: r.mode.String(), Seen: r.seen.Load(), Fired: fired})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Site < out[j].Site })
+	return out
+}

@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNil(t *testing.T) {
+	Disable()
+	if err := Fire(SiteAlignKernel); err != nil {
+		t.Fatalf("Fire with no faults = %v, want nil", err)
+	}
+	if Enabled() || Spec() != "" || Counts() != nil {
+		t.Fatal("disabled set leaked state")
+	}
+}
+
+func TestErrorRule(t *testing.T) {
+	t.Cleanup(Disable)
+	if err := Enable("align.kernel:error"); err != nil {
+		t.Fatal(err)
+	}
+	err := Fire(SiteAlignKernel)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Fire = %v, want ErrInjected", err)
+	}
+	var inj *Injected
+	if !errors.As(err, &inj) || inj.Site != SiteAlignKernel {
+		t.Fatalf("Fire = %#v, want *Injected{align.kernel}", err)
+	}
+	if err := Fire("other.site"); err != nil {
+		t.Fatalf("Fire(other.site) = %v, want nil", err)
+	}
+}
+
+func TestCountLimit(t *testing.T) {
+	t.Cleanup(Disable)
+	if err := Enable("registry.load:error#3"); err != nil {
+		t.Fatal(err)
+	}
+	var fired int
+	for i := 0; i < 10; i++ {
+		if Fire(SiteRegistryLoad) != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("fired %d times, want exactly 3", fired)
+	}
+	c := Counts()
+	if len(c) != 1 || c[0].Fired != 3 {
+		t.Fatalf("Counts() = %+v, want one rule with Fired=3", c)
+	}
+}
+
+func TestProbabilityIsDeterministicAndEven(t *testing.T) {
+	t.Cleanup(Disable)
+	if err := Enable("workspace.acquire:error@0.25"); err != nil {
+		t.Fatal(err)
+	}
+	var pattern []bool
+	for i := 0; i < 16; i++ {
+		pattern = append(pattern, Fire(SiteWorkspaceAcquire) != nil)
+	}
+	var fired int
+	for _, f := range pattern {
+		if f {
+			fired++
+		}
+	}
+	if fired != 4 {
+		t.Fatalf("prob 0.25 over 16 calls fired %d times, want 4 (pattern %v)", fired, pattern)
+	}
+	// Re-enabling resets the clock: the same call sequence reproduces.
+	if err := Enable("workspace.acquire:error@0.25"); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range pattern {
+		if got := Fire(SiteWorkspaceAcquire) != nil; got != want {
+			t.Fatalf("call %d: fired=%v, want %v (non-deterministic)", i, got, want)
+		}
+	}
+}
+
+func TestLatencyRule(t *testing.T) {
+	t.Cleanup(Disable)
+	if err := Enable("index.mmap:latency=30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Fire(SiteIndexMmap); err != nil {
+		t.Fatalf("latency rule returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency rule slept %v, want >= ~30ms", d)
+	}
+}
+
+func TestPanicRule(t *testing.T) {
+	t.Cleanup(Disable)
+	if err := Enable("align.kernel:panic"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		rec := recover()
+		ip, ok := rec.(InjectedPanic)
+		if !ok || ip.Site != SiteAlignKernel {
+			t.Fatalf("recovered %#v, want InjectedPanic{align.kernel}", rec)
+		}
+	}()
+	Fire(SiteAlignKernel)
+	t.Fatal("panic rule did not panic")
+}
+
+func TestMultipleRulesFirstMatchWins(t *testing.T) {
+	t.Cleanup(Disable)
+	if err := Enable("registry.load:error#1,registry.load:latency=1ms"); err != nil {
+		t.Fatal(err)
+	}
+	if Fire(SiteRegistryLoad) == nil {
+		t.Fatal("first call should hit the error rule")
+	}
+	// Error rule exhausted; latency rule takes over (returns nil).
+	if err := Fire(SiteRegistryLoad); err != nil {
+		t.Fatalf("second call = %v, want nil (latency rule)", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"noscolon",
+		"site:banana",
+		"site:latency",
+		"site:latency=xyz",
+		"site:error@2",
+		"site:error@0",
+		"site:error#0",
+		"site:error=param",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+	if s, err := Parse("  "); err != nil || s != nil {
+		t.Errorf("Parse(blank) = %v, %v; want nil, nil", s, err)
+	}
+}

@@ -334,6 +334,27 @@ func nativeOrder() binary.ByteOrder {
 	return binary.BigEndian
 }
 
+// Sniff checks whether r begins with a plausible index-file header
+// (magic, supported version, native byte order) without decoding the
+// payload. It lets directory scanners skip foreign or corrupt files
+// cheaply before committing to a full Load.
+func Sniff(r io.Reader) error {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("%w: short header: %v", ErrFormat, err)
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return ErrFormat
+	}
+	if v := ne.Uint32(hdr[8:]); v != Version {
+		return fmt.Errorf("%w: file version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	if bom := ne.Uint32(hdr[12:]); bom != byteOrderMark {
+		return fmt.Errorf("%w: foreign byte order (mark %#x)", ErrVersion, bom)
+	}
+	return nil
+}
+
 func decode(data []byte, closer func() error, mapped bool) (*File, error) {
 	if len(data) < headerSize+trailerSize {
 		return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrCorrupt, len(data))

@@ -62,6 +62,9 @@ type endpointStats struct {
 	other4xx  uint64
 	status    map[int]uint64
 	envelope  map[string]uint64
+	// noEnvelope counts JSON error responses that were missing a
+	// parseable error envelope (contract violations under fault).
+	noEnvelope uint64
 }
 
 // collector aggregates one phase's outcomes.
@@ -80,7 +83,7 @@ func (c *collector) endpoint(path string) *endpointStats {
 	return es
 }
 
-func (c *collector) record(path string, status int, envCode string, d time.Duration, transportErr bool) {
+func (c *collector) record(path string, status int, envCode string, missingEnv bool, d time.Duration, transportErr bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	es := c.endpoint(path)
@@ -103,6 +106,9 @@ func (c *collector) record(path string, status int, envCode string, d time.Durat
 	}
 	if envCode != "" {
 		es.envelope[envCode]++
+	}
+	if missingEnv {
+		es.noEnvelope++
 	}
 }
 
@@ -282,7 +288,7 @@ func pickMix(rng *rand.Rand, mix []*mixEntry) *mixEntry {
 func (r *Runner) issue(ctx context.Context, client *http.Client, prep *prepared, col *collector) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, prep.url, bytes.NewReader(prep.body))
 	if err != nil {
-		col.record(prep.path, 0, "", 0, true)
+		col.record(prep.path, 0, "", false, 0, true)
 		return
 	}
 	for k, v := range prep.headers {
@@ -291,17 +297,18 @@ func (r *Runner) issue(ctx context.Context, client *http.Client, prep *prepared,
 	start := time.Now()
 	resp, err := client.Do(req)
 	if err != nil {
-		col.record(prep.path, 0, "", 0, true)
+		col.record(prep.path, 0, "", false, 0, true)
 		return
 	}
-	envCode := drainBody(resp, prep.slow)
-	col.record(prep.path, resp.StatusCode, envCode, time.Since(start), false)
+	envCode, missingEnv := drainBody(resp, prep.slow)
+	col.record(prep.path, resp.StatusCode, envCode, missingEnv, time.Since(start), false)
 }
 
 // drainBody consumes the response, optionally pacing reads to emulate a
 // slow client, and extracts the error-envelope code from failed JSON
-// responses.
-func drainBody(resp *http.Response, slow time.Duration) string {
+// responses. missing reports an error response that should have carried
+// an envelope but didn't parse as one.
+func drainBody(resp *http.Response, slow time.Duration) (code string, missing bool) {
 	defer resp.Body.Close()
 	wantEnvelope := resp.StatusCode >= 400 &&
 		strings.HasPrefix(resp.Header.Get("Content-Type"), "application/json")
@@ -320,7 +327,7 @@ func drainBody(resp *http.Response, slow time.Duration) string {
 		}
 	}
 	if !wantEnvelope {
-		return ""
+		return "", false
 	}
 	var env struct {
 		Error struct {
@@ -328,9 +335,9 @@ func drainBody(resp *http.Response, slow time.Duration) string {
 		} `json:"error"`
 	}
 	if json.Unmarshal(saved.Bytes(), &env) == nil && env.Error.Code != "" {
-		return env.Error.Code
+		return env.Error.Code, false
 	}
-	return ""
+	return "", true
 }
 
 // payloadVariants bounds how many distinct bodies each mix entry rotates

@@ -30,12 +30,16 @@ type EndpointResult struct {
 	// EnvelopeCodes tallies the error-envelope "code" field of failed
 	// JSON responses.
 	EnvelopeCodes map[string]uint64 `json:"envelope_codes,omitempty"`
-	MeanMs        float64           `json:"mean_ms"`
-	P50Ms         float64           `json:"p50_ms"`
-	P95Ms         float64           `json:"p95_ms"`
-	P99Ms         float64           `json:"p99_ms"`
-	P999Ms        float64           `json:"p999_ms"`
-	MaxMs         float64           `json:"max_ms"`
+	// MissingEnvelopes counts JSON error responses that lacked a parseable
+	// error envelope — contract violations the require_envelopes gate
+	// turns into failures.
+	MissingEnvelopes uint64  `json:"missing_envelopes,omitempty"`
+	MeanMs           float64 `json:"mean_ms"`
+	P50Ms            float64 `json:"p50_ms"`
+	P95Ms            float64 `json:"p95_ms"`
+	P99Ms            float64 `json:"p99_ms"`
+	P999Ms           float64 `json:"p999_ms"`
+	MaxMs            float64 `json:"max_ms"`
 }
 
 // PhaseResult is one phase's measurements.
@@ -100,6 +104,7 @@ func (sr *ScenarioResult) addPhase(p *Phase, col *collector, elapsed time.Durati
 			agg.Other4xx += es.other4xx
 			agg.StatusCounts = mergeCounts(agg.StatusCounts, statusStrings(es.status))
 			agg.EnvelopeCodes = mergeCounts(agg.EnvelopeCodes, es.envelope)
+			agg.MissingEnvelopes += es.noEnvelope
 			sr.Aggregate[path] = agg
 		}
 	}
@@ -127,13 +132,14 @@ func (sr *ScenarioResult) finishAggregate() {
 
 func endpointResult(es *endpointStats) EndpointResult {
 	r := EndpointResult{
-		Attempts:      es.attempts,
-		Completed:     es.completed,
-		Errors:        es.errors,
-		Shed:          es.shed,
-		Other4xx:      es.other4xx,
-		StatusCounts:  statusStrings(es.status),
-		EnvelopeCodes: copyCounts(es.envelope),
+		Attempts:         es.attempts,
+		Completed:        es.completed,
+		Errors:           es.errors,
+		Shed:             es.shed,
+		Other4xx:         es.other4xx,
+		StatusCounts:     statusStrings(es.status),
+		EnvelopeCodes:    copyCounts(es.envelope),
+		MissingEnvelopes: es.noEnvelope,
 	}
 	fillQuantiles(&r, &es.hist)
 	return r
@@ -205,6 +211,13 @@ func EvaluateGates(g *Gates, sr *ScenarioResult) []string {
 	}
 	if g.MaxShedRate > 0 && sr.ShedRate > g.MaxShedRate {
 		fails = append(fails, fmt.Sprintf("shed rate %.4f exceeds gate %.4f", sr.ShedRate, g.MaxShedRate))
+	}
+	if g.RequireEnvelopes {
+		for path, agg := range sr.Aggregate {
+			if agg.MissingEnvelopes > 0 {
+				fails = append(fails, fmt.Sprintf("%s: %d error responses missing the error envelope", path, agg.MissingEnvelopes))
+			}
+		}
 	}
 	sort.Strings(fails)
 	return fails

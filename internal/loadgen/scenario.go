@@ -142,6 +142,10 @@ type Gates struct {
 	// is the server working as designed — but a scenario may still
 	// bound how much of its traffic gets shed.
 	MaxShedRate float64 `json:"max_shed_rate,omitempty"`
+	// RequireEnvelopes fails the run if any JSON error response (4xx/5xx)
+	// arrived without a parseable {"error":{"code":...}} envelope. Chaos
+	// scenarios use this to assert fault paths still answer in-contract.
+	RequireEnvelopes bool `json:"require_envelopes,omitempty"`
 }
 
 // Validate checks the scenario and fills defaults in place.

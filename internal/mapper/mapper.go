@@ -8,6 +8,7 @@ package mapper
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -392,10 +393,17 @@ strands:
 			}
 			s.cur = cg // keep the (possibly grown) buffer either way
 			if err != nil {
-				// Cancellation must surface; a single over-budget
-				// candidate is not fatal and the next one is tried.
+				// Cancellation must surface; so must a quarantined panic
+				// (the pooled workspace is gone, retrying candidates on a
+				// fresh one would mask real corruption). A single
+				// over-budget candidate is not fatal and the next one is
+				// tried.
 				if ctx.Err() != nil {
 					return Mapping{}, ctx.Err()
+				}
+				var pe *core.PanicError
+				if errors.As(err, &pe) {
+					return Mapping{}, err
 				}
 				continue
 			}

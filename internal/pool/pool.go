@@ -16,10 +16,12 @@ package pool
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"genasm/internal/core"
+	"genasm/internal/faults"
 )
 
 // Config parameterizes a Pool.
@@ -66,6 +68,11 @@ type Stats struct {
 	// worst-case memory is Capacity x WorkspaceBytes. The Scrooge kernel
 	// (the default) keeps this ~3x below the baseline layout.
 	WorkspaceBytes int `json:"workspace_bytes"`
+	// Quarantined counts workspaces discarded after a recovered panic
+	// (Do's isolation boundary). Each one was replaced by a fresh
+	// workspace on a later Get, so a non-zero count does not reduce
+	// capacity — it records how often panic isolation fired.
+	Quarantined uint64 `json:"quarantined,omitempty"`
 }
 
 // shard is one free list. The padding keeps adjacent shards on separate
@@ -86,11 +93,12 @@ type Pool struct {
 	// tokens holds one token per workspace the pool may still hand out;
 	// acquiring a token on Get and releasing it on Put is what bounds the
 	// live-workspace count and blocks Get at the cap.
-	tokens chan struct{}
-	next   atomic.Uint32
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	inUse  atomic.Int64
+	tokens      chan struct{}
+	next        atomic.Uint32
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	inUse       atomic.Int64
+	quarantined atomic.Uint64
 }
 
 // New builds a Pool. The core configuration is validated eagerly (by
@@ -178,14 +186,51 @@ func (p *Pool) Put(ws *core.Workspace) {
 	p.tokens <- struct{}{}
 }
 
+// Discard releases a checked-out workspace's capacity token WITHOUT
+// returning the workspace to a free list — the workspace is abandoned to
+// the GC and a later Get's miss path builds a fresh one in its place.
+// This is the quarantine half of panic isolation: a workspace that
+// panicked mid-alignment may hold arbitrarily corrupted scratch state and
+// must never serve another request.
+func (p *Pool) Discard(ws *core.Workspace) {
+	if ws == nil {
+		return
+	}
+	p.quarantined.Add(1)
+	p.inUse.Add(-1)
+	p.tokens <- struct{}{}
+}
+
 // Do runs f with a checked-out workspace, handling Get/Put. Errors from
 // ctx cancellation (while waiting for a workspace) or from f are returned.
-func (p *Pool) Do(ctx context.Context, f func(*core.Workspace) error) error {
-	ws, err := p.GetContext(ctx)
-	if err != nil {
-		return err
+//
+// Do is also the resilience boundary for pooled work: the context is
+// installed on the workspace (so the DC loop observes deadlines between
+// windows), and a panic from f is recovered — the workspace is
+// quarantined via Discard and the panic surfaces as a *core.PanicError
+// instead of killing the process.
+func (p *Pool) Do(ctx context.Context, f func(*core.Workspace) error) (err error) {
+	ws, gerr := p.GetContext(ctx)
+	if gerr != nil {
+		return gerr
 	}
-	defer p.Put(ws)
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.Discard(ws)
+			site := "align"
+			if ip, ok := rec.(faults.InjectedPanic); ok {
+				site = ip.Site
+			}
+			err = &core.PanicError{Site: site, Value: rec, Stack: debug.Stack()}
+			return
+		}
+		ws.SetContext(nil)
+		p.Put(ws)
+	}()
+	if ferr := faults.Fire(faults.SiteWorkspaceAcquire); ferr != nil {
+		return ferr
+	}
+	ws.SetContext(ctx)
 	return f(ws)
 }
 
@@ -198,6 +243,7 @@ func (p *Pool) Stats() Stats {
 		InFlight:       int(p.inUse.Load()),
 		Capacity:       p.cfg.MaxWorkspaces,
 		WorkspaceBytes: p.wsBytes,
+		Quarantined:    p.quarantined.Load(),
 	}
 	for i := range p.shards {
 		s := &p.shards[i]

@@ -2,6 +2,7 @@ package pool
 
 import (
 	"context"
+	"errors"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -9,6 +10,7 @@ import (
 
 	"genasm/internal/alphabet"
 	"genasm/internal/core"
+	"genasm/internal/faults"
 	"genasm/internal/seq"
 )
 
@@ -215,5 +217,90 @@ func TestStress(t *testing.T) {
 	}
 	if st.Idle > 2 {
 		t.Errorf("idle=%d exceeds MaxWorkspaces=2", st.Idle)
+	}
+}
+
+// TestDoPanicQuarantine pins the panic-isolation boundary: a panic inside
+// Do is recovered as a *core.PanicError, the workspace is quarantined
+// (never re-listed), and the capacity token is released so the pool keeps
+// serving at full capacity afterwards.
+func TestDoPanicQuarantine(t *testing.T) {
+	p, err := New(Config{MaxWorkspaces: 2, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Do(context.Background(), func(ws *core.Workspace) error {
+		panic("kernel corrupted")
+	})
+	var pe *core.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Do after panic = %v (%T), want *core.PanicError", err, err)
+	}
+	if pe.Site != "align" || pe.Value != "kernel corrupted" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = {Site:%q Value:%v Stack:%d bytes}", pe.Site, pe.Value, len(pe.Stack))
+	}
+	st := p.Stats()
+	if st.Quarantined != 1 || st.InFlight != 0 {
+		t.Fatalf("Stats after quarantine = %+v, want Quarantined=1 InFlight=0", st)
+	}
+	// Full capacity still available: check out both workspaces at once.
+	ws1 := p.Get()
+	ws2 := p.Get()
+	if ws1 == nil || ws2 == nil || ws1 == ws2 {
+		t.Fatal("pool lost capacity after quarantine")
+	}
+	// And they still align.
+	if _, err := ws1.Align(alphabet.DNA.MustEncode([]byte("ACGTACGT")), alphabet.DNA.MustEncode([]byte("ACGT"))); err != nil {
+		t.Fatalf("align on post-quarantine workspace: %v", err)
+	}
+	p.Put(ws1)
+	p.Put(ws2)
+}
+
+// TestDoInjectedPanicSite pins that an injected panic carries its fault
+// site name into the PanicError.
+func TestDoInjectedPanicSite(t *testing.T) {
+	t.Cleanup(faults.Disable)
+	if err := faults.Enable("workspace.acquire:panic#1"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{MaxWorkspaces: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derr := p.Do(context.Background(), func(ws *core.Workspace) error { return nil })
+	var pe *core.PanicError
+	if !errors.As(derr, &pe) || pe.Site != "workspace.acquire" {
+		t.Fatalf("Do = %v, want PanicError at workspace.acquire", derr)
+	}
+	// Rule exhausted (#1): the pool works again.
+	if err := p.Do(context.Background(), func(ws *core.Workspace) error { return nil }); err != nil {
+		t.Fatalf("Do after exhausted fault = %v", err)
+	}
+}
+
+// TestDoClearsContext pins that Do installs the context for the duration
+// of f and clears it before the workspace is re-listed.
+func TestDoClearsContext(t *testing.T) {
+	p, err := New(Config{MaxWorkspaces: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	text := alphabet.DNA.MustEncode([]byte("ACGTACGT"))
+	err = p.Do(ctx, func(ws *core.Workspace) error {
+		cancel()
+		_, aerr := ws.Align(text, text)
+		return aerr
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do with mid-flight cancel = %v, want context.Canceled", err)
+	}
+	// The same (sole) workspace must have a cleared context now.
+	if err := p.Do(context.Background(), func(ws *core.Workspace) error {
+		_, aerr := ws.Align(text, text)
+		return aerr
+	}); err != nil {
+		t.Fatalf("Do after cancel = %v (stale workspace context?)", err)
 	}
 }

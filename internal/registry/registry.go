@@ -19,13 +19,17 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"genasm"
+	"genasm/internal/faults"
+	"genasm/internal/indexfile"
 )
 
 // ErrUnknownRef reports a reference name that is not registered. Servers
@@ -38,6 +42,13 @@ var ErrClosed = errors.New("registry: closed")
 // ErrNotEvictable reports an Evict of a static (in-memory) entry, which has
 // no file to reload from and therefore can only be Removed.
 var ErrNotEvictable = errors.New("registry: static reference is not evictable")
+
+// ErrBreakerOpen reports a load rejected by an open per-reference circuit
+// breaker: the reference failed to load BreakerThreshold times in a row
+// and the cooldown has not elapsed, so the registry fails fast instead of
+// hammering the disk (or stalling the single-flight path) again. Servers
+// map it to 503.
+var ErrBreakerOpen = errors.New("registry: reference load circuit breaker open")
 
 // Config parameterizes a Registry.
 type Config struct {
@@ -56,6 +67,30 @@ type Config struct {
 	// are called outside the registry lock and may be nil.
 	OnLoad  func(name string, st genasm.IndexStats)
 	OnEvict func(name string, st genasm.IndexStats)
+	// OnLoadError observes every failed load attempt (including retried
+	// ones) and every corrupt file skipped by Reload, for metrics. Called
+	// outside the registry lock; may be nil.
+	OnLoadError func(name string, err error)
+	// LoadRetries is how many extra attempts a failed reference load gets
+	// (transient I/O, ErrCorrupt, mmap errors) before the failure is
+	// reported, with jittered exponential backoff between attempts.
+	// Default 2; negative disables retries.
+	LoadRetries int
+	// LoadBackoff is the base delay of the retry backoff; attempt n waits
+	// about LoadBackoff<<(n-1), jittered ±50%. Default 50ms.
+	LoadBackoff time.Duration
+	// BreakerThreshold is the number of consecutive failed Load calls
+	// (each already retried per LoadRetries) that opens a reference's
+	// circuit breaker. While open, Acquire and Load fail fast with
+	// ErrBreakerOpen; after BreakerCooldown a single half-open probe load
+	// is allowed, closing the breaker on success and re-opening it on
+	// failure. Default 3; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects loads before
+	// permitting the half-open probe. Default 10s.
+	BreakerCooldown time.Duration
+	// now is the breaker clock; injectable for tests. Defaults to time.Now.
+	now func() time.Time
 }
 
 // resident is one loaded index with its mapper. It stays alive — pinned by
@@ -78,6 +113,19 @@ type entry struct {
 	loading chan struct{} // non-nil while a load is in flight
 	lastErr error
 	lastUse int64 // registry LRU clock tick of the last Acquire
+
+	// gen is bumped whenever the entry is retired (Evict, replacement,
+	// budget eviction). A cold load captures gen before releasing the
+	// lock; a mismatch on completion means the load raced a retirement
+	// and its fresh resident must be dropped, not installed — otherwise
+	// the retired entry would resurrect with leaked resident-bytes
+	// accounting (the load-after-retire race).
+	gen uint64
+
+	// Circuit-breaker state: consecutive failed loads and, once the
+	// threshold is reached, the end of the open window.
+	fails     int
+	openUntil time.Time
 }
 
 // State labels an entry's lifecycle for List.
@@ -91,15 +139,24 @@ const (
 	StateError   State = "error"
 )
 
+// Breaker states reported in RefInfo.Breaker for file-backed entries.
+const (
+	BreakerClosed   = "closed"
+	BreakerOpen     = "open"
+	BreakerHalfOpen = "half-open"
+)
+
 // RefInfo is one List/Get row.
 type RefInfo struct {
-	Name   string
-	Path   string // "" for static entries
-	Static bool
-	State  State
-	Pins   int
-	Stats  genasm.IndexStats // zero unless loaded
-	Err    string            // last load error, "" when none
+	Name    string
+	Path    string // "" for static entries
+	Static  bool
+	State   State
+	Pins    int
+	Stats   genasm.IndexStats // zero unless loaded
+	Err     string            // last load error, "" when none
+	Breaker string            // closed|open|half-open; "" for static entries or a disabled breaker
+	Fails   int               // consecutive failed loads feeding the breaker
 }
 
 // Stats snapshots registry-wide counters.
@@ -113,6 +170,9 @@ type Stats struct {
 	Evictions        int64 `json:"evictions"`
 	Hits             int64 `json:"hits"`
 	Misses           int64 `json:"misses"`
+	// BreakerOpen is the number of references whose load breaker is
+	// currently open (cooldown not yet elapsed).
+	BreakerOpen int `json:"breaker_open,omitempty"`
 }
 
 // Registry is a concurrency-safe set of named references. The zero value is
@@ -139,6 +199,27 @@ func New(cfg Config) (*Registry, error) {
 	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	switch {
+	case cfg.LoadRetries == 0:
+		cfg.LoadRetries = 2
+	case cfg.LoadRetries < 0:
+		cfg.LoadRetries = 0
+	}
+	if cfg.LoadBackoff <= 0 {
+		cfg.LoadBackoff = 50 * time.Millisecond
+	}
+	switch {
+	case cfg.BreakerThreshold == 0:
+		cfg.BreakerThreshold = 3
+	case cfg.BreakerThreshold < 0:
+		cfg.BreakerThreshold = 0
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 10 * time.Second
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
 	}
 	return &Registry{cfg: cfg, entries: make(map[string]*entry)}, nil
 }
@@ -248,9 +329,21 @@ func (r *Registry) Acquire(name string) (*Handle, error) {
 			r.mu.Unlock()
 			return nil, fmt.Errorf("%w: %q", ErrUnknownRef, name)
 		}
-		// Cold file-backed entry: this goroutine performs the load.
+		// Cold file-backed entry: consult the breaker, then this goroutine
+		// performs the load (single-flight via e.loading).
+		if th := r.cfg.BreakerThreshold; th > 0 && e.fails >= th {
+			if now := r.cfg.now(); now.Before(e.openUntil) {
+				err := fmt.Errorf("%w: %q (%d consecutive failures, next probe in %s)",
+					ErrBreakerOpen, name, e.fails, e.openUntil.Sub(now).Round(time.Millisecond))
+				r.mu.Unlock()
+				return nil, err
+			}
+			// Cooldown elapsed: half-open. This goroutine is the single
+			// probe; concurrent acquirers queue on e.loading as usual.
+		}
 		ch := make(chan struct{})
 		e.loading = ch
+		gen := e.gen
 		r.misses++
 		r.mu.Unlock()
 
@@ -259,13 +352,40 @@ func (r *Registry) Acquire(name string) (*Handle, error) {
 		r.mu.Lock()
 		e.loading = nil
 		close(ch)
+		if cur, closed := r.entries[name], r.closed; closed || cur != e || e.gen != gen {
+			// The entry was removed, replaced, or evicted while the load
+			// ran (load-after-retire): installing the fresh resident would
+			// resurrect a retired entry and leak its resident-bytes
+			// accounting. Drop it and re-inspect from the top.
+			r.mu.Unlock()
+			if res != nil {
+				runClose(r.cfg.Logger, name, res.ri.Close)
+			}
+			if closed {
+				return nil, ErrClosed
+			}
+			continue
+		}
 		if err != nil {
 			e.lastErr = err
 			r.loadErrors++
+			e.fails++
+			var opened bool
+			if th := r.cfg.BreakerThreshold; th > 0 && e.fails >= th {
+				e.openUntil = r.cfg.now().Add(r.cfg.BreakerCooldown)
+				opened = true
+			}
+			fails := e.fails
 			r.mu.Unlock()
+			if opened {
+				r.cfg.Logger.Warn("reference load breaker open", "ref", name,
+					"fails", fails, "cooldown", r.cfg.BreakerCooldown, "err", err)
+			}
 			return nil, err
 		}
 		e.lastErr = nil
+		e.fails = 0
+		e.openUntil = time.Time{}
 		e.res = res
 		e.lastUse = r.tickLocked()
 		r.resident += res.bytes
@@ -287,8 +407,34 @@ func (r *Registry) Acquire(name string) (*Handle, error) {
 	}
 }
 
-// load opens and prepares one file-backed reference, outside the lock.
+// load opens and prepares one file-backed reference, outside the lock,
+// retrying transient failures with jittered exponential backoff.
 func (r *Registry) load(name, path string) (*resident, error) {
+	var err error
+	for attempt := 0; attempt <= r.cfg.LoadRetries; attempt++ {
+		if attempt > 0 {
+			d := r.cfg.LoadBackoff << (attempt - 1)
+			d = d/2 + time.Duration(rand.Int64N(int64(d))) // jitter: [0.5d, 1.5d)
+			r.cfg.Logger.Warn("reference load retrying", "ref", name,
+				"attempt", attempt, "backoff", d, "err", err)
+			time.Sleep(d)
+		}
+		var res *resident
+		if res, err = r.loadOnce(name, path); err == nil {
+			return res, nil
+		}
+		if r.cfg.OnLoadError != nil {
+			r.cfg.OnLoadError(name, err)
+		}
+	}
+	return nil, err
+}
+
+// loadOnce is a single load attempt.
+func (r *Registry) loadOnce(name, path string) (*resident, error) {
+	if err := faults.Fire(faults.SiteRegistryLoad); err != nil {
+		return nil, fmt.Errorf("registry: load %q: %w", name, err)
+	}
 	ri, err := r.cfg.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("registry: load %q: %w", name, err)
@@ -355,6 +501,10 @@ func (r *Registry) Remove(name string) error {
 // mapping (a pinned resident closes later, at the last Release). Returns
 // nil when there was nothing resident to retire.
 func (r *Registry) retireLocked(e *entry) func() error {
+	// Invalidate any in-flight cold load for this entry: when the load
+	// completes it will see the generation mismatch and drop its resident
+	// instead of installing it over this retirement.
+	e.gen++
 	res := e.res
 	if res == nil || res.retired {
 		return nil
@@ -430,8 +580,24 @@ func (r *Registry) Get(name string) (RefInfo, bool) {
 	return r.infoLocked(e), true
 }
 
+// breakerLocked reports e's circuit-breaker state ("" when the entry is
+// static or the breaker is disabled).
+func (r *Registry) breakerLocked(e *entry) string {
+	if e.path == "" || r.cfg.BreakerThreshold <= 0 {
+		return ""
+	}
+	if e.fails < r.cfg.BreakerThreshold {
+		return BreakerClosed
+	}
+	if r.cfg.now().Before(e.openUntil) {
+		return BreakerOpen
+	}
+	return BreakerHalfOpen
+}
+
 func (r *Registry) infoLocked(e *entry) RefInfo {
-	info := RefInfo{Name: e.name, Path: e.path, Static: e.path == ""}
+	info := RefInfo{Name: e.name, Path: e.path, Static: e.path == "",
+		Breaker: r.breakerLocked(e), Fails: e.fails}
 	switch {
 	case e.res != nil && !e.res.retired:
 		info.State = StateLoaded
@@ -492,6 +658,9 @@ func (r *Registry) Stats() Stats {
 		if e.res != nil && !e.res.retired {
 			s.Loaded++
 		}
+		if r.breakerLocked(e) == BreakerOpen {
+			s.BreakerOpen++
+		}
 	}
 	return s
 }
@@ -510,7 +679,9 @@ func (r *Registry) Reload(dir string) (added, removed []string, err error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("registry: reload: %w", err)
 	}
-	want := make(map[string]string) // name -> path
+	want := make(map[string]string)   // name -> path (valid candidates)
+	skipped := make(map[string]error) // name -> sniff error (unreadable/corrupt files)
+	skippedPath := make(map[string]string /* name -> path */)
 	for _, de := range des {
 		if de.IsDir() {
 			continue
@@ -527,7 +698,16 @@ func (r *Registry) Reload(dir string) (added, removed []string, err error) {
 			continue
 		}
 		name := strings.TrimSuffix(de.Name(), ext)
-		want[name] = filepath.Join(dir, de.Name())
+		path := filepath.Join(dir, de.Name())
+		// Unreadable or corrupt index files are skipped (and logged and
+		// counted below), not registered — one bad file must not fail the
+		// whole re-scan or poison a name until its breaker trips.
+		if err := sniffIndexFile(path); err != nil {
+			skipped[name] = err
+			skippedPath[name] = path
+			continue
+		}
+		want[name] = path
 	}
 
 	r.mu.Lock()
@@ -535,12 +715,19 @@ func (r *Registry) Reload(dir string) (added, removed []string, err error) {
 		r.mu.Unlock()
 		return nil, nil, ErrClosed
 	}
+	r.loadErrors += int64(len(skipped))
 	var closers []func() error
 	for name, e := range r.entries {
 		if e.path == "" {
 			continue // static entries are not managed by the directory
 		}
 		if _, ok := want[name]; !ok {
+			if _, bad := skipped[name]; bad {
+				// The file is still present, just unreadable right now
+				// (e.g. mid-rewrite): keep the entry — and any loaded
+				// resident — rather than evicting over a transient.
+				continue
+			}
 			if c := r.retireLocked(e); c != nil {
 				closers = append(closers, c)
 			}
@@ -563,6 +750,14 @@ func (r *Registry) Reload(dir string) (added, removed []string, err error) {
 	}
 	r.mu.Unlock()
 
+	for name, serr := range skipped {
+		r.cfg.Logger.Warn("reload skipping unreadable index file",
+			"ref", name, "path", skippedPath[name], "err", serr)
+		if r.cfg.OnLoadError != nil {
+			r.cfg.OnLoadError(name, serr)
+		}
+	}
+
 	for _, c := range closers {
 		runClose(r.cfg.Logger, "", c)
 	}
@@ -570,6 +765,17 @@ func (r *Registry) Reload(dir string) (added, removed []string, err error) {
 	sort.Strings(removed)
 	r.cfg.Logger.Info("registry reloaded", "dir", dir, "added", added, "removed", removed)
 	return added, removed, nil
+}
+
+// sniffIndexFile cheaply checks that path starts with a plausible index
+// header, without decoding the payload.
+func sniffIndexFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return indexfile.Sniff(f)
 }
 
 // Close retires every entry and closes unpinned residents; pinned ones

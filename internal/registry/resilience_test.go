@@ -1,0 +1,301 @@
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"genasm"
+)
+
+// TestLoadRetriesWithBackoff pins the retry loop: a load that fails
+// transiently succeeds within one Load call, and every failed attempt is
+// reported through OnLoadError.
+func TestLoadRetriesWithBackoff(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	path := writeIndex(t, e, dir, "chrA")
+	var opens, attemptErrs atomic.Int64
+	r := newTestRegistry(t, e, Config{
+		LoadRetries: 2,
+		LoadBackoff: time.Millisecond,
+		Open: func(p string) (*genasm.RefIndex, error) {
+			if opens.Add(1) <= 2 {
+				return nil, errors.New("transient io error")
+			}
+			return genasm.LoadRefIndex(p)
+		},
+		OnLoadError: func(name string, err error) { attemptErrs.Add(1) },
+	})
+	if err := r.AddFile("chrA", path); err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Acquire("chrA")
+	if err != nil {
+		t.Fatalf("Acquire with 2 transient failures = %v, want success on 3rd attempt", err)
+	}
+	h.Release()
+	if got := opens.Load(); got != 3 {
+		t.Errorf("Open called %d times, want 3", got)
+	}
+	if got := attemptErrs.Load(); got != 2 {
+		t.Errorf("OnLoadError called %d times, want 2", got)
+	}
+	if st := r.Stats(); st.LoadErrors != 0 || st.Loads != 1 {
+		t.Errorf("stats = %+v, want LoadErrors=0 Loads=1 (retries absorbed the failures)", st)
+	}
+	if info, _ := r.Get("chrA"); info.Breaker != BreakerClosed || info.Fails != 0 {
+		t.Errorf("breaker after recovered load = %q/%d, want closed/0", info.Breaker, info.Fails)
+	}
+}
+
+// TestBreakerOpensHalfOpensCloses pins the full breaker lifecycle with an
+// injected clock: threshold failures open it, loads fail fast while open,
+// the cooldown admits a half-open probe, and a successful probe closes it.
+func TestBreakerOpensHalfOpensCloses(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	path := writeIndex(t, e, dir, "chrA")
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	var fail atomic.Bool
+	var opens atomic.Int64
+	fail.Store(true)
+	r := newTestRegistry(t, e, Config{
+		LoadRetries:      -1, // one attempt per Load, so fails count = Load calls
+		BreakerThreshold: 3,
+		BreakerCooldown:  10 * time.Second,
+		now:              clock,
+		Open: func(p string) (*genasm.RefIndex, error) {
+			opens.Add(1)
+			if fail.Load() {
+				return nil, errors.New("mmap failed")
+			}
+			return genasm.LoadRefIndex(p)
+		},
+	})
+	if err := r.AddFile("chrA", path); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := r.Load("chrA"); err == nil || errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("Load #%d = %v, want plain load error", i, err)
+		}
+	}
+	if info, _ := r.Get("chrA"); info.Breaker != BreakerOpen || info.Fails != 3 {
+		t.Fatalf("after 3 failures: breaker=%q fails=%d, want open/3", info.Breaker, info.Fails)
+	}
+	if st := r.Stats(); st.BreakerOpen != 1 {
+		t.Errorf("Stats.BreakerOpen = %d, want 1", st.BreakerOpen)
+	}
+
+	// Open: loads fail fast without touching Open.
+	before := opens.Load()
+	if err := r.Load("chrA"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("Load while open = %v, want ErrBreakerOpen", err)
+	}
+	if opens.Load() != before {
+		t.Fatal("open breaker still called Open")
+	}
+
+	// Cooldown elapses: half-open. A failed probe re-opens.
+	advance(11 * time.Second)
+	if info, _ := r.Get("chrA"); info.Breaker != BreakerHalfOpen {
+		t.Fatalf("after cooldown: breaker=%q, want half-open", info.Breaker)
+	}
+	if err := r.Load("chrA"); err == nil || errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("half-open probe = %v, want plain load error", err)
+	}
+	if info, _ := r.Get("chrA"); info.Breaker != BreakerOpen || info.Fails != 4 {
+		t.Fatalf("after failed probe: breaker=%q fails=%d, want open/4", info.Breaker, info.Fails)
+	}
+
+	// Second cooldown, healthy file: the probe closes the breaker.
+	advance(11 * time.Second)
+	fail.Store(false)
+	if err := r.Load("chrA"); err != nil {
+		t.Fatalf("half-open probe with healthy file = %v", err)
+	}
+	info, _ := r.Get("chrA")
+	if info.Breaker != BreakerClosed || info.Fails != 0 || info.State != StateLoaded {
+		t.Fatalf("after recovery: %+v, want closed/0/loaded", info)
+	}
+}
+
+// TestReloadSkipsCorruptFiles pins the skip-and-log satellite: a corrupt
+// index file in the directory is skipped (and counted via OnLoadError and
+// Stats.LoadErrors) without failing the scan or touching valid files.
+func TestReloadSkipsCorruptFiles(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	writeIndex(t, e, dir, "chrA")
+	if err := os.WriteFile(filepath.Join(dir, "broken.gasmidx"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var skippedName atomic.Value
+	r := newTestRegistry(t, e, Config{
+		OnLoadError: func(name string, err error) { skippedName.Store(name) },
+	})
+	added, removed, err := r.Reload(dir)
+	if err != nil {
+		t.Fatalf("Reload with corrupt file = %v, want success", err)
+	}
+	if len(added) != 1 || added[0] != "chrA" || len(removed) != 0 {
+		t.Fatalf("Reload = added %v removed %v, want [chrA] []", added, removed)
+	}
+	if _, ok := r.Get("broken"); ok {
+		t.Fatal("corrupt file was registered")
+	}
+	if got, _ := skippedName.Load().(string); got != "broken" {
+		t.Errorf("OnLoadError name = %q, want broken", got)
+	}
+	if st := r.Stats(); st.LoadErrors != 1 {
+		t.Errorf("Stats.LoadErrors = %d, want 1", st.LoadErrors)
+	}
+
+	// A loaded entry whose file turns unreadable in place survives the
+	// next reload (not removed, not evicted).
+	if err := r.Load("chrA"); err != nil {
+		t.Fatal(err)
+	}
+	pathA := filepath.Join(dir, "chrA.gasmidx")
+	if err := os.WriteFile(pathA, []byte("mid-rewrite"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, removed, err = r.Reload(dir); err != nil || len(removed) != 0 {
+		t.Fatalf("Reload over corrupted-in-place file = removed %v, err %v", removed, err)
+	}
+	if info, _ := r.Get("chrA"); info.State != StateLoaded {
+		t.Errorf("chrA state after in-place corruption reload = %q, want still loaded", info.State)
+	}
+}
+
+// TestLoadAfterRetireRace pins the fix for the /v1/refs/{name}/load vs
+// evict race: concurrent Load, Evict, Remove and re-Add traffic must never
+// resurrect a retired resident — at quiescence the resident-bytes
+// accounting must match exactly what is actually loaded. Run with -race.
+func TestLoadAfterRetireRace(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	path := writeIndex(t, e, dir, "chrR")
+	r := newTestRegistry(t, e, Config{LoadRetries: -1, BreakerThreshold: -1})
+	if err := r.AddFile("chrR", path); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	worker := func(f func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					f()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		worker(func() { _ = r.Load("chrR") })
+	}
+	worker(func() { _ = r.Evict("chrR") })
+	worker(func() {
+		_ = r.Remove("chrR")
+		_ = r.AddFile("chrR", path)
+	})
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Quiesce: remove the entry; all retirements drain synchronously
+	// because nothing is pinned.
+	_ = r.Remove("chrR")
+	if st := r.Stats(); st.ResidentBytes != 0 || st.Loaded != 0 {
+		t.Fatalf("after quiescence: %+v, want ResidentBytes=0 Loaded=0 (leaked resident)", st)
+	}
+}
+
+// TestEvictDuringLoadDropsFreshResident deterministically drives the
+// load-after-retire interleaving: Evict lands while the load is in
+// flight, so the finished load must drop its resident and retry.
+func TestEvictDuringLoadDropsFreshResident(t *testing.T) {
+	e := testEngine(t)
+	dir := t.TempDir()
+	path := writeIndex(t, e, dir, "chrA")
+	inLoad := make(chan struct{})
+	release := make(chan struct{})
+	var loads atomic.Int64
+	r := newTestRegistry(t, e, Config{
+		LoadRetries: -1,
+		Open: func(p string) (*genasm.RefIndex, error) {
+			if loads.Add(1) == 1 {
+				close(inLoad)
+				<-release
+			}
+			return genasm.LoadRefIndex(p)
+		},
+	})
+	if err := r.AddFile("chrA", path); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Load("chrA") }()
+	<-inLoad
+	if err := r.Evict("chrA"); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Load racing Evict = %v, want success via retry", err)
+	}
+	if got := loads.Load(); got != 2 {
+		t.Errorf("Open called %d times, want 2 (dropped first load, retried)", got)
+	}
+	st := r.Stats()
+	if st.Loaded != 1 {
+		t.Fatalf("Stats = %+v, want exactly one loaded resident", st)
+	}
+	// The accounting balances: removing the entry returns resident to 0.
+	if err := r.Remove("chrA"); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.ResidentBytes != 0 {
+		t.Fatalf("ResidentBytes after Remove = %d, want 0 (first load leaked)", st.ResidentBytes)
+	}
+}
+
+// TestBreakerOpenError sanity-checks the error text servers surface.
+func TestBreakerOpenError(t *testing.T) {
+	e := testEngine(t)
+	r := newTestRegistry(t, e, Config{
+		LoadRetries:      -1,
+		BreakerThreshold: 1,
+		Open: func(p string) (*genasm.RefIndex, error) {
+			return nil, errors.New("boom")
+		},
+	})
+	if err := r.AddFile("x", "/nonexistent/x.gasmidx"); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.Load("x")
+	err := r.Load("x")
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second Load = %v, want ErrBreakerOpen", err)
+	}
+	if msg := fmt.Sprint(err); msg == "" {
+		t.Fatal("empty breaker error")
+	}
+}

@@ -6,11 +6,13 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
 
 	"genasm"
+	"genasm/internal/faults"
 	"genasm/internal/metrics"
 	"genasm/internal/registry"
 )
@@ -66,6 +68,12 @@ type serverMetrics struct {
 	indexInfo    *metrics.GaugeVec // genasm_index_info{ref,backend,source}
 	refLoads     *metrics.Counter
 	refEvictions *metrics.Counter
+
+	// Resilience: recovered panics by site, failed reference load
+	// attempts, and degraded-mode entries.
+	panics          *metrics.CounterVec // genasm_panics_total{site}
+	refLoadErrors   *metrics.Counter
+	degradedEntered *metrics.Counter
 }
 
 // stageBuckets suit sub-millisecond pipeline stages better than the
@@ -89,7 +97,7 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"HTTP request latency in seconds, by endpoint and status code.",
 			nil, "endpoint", "status"),
 		errors: r.CounterVec("genasm_http_errors_total",
-			"Request failures, by kind (bad_request, too_large, overload, input, internal, canceled, stream_truncated, not_found, ref_load).",
+			"Request failures, by kind (bad_request, too_large, overload, input, internal, canceled, timeout, panic, stream_truncated, not_found, ref_load).",
 			"kind"),
 		bytesIn:  r.Counter("genasm_http_request_bytes_total", "Request body bytes read."),
 		bytesOut: r.Counter("genasm_http_response_bytes_total", "Response body bytes written."),
@@ -150,6 +158,13 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Reference indexes loaded (or registered) into the registry."),
 		refEvictions: r.Counter("genasm_ref_evictions_total",
 			"Reference indexes evicted or removed from the registry."),
+		panics: r.CounterVec("genasm_panics_total",
+			"Panics recovered at an isolation boundary, by site (align, handler, or a fault-injection site). Each pooled-path panic quarantines its workspace.",
+			"site"),
+		refLoadErrors: r.Counter("genasm_ref_load_errors_total",
+			"Failed reference load attempts (each retry counts) plus index files skipped as corrupt during reload."),
+		degradedEntered: r.Counter("genasm_degraded_entered_total",
+			"Times the server entered degraded mode (batch work shed)."),
 	}
 
 	r.GaugeFunc("genasm_queue_used", "Admission slots currently held.",
@@ -190,7 +205,35 @@ func newServerMetrics(s *Server) *serverMetrics {
 		refStat(func(st registry.Stats) float64 { return float64(st.ResidentBytes) }))
 	r.GaugeFunc("genasm_refs_max_resident_bytes", "Configured resident-bytes budget (0 = unbounded).",
 		refStat(func(st registry.Stats) float64 { return float64(st.MaxResidentBytes) }))
+	r.GaugeFunc("genasm_refs_breaker_open", "References whose load circuit breaker is currently open.",
+		refStat(func(st registry.Stats) float64 { return float64(st.BreakerOpen) }))
+	r.GaugeFunc("genasm_degraded", "1 while the server is in degraded mode (batch work shed), else 0.",
+		func() float64 {
+			if active, _ := s.degrade.state(); active {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("genasm_faults_active", "1 while a fault-injection spec is active (chaos testing), else 0.",
+		func() float64 {
+			if faults.Enabled() {
+				return 1
+			}
+			return 0
+		})
 	return m
+}
+
+// recordPanic counts and logs a panic recovered at an isolation boundary:
+// the one place panics become observable (metric by site, error log with
+// the stack and request ID).
+func (m *serverMetrics) recordPanic(ctx context.Context, logger *slog.Logger, pe *genasm.PanicError) {
+	m.panics.With(pe.Site).Inc()
+	logger.LogAttrs(ctx, slog.LevelError, "panic recovered; workspace quarantined",
+		slog.String("rid", requestID(ctx)),
+		slog.String("site", pe.Site),
+		slog.String("value", fmt.Sprint(pe.Value)),
+		slog.String("stack", string(pe.Stack)))
 }
 
 // refLoaded exports a reference that became resident: per-name size and
@@ -420,7 +463,30 @@ func (s *Server) instrument(h http.Handler) http.Handler {
 		rec := &statusRecorder{ResponseWriter: w}
 		s.m.inFlight.Inc()
 		start := time.Now()
-		h.ServeHTTP(rec, r)
+		func() {
+			// Last-resort isolation: a panic that escapes a handler (the
+			// pooled paths recover their own) must not kill the process or
+			// leave the connection without an envelope.
+			defer func() {
+				if rv := recover(); rv != nil {
+					if rv == http.ErrAbortHandler {
+						panic(rv)
+					}
+					s.m.panics.With("handler").Inc()
+					s.logger.LogAttrs(r.Context(), slog.LevelError, "handler panic recovered",
+						slog.String("rid", id),
+						slog.String("path", r.URL.Path),
+						slog.String("value", fmt.Sprint(rv)),
+						slog.String("stack", string(debug.Stack())))
+					if rec.status == 0 {
+						s.m.errors.With("internal").Inc()
+						writeError(rec, http.StatusInternalServerError, "internal",
+							"internal server error (panic recovered)", id)
+					}
+				}
+			}()
+			h.ServeHTTP(rec, r)
+		}()
 		d := time.Since(start)
 		s.m.inFlight.Dec()
 

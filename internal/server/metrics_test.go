@@ -203,7 +203,7 @@ func TestHealthzDegraded(t *testing.T) {
 	srv.slots <- struct{}{}
 	srv.slots <- struct{}{}
 	if code, status, reason := get(); code != http.StatusServiceUnavailable ||
-		status != "degraded" || reason != "admission queue saturated" {
+		status != "degraded" || reason != "queue_saturated" {
 		t.Fatalf("saturated healthz = %d %q %q, want 503 degraded", code, status, reason)
 	}
 	<-srv.slots
@@ -214,7 +214,7 @@ func TestHealthzDegraded(t *testing.T) {
 
 	srv.closing.Store(true)
 	if code, status, reason := get(); code != http.StatusServiceUnavailable ||
-		status != "degraded" || reason != "shutting down" {
+		status != "degraded" || reason != "shutting_down" {
 		t.Fatalf("closing healthz = %d %q %q, want 503 degraded", code, status, reason)
 	}
 }

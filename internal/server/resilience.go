@@ -1,0 +1,158 @@
+package server
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file holds the server's resilience plumbing: per-request deadlines,
+// the hysteretic degraded-mode state machine, and the drain-rate estimator
+// behind the adaptive 429 Retry-After hint.
+
+// requestContext derives the context alignment work runs under: the
+// request's own context bounded by Config.RequestTimeout when one is
+// configured. The core DC loop checks this context between windows, so
+// the deadline propagates all the way into the kernel.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+// degrader is the hysteretic degraded-mode state machine. A raw condition
+// (queue saturation, resident-bytes pressure) must hold for enterAfter
+// before the server degrades, and must stay clear for exitAfter before it
+// recovers — so a flapping queue cannot flap the health state or the
+// batch-shedding decision.
+type degrader struct {
+	enterAfter time.Duration
+	exitAfter  time.Duration
+
+	mu sync.Mutex
+	// active and reason are the effective state; reason keeps the cause
+	// that tripped the degrade (machine-readable) while active.
+	active bool
+	reason string
+	// condSince marks when the current uninterrupted raw condition began;
+	// clearSince when conditions last became clear while degraded.
+	condSince  time.Time
+	clearSince time.Time
+}
+
+// observe feeds the current raw condition ("" = healthy) into the state
+// machine and returns the effective state plus whether it just changed.
+func (d *degrader) observe(now time.Time, reason string) (active bool, cause string, changed bool) {
+	if d.enterAfter <= 0 {
+		return false, "", false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if reason != "" {
+		d.clearSince = time.Time{}
+		if d.condSince.IsZero() {
+			d.condSince = now
+		}
+		if !d.active && now.Sub(d.condSince) >= d.enterAfter {
+			d.active, d.reason = true, reason
+			changed = true
+		}
+	} else {
+		d.condSince = time.Time{}
+		if d.active {
+			if d.clearSince.IsZero() {
+				d.clearSince = now
+			}
+			if now.Sub(d.clearSince) >= d.exitAfter {
+				d.active, d.reason = false, ""
+				changed = true
+			}
+		}
+	}
+	return d.active, d.reason, changed
+}
+
+// state reads the effective degraded state without advancing it.
+func (d *degrader) state() (bool, string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.active, d.reason
+}
+
+// degradedCondition computes the instantaneous raw condition feeding the
+// degrader: a saturated admission queue, or resident reference bytes over
+// the configured budget (eviction is failing to keep up — e.g. every
+// resident index is pinned).
+func (s *Server) degradedCondition() string {
+	if len(s.slots) >= s.cfg.QueueDepth {
+		return "queue_saturated"
+	}
+	if s.refs != nil {
+		if st := s.refs.Stats(); st.MaxResidentBytes > 0 && st.ResidentBytes > st.MaxResidentBytes {
+			return "resident_bytes_pressure"
+		}
+	}
+	return ""
+}
+
+// observeDegraded advances the degraded-mode state machine from the
+// current condition and logs transitions.
+func (s *Server) observeDegraded() (bool, string) {
+	active, reason, changed := s.degrade.observe(time.Now(), s.degradedCondition())
+	if changed {
+		if active {
+			s.m.degradedEntered.Inc()
+			s.logger.Warn("entering degraded mode: shedding batch work", "reason", reason)
+		} else {
+			s.logger.Info("recovered from degraded mode")
+		}
+	}
+	return active, reason
+}
+
+// drainRate estimates recent admission-slot completions per second from a
+// monotonic completion counter, smoothing across samples so one quiet
+// interval does not zero the estimate.
+type drainRate struct {
+	mu    sync.Mutex
+	lastT time.Time
+	lastN uint64
+	rate  float64
+}
+
+// sample folds the counter at time now into the estimate and returns
+// completions per second (0 until enough history exists).
+func (d *drainRate) sample(n uint64, now time.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lastT.IsZero() {
+		d.lastT, d.lastN = now, n
+		return 0
+	}
+	if dt := now.Sub(d.lastT); dt >= 250*time.Millisecond {
+		inst := float64(n-d.lastN) / dt.Seconds()
+		if d.rate == 0 {
+			d.rate = inst
+		} else {
+			d.rate = 0.5*d.rate + 0.5*inst
+		}
+		d.lastT, d.lastN = now, n
+	}
+	return d.rate
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the current
+// queue depth and the recent drain rate: roughly how long until half the
+// queue has drained, clamped to [1, 30] seconds. With no drain history
+// (cold start, or nothing completing) it falls back to 1.
+func (s *Server) retryAfterSeconds() int {
+	rate := s.drain.sample(s.completions.Load(), time.Now())
+	if rate <= 0 {
+		return 1
+	}
+	secs := int(math.Ceil(float64(len(s.slots)) / 2 / rate))
+	return min(max(secs, 1), 30)
+}

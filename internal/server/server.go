@@ -61,6 +61,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -134,6 +135,38 @@ type Config struct {
 	MaxResidentBytes int64
 	// ShutdownTimeout bounds graceful shutdown. Defaults to 10s.
 	ShutdownTimeout time.Duration
+	// RequestTimeout bounds each non-streaming alignment request
+	// (align/batch/map) end to end: admission wait, workspace acquire,
+	// seeding, filtering and alignment all run under a deadline this far
+	// from the handler start (the core DC loop checks it between windows,
+	// so even a pathological alignment cannot wedge a worker past it).
+	// Expired requests answer 504 with error code "timeout". Defaults to
+	// 60s; negative disables.
+	RequestTimeout time.Duration
+	// StreamIdleTimeout aborts a /v1/map/stream request when no record
+	// moves — no input read parsed, no result written — for this long,
+	// truncating the stream with the standard `@CO (stream truncated)`
+	// trailer or NDJSON error record. Defaults to 2m; negative disables.
+	StreamIdleTimeout time.Duration
+	// DegradedAfter is how long the admission queue must stay saturated
+	// (or the resident-bytes budget overrun) before the server enters
+	// degraded mode: healthz answers 503 with a machine-readable reason
+	// and all batch-class work is shed at admission until recovery.
+	// Defaults to 2s; negative disables degraded mode.
+	DegradedAfter time.Duration
+	// DegradedRecovery is how long conditions must stay clear before the
+	// server leaves degraded mode — the hysteresis that keeps a flapping
+	// queue from flapping the health state. Defaults to 5s.
+	DegradedRecovery time.Duration
+	// RefLoadRetries, RefLoadBackoff, RefBreakerThreshold and
+	// RefBreakerCooldown tune the reference registry's load retry and
+	// per-reference circuit breaker; zero values take the registry
+	// defaults (2 retries, 50ms base backoff, threshold 3, 10s cooldown),
+	// negative values disable the mechanism. See registry.Config.
+	RefLoadRetries      int
+	RefLoadBackoff      time.Duration
+	RefBreakerThreshold int
+	RefBreakerCooldown  time.Duration
 	// Logger receives structured request and error logs. Nil discards
 	// them (instrumentation still runs; /metrics is unaffected).
 	Logger *slog.Logger
@@ -170,6 +203,29 @@ func (c Config) withDefaults() Config {
 	if c.ShutdownTimeout <= 0 {
 		c.ShutdownTimeout = 10 * time.Second
 	}
+	// For the resilience knobs, 0 means "default" and negative means
+	// "disabled" — so a zero Config still gets production behavior.
+	switch {
+	case c.RequestTimeout == 0:
+		c.RequestTimeout = 60 * time.Second
+	case c.RequestTimeout < 0:
+		c.RequestTimeout = 0
+	}
+	switch {
+	case c.StreamIdleTimeout == 0:
+		c.StreamIdleTimeout = 2 * time.Minute
+	case c.StreamIdleTimeout < 0:
+		c.StreamIdleTimeout = 0
+	}
+	switch {
+	case c.DegradedAfter == 0:
+		c.DegradedAfter = 2 * time.Second
+	case c.DegradedAfter < 0:
+		c.DegradedAfter = 0
+	}
+	if c.DegradedRecovery <= 0 {
+		c.DegradedRecovery = 5 * time.Second
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
@@ -199,6 +255,18 @@ type Server struct {
 	// closing flips at Shutdown so healthz reports degraded while
 	// in-flight requests drain.
 	closing atomic.Bool
+	// stopStreams closes at the start of Shutdown so in-flight streaming
+	// responses truncate cleanly (SAM trailer / NDJSON error record)
+	// instead of racing the listener drain.
+	stopStreams chan struct{}
+	// degrade is the hysteretic degraded-mode state machine: sustained
+	// queue saturation or resident-bytes pressure flips it, shedding all
+	// batch-class work until conditions stay clear for DegradedRecovery.
+	degrade degrader
+	// completions counts released admission slots; the drain-rate
+	// estimator behind the adaptive 429 Retry-After samples it.
+	completions atomic.Uint64
+	drain       drainRate
 
 	// mapEngine drives the /v1/map pipeline: read mapping is DNA-only and
 	// wants search-capable first windows, independent of how the serving
@@ -218,12 +286,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:        cfg,
-		slots:      make(chan struct{}, cfg.QueueDepth),
-		mux:        http.NewServeMux(),
-		start:      time.Now(),
-		logger:     cfg.Logger,
-		batchLimit: cfg.QueueDepth - cfg.InteractiveReserve,
+		cfg:         cfg,
+		slots:       make(chan struct{}, cfg.QueueDepth),
+		mux:         http.NewServeMux(),
+		start:       time.Now(),
+		logger:      cfg.Logger,
+		batchLimit:  cfg.QueueDepth - cfg.InteractiveReserve,
+		stopStreams: make(chan struct{}),
+		degrade:     degrader{enterAfter: cfg.DegradedAfter, exitAfter: cfg.DegradedRecovery},
 	}
 	s.ridBase = uint32(s.start.UnixNano())
 	s.m = newServerMetrics(s)
@@ -253,6 +323,11 @@ func New(cfg Config) (*Server, error) {
 		Logger:           cfg.Logger,
 		OnLoad:           s.m.refLoaded,
 		OnEvict:          s.m.refEvicted,
+		OnLoadError:      func(name string, err error) { s.m.refLoadErrors.Inc() },
+		LoadRetries:      cfg.RefLoadRetries,
+		LoadBackoff:      cfg.RefLoadBackoff,
+		BreakerThreshold: cfg.RefBreakerThreshold,
+		BreakerCooldown:  cfg.RefBreakerCooldown,
 	})
 	if err != nil {
 		return nil, err
@@ -403,7 +478,11 @@ func (s *Server) ListenAndServe(addr string) error {
 // index's file mapping; on a timed-out drain it is deliberately leaked,
 // since requests may still be touching the mapped pages.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.closing.Store(true)
+	if s.closing.CompareAndSwap(false, true) {
+		// Tell in-flight streams to truncate (trailer / error record) so
+		// they release their admission slots inside the drain window.
+		close(s.stopStreams)
+	}
 	s.logger.LogAttrs(ctx, slog.LevelInfo, "shutting down",
 		slog.Duration("timeout", s.cfg.ShutdownTimeout))
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.ShutdownTimeout)
@@ -454,9 +533,20 @@ func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) bool {
 	if !ok {
 		return false
 	}
-	if class == classBatch && len(s.slots) >= s.batchLimit {
-		s.rejectSlot(w, r, class)
-		return false
+	// Every admission attempt advances the degraded-mode state machine, so
+	// the server can enter (and recover from) degraded mode under pure
+	// interactive load too.
+	degraded, dreason := s.observeDegraded()
+	if class == classBatch {
+		if degraded {
+			s.rejectSlot(w, r, class,
+				fmt.Sprintf("server degraded (%s): batch work shed until recovery", dreason))
+			return false
+		}
+		if len(s.slots) >= s.batchLimit {
+			s.rejectSlot(w, r, class, "server overloaded: admission queue full")
+			return false
+		}
 	}
 	select {
 	case s.slots <- struct{}{}:
@@ -465,21 +555,21 @@ func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) bool {
 		s.m.slotInFlight.Inc()
 		return true
 	default:
-		s.rejectSlot(w, r, class)
+		s.rejectSlot(w, r, class, "server overloaded: admission queue full")
 		return false
 	}
 }
 
-func (s *Server) rejectSlot(w http.ResponseWriter, r *http.Request, class string) {
+func (s *Server) rejectSlot(w http.ResponseWriter, r *http.Request, class, msg string) {
 	s.m.rejected.Inc()
 	s.m.admission.With(class, "rejected").Inc()
-	w.Header().Set("Retry-After", "1")
-	s.httpError(w, r, http.StatusTooManyRequests, "overload",
-		"server overloaded: admission queue full")
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	s.httpError(w, r, http.StatusTooManyRequests, "overload", msg)
 }
 
 func (s *Server) releaseSlot() {
 	s.m.slotInFlight.Dec()
+	s.completions.Add(1)
 	<-s.slots
 }
 
@@ -564,7 +654,9 @@ func (s *Server) handleAlign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.releaseSlot()
-	aln, err := s.align(r.Context(), req)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	aln, err := s.align(ctx, req)
 	if err != nil {
 		s.fail(w, r, err)
 		return
@@ -611,15 +703,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i, j := range req.Jobs {
 		jobs[i] = genasm.BatchJob{Text: []byte(j.Text), Query: []byte(j.Query), Global: j.Global}
 	}
-	results, err := s.cfg.Engine.AlignBatch(r.Context(), jobs)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	results, err := s.cfg.Engine.AlignBatch(ctx, jobs)
 	if err != nil {
-		// The client went away mid-batch; nothing useful to write.
+		// The client went away mid-batch (or the deadline fired).
 		s.fail(w, r, err)
 		return
 	}
 	items := make([]BatchItem, len(results))
 	for i, res := range results {
 		if res.Err != nil {
+			// A quarantine inside one job still counts on /metrics even
+			// though the batch as a whole succeeds.
+			var pe *genasm.PanicError
+			if errors.As(res.Err, &pe) {
+				s.m.recordPanic(r.Context(), s.logger, pe)
+			}
 			items[i] = BatchItem{Error: res.Err.Error()}
 			continue
 		}
@@ -658,6 +758,11 @@ func (s *Server) acquireRef(w http.ResponseWriter, r *http.Request, name string)
 				fmt.Sprintf("unknown reference %q", name))
 		case errors.Is(err, registry.ErrClosed):
 			s.httpError(w, r, http.StatusServiceUnavailable, "overload", "server shutting down")
+		case errors.Is(err, registry.ErrBreakerOpen):
+			// Fail fast while the breaker cools down: 503 tells clients to
+			// retry elsewhere (or later), without burning a load attempt.
+			s.httpError(w, r, http.StatusServiceUnavailable, "ref_load",
+				fmt.Sprintf("reference %q unavailable: %v", name, err))
 		default:
 			s.httpError(w, r, http.StatusInternalServerError, "ref_load",
 				fmt.Sprintf("loading reference %q: %v", name, err))
@@ -730,7 +835,9 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 		}
 		reads[i] = genasm.Read{Name: name, Seq: []byte(rd.Seq)}
 	}
-	mappings, err := m.MapReads(r.Context(), reads)
+	ctx, cancel := s.requestContext(r)
+	defer cancel()
+	mappings, err := m.MapReads(ctx, reads)
 	if err != nil {
 		s.fail(w, r, err)
 		return
@@ -759,6 +866,12 @@ type RefJSON struct {
 	State string `json:"state"`
 	Pins  int    `json:"pins"`
 	Error string `json:"error,omitempty"`
+	// Breaker is the load circuit-breaker state of a file-backed
+	// reference: "closed", "open" or "half-open" (empty for static
+	// references or when the breaker is disabled). Fails counts
+	// consecutive failed load attempts.
+	Breaker string `json:"breaker,omitempty"`
+	Fails   int    `json:"breaker_fails,omitempty"`
 
 	Backend     string  `json:"backend,omitempty"`
 	Source      string  `json:"source,omitempty"`
@@ -771,12 +884,14 @@ type RefJSON struct {
 
 func refJSON(info registry.RefInfo) RefJSON {
 	out := RefJSON{
-		Name:   info.Name,
-		Path:   info.Path,
-		Static: info.Static,
-		State:  string(info.State),
-		Pins:   info.Pins,
-		Error:  info.Err,
+		Name:    info.Name,
+		Path:    info.Path,
+		Static:  info.Static,
+		State:   string(info.State),
+		Pins:    info.Pins,
+		Error:   info.Err,
+		Breaker: info.Breaker,
+		Fails:   info.Fails,
 	}
 	if info.State == registry.StateLoaded {
 		st := info.Stats
@@ -813,6 +928,9 @@ func (s *Server) handleRefLoad(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, registry.ErrUnknownRef):
 			s.httpError(w, r, http.StatusNotFound, "not_found",
 				fmt.Sprintf("unknown reference %q", name))
+		case errors.Is(err, registry.ErrBreakerOpen):
+			s.httpError(w, r, http.StatusServiceUnavailable, "ref_load",
+				fmt.Sprintf("reference %q unavailable: %v", name, err))
 		default:
 			s.httpError(w, r, http.StatusInternalServerError, "ref_load",
 				fmt.Sprintf("loading reference %q: %v", name, err))
@@ -861,16 +979,24 @@ func emptyNotNil(s []string) []string {
 }
 
 // handleHealthz reports liveness. The server is "degraded" — and answers
-// 503 so load balancers rotate it out — while shutting down or while the
-// admission queue is saturated (new alignment work would be rejected).
+// 503 so load balancers rotate it out — while shutting down, while the
+// admission queue is saturated (new alignment work would be rejected), or
+// while the hysteretic degraded mode is active. The reason field is
+// machine-readable: "shutting_down", "queue_saturated" or
+// "resident_bytes_pressure".
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status, code := "ok", http.StatusOK
 	var reason string
+	degraded, dreason := s.observeDegraded()
 	switch {
 	case s.closing.Load():
-		status, code, reason = "degraded", http.StatusServiceUnavailable, "shutting down"
+		status, code, reason = "degraded", http.StatusServiceUnavailable, "shutting_down"
+	case degraded:
+		status, code, reason = "degraded", http.StatusServiceUnavailable, dreason
 	case len(s.slots) >= s.cfg.QueueDepth:
-		status, code, reason = "degraded", http.StatusServiceUnavailable, "admission queue saturated"
+		// Instantaneous saturation: not yet sustained enough for degraded
+		// mode (batch shedding), but new work is already being rejected.
+		status, code, reason = "degraded", http.StatusServiceUnavailable, "queue_saturated"
 	}
 	if reason != "" {
 		s.logger.LogAttrs(r.Context(), slog.LevelWarn, "healthz degraded",
@@ -880,6 +1006,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, code, map[string]any{
 		"status":         status,
 		"reason":         reason,
+		"degraded_mode":  degraded,
 		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
 }
@@ -911,6 +1038,12 @@ type ServerStats struct {
 	QueueUsed  int `json:"queue_used"`
 	QueueDepth int `json:"queue_depth"`
 	BatchLimit int `json:"batch_limit"`
+	// Degraded reports the hysteretic degraded-mode state (all batch work
+	// shed); DegradedReason is its machine-readable cause while active.
+	// Panics counts recovered alignment panics (quarantined workspaces).
+	Degraded       bool   `json:"degraded"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	Panics         uint64 `json:"panics"`
 }
 
 // Stats snapshots the server, engine and reference-registry counters from
@@ -918,17 +1051,23 @@ type ServerStats struct {
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
 		Pool: s.cfg.Engine.Stats(),
-		Server: ServerStats{
-			Requests:         s.m.admitted.Value(),
-			Alignments:       s.m.alignments.Value(),
-			Streams:          s.m.streamsStarted.Value(),
-			Rejected:         s.m.rejected.Value(),
-			Errored:          s.m.errors.Sum(),
-			InFlightRequests: s.m.slotInFlight.Value(),
-			QueueUsed:        len(s.slots),
-			QueueDepth:       s.cfg.QueueDepth,
-			BatchLimit:       s.batchLimit,
-		},
+		Server: func() ServerStats {
+			degraded, dreason := s.degrade.state()
+			return ServerStats{
+				Requests:         s.m.admitted.Value(),
+				Alignments:       s.m.alignments.Value(),
+				Streams:          s.m.streamsStarted.Value(),
+				Rejected:         s.m.rejected.Value(),
+				Errored:          s.m.errors.Sum(),
+				InFlightRequests: s.m.slotInFlight.Value(),
+				QueueUsed:        len(s.slots),
+				QueueDepth:       s.cfg.QueueDepth,
+				BatchLimit:       s.batchLimit,
+				Degraded:         degraded,
+				DegradedReason:   dreason,
+				Panics:           s.m.panics.Sum(),
+			}
+		}(),
 		Refs:    s.refs.Stats(),
 		Latency: s.m.latencyStats(),
 	}
@@ -972,11 +1111,24 @@ func (s *Server) checkSeq(w http.ResponseWriter, r *http.Request, field, seq str
 	return true
 }
 
-// fail reports an alignment error: every error on that path derives from
+// fail reports an alignment error. Most errors on that path derive from
 // the client's input (encode failures, empty patterns, window budget), so
-// it answers 400 — except client disconnects, which get nothing.
+// they answer 400 — but a recovered panic answers 500 "panic", the
+// server's own deadline answers 504 "timeout", and client disconnects get
+// nothing (there is no one left to read it).
 func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+	var pe *genasm.PanicError
+	switch {
+	case errors.As(err, &pe):
+		s.m.recordPanic(r.Context(), s.logger, pe)
+		s.httpError(w, r, http.StatusInternalServerError, "panic",
+			fmt.Sprintf("internal panic during %s (recovered; workspace quarantined)", pe.Site))
+	case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
+		// The server's RequestTimeout fired while the client was still
+		// connected: a genuine timeout, not a disconnect.
+		s.httpError(w, r, http.StatusGatewayTimeout, "timeout",
+			fmt.Sprintf("request exceeded the %s server deadline", s.cfg.RequestTimeout))
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// The client went away; nothing useful to write, but the failure
 		// still counts and logs.
 		s.m.errors.With("canceled").Inc()
@@ -984,9 +1136,9 @@ func (s *Server) fail(w http.ResponseWriter, r *http.Request, err error) {
 			slog.String("rid", requestID(r.Context())),
 			slog.String("path", r.URL.Path),
 			slog.String("error", err.Error()))
-		return
+	default:
+		s.httpError(w, r, http.StatusBadRequest, "input", err.Error())
 	}
-	s.httpError(w, r, http.StatusBadRequest, "input", err.Error())
 }
 
 // httpError is the one funnel for error responses: it counts the failure

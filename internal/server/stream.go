@@ -11,6 +11,8 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"genasm"
 	"genasm/seqio"
@@ -198,6 +200,35 @@ func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 	// parsing the rest of the body.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
+	rc := http.NewResponseController(w)
+
+	// Two external events also truncate the stream — graceful shutdown
+	// (stopStreams) and an idle timeout — and both must be distinguishable
+	// in the trailer/error record, so their reason is latched before the
+	// cancel. Cancelling alone is not enough to end the stream: the
+	// dispatcher may be blocked reading the request body, so each abort
+	// also expires the connection's read deadline to fail that read (the
+	// write side is untouched — the truncation record still goes out).
+	abort := &streamAbort{}
+	go func() {
+		select {
+		case <-s.stopStreams:
+			abort.set("server shutting down")
+			cancel()
+			rc.SetReadDeadline(time.Now())
+		case <-ctx.Done():
+		}
+	}()
+	touch := func() {}
+	if s.cfg.StreamIdleTimeout > 0 {
+		idle := time.AfterFunc(s.cfg.StreamIdleTimeout, func() {
+			abort.set(fmt.Sprintf("no record moved for %s (idle timeout)", s.cfg.StreamIdleTimeout))
+			cancel()
+			rc.SetReadDeadline(time.Now())
+		})
+		defer idle.Stop()
+		touch = func() { idle.Reset(s.cfg.StreamIdleTimeout) }
+	}
 
 	var src *streamReadSource
 	ct := r.Header.Get("Content-Type")
@@ -223,7 +254,6 @@ func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 	// flush, losing every read not yet buffered — exactly the large
 	// streaming uploads this endpoint exists for. HTTP/2+ interleaves
 	// natively, so an unsupported error only matters on HTTP/1.
-	rc := http.NewResponseController(w)
 	if err := rc.EnableFullDuplex(); err != nil && r.ProtoMajor < 2 {
 		s.httpError(w, r, http.StatusInternalServerError, "internal",
 			"map/stream: full-duplex streaming unsupported: "+err.Error())
@@ -232,15 +262,28 @@ func (s *Server) handleMapStream(w http.ResponseWriter, r *http.Request) {
 
 	results := m.MapStream(ctx, src.reads)
 	if strings.Contains(r.Header.Get("Accept"), "text/x-sam") {
-		s.streamSAM(ctx, w, rc, cancel, m, src, results)
+		s.streamSAM(ctx, w, rc, cancel, m, src, abort, touch, results)
 		return
 	}
-	s.streamNDJSON(ctx, w, rc, cancel, src, results)
+	s.streamNDJSON(ctx, w, rc, cancel, src, abort, touch, results)
+}
+
+// streamAbort latches the first external reason a stream was cancelled
+// (shutdown, idle timeout), so the truncation report can name it.
+type streamAbort struct{ reason atomic.Pointer[string] }
+
+func (a *streamAbort) set(reason string) { a.reason.CompareAndSwap(nil, &reason) }
+
+func (a *streamAbort) get() string {
+	if p := a.reason.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // streamNDJSON writes one JSON mapping record per line, flushing after
 // each so the client sees results as reads are mapped.
-func (s *Server) streamNDJSON(ctx context.Context, w http.ResponseWriter, rc *http.ResponseController, cancel context.CancelFunc, src *streamReadSource, results iter.Seq[genasm.MappingResult]) {
+func (s *Server) streamNDJSON(ctx context.Context, w http.ResponseWriter, rc *http.ResponseController, cancel context.CancelFunc, src *streamReadSource, abort *streamAbort, touch func(), results iter.Seq[genasm.MappingResult]) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -249,6 +292,7 @@ func (s *Server) streamNDJSON(ctx context.Context, w http.ResponseWriter, rc *ht
 		if stopped {
 			continue
 		}
+		touch()
 		line := StreamMapResult{Index: res.Index, Name: res.Mapping.Name}
 		if line.Name == "" {
 			line.Name = fmt.Sprintf("read%d", res.Index)
@@ -278,6 +322,15 @@ func (s *Server) streamNDJSON(ctx context.Context, w http.ResponseWriter, rc *ht
 	}
 	if stopped {
 		s.streamTruncated(ctx, "client went away mid-stream")
+		return
+	}
+	if reason := abort.get(); reason != "" {
+		// Shutdown or idle timeout ended the stream early: report it
+		// in-band as a final error record so the client can tell the
+		// truncated stream from a complete one.
+		s.streamTruncated(ctx, reason)
+		enc.Encode(StreamMapResult{Index: -1, Error: reason + " (stream truncated)"})
+		rc.Flush()
 		return
 	}
 	if src.err != nil {
@@ -356,7 +409,7 @@ func (fw flushWriter) Write(p []byte) (int, error) {
 // SAM has no record-level error channel, a trailing "@CO" comment line
 // reports the failure so clients can tell a truncated stream from a
 // complete one (a bare 200 with fewer records would look complete).
-func (s *Server) streamSAM(ctx context.Context, w http.ResponseWriter, rc *http.ResponseController, cancel context.CancelFunc, m *genasm.Mapper, src *streamReadSource, results iter.Seq[genasm.MappingResult]) {
+func (s *Server) streamSAM(ctx context.Context, w http.ResponseWriter, rc *http.ResponseController, cancel context.CancelFunc, m *genasm.Mapper, src *streamReadSource, abort *streamAbort, touch func(), results iter.Seq[genasm.MappingResult]) {
 	w.Header().Set("Content-Type", "text/x-sam; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	fw := flushWriter{w: w, rc: rc}
@@ -366,6 +419,7 @@ func (s *Server) streamSAM(ctx context.Context, w http.ResponseWriter, rc *http.
 			if stopped {
 				continue
 			}
+			touch()
 			if res.Err == nil {
 				s.m.alignments.Inc()
 			}
@@ -379,15 +433,21 @@ func (s *Server) streamSAM(ctx context.Context, w http.ResponseWriter, rc *http.
 			}
 		}
 	})
-	if err != nil || src.err != nil {
-		// Prefer the input error as the root cause; err alone is a per-read
-		// mapping error or a write failure (in which case this trailer is a
-		// best-effort no-op on a dead connection).
-		cause := src.err
-		if cause == nil {
-			cause = err
+	if err != nil || src.err != nil || abort.get() != "" {
+		// An external abort (shutdown, idle timeout) is the root cause even
+		// when it also failed the body read; then the input error; err
+		// alone is a per-read mapping error or a write failure (in which
+		// case this trailer is a best-effort no-op on a dead connection).
+		var cause string
+		switch {
+		case abort.get() != "":
+			cause = abort.get()
+		case src.err != nil:
+			cause = src.err.Error()
+		default:
+			cause = err.Error()
 		}
-		s.streamTruncated(ctx, cause.Error())
+		s.streamTruncated(ctx, cause)
 		fmt.Fprintf(fw, "@CO\tgenasm-serve: error: %s (stream truncated)\n", cause)
 		return
 	}

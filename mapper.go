@@ -231,7 +231,7 @@ func (m *Mapper) MapRead(ctx context.Context, read []byte) (ReadMapping, error) 
 	}
 	mp, err := m.m.MapReadContext(ctx, enc)
 	if err != nil {
-		return ReadMapping{}, err
+		return ReadMapping{}, convertPanicError(err)
 	}
 	out := ReadMapping{
 		Mapped:     mp.Mapped,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"genasm/internal/faults"
 	"genasm/internal/filter"
 	"genasm/internal/index"
 	"genasm/internal/indexfile"
@@ -137,6 +138,9 @@ func (e *Engine) BuildRefIndex(ref []byte, cfg RefIndexConfig) (*RefIndex, error
 // incompatible file is an error, never a panic.
 func LoadRefIndex(path string) (*RefIndex, error) {
 	start := time.Now()
+	if err := faults.Fire(faults.SiteIndexMmap); err != nil {
+		return nil, err
+	}
 	f, err := indexfile.Load(path)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,40 @@
+package genasm
+
+import (
+	"errors"
+	"fmt"
+
+	"genasm/internal/core"
+)
+
+// PanicError reports a panic recovered at the engine's isolation boundary
+// around a pooled alignment or mapping. The process survives: the
+// panicking workspace was quarantined (never returned to the pool, so its
+// possibly-corrupted scratch state cannot poison later requests) and its
+// capacity slot is refilled by a fresh workspace on demand. Callers can
+// detect quarantines with errors.As and should treat them as internal
+// errors (HTTP 500), not input errors.
+type PanicError struct {
+	// Site labels where the panic fired ("align" for the kernel path, or
+	// a fault-injection site name).
+	Site string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("genasm: panic in pooled %s (workspace quarantined): %v", e.Site, e.Value)
+}
+
+// convertPanicError rewraps the internal quarantine error as the public
+// PanicError at the API boundary, so callers outside the module can
+// errors.As for it.
+func convertPanicError(err error) error {
+	var pe *core.PanicError
+	if errors.As(err, &pe) {
+		return &PanicError{Site: pe.Site, Value: pe.Value, Stack: pe.Stack}
+	}
+	return err
+}
